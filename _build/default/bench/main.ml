@@ -1,0 +1,125 @@
+(* Benchmark harness: regenerates every table and figure of the paper
+   (DESIGN.md section 4) and, under the [micro] selector, runs a
+   Bechamel microbenchmark per experiment measuring its engine-side
+   primitive.
+
+   Usage:
+     dune exec bench/main.exe                 -- all experiments
+     dune exec bench/main.exe -- figure5      -- one experiment
+     dune exec bench/main.exe -- micro        -- Bechamel suite
+   The RICV_SAMPLES environment variable scales campaign sample sizes
+   (default 250). *)
+
+module Experiments = Correlation.Experiments
+module Context = Correlation.Context
+
+let print_tables tables = List.iter (Report.Table.render Format.std_formatter) tables
+
+let write_csv ~dir ~id tables =
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  List.iteri
+    (fun i table ->
+      let suffix = if i = 0 then "" else Printf.sprintf "-%d" i in
+      let path = Filename.concat dir (id ^ suffix ^ ".csv") in
+      let oc = open_out path in
+      output_string oc (Report.Table.to_csv table);
+      close_out oc)
+    tables
+
+let run_experiments ?csv_dir ids =
+  let ctx = Context.create () in
+  Format.printf "injection sample size per (workload, block): %d@."
+    (Context.samples ctx);
+  List.iter
+    (fun id ->
+      Format.printf "@.";
+      let t0 = Unix.gettimeofday () in
+      let tables = Experiments.run ctx id in
+      print_tables tables;
+      (match csv_dir with Some dir -> write_csv ~dir ~id tables | None -> ());
+      Format.printf "  [%s took %.1fs]@." id (Unix.gettimeofday () -. t0))
+    ids
+
+(* ---- Bechamel microbenchmarks: one per table/figure, measuring the
+   dominant engine primitive behind that experiment. ---- *)
+
+let micro_tests () =
+  let open Bechamel in
+  let entry name = Workloads.Suite.find name in
+  let prog_of e =
+    e.Workloads.Suite.build ~iterations:e.Workloads.Suite.default_iterations ~dataset:0
+  in
+  let ttsprk = prog_of (entry "ttsprk") in
+  let rspeed = prog_of (entry "rspeed") in
+  let sys = Leon3.System.create () in
+  let golden = Fault_injection.Campaign.golden_run sys ttsprk ~max_cycles:5_000_000 in
+  let sites =
+    Array.of_list
+      (Fault_injection.Injection.sites (Leon3.System.core sys)
+         Fault_injection.Injection.Iu)
+  in
+  let rng = Stats.Rng.create 99 in
+  let fault_run () =
+    let site = sites.(Stats.Rng.int rng (Array.length sites)) in
+    ignore
+      (Fault_injection.Campaign.run_one sys ttsprk golden site Rtl.Circuit.Stuck_at_1)
+  in
+  let excerpt = Workloads.Excerpts.subset_a "a2time" in
+  [ Test.make ~name:"table1/iss-characterisation" (Staged.stage (fun () ->
+        ignore (Diversity.Metric.of_program ttsprk)));
+    Test.make ~name:"figure3/excerpt-golden-rtl" (Staged.stage (fun () ->
+        Leon3.System.load sys excerpt;
+        ignore (Leon3.System.run sys ~max_cycles:1_000_000)));
+    Test.make ~name:"figure4/rspeed-iss" (Staged.stage (fun () ->
+        ignore (Iss.Emulator.execute rspeed)));
+    Test.make ~name:"figure5/iu-fault-run" (Staged.stage fault_run);
+    Test.make ~name:"figure6/cmem-golden-rtl" (Staged.stage (fun () ->
+        Leon3.System.load sys ttsprk;
+        ignore (Leon3.System.run sys ~max_cycles:5_000_000)));
+    Test.make ~name:"figure7/log-fit" (Staged.stage (fun () ->
+        ignore
+          (Stats.Regression.log_fit
+             [ (8., 10.); (11., 14.); (20., 16.); (47., 30.); (50., 31.); (54., 33.) ])));
+    Test.make ~name:"simtime/iss-run" (Staged.stage (fun () ->
+        ignore (Iss.Emulator.execute ttsprk))) ]
+
+let run_micro () =
+  let open Bechamel in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 2.0) () in
+  let suite =
+    Test.make_grouped ~name:"experiments" ~fmt:"%s %s" (micro_tests ())
+  in
+  let raw = Benchmark.all cfg instances suite in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = List.map (fun i -> Analyze.all ols i raw) instances in
+  let analyzed = Analyze.merge ols instances results in
+  Hashtbl.iter
+    (fun name tbl ->
+      Hashtbl.iter
+        (fun test result ->
+          match Analyze.OLS.estimates result with
+          | Some (est :: _) -> Format.printf "%-34s %s: %.0f ns/run@." test name est
+          | Some [] | None -> Format.printf "%-34s %s: (no estimate)@." test name)
+        tbl)
+    analyzed
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let csv_dir, args =
+    match args with
+    | "csv" :: rest -> (Some "results", rest)
+    | _ -> (None, args)
+  in
+  match args with
+  | [] -> run_experiments ?csv_dir Experiments.all_ids
+  | [ "micro" ] -> run_micro ()
+  | ids when List.for_all (fun id -> List.mem id Experiments.all_ids) ids ->
+      run_experiments ?csv_dir ids
+  | _ ->
+      prerr_endline
+        ("usage: main.exe [csv] [micro | " ^ String.concat " | " Experiments.all_ids
+       ^ " ...]");
+      exit 2

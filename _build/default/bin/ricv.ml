@@ -1,0 +1,240 @@
+(* ricv — RTL/ISS correlation for automotive microcontroller
+   robustness verification: command-line front end. *)
+
+open Cmdliner
+
+let build_workload name iterations dataset =
+  match List.find_opt (fun e -> e.Workloads.Suite.name = name) Workloads.Suite.all with
+  | Some e ->
+      let iterations =
+        match iterations with Some n -> n | None -> e.Workloads.Suite.default_iterations
+      in
+      Ok (e.Workloads.Suite.build ~iterations ~dataset)
+  | None -> Error (`Msg (Printf.sprintf "unknown workload %S (try `ricv list`)" name))
+
+let workload_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD" ~doc:"Workload name.")
+
+let iterations_arg =
+  Arg.(value & opt (some int) None & info [ "iterations"; "i" ] ~docv:"N"
+         ~doc:"Kernel iterations (default: the workload's own).")
+
+let dataset_arg =
+  Arg.(value & opt int 0 & info [ "dataset"; "d" ] ~docv:"D" ~doc:"Input dataset index.")
+
+let or_fail = function Ok v -> v | Error (`Msg m) -> prerr_endline m; exit 1
+
+(* ---- list ---- *)
+
+let list_cmd =
+  let run () =
+    print_endline "workloads:";
+    List.iter
+      (fun e ->
+        Printf.printf "  %-10s (%s, default %d iterations)\n" e.Workloads.Suite.name
+          (Workloads.Suite.kind_name e.Workloads.Suite.kind)
+          e.Workloads.Suite.default_iterations)
+      Workloads.Suite.all;
+    print_endline "experiments:";
+    List.iter (fun id -> Printf.printf "  %s\n" id) Correlation.Experiments.all_ids
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List workloads and experiments.")
+    Term.(const run $ const ())
+
+(* ---- run-iss ---- *)
+
+let run_iss_cmd =
+  let run name iterations dataset =
+    let prog = or_fail (build_workload name iterations dataset) in
+    let r = Iss.Emulator.execute prog in
+    Format.printf "stop        : %a@." Iss.Emulator.pp_stop r.Iss.Emulator.stop;
+    Format.printf "instructions: %d (memory %d)@." r.Iss.Emulator.instructions
+      r.Iss.Emulator.memory_instructions;
+    Format.printf "cycles      : %d@." r.Iss.Emulator.cycles;
+    Format.printf "diversity   : %d@." r.Iss.Emulator.diversity;
+    Format.printf "writes      : %d@." (List.length r.Iss.Emulator.writes);
+    Format.printf "opcode histogram:@.";
+    List.iter
+      (fun (op, c) -> Format.printf "  %-8s %d@." (Sparc.Isa.mnemonic op) c)
+      r.Iss.Emulator.histogram
+  in
+  Cmd.v (Cmd.info "run-iss" ~doc:"Run a workload on the instruction set simulator.")
+    Term.(const run $ workload_arg $ iterations_arg $ dataset_arg)
+
+(* ---- run-rtl ---- *)
+
+let run_rtl_cmd =
+  let vcd_arg =
+    Arg.(value & opt (some string) None
+           & info [ "vcd" ] ~docv:"FILE"
+               ~doc:"Dump a waveform trace of the integer unit (first 5000 cycles).")
+  in
+  let run name iterations dataset vcd =
+    let prog = or_fail (build_workload name iterations dataset) in
+    let sys = Leon3.System.create () in
+    Leon3.System.load sys prog;
+    let stop =
+      match vcd with
+      | None -> Leon3.System.run sys ~max_cycles:10_000_000
+      | Some path ->
+          let circuit = (Leon3.System.core sys).Leon3.Core.circuit in
+          Rtl.Vcd.trace_run ~path ~prefix:"iu." circuit ~cycles:5000 ~step:(fun () ->
+              if Leon3.System.stop sys = None then Leon3.System.step sys);
+          (* finish the run untraced if it is still going *)
+          Leon3.System.run sys ~max_cycles:10_000_000
+    in
+    Format.printf "stop        : %a@." Leon3.System.pp_stop stop;
+    Format.printf "instructions: %d@." (Leon3.System.instructions sys);
+    Format.printf "cycles      : %d@." (Leon3.System.cycles sys);
+    Format.printf "writes      : %d@." (List.length (Leon3.System.writes sys));
+    match vcd with
+    | Some path -> Format.printf "vcd trace   : %s@." path
+    | None -> ()
+  in
+  Cmd.v (Cmd.info "run-rtl" ~doc:"Run a workload on the Leon3-class RTL model.")
+    Term.(const run $ workload_arg $ iterations_arg $ dataset_arg $ vcd_arg)
+
+(* ---- disasm ---- *)
+
+let disasm_cmd =
+  let run name iterations dataset =
+    let prog = or_fail (build_workload name iterations dataset) in
+    List.iter print_endline (Sparc.Asm.disassemble prog)
+  in
+  Cmd.v (Cmd.info "disasm" ~doc:"Disassemble a workload's text section.")
+    Term.(const run $ workload_arg $ iterations_arg $ dataset_arg)
+
+(* ---- asm ---- *)
+
+let asm_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Assembly source.")
+  in
+  let engine_arg =
+    Arg.(value & opt (enum [ ("iss", `Iss); ("rtl", `Rtl); ("both", `Both) ]) `Both
+           & info [ "engine"; "e" ] ~doc:"Engine to run on: iss, rtl or both.")
+  in
+  let run file engine =
+    let source = In_channel.with_open_text file In_channel.input_all in
+    let prog =
+      try Sparc.Parser.parse_string ~name:(Filename.basename file) source with
+      | Sparc.Parser.Parse_error { line; message } ->
+          Printf.eprintf "%s:%d: %s\n" file line message;
+          exit 1
+      | Sparc.Asm.Unknown_label l ->
+          Printf.eprintf "%s: unknown label %S\n" file l;
+          exit 1
+    in
+    Printf.printf "assembled %d instructions\n" (Array.length prog.Sparc.Asm.instrs);
+    let run_iss () =
+      let r = Iss.Emulator.execute prog in
+      Format.printf "iss: %a, %d instructions, %d writes@." Iss.Emulator.pp_stop
+        r.Iss.Emulator.stop r.Iss.Emulator.instructions
+        (List.length r.Iss.Emulator.writes)
+    in
+    let run_rtl () =
+      let sys = Leon3.System.create () in
+      Leon3.System.load sys prog;
+      let stop = Leon3.System.run sys ~max_cycles:10_000_000 in
+      Format.printf "rtl: %a, %d instructions, %d cycles@." Leon3.System.pp_stop stop
+        (Leon3.System.instructions sys) (Leon3.System.cycles sys)
+    in
+    match engine with
+    | `Iss -> run_iss ()
+    | `Rtl -> run_rtl ()
+    | `Both ->
+        run_iss ();
+        run_rtl ()
+  in
+  Cmd.v
+    (Cmd.info "asm" ~doc:"Assemble a source file and run it.")
+    Term.(const run $ file_arg $ engine_arg)
+
+(* ---- campaign ---- *)
+
+let campaign_cmd =
+  let target_conv =
+    Arg.enum [ ("iu", Fault_injection.Injection.Iu); ("cmem", Fault_injection.Injection.Cmem) ]
+  in
+  let target_arg =
+    Arg.(value & opt target_conv Fault_injection.Injection.Iu
+           & info [ "target"; "t" ] ~docv:"BLOCK" ~doc:"Injection block: iu or cmem.")
+  in
+  let samples_arg =
+    Arg.(value & opt int 250 & info [ "samples"; "s" ] ~docv:"N"
+           ~doc:"Number of injection sites to sample.")
+  in
+  let domains_arg =
+    Arg.(value & opt int 1 & info [ "domains"; "j" ] ~docv:"N"
+           ~doc:"Shard the campaign over N OCaml domains.")
+  in
+  let run name iterations dataset target samples domains =
+    let prog = or_fail (build_workload name iterations dataset) in
+    let config =
+      { Fault_injection.Campaign.default_config with
+        Fault_injection.Campaign.sample_size = Some samples }
+    in
+    let summaries, _ =
+      if domains > 1 then
+        Fault_injection.Campaign.run_parallel ~config ~domains
+          (fun () -> Leon3.System.create ())
+          prog target
+      else begin
+        let sys = Leon3.System.create () in
+        let on_progress ~done_ ~total =
+          if done_ mod 100 = 0 || done_ = total then
+            Printf.eprintf "\r%d/%d injections...%!" done_ total
+        in
+        Fault_injection.Campaign.run ~config ~on_progress sys prog target
+      end
+    in
+    prerr_newline ();
+    List.iter
+      (fun (model, s) ->
+        Printf.printf
+          "%-11s Pf=%5.1f%%  (%d/%d: wrong-writes %d, missing %d, traps %d, hangs %d)  \
+           max latency %d cycles\n"
+          (Rtl.Circuit.fault_model_name model)
+          (Fault_injection.Campaign.pf_percent s)
+          s.Fault_injection.Campaign.failures s.Fault_injection.Campaign.injections
+          s.Fault_injection.Campaign.wrong_writes s.Fault_injection.Campaign.missing_writes
+          s.Fault_injection.Campaign.traps s.Fault_injection.Campaign.hangs
+          s.Fault_injection.Campaign.max_latency)
+      summaries
+  in
+  Cmd.v
+    (Cmd.info "campaign" ~doc:"Run a fault-injection campaign on the RTL model.")
+    Term.(const run $ workload_arg $ iterations_arg $ dataset_arg $ target_arg
+          $ samples_arg $ domains_arg)
+
+(* ---- experiment ---- *)
+
+let experiment_cmd =
+  let id_arg =
+    Arg.(required & pos 0 (some (Arg.enum (List.map (fun id -> (id, id)) Correlation.Experiments.all_ids))) None
+           & info [] ~docv:"ID" ~doc:"Experiment id (see `ricv list`).")
+  in
+  let samples_arg =
+    Arg.(value & opt (some int) None & info [ "samples"; "s" ] ~docv:"N"
+           ~doc:"Injection sample size per (workload, block).")
+  in
+  let run id samples =
+    let ctx = Correlation.Context.create ?samples () in
+    List.iter
+      (Report.Table.render Format.std_formatter)
+      (Correlation.Experiments.run ctx id)
+  in
+  Cmd.v (Cmd.info "experiment" ~doc:"Reproduce one of the paper's tables/figures.")
+    Term.(const run $ id_arg $ samples_arg)
+
+let () =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  let info =
+    Cmd.info "ricv" ~version:"1.0.0"
+      ~doc:"ISS/RTL fault-injection correlation for automotive microcontrollers"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default info
+          [ list_cmd; run_iss_cmd; run_rtl_cmd; disasm_cmd; asm_cmd; campaign_cmd;
+            experiment_cmd ]))

@@ -1,0 +1,1 @@
+examples/custom_benchmark.ml: Correlation Diversity Fault_injection Leon3 List Printf Rtl Sparc Stats Workloads

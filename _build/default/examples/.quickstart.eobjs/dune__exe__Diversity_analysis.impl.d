@@ -1,0 +1,1 @@
+examples/diversity_analysis.ml: Diversity Leon3 List Printf Sparc Workloads

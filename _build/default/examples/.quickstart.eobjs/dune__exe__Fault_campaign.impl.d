@@ -1,0 +1,1 @@
+examples/fault_campaign.ml: Array Fault_injection Hashtbl Leon3 List Option Printf Rtl Sparc Workloads

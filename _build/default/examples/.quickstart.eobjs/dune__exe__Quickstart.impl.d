@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Iss Leon3 List Sparc

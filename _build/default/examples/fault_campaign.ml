@@ -1,0 +1,73 @@
+(* Fault-injection campaign walkthrough: inject permanent faults into
+   the integer unit while running an automotive workload, and break the
+   verdicts down by failure mode and by functional unit.
+
+     dune exec examples/fault_campaign.exe *)
+
+module Campaign = Fault_injection.Campaign
+module Injection = Fault_injection.Injection
+
+let () =
+  let entry = Workloads.Suite.find "canrdr" in
+  let prog = entry.Workloads.Suite.build ~iterations:2 ~dataset:0 in
+  let sys = Leon3.System.create () in
+
+  (* Golden (fault-free) reference. *)
+  let golden = Campaign.golden_run sys prog ~max_cycles:5_000_000 in
+  Printf.printf "golden run: %d instructions, %d cycles, %d off-core writes\n"
+    golden.Campaign.instructions golden.Campaign.cycles
+    (Array.length golden.Campaign.writes);
+
+  (* One hand-picked fault: stuck-at-1 on bit 12 of the ALU adder
+     output, active from cycle 0.  Watch it become a failure. *)
+  let core = Leon3.System.core sys in
+  let sites = Injection.sites core (Injection.Unit_of Sparc.Units.Adder) in
+  let site = List.hd sites in
+  let r = Campaign.run_one sys prog golden site Rtl.Circuit.Stuck_at_1 in
+  Printf.printf "\nsingle injection at %s: %s\n" r.Campaign.site_name
+    (match r.Campaign.outcome with
+    | Campaign.Silent -> "silent (latent fault)"
+    | Campaign.Failure (Campaign.Wrong_write i) ->
+        Printf.sprintf "failure — write #%d diverged" i
+    | Campaign.Failure (Campaign.Missing_writes n) ->
+        Printf.sprintf "failure — exited after only %d matching writes" n
+    | Campaign.Failure (Campaign.Trap code) -> Printf.sprintf "failure — trap %d" code
+    | Campaign.Failure Campaign.Hang -> "failure — watchdog hang");
+
+  (* A whole campaign: 300 sampled IU sites x three fault models. *)
+  let config =
+    { Campaign.default_config with Campaign.sample_size = Some 300 }
+  in
+  let summaries, results = Campaign.run ~config sys prog Injection.Iu in
+  print_endline "\ncampaign summaries (IU):";
+  List.iter
+    (fun (model, s) ->
+      Printf.printf "  %-11s Pf = %5.1f%%  (wrong %d / missing %d / trap %d / hang %d)\n"
+        (Rtl.Circuit.fault_model_name model)
+        (Campaign.pf_percent s) s.Campaign.wrong_writes s.Campaign.missing_writes
+        s.Campaign.traps s.Campaign.hangs)
+    summaries;
+
+  (* Attribute stuck-at-1 failures to functional units. *)
+  let tally = Hashtbl.create 16 in
+  List.iter
+    (fun (r : Campaign.run_result) ->
+      if r.Campaign.model = Rtl.Circuit.Stuck_at_1 then
+        match Injection.unit_of_site_name r.Campaign.site_name with
+        | Some u ->
+            let fails, total =
+              Option.value ~default:(0, 0) (Hashtbl.find_opt tally u)
+            in
+            let f = if r.Campaign.outcome = Campaign.Silent then 0 else 1 in
+            Hashtbl.replace tally u (fails + f, total + 1)
+        | None -> ())
+    results;
+  print_endline "\nstuck-at-1 failures by functional unit:";
+  List.iter
+    (fun u ->
+      match Hashtbl.find_opt tally u with
+      | Some (fails, total) when total > 0 ->
+          Printf.printf "  %-10s %3d/%-3d (%.0f%%)\n" (Sparc.Units.name u) fails total
+            (100. *. float_of_int fails /. float_of_int total)
+      | Some _ | None -> ())
+    Sparc.Units.all

@@ -1,0 +1,90 @@
+let mask32 = 0xFFFF_FFFF
+
+let of_int x = x land mask32
+
+let to_signed w = if w land 0x8000_0000 <> 0 then w - 0x1_0000_0000 else w
+
+let of_int32 x = Int32.to_int x land mask32
+
+let to_int32 w = Int32.of_int (to_signed w)
+
+let add a b = (a + b) land mask32
+
+let sub a b = (a - b) land mask32
+
+let neg a = (0 - a) land mask32
+
+let is_negative w = w land 0x8000_0000 <> 0
+
+let add_full a b carry_in =
+  let wide = a + b + carry_in in
+  let result = wide land mask32 in
+  let carry = wide > mask32 in
+  (* Signed overflow: operands share a sign that differs from the result's. *)
+  let overflow = lnot (a lxor b) land (a lxor result) land 0x8000_0000 <> 0 in
+  (result, carry, overflow)
+
+let sub_full a b borrow_in =
+  let wide = a - b - borrow_in in
+  let result = wide land mask32 in
+  let borrow = wide < 0 in
+  let overflow = (a lxor b) land (a lxor result) land 0x8000_0000 <> 0 in
+  (result, borrow, overflow)
+
+let mul_full ~signed a b =
+  let sa = if signed then to_signed a else a in
+  let sb = if signed then to_signed b else b in
+  let prod = Int64.mul (Int64.of_int sa) (Int64.of_int sb) in
+  let lo = Int64.to_int (Int64.logand prod 0xFFFF_FFFFL) in
+  let hi = Int64.to_int (Int64.logand (Int64.shift_right_logical prod 32) 0xFFFF_FFFFL) in
+  (hi, lo)
+
+let div32 ~signed ~hi ~lo d =
+  if d = 0 then None
+  else
+    let dividend = Int64.logor (Int64.shift_left (Int64.of_int hi) 32) (Int64.of_int lo) in
+    if signed then
+      let quotient = Int64.div dividend (Int64.of_int (to_signed d)) in
+      if Int64.compare quotient 0x7FFF_FFFFL > 0 then Some (0x7FFF_FFFF, true)
+      else if Int64.compare quotient (-0x8000_0000L) < 0 then Some (0x8000_0000, true)
+      else Some (Int64.to_int quotient land mask32, false)
+    else
+      let quotient = Int64.unsigned_div dividend (Int64.of_int d) in
+      if Int64.unsigned_compare quotient 0xFFFF_FFFFL > 0 then Some (mask32, true)
+      else Some (Int64.to_int quotient land mask32, false)
+
+let shl w n = (w lsl (n land 31)) land mask32
+
+let shr w n = (w land mask32) lsr (n land 31)
+
+let sar w n =
+  let n = n land 31 in
+  (to_signed w asr n) land mask32
+
+let sext ~bits x =
+  assert (bits >= 1 && bits <= 32);
+  let sign = 1 lsl (bits - 1) in
+  let v = x land ((1 lsl bits) - 1) in
+  ((v lxor sign) - sign) land mask32
+
+let bit i w = (w lsr i) land 1
+
+let bits ~hi ~lo w = (w lsr lo) land ((1 lsl (hi - lo + 1)) - 1)
+
+let set_bit i w = w lor (1 lsl i)
+
+let clear_bit i w = w land lnot (1 lsl i) land mask32
+
+let update_bit i v w = if v then set_bit i w else clear_bit i w
+
+let popcount w =
+  let rec go acc w = if w = 0 then acc else go (acc + (w land 1)) (w lsr 1) in
+  go 0 (w land mask32)
+
+let ult a b = a land mask32 < b land mask32
+
+let slt a b = to_signed a < to_signed b
+
+let pp_hex fmt w = Format.fprintf fmt "0x%08x" (w land mask32)
+
+let to_hex w = Printf.sprintf "%08x" (w land mask32)

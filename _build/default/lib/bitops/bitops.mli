@@ -1,0 +1,97 @@
+(** 32-bit word arithmetic on OCaml native integers.
+
+    Throughout the simulator, 32-bit machine words are represented as
+    OCaml [int] values constrained to the range [0, 0xFFFF_FFFF].  All
+    functions in this module take and return values in that canonical
+    range; callers that construct values by other means should pass them
+    through {!of_int} first. *)
+
+val mask32 : int
+(** [mask32] is [0xFFFF_FFFF]. *)
+
+val of_int : int -> int
+(** [of_int x] truncates [x] to its low 32 bits (canonical form). *)
+
+val to_signed : int -> int
+(** [to_signed w] interprets the 32-bit word [w] as a two's-complement
+    signed integer in the range [-2{^31}, 2{^31}-1]. *)
+
+val of_int32 : int32 -> int
+(** [of_int32 x] converts an [int32] to a canonical 32-bit word. *)
+
+val to_int32 : int -> int32
+(** [to_int32 w] converts a canonical word to [int32] (two's complement). *)
+
+val add : int -> int -> int
+(** [add a b] is [(a + b)] mod 2{^32}. *)
+
+val sub : int -> int -> int
+(** [sub a b] is [(a - b)] mod 2{^32}. *)
+
+val neg : int -> int
+(** [neg a] is two's complement negation mod 2{^32}. *)
+
+val add_full : int -> int -> int -> int * bool * bool
+(** [add_full a b carry_in] is [(result, carry_out, signed_overflow)] of
+    the 32-bit addition [a + b + carry_in] where [carry_in] is 0 or 1. *)
+
+val sub_full : int -> int -> int -> int * bool * bool
+(** [sub_full a b borrow_in] is [(result, borrow_out, signed_overflow)]
+    of the 32-bit subtraction [a - b - borrow_in].  The borrow flag
+    matches the SPARC carry convention for [SUBcc]. *)
+
+val mul_full : signed:bool -> int -> int -> int * int
+(** [mul_full ~signed a b] is [(hi, lo)], the 64-bit product of the two
+    32-bit operands split into high and low words. *)
+
+val div32 : signed:bool -> hi:int -> lo:int -> int -> (int * bool) option
+(** [div32 ~signed ~hi ~lo d] divides the 64-bit value [hi::lo] by the
+    32-bit divisor [d], as SPARC [UDIV]/[SDIV] do.  Returns [None] on
+    division by zero, and otherwise [Some (quotient, overflowed)] where
+    the quotient is clamped to 32 bits when [overflowed] is set. *)
+
+val shl : int -> int -> int
+(** [shl w n] shifts left by [n land 31]. *)
+
+val shr : int -> int -> int
+(** [shr w n] logical right shift by [n land 31]. *)
+
+val sar : int -> int -> int
+(** [sar w n] arithmetic right shift by [n land 31]. *)
+
+val sext : bits:int -> int -> int
+(** [sext ~bits x] sign-extends the low [bits] bits of [x] to a canonical
+    32-bit word. *)
+
+val bit : int -> int -> int
+(** [bit i w] is bit [i] of [w] (0 or 1). *)
+
+val bits : hi:int -> lo:int -> int -> int
+(** [bits ~hi ~lo w] extracts the inclusive bit field [hi..lo]. *)
+
+val set_bit : int -> int -> int
+(** [set_bit i w] is [w] with bit [i] forced to 1. *)
+
+val clear_bit : int -> int -> int
+(** [clear_bit i w] is [w] with bit [i] forced to 0. *)
+
+val update_bit : int -> bool -> int -> int
+(** [update_bit i v w] is [w] with bit [i] set to [v]. *)
+
+val popcount : int -> int
+(** [popcount w] is the number of set bits in the canonical word [w]. *)
+
+val is_negative : int -> bool
+(** [is_negative w] tests the sign bit (bit 31). *)
+
+val ult : int -> int -> bool
+(** [ult a b] is the unsigned 32-bit comparison [a < b]. *)
+
+val slt : int -> int -> bool
+(** [slt a b] is the signed 32-bit comparison [a < b]. *)
+
+val pp_hex : Format.formatter -> int -> unit
+(** [pp_hex fmt w] prints [w] as [0x%08x]. *)
+
+val to_hex : int -> string
+(** [to_hex w] formats [w] as an 8-digit hexadecimal string. *)

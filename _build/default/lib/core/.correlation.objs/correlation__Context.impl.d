@@ -1,0 +1,1 @@
+lib/core/context.ml: Fault_injection Hashtbl Leon3 List Rtl Sparc String Sys

@@ -1,0 +1,1 @@
+lib/core/context.mli: Fault_injection Leon3 Rtl Sparc

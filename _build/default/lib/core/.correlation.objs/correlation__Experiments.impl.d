@@ -1,0 +1,1 @@
+lib/core/experiments.ml: Context Diversity Fault_injection Iss Leon3 List Option Printf Report Rtl Sparc Stats Unix Workloads

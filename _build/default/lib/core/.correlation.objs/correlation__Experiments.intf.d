@@ -1,0 +1,1 @@
+lib/core/experiments.mli: Context Fault_injection Report Sparc Stats

@@ -1,0 +1,67 @@
+module Campaign = Fault_injection.Campaign
+module Injection = Fault_injection.Injection
+
+type t = {
+  sys : Leon3.System.t;
+  samples_ : int;
+  seed : int;
+  campaigns :
+    (string * string * string, (Rtl.Circuit.fault_model * Campaign.summary) list)
+    Hashtbl.t;
+  goldens : (string, Campaign.golden) Hashtbl.t;
+}
+
+let default_samples () =
+  match Sys.getenv_opt "RICV_SAMPLES" with
+  | Some s -> ( match int_of_string_opt s with Some n when n > 0 -> n | Some _ | None -> 250)
+  | None -> 250
+
+let create ?samples ?(seed = 7) () =
+  let samples_ = match samples with Some n -> n | None -> default_samples () in
+  { sys = Leon3.System.create ();
+    samples_;
+    seed;
+    campaigns = Hashtbl.create 64;
+    goldens = Hashtbl.create 64 }
+
+let samples t = t.samples_
+
+let system t = t.sys
+
+let core t = Leon3.System.core t.sys
+
+let clock_mhz = 50
+
+let us_of_cycles cycles = float_of_int cycles /. float_of_int clock_mhz
+
+let target_key = function
+  | Injection.Iu -> "iu"
+  | Injection.Cmem -> "cmem"
+  | Injection.Unit_of u -> "unit:" ^ Sparc.Units.name u
+  | Injection.Prefix p -> "prefix:" ^ p
+
+let models_key models =
+  String.concat "+" (List.map Rtl.Circuit.fault_model_name models)
+
+let campaign t ~key ?(models = Campaign.default_config.Campaign.models) prog target =
+  let memo_key = (key, target_key target, models_key models) in
+  match Hashtbl.find_opt t.campaigns memo_key with
+  | Some r -> r
+  | None ->
+      let config =
+        { Campaign.default_config with
+          Campaign.models;
+          sample_size = Some t.samples_;
+          seed = t.seed }
+      in
+      let summaries, _ = Campaign.run ~config t.sys prog target in
+      Hashtbl.add t.campaigns memo_key summaries;
+      summaries
+
+let golden t ~key prog =
+  match Hashtbl.find_opt t.goldens key with
+  | Some g -> g
+  | None ->
+      let g = Campaign.golden_run t.sys prog ~max_cycles:5_000_000 in
+      Hashtbl.add t.goldens key g;
+      g

@@ -1,0 +1,39 @@
+(** Shared experiment context: one elaborated RTL system, one ISS
+    configuration, campaign settings, and a memo of campaign results so
+    experiments that need the same (workload, block) pair — e.g.
+    Fig. 5 and Fig. 7 — pay for it once. *)
+
+module Campaign = Fault_injection.Campaign
+module Injection = Fault_injection.Injection
+
+type t
+
+val create : ?samples:int -> ?seed:int -> unit -> t
+(** [samples] is the per-(workload, block) injection sample size
+    (default 250; the [RICV_SAMPLES] environment variable, when set,
+    overrides the default). *)
+
+val samples : t -> int
+
+val system : t -> Leon3.System.t
+
+val core : t -> Leon3.Core.t
+
+val clock_mhz : int
+(** Nominal Leon3 clock used to convert cycles to microseconds (50). *)
+
+val us_of_cycles : int -> float
+
+val campaign :
+  t ->
+  key:string ->
+  ?models:Rtl.Circuit.fault_model list ->
+  Sparc.Asm.program ->
+  Injection.target ->
+  (Rtl.Circuit.fault_model * Campaign.summary) list
+(** Memoised campaign run.  [key] must uniquely identify the workload
+    variant (name, iterations, dataset); results are cached per
+    (key, target, models). *)
+
+val golden : t -> key:string -> Sparc.Asm.program -> Campaign.golden
+(** Memoised fault-free RTL run. *)

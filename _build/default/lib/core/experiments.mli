@@ -1,0 +1,117 @@
+(** Reproduction of every table and figure of the paper's evaluation
+    (DESIGN.md carries the per-experiment index).  Each function
+    returns the measured data plus a printable table; absolute numbers
+    differ from the paper (different RTL substrate, scaled-down
+    workloads) but the shapes are the claims under test:
+
+    - {!table1}: benchmark characterisation (counts and diversity);
+    - {!figure3}: input-data variation on fixed-code excerpts is small;
+    - {!figure4}: Pf flat across iteration counts, latency grows;
+    - {!figure5}/{!figure6}: Pf per fault model at IU/CMEM nodes —
+      automotive benchmarks cluster, synthetics sit lower;
+    - {!figure7}: Pf correlates with diversity, log fit with high R²;
+    - {!sim_time}: the ISS-vs-RTL simulation-cost gap;
+    - the [ablation_*] functions cover DESIGN.md §5. *)
+
+module T = Report.Table
+module Campaign = Fault_injection.Campaign
+
+type table1_row = {
+  t1_name : string;
+  t1_kind : string;
+  t1_total : int;
+  t1_iu : int;
+  t1_memory : int;
+  t1_diversity : int;
+}
+
+val table1 : ?iterations_factor:int -> unit -> table1_row list * T.t
+(** ISS characterisation of the six Table-1 benchmarks, at
+    [iterations_factor] (default 20) times the campaign iteration
+    count, as the paper characterises full runs. *)
+
+type fig3_point = { f3_subset : string; f3_member : string; f3_pf : float }
+
+val figure3 : Context.t -> fig3_point list * T.t
+(** Stuck-at-1 @ IU on the two excerpt subsets x three datasets. *)
+
+type fig4_row = {
+  f4_iterations : int;
+  f4_pf : float;
+  f4_max_latency_cycles : int;
+  f4_max_latency_us : float;
+}
+
+val figure4 : Context.t -> fig4_row list * T.t
+(** rspeed with 2, 4 and 10 iterations, stuck-at-1 @ IU. *)
+
+type fig56_row = { f5_name : string; f5_sa1 : float; f5_sa0 : float; f5_open : float }
+
+val figure5 : Context.t -> fig56_row list * T.t
+(** All six main benchmarks, three fault models, IU nodes. *)
+
+val figure6 : Context.t -> fig56_row list * T.t
+(** Same at CMEM nodes. *)
+
+type fig7_result = {
+  f7_points : (string * int * float) list;  (** workload, diversity, Pf% *)
+  f7_fit : Stats.Regression.fit;  (** Pf% = slope*ln(D) + intercept *)
+}
+
+val figure7 : Context.t -> fig7_result * T.t
+(** Diversity vs Pf (stuck-at-1 @ IU) over the ten workloads plus the
+    two excerpt subsets, with the paper's logarithmic fit and R². *)
+
+type unit_row = {
+  u_unit : Sparc.Units.t;
+  u_alpha : float;  (** area weight from the netlist *)
+  u_capacity : int;  (** instruction types that can exercise the unit *)
+  u_rich_diversity : int;  (** D_m of the rich workload (ttsprk) *)
+  u_rich_pf : float;  (** measured Pf_m, stuck-at-1, unit signals only *)
+  u_narrow_diversity : int;  (** D_m of the narrow workload (membench) *)
+  u_narrow_pf : float;
+}
+
+val units : Context.t -> unit_row list * T.t
+(** Per-functional-unit decomposition of Pf, contrasting a rich and a
+    narrow workload — the measured counterpart of every term in
+    Eq. (1). *)
+
+type sim_time_result = {
+  st_iss_ips : float;  (** simulated instructions per wall second, ISS *)
+  st_rtl_ips : float;
+  st_speedup : float;
+  st_paper_rtl_hours : float;
+  st_extrapolated_iss_hours : float;
+}
+
+val sim_time : ?repeats:int -> unit -> sim_time_result * T.t
+(** Measure both engines on the same workload and extrapolate the
+    paper's 25,478-hour RTL campaign to ISS cost. *)
+
+val ablation_observation : Context.t -> T.t
+(** Failure-observation point: writes-only (the paper's light-lockstep)
+    vs writes+reads. *)
+
+val ablation_sampling : Context.t -> T.t
+(** Pf estimate as a function of the injection sample size. *)
+
+val ablation_predictor : Context.t -> T.t
+(** Eq. (1) area-weighted utilisation predictor vs the plain ln(D)
+    fit on the Fig. 7 data. *)
+
+val ablation_transient : Context.t -> T.t
+(** The paper's future work: single-event-upset (transient bit-flip)
+    propagation vs the permanent stuck-at-1 baseline. *)
+
+val ablation_gate_level : Context.t -> T.t
+(** RTL vs gate-level injection granularity on the EX adder: site
+    count, Pf and campaign cost at both abstraction levels. *)
+
+val all_ids : string list
+(** Experiment selectors understood by {!run}: ["table1"; "figure3";
+    ...; "simtime"; "ablation"]. *)
+
+val run : Context.t -> string -> T.t list
+(** Run one experiment by id and return its tables.  Raises
+    [Invalid_argument] on an unknown id. *)

@@ -1,0 +1,1 @@
+lib/diversity/avf.ml: Array Iss Leon3 List Sparc

@@ -1,0 +1,1 @@
+lib/diversity/avf.mli: Iss Sparc

@@ -1,0 +1,1 @@
+lib/diversity/metric.ml: Iss List Sparc

@@ -1,0 +1,1 @@
+lib/diversity/metric.mli: Iss Sparc

@@ -1,0 +1,1 @@
+lib/diversity/predictor.ml: Fault_injection List Metric Sparc Stats

@@ -1,0 +1,1 @@
+lib/diversity/predictor.mli: Leon3 Metric Sparc

@@ -1,0 +1,87 @@
+module I = Sparc.Isa
+module E = Iss.Emulator
+
+type result = {
+  avf : float;
+  live_reg_cycles : int;
+  total_reg_cycles : int;
+  reads : int;
+  writes : int;
+}
+
+let nwindows = 8
+
+let nregs = 8 + (16 * nwindows)
+
+(* Architectural registers read and written by one instruction
+   (register operands only; %g0 is hardwired and never ACE). *)
+let defs_uses (instr : I.instr) =
+  match instr with
+  | I.Alu { op; rs1; op2; rd } ->
+      ignore op;
+      let uses = rs1 :: (match op2 with I.Reg r -> [ r ] | I.Imm _ -> []) in
+      (uses, [ rd ])
+  | I.Mem { op; rs1; op2; rd } ->
+      let addr_uses = rs1 :: (match op2 with I.Reg r -> [ r ] | I.Imm _ -> []) in
+      if I.is_store op then (rd :: addr_uses, []) else (addr_uses, [ rd ])
+  | I.Sethi_i { rd; _ } -> ([], [ rd ])
+  | I.Branch_i _ -> ([], [])
+  | I.Call_i _ -> ([], [ I.o7 ])
+
+let of_program ?config prog =
+  let t = E.create ?config prog in
+  let last_write = Array.make nregs (-1) in
+  (* -1: never written *)
+  let last_credit = Array.make nregs 0 in
+  let live = ref 0 in
+  let reads = ref 0 in
+  let writes = ref 0 in
+  let slot cwp r = Leon3.Core.regfile_slot ~nwindows ~cwp r in
+  let credit_read cycle s =
+    if s <> 0 && last_write.(s) >= 0 then begin
+      let from = max last_write.(s) last_credit.(s) in
+      if cycle > from then begin
+        live := !live + (cycle - from);
+        last_credit.(s) <- cycle
+      end
+    end
+  in
+  let rec go () =
+    let pc = E.pc t in
+    let word = Sparc.Memory.load_word (E.memory t) pc in
+    let instr = Sparc.Encode.decode word in
+    let cwp_before = E.cwp t in
+    match E.step t with
+    | E.Stopped _ -> ()
+    | E.Running ->
+        (match instr with
+        | Some instr ->
+            let cycle = E.cycles t in
+            let uses, defs = defs_uses instr in
+            (* SAVE reads in the old window, writes in the new one;
+               RESTORE symmetrically — use the right cwp for each. *)
+            let cwp_after = E.cwp t in
+            List.iter
+              (fun r ->
+                incr reads;
+                credit_read cycle (slot cwp_before r))
+              uses;
+            List.iter
+              (fun r ->
+                if r <> 0 then begin
+                  incr writes;
+                  let s = slot cwp_after r in
+                  last_write.(s) <- cycle;
+                  last_credit.(s) <- cycle
+                end)
+              defs
+        | None -> ());
+        go ()
+  in
+  go ();
+  let total = nregs * max 1 (E.cycles t) in
+  { avf = float_of_int !live /. float_of_int total;
+    live_reg_cycles = !live;
+    total_reg_cycles = total;
+    reads = !reads;
+    writes = !writes }

@@ -1,0 +1,22 @@
+(** Architectural vulnerability factor (AVF) of the register file,
+    estimated from an ISS run — the related-work metric the paper
+    contrasts with (Mukherjee et al., MICRO 2003).
+
+    A register-file bit is ACE (required for architecturally correct
+    execution) between a write and the last read of that value; the
+    AVF is the ACE fraction over all register-cycles.  Computing it
+    needs the full dynamic def-use stream — strictly more information
+    than the instruction-type histogram diversity needs, which is the
+    paper's efficiency argument for diversity. *)
+
+type result = {
+  avf : float;  (** ACE register-cycles / total register-cycles, in [0,1] *)
+  live_reg_cycles : int;
+  total_reg_cycles : int;
+  reads : int;  (** dynamic register reads observed *)
+  writes : int;  (** dynamic register writes observed *)
+}
+
+val of_program : ?config:Iss.Emulator.config -> Sparc.Asm.program -> result
+(** Run the program on the ISS, tracking def-use liveness of the
+    windowed register file. *)

@@ -1,0 +1,49 @@
+module Isa = Sparc.Isa
+module Units = Sparc.Units
+
+type info = {
+  workload : string;
+  instructions : int;
+  iu_instructions : int;
+  memory_instructions : int;
+  diversity : int;
+  per_unit : (Units.t * int) list;
+  histogram : (Isa.opcode * int) list;
+}
+
+let of_histogram ~workload histogram =
+  let instructions = List.fold_left (fun acc (_, c) -> acc + c) 0 histogram in
+  let memory_instructions =
+    List.fold_left (fun acc (op, c) -> if Isa.is_mem op then acc + c else acc) 0 histogram
+  in
+  (* Every instruction flows through the integer pipeline except pure
+     control ones that retire without touching an execution unit; in
+     the Leon3 all instructions use all pipeline stages, so IU usage is
+     the total minus nothing — the paper's Table 1 shows Total and
+     Integer Unit within a few instructions of each other (the delta
+     being boot/exit overhead we count too). *)
+  let iu_instructions = instructions in
+  let used = List.map fst histogram in
+  let per_unit =
+    List.map
+      (fun u ->
+        let d =
+          List.length (List.filter (fun op -> List.mem u (Units.used_by op)) used)
+        in
+        (u, d))
+      Units.all
+  in
+  { workload;
+    instructions;
+    iu_instructions;
+    memory_instructions;
+    diversity = List.length used;
+    per_unit;
+    histogram }
+
+let of_program ?config prog =
+  let r = Iss.Emulator.execute ?config prog in
+  of_histogram ~workload:prog.Sparc.Asm.name r.Iss.Emulator.histogram
+
+let unit_capacity u =
+  List.length (List.filter (fun op -> List.mem u (Units.used_by op)) Isa.all_opcodes)

@@ -1,0 +1,32 @@
+(** The paper's instruction-diversity metric.
+
+    Diversity is the number of {e unique instruction types} (opcodes)
+    a workload executes; it proxies the processor area the workload
+    exercises under the assumption that each type makes uniform use of
+    the functional units it touches.  Being a set cardinality it is
+    independent of instruction order — the property that makes it
+    usable for permanent-fault correlation. *)
+
+module Isa = Sparc.Isa
+module Units = Sparc.Units
+
+type info = {
+  workload : string;
+  instructions : int;  (** dynamic total *)
+  iu_instructions : int;  (** instructions exercising the integer unit *)
+  memory_instructions : int;  (** dynamic loads + stores *)
+  diversity : int;  (** unique opcodes — the paper's metric *)
+  per_unit : (Units.t * int) list;  (** [D_m]: unique types touching unit m *)
+  histogram : (Isa.opcode * int) list;
+}
+
+val of_histogram : workload:string -> (Isa.opcode * int) list -> info
+(** Compute every field from an opcode histogram (the counts are the
+    only ISS information the metric needs). *)
+
+val of_program : ?config:Iss.Emulator.config -> Sparc.Asm.program -> info
+(** Run the program on the ISS and measure. *)
+
+val unit_capacity : Units.t -> int
+(** Number of instruction types of the ISA that can exercise the unit
+    (the denominator of the per-unit utilisation). *)

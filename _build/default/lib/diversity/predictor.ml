@@ -1,0 +1,30 @@
+module Units = Sparc.Units
+
+type t = { alpha : (Units.t * float) list }
+
+let of_core core =
+  let pools = Fault_injection.Injection.pool_sizes core in
+  let total = float_of_int (List.fold_left (fun acc (_, n) -> acc + n) 0 pools) in
+  assert (total > 0.);
+  { alpha = List.map (fun (u, n) -> (u, float_of_int n /. total)) pools }
+
+let alpha t = t.alpha
+
+let utilisation_score t (info : Metric.info) =
+  List.fold_left
+    (fun acc (u, a) ->
+      let d =
+        match List.assoc_opt u info.Metric.per_unit with Some d -> d | None -> 0
+      in
+      let cap = Metric.unit_capacity u in
+      if cap = 0 then acc else acc +. (a *. (float_of_int d /. float_of_int cap)))
+    0. t.alpha
+
+let calibrate t observations =
+  let points =
+    List.map (fun (info, pf) -> (utilisation_score t info, pf)) observations
+  in
+  let fit = Stats.Regression.linear points in
+  (fit.Stats.Regression.slope, fit.Stats.Regression.intercept)
+
+let predict t ~a ~b info = (a *. utilisation_score t info) +. b

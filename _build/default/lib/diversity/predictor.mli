@@ -1,0 +1,31 @@
+(** ISS-side failure-probability prediction (the paper's Eq. 1).
+
+    [Pf = sum_m alpha_m * Pf_m] — the per-unit failure probabilities
+    weighted by the fraction of injectable area each unit occupies.
+    The area weights come from the {e actual} RTL netlist (injectable
+    bits per unit), which is exactly the heterogeneous-detail
+    correction the paper introduces [alpha_m]; the per-unit term is
+    estimated from the ISS as the unit's instruction-type utilisation
+    [D_m / capacity_m]. *)
+
+module Units = Sparc.Units
+
+type t
+
+val of_core : Leon3.Core.t -> t
+(** Derive the area weights from a built RTL model. *)
+
+val alpha : t -> (Units.t * float) list
+(** The [alpha_m] weights (they sum to 1). *)
+
+val utilisation_score : t -> Metric.info -> float
+(** [sum_m alpha_m * (D_m / capacity_m)] — a dimensionless utilisation
+    in [0, 1] that should rank workloads like their RTL [Pf] does. *)
+
+val calibrate : t -> (Metric.info * float) list -> float * float
+(** [calibrate t observations] least-squares fits
+    [pf = a * score + b] over [(info, measured pf)] pairs and returns
+    [(a, b)]. *)
+
+val predict : t -> a:float -> b:float -> Metric.info -> float
+(** Apply a calibrated affine map to a workload's utilisation score. *)

@@ -1,0 +1,1 @@
+lib/fault/campaign.ml: Array Atomic Domain Injection Leon3 List Printf Rtl Sparc Stats

@@ -1,0 +1,1 @@
+lib/fault/campaign.mli: Injection Leon3 Rtl Sparc

@@ -1,0 +1,1 @@
+lib/fault/injection.ml: Hashtbl Leon3 List Option Printf Rtl Sparc String

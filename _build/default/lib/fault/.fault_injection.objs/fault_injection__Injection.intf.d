@@ -1,0 +1,1 @@
+lib/fault/injection.mli: Leon3 Rtl Sparc

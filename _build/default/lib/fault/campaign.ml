@@ -1,0 +1,265 @@
+module C = Rtl.Circuit
+module Bus_event = Sparc.Bus_event
+
+type golden = {
+  writes : Bus_event.t array;
+  events : Bus_event.t array;
+  cycles : int;
+  instructions : int;
+  stop : Leon3.System.stop_reason;
+}
+
+let golden_run sys prog ~max_cycles =
+  C.clear_fault (Leon3.System.core sys).Leon3.Core.circuit;
+  Leon3.System.load sys prog;
+  let stop = Leon3.System.run sys ~max_cycles in
+  (match stop with
+  | Leon3.System.Exited _ -> ()
+  | Leon3.System.Trapped code ->
+      failwith (Printf.sprintf "golden run trapped (code %d): broken workload" code)
+  | Leon3.System.Cycle_limit -> failwith "golden run hit the cycle limit"
+  | Leon3.System.Aborted -> failwith "golden run aborted");
+  { writes = Array.of_list (Leon3.System.writes sys);
+    events = Array.of_list (Leon3.System.events sys);
+    cycles = Leon3.System.cycles sys;
+    instructions = Leon3.System.instructions sys;
+    stop }
+
+type failure_kind = Wrong_write of int | Missing_writes of int | Trap of int | Hang
+
+type outcome = Silent | Failure of failure_kind
+
+type run_result = {
+  site_name : string;
+  model : C.fault_model;
+  outcome : outcome;
+  detect_cycle : int option;
+  inject_cycle : int;
+}
+
+let run_one sys prog golden ?(inject_cycle = 0) ?duration ?(hang_factor = 4)
+    ?(compare_reads = false) (site : Injection.site) model =
+  let circuit = (Leon3.System.core sys).Leon3.Core.circuit in
+  Leon3.System.load sys prog;
+  C.inject circuit ~from_cycle:inject_cycle ?duration site.Injection.fault_site model;
+  let reference = if compare_reads then golden.events else golden.writes in
+  let matched = ref 0 in
+  let mismatch_cycle = ref None in
+  let on_event ev =
+    let relevant = compare_reads || Bus_event.is_write ev in
+    if not relevant then true
+    else if !matched < Array.length reference
+            && Bus_event.equal ev reference.(!matched)
+    then begin
+      incr matched;
+      true
+    end
+    else begin
+      mismatch_cycle := Some (Leon3.System.cycles sys);
+      false
+    end
+  in
+  let max_cycles = (hang_factor * golden.cycles) + 2000 in
+  let stop = Leon3.System.run ~on_event sys ~max_cycles in
+  C.clear_fault circuit;
+  let outcome, detect_cycle =
+    match stop with
+    | Leon3.System.Aborted -> (Failure (Wrong_write !matched), !mismatch_cycle)
+    | Leon3.System.Trapped code ->
+        (Failure (Trap code), Some (Leon3.System.cycles sys))
+    | Leon3.System.Cycle_limit -> (Failure Hang, Some max_cycles)
+    | Leon3.System.Exited _ ->
+        if !matched = Array.length reference then (Silent, None)
+        else (Failure (Missing_writes !matched), Some (Leon3.System.cycles sys))
+  in
+  { site_name = site.Injection.site_name; model; outcome; detect_cycle; inject_cycle }
+
+type summary = {
+  injections : int;
+  failures : int;
+  pf : float;
+  wrong_writes : int;
+  missing_writes : int;
+  traps : int;
+  hangs : int;
+  max_latency : int;
+  mean_latency : float;
+}
+
+let summarize results =
+  let injections = List.length results in
+  let count f = List.length (List.filter f results) in
+  let failures = count (fun r -> r.outcome <> Silent) in
+  (* Hangs are detected by the watchdog, whose budget scales with the
+     golden run; including them would measure the watchdog, not the
+     fault.  Latency is therefore over write/trap detections only. *)
+  let latencies =
+    List.filter_map
+      (fun r ->
+        match (r.outcome, r.detect_cycle) with
+        | Failure Hang, _ -> None
+        | Failure (Wrong_write _ | Missing_writes _ | Trap _), Some cyc ->
+            Some (cyc - r.inject_cycle)
+        | Failure _, None | Silent, _ -> None)
+      results
+  in
+  { injections;
+    failures;
+    pf = Stats.Summary.ratio ~num:failures ~den:injections;
+    wrong_writes = count (fun r -> match r.outcome with Failure (Wrong_write _) -> true | Failure (Missing_writes _ | Trap _ | Hang) | Silent -> false);
+    missing_writes = count (fun r -> match r.outcome with Failure (Missing_writes _) -> true | Failure (Wrong_write _ | Trap _ | Hang) | Silent -> false);
+    traps = count (fun r -> match r.outcome with Failure (Trap _) -> true | Failure (Wrong_write _ | Missing_writes _ | Hang) | Silent -> false);
+    hangs = count (fun r -> match r.outcome with Failure Hang -> true | Failure (Wrong_write _ | Missing_writes _ | Trap _) | Silent -> false);
+    max_latency = List.fold_left max 0 latencies;
+    mean_latency =
+      (if latencies = [] then 0.
+       else
+         float_of_int (List.fold_left ( + ) 0 latencies)
+         /. float_of_int (List.length latencies)) }
+
+type config = {
+  models : C.fault_model list;
+  sample_size : int option;
+  include_cells : bool;
+  inject_cycle : int;
+  hang_factor : int;
+  compare_reads : bool;
+  seed : int;
+}
+
+let default_config =
+  { models = [ C.Stuck_at_1; C.Stuck_at_0; C.Open_line ];
+    sample_size = Some 400;
+    include_cells = true;
+    inject_cycle = 0;
+    hang_factor = 4;
+    compare_reads = false;
+    seed = 7 }
+
+let run ?(config = default_config) ?on_progress sys prog target =
+  let core = Leon3.System.core sys in
+  let golden = golden_run sys prog ~max_cycles:5_000_000 in
+  let pool =
+    Array.of_list (Injection.sites ~include_cells:config.include_cells core target)
+  in
+  let rng = Stats.Rng.create config.seed in
+  let sample =
+    match config.sample_size with
+    | Some k when k < Array.length pool ->
+        Stats.Rng.sample_without_replacement rng k pool
+    | Some _ | None -> pool
+  in
+  let total = Array.length sample * List.length config.models in
+  let done_ = ref 0 in
+  let all_results = ref [] in
+  let summaries =
+    List.map
+      (fun model ->
+        let results =
+          Array.to_list
+            (Array.map
+               (fun site ->
+                 let r =
+                   run_one sys prog golden ~inject_cycle:config.inject_cycle
+                     ~hang_factor:config.hang_factor
+                     ~compare_reads:config.compare_reads site model
+                 in
+                 incr done_;
+                 (match on_progress with
+                 | Some f -> f ~done_:!done_ ~total
+                 | None -> ());
+                 r)
+               sample)
+        in
+        all_results := !all_results @ results;
+        (model, summarize results))
+      config.models
+  in
+  (summaries, !all_results)
+
+let pf_percent s = 100. *. s.pf
+
+(* Parallel campaigns: the runs are independent, so they shard across
+   domains.  Each domain owns a private RTL system; injection sites
+   carry node ids, which are valid across systems because circuit
+   construction is deterministic (same build ⇒ same numbering).  The
+   task order is fixed up front, so results are identical to the
+   sequential engine's. *)
+let run_parallel ?(config = default_config) ?(domains = 4) sys_factory prog target =
+  let scratch = sys_factory () in
+  let golden = golden_run scratch prog ~max_cycles:5_000_000 in
+  let pool =
+    Array.of_list
+      (Injection.sites ~include_cells:config.include_cells (Leon3.System.core scratch)
+         target)
+  in
+  let rng = Stats.Rng.create config.seed in
+  let sample =
+    match config.sample_size with
+    | Some k when k < Array.length pool -> Stats.Rng.sample_without_replacement rng k pool
+    | Some _ | None -> pool
+  in
+  let tasks =
+    Array.concat
+      (List.map (fun model -> Array.map (fun site -> (model, site)) sample) config.models)
+  in
+  let n = Array.length tasks in
+  let results = Array.make n None in
+  let next = Atomic.make 0 in
+  let worker sys =
+    let rec go () =
+      let idx = Atomic.fetch_and_add next 1 in
+      if idx < n then begin
+        let model, site = tasks.(idx) in
+        results.(idx) <-
+          Some
+            (run_one sys prog golden ~inject_cycle:config.inject_cycle
+               ~hang_factor:config.hang_factor ~compare_reads:config.compare_reads site
+               model);
+        go ()
+      end
+    in
+    go ()
+  in
+  let domains = max 1 domains in
+  let spawned =
+    List.init (domains - 1) (fun _ -> Domain.spawn (fun () -> worker (sys_factory ())))
+  in
+  worker scratch;
+  List.iter Domain.join spawned;
+  let all =
+    Array.to_list
+      (Array.map
+         (function Some r -> r | None -> failwith "run_parallel: missing result")
+         results)
+  in
+  let summaries =
+    List.map
+      (fun model ->
+        (model, summarize (List.filter (fun r -> r.model = model) all)))
+      config.models
+  in
+  (summaries, all)
+
+(* Transient study (the paper's stated future work): single-event
+   upsets — one-cycle bit inversions at uniformly random instants of
+   the run.  Unlike permanent faults the outcome depends on *when* the
+   fault hits, so each sampled site gets its own random instant. *)
+let run_transient ?(sample = 400) ?(seed = 7) sys prog target =
+  let core = Leon3.System.core sys in
+  let golden = golden_run sys prog ~max_cycles:5_000_000 in
+  let pool = Array.of_list (Injection.sites core target) in
+  let rng = Stats.Rng.create seed in
+  let chosen =
+    if sample < Array.length pool then Stats.Rng.sample_without_replacement rng sample pool
+    else pool
+  in
+  let results =
+    Array.to_list
+      (Array.map
+         (fun site ->
+           let inject_cycle = Stats.Rng.int rng (max 1 golden.cycles) in
+           run_one sys prog golden ~inject_cycle ~duration:1 site C.Bit_flip)
+         chosen)
+  in
+  summarize results

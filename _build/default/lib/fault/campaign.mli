@@ -1,0 +1,125 @@
+(** Fault-injection campaign engine.
+
+    A campaign repeats, for every sampled injection site and every
+    fault model: reset the RTL system, arm one permanent fault, run the
+    workload, and classify the outcome against a fault-free golden run.
+    As in the paper, a fault {e becomes a failure} when the off-core
+    write stream diverges from the golden one (light-lockstep
+    observation): a wrong/extra write, a missing write at program end,
+    a trap, or a hang (watchdog).  Runs stop at the first divergent
+    write, so failures are cheap and only silent runs pay full cost. *)
+
+module C = Rtl.Circuit
+module Bus_event = Sparc.Bus_event
+
+type golden = {
+  writes : Bus_event.t array;  (** off-core write stream, in order *)
+  events : Bus_event.t array;  (** writes and reads *)
+  cycles : int;
+  instructions : int;
+  stop : Leon3.System.stop_reason;
+}
+
+val golden_run : Leon3.System.t -> Sparc.Asm.program -> max_cycles:int -> golden
+(** Run fault-free and capture the reference behaviour.  Raises
+    [Failure] if the golden run itself traps or hits the cycle limit
+    (the workload is broken, not the hardware). *)
+
+type failure_kind =
+  | Wrong_write of int  (** index of the first divergent write *)
+  | Missing_writes of int  (** clean exit but only this many writes matched *)
+  | Trap of int  (** core trapped; payload is the trap code *)
+  | Hang  (** watchdog: cycle budget exhausted *)
+
+type outcome = Silent | Failure of failure_kind
+
+type run_result = {
+  site_name : string;
+  model : C.fault_model;
+  outcome : outcome;
+  detect_cycle : int option;
+      (** cycle of first divergence/trap, when the run failed *)
+  inject_cycle : int;
+}
+
+val run_one :
+  Leon3.System.t ->
+  Sparc.Asm.program ->
+  golden ->
+  ?inject_cycle:int ->
+  ?duration:int ->
+  ?hang_factor:int ->
+  ?compare_reads:bool ->
+  Injection.site ->
+  C.fault_model ->
+  run_result
+(** Execute one faulty run.  [duration] bounds the fault's active
+    window (default permanent).  [hang_factor] scales the golden cycle
+    count into the watchdog budget (default 4 — cache-degrading faults
+    can legitimately run slower without failing).  [compare_reads]
+    extends the lockstep comparison to read addresses (default false,
+    the paper compares writes only). *)
+
+type summary = {
+  injections : int;
+  failures : int;
+  pf : float;  (** failures / injections *)
+  wrong_writes : int;
+  missing_writes : int;
+  traps : int;
+  hangs : int;
+  max_latency : int;  (** cycles, over detected failures *)
+  mean_latency : float;
+}
+
+val summarize : run_result list -> summary
+
+type config = {
+  models : C.fault_model list;
+  sample_size : int option;  (** [None] = exhaustive *)
+  include_cells : bool;
+  inject_cycle : int;
+  hang_factor : int;
+  compare_reads : bool;
+  seed : int;
+}
+
+val default_config : config
+(** Stuck-at-0/1 + open-line, 400-site sample, cells included,
+    injection at cycle 0, watchdog 4x, writes-only compare, seed 7. *)
+
+val run :
+  ?config:config ->
+  ?on_progress:(done_:int -> total:int -> unit) ->
+  Leon3.System.t ->
+  Sparc.Asm.program ->
+  Injection.target ->
+  (C.fault_model * summary) list * run_result list
+(** Full campaign for one workload and one target block: golden run,
+    site sampling, every model over the same sampled sites.  Returns
+    per-model summaries plus every individual result. *)
+
+val pf_percent : summary -> float
+(** [100 * pf], as the paper's figures report. *)
+
+val run_parallel :
+  ?config:config ->
+  ?domains:int ->
+  (unit -> Leon3.System.t) ->
+  Sparc.Asm.program ->
+  Injection.target ->
+  (C.fault_model * summary) list * run_result list
+(** Like {!run}, sharded over [domains] OCaml domains (default 4).
+    The factory is called once per domain to build a private RTL
+    system; results are bit-identical to the sequential engine's. *)
+
+val run_transient :
+  ?sample:int ->
+  ?seed:int ->
+  Leon3.System.t ->
+  Sparc.Asm.program ->
+  Injection.target ->
+  summary
+(** Single-event-upset campaign (the paper's stated future work):
+    one-cycle bit inversions at uniformly random instants, one instant
+    per sampled site. *)

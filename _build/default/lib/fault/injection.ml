@@ -1,0 +1,92 @@
+module C = Rtl.Circuit
+module Units = Sparc.Units
+
+type site = { fault_site : C.fault_site; site_name : string }
+
+type target = Iu | Cmem | Unit_of of Units.t | Prefix of string
+
+let prefix_of_unit : Units.t -> string = function
+  | Fetch -> "iu.fe."
+  | Decode -> "iu.de."
+  | Regfile -> "iu.regfile."
+  | Adder -> "iu.ex.adder."
+  | Logic_unit -> "iu.ex.logic."
+  | Shifter -> "iu.ex.shift."
+  | Multiplier -> "iu.ex.mul."
+  | Divider -> "iu.ex.div."
+  | Branch_unit -> "iu.ex.branch."
+  | Load_store -> "iu.me."
+  | Writeback -> "iu.wb."
+  | Exception_unit -> "iu.xc."
+  | Icache -> "cmem.icache."
+  | Dcache -> "cmem.dcache."
+
+(* Netlist scopes that have no unit of their own are attributed to the
+   nearest architectural unit: the sequencer and supervisor state to
+   Decode (control), the EX top-level muxes to Writeback's result
+   path... keep it simple and explicit. *)
+let extra_prefixes : (string * Units.t) list =
+  [ ("iu.ctrl.", Units.Decode);
+    ("iu.state.", Units.Decode);
+    ("iu.ra.", Units.Regfile);
+    ("iu.ex.", Units.Adder) ]
+
+let unit_of_site_name name =
+  let matches prefix = String.starts_with ~prefix name in
+  let specific = List.find_opt (fun u -> matches (prefix_of_unit u)) Units.all in
+  match specific with
+  | Some u -> Some u
+  | None ->
+      Option.map snd (List.find_opt (fun (p, _) -> matches p) extra_prefixes)
+
+let signal_sites (core : Leon3.Core.t) ~prefix =
+  List.map
+    (fun (fault_site, site_name) -> { fault_site; site_name })
+    (C.injection_bits core.Leon3.Core.circuit ~prefix)
+
+let cell_sites (core : Leon3.Core.t) mem ~name =
+  ignore name;
+  let mem_name, _, words, width =
+    List.find (fun (_, m, _, _) -> m = mem) (C.memories core.Leon3.Core.circuit)
+  in
+  let sites = ref [] in
+  for w = words - 1 downto 0 do
+    for b = width - 1 downto 0 do
+      sites :=
+        { fault_site = C.Cell (mem, w, b);
+          site_name = Printf.sprintf "%s[%d][%d]" mem_name w b }
+        :: !sites
+    done
+  done;
+  !sites
+
+let sites ?(include_cells = true) (core : Leon3.Core.t) target =
+  match target with
+  | Prefix prefix -> signal_sites core ~prefix
+  | Unit_of u -> signal_sites core ~prefix:(prefix_of_unit u)
+  | Iu ->
+      let signals = signal_sites core ~prefix:"iu." in
+      if include_cells then
+        signals @ cell_sites core core.Leon3.Core.regfile ~name:"regfile"
+      else signals
+  | Cmem ->
+      let signals = signal_sites core ~prefix:"cmem." in
+      if include_cells then
+        signals
+        @ cell_sites core core.Leon3.Core.icache.tag_mem ~name:"icache.tags"
+        @ cell_sites core core.Leon3.Core.icache.data_mem ~name:"icache.data"
+        @ cell_sites core core.Leon3.Core.dcache.tag_mem ~name:"dcache.tags"
+        @ cell_sites core core.Leon3.Core.dcache.data_mem ~name:"dcache.data"
+      else signals
+
+let pool_sizes core =
+  let tally = Hashtbl.create 16 in
+  let add site =
+    match unit_of_site_name site.site_name with
+    | Some u ->
+        Hashtbl.replace tally u (1 + Option.value ~default:0 (Hashtbl.find_opt tally u))
+    | None -> ()
+  in
+  List.iter add (sites core Iu);
+  List.iter add (sites core Cmem);
+  List.map (fun u -> (u, Option.value ~default:0 (Hashtbl.find_opt tally u))) Units.all

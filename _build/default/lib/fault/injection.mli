@@ -1,0 +1,39 @@
+(** Injection-point enumeration over the Leon3 model.
+
+    Following the paper, faults target "VHDL signals, ports and
+    variables" of the IU and CMEM blocks: here that is every bit of
+    every netlist node under the block's hierarchical prefix, plus the
+    storage cells of the block's memories (register file for the IU;
+    tag and data arrays for the CMEM).  Cell sites make the pools
+    heterogeneous in exactly the way the paper's [alpha_m] weighting
+    discusses — a RAM bit is an injection point just like a control
+    line, but contributes differently to failure probability. *)
+
+module C = Rtl.Circuit
+
+type site = { fault_site : C.fault_site; site_name : string }
+
+type target =
+  | Iu  (** integer unit: all [iu.*] nodes + register-file cells *)
+  | Cmem  (** cache block: all [cmem.*] nodes + tag/data cells *)
+  | Unit_of of Sparc.Units.t  (** a single functional unit's nodes *)
+  | Prefix of string  (** raw hierarchical prefix, signals only *)
+
+val prefix_of_unit : Sparc.Units.t -> string
+(** Hierarchical prefix of a functional unit in the Leon3 netlist. *)
+
+val unit_of_site_name : string -> Sparc.Units.t option
+(** Reverse mapping used to attribute a site to its unit. *)
+
+val signal_sites : Leon3.Core.t -> prefix:string -> site list
+
+val cell_sites : Leon3.Core.t -> C.memory -> name:string -> site list
+(** Every (word, bit) cell of a memory. *)
+
+val sites : ?include_cells:bool -> Leon3.Core.t -> target -> site list
+(** The full pool for a target ([include_cells] defaults to [true];
+    it only affects {!Iu} and {!Cmem}). *)
+
+val pool_sizes : Leon3.Core.t -> (Sparc.Units.t * int) list
+(** Injectable bit count per functional unit (signals + owned cells) —
+    the area proxy behind the paper's [alpha_m] weights. *)

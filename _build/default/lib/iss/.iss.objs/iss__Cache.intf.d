@@ -1,0 +1,1 @@
+lib/iss/cache.mli:

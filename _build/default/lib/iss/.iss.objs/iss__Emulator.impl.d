@@ -1,0 +1,1 @@
+lib/iss/emulator.ml: Array Bitops Cache Format Hashtbl List Option Sparc

@@ -1,0 +1,1 @@
+lib/iss/emulator.mli: Cache Format Sparc

@@ -1,0 +1,119 @@
+module Isa = Sparc.Isa
+module Asm = Sparc.Asm
+module Memory = Sparc.Memory
+module Units = Sparc.Units
+module Bus_event = Sparc.Bus_event
+
+(** Instruction set simulator: functional emulator plus coarse timing.
+
+    The functional emulator keeps the full architectural state
+    (windowed registers, condition codes, PC, memory) and interprets
+    machine words fetched from memory — the same encoded image the RTL
+    system executes.  The timing side charges per-class latencies and
+    I/D-cache penalties so cycle counts have the right order of
+    magnitude; it never affects functional results.
+
+    This is the cheap engine of the paper: fault injection happens in
+    the RTL model, while the ISS supplies the instruction-grain
+    information (counts, diversity, unit usage) that the correlation
+    consumes. *)
+
+type trap =
+  | Misaligned_access of int
+  | Division_by_zero
+  | Illegal_instruction of int  (** the undecodable word *)
+
+type stop_reason =
+  | Exited of int  (** store to the exit port; payload is the exit code *)
+  | Instruction_limit
+  | Trapped of trap
+
+type latencies = {
+  alu : int;
+  shift : int;
+  mul : int;
+  div : int;
+  load : int;
+  store : int;
+  branch_taken : int;  (** includes pipeline refill *)
+  branch_untaken : int;
+  call : int;
+  jmpl : int;
+  save_restore : int;
+  sethi : int;
+}
+
+val default_latencies : latencies
+
+type config = {
+  nwindows : int;
+  latencies : latencies;
+  icache : Cache.config option;
+  dcache : Cache.config option;
+  max_instructions : int;
+  record_reads : bool;  (** also record load bus events *)
+}
+
+val default_config : config
+
+type t
+
+type outcome = Running | Stopped of stop_reason
+
+val create : ?config:config -> Asm.program -> t
+(** Loads the program image into a fresh memory and points the PC at
+    its entry. *)
+
+val step : t -> outcome
+(** Execute one instruction. Stepping a stopped emulator returns the
+    same stop again without effect. *)
+
+val run : t -> stop_reason
+(** Step until stopped. *)
+
+(** {2 State access} *)
+
+val pc : t -> int
+val cycles : t -> int
+val instructions : t -> int
+val icc : t -> Isa.icc
+val cwp : t -> int
+val reg : t -> Isa.reg -> int
+(** Read an architectural register of the {e current} window. *)
+
+val set_reg : t -> Isa.reg -> int -> unit
+val memory : t -> Memory.t
+val events : t -> Bus_event.t list
+(** Off-core bus events in program order. *)
+
+val opcode_histogram : t -> (Isa.opcode * int) list
+(** Executed opcodes with non-zero counts. *)
+
+val diversity : t -> int
+(** Number of distinct opcodes executed so far (the paper's metric). *)
+
+val unit_accesses : t -> (Units.t * int) list
+(** Per-functional-unit dynamic access counts, derived from the opcode
+    histogram via {!Units.used_by}. *)
+
+val icache_stats : t -> Cache.stats option
+val dcache_stats : t -> Cache.stats option
+
+(** {2 One-shot convenience} *)
+
+type result = {
+  stop : stop_reason;
+  cycles : int;
+  instructions : int;
+  histogram : (Isa.opcode * int) list;
+  diversity : int;
+  unit_accesses : (Units.t * int) list;
+  writes : Bus_event.t list;  (** write events only, in order *)
+  events : Bus_event.t list;  (** all recorded events *)
+  memory_instructions : int;  (** dynamic loads + stores *)
+}
+
+val execute : ?config:config -> Asm.program -> result
+(** Load, run to completion and summarise. *)
+
+val pp_stop : Format.formatter -> stop_reason -> unit

@@ -1,0 +1,1 @@
+lib/leon3/cache_block.mli: Rtl

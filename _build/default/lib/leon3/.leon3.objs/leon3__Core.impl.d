@@ -1,0 +1,1 @@
+lib/leon3/core.ml: Array Bitops Cache_block Ctl Printf Rtl Sparc Util

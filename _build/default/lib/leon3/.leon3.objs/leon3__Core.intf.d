@@ -1,0 +1,1 @@
+lib/leon3/core.mli: Cache_block Rtl

@@ -1,0 +1,1 @@
+lib/leon3/ctl.mli:

@@ -1,0 +1,1 @@
+lib/leon3/system.ml: Cache_block Core Format List Rtl Sparc

@@ -1,0 +1,1 @@
+lib/leon3/system.mli: Core Format Sparc

@@ -1,0 +1,154 @@
+module C = Rtl.Circuit
+
+type ports = {
+  ready : C.signal;
+  rdata : C.signal;
+  hit : C.signal;
+  bus_req : C.signal;
+  bus_we : C.signal;
+  bus_addr : C.signal;
+  bus_wdata : C.signal;
+  bus_size : C.signal;
+  bus_ready : C.signal;
+  bus_rdata : C.signal;
+  tag_mem : C.memory;
+  data_mem : C.memory;
+}
+
+let log2 n =
+  let rec go acc v = if v <= 1 then acc else go (acc + 1) (v lsr 1) in
+  assert (n > 0 && n land (n - 1) = 0);
+  go 0 n
+
+let st_idle = 0
+let st_fill = 1
+let st_write = 2
+
+let build c ~scope ~lines ~words_per_line ~with_store ~req ~we ~addr ~wdata ~size =
+  C.scoped c scope (fun () ->
+      let offset_bits = log2 words_per_line in
+      let index_bits = log2 lines in
+      let tag_lo = 2 + offset_bits + index_bits in
+      let tag_bits = 32 - tag_lo in
+      let line_bytes = words_per_line * 4 in
+
+      let tag_mem = C.memory c "tags" ~words:lines ~width:(tag_bits + 1) in
+      let data_mem = C.memory c "data" ~words:(lines * words_per_line) ~width:32 in
+
+      let state = C.reg c "state" ~width:2 ~init:st_idle () in
+      let fill_cnt = C.reg c "fill_cnt" ~width:(offset_bits + 1) () in
+
+      let bus_ready = C.input c "bus_ready" 1 in
+      let bus_rdata = C.input c "bus_rdata" 32 in
+
+      let index = Util.slice c "index" addr ~hi:(tag_lo - 1) ~lo:(2 + offset_bits) in
+      let word_in_line = Util.slice c "word_off" addr ~hi:(2 + offset_bits - 1) ~lo:2 in
+      let tag = Util.slice c "tag" addr ~hi:31 ~lo:tag_lo in
+
+      let tag_rd = C.read_port c "tag_rd" tag_mem index in
+      let hit =
+        C.comb2 c "hit" 1 tag_rd tag (fun entry t ->
+            Util.bit1 (entry lsr tag_bits <> 0 && entry land ((1 lsl tag_bits) - 1) = t))
+      in
+      let data_idx =
+        C.comb2 c "data_idx" (index_bits + offset_bits) index word_in_line (fun i w ->
+            (i lsl offset_bits) lor w)
+      in
+      let rdata = C.read_port c "data_rd" data_mem data_idx in
+
+      let in_idle = Util.eq_const c "in_idle" state st_idle in
+      let in_fill = Util.eq_const c "in_fill" state st_fill in
+      let in_write = Util.eq_const c "in_write" state st_write in
+
+      let last_word = Util.eq_const c "last_word" fill_cnt (words_per_line - 1) in
+
+      (* FSM next-state *)
+      let state_next =
+        C.combn c "state_next" 2
+          [| state; req; we; hit; bus_ready; fill_cnt |]
+          (fun vs ->
+            let st = vs.(0) and rq = vs.(1) and w = vs.(2) in
+            let h = vs.(3) and rdy = vs.(4) and cnt = vs.(5) in
+            if st = st_idle then begin
+              if rq <> 0 && w <> 0 && with_store then st_write
+              else if rq <> 0 && w = 0 && h = 0 then st_fill
+              else st_idle
+            end
+            else if st = st_fill then begin
+              if rdy <> 0 && cnt = words_per_line - 1 then st_idle else st_fill
+            end
+            else if st = st_write then if rdy <> 0 then st_idle else st_write
+            else st_idle)
+      in
+      C.connect c state ~d:state_next ();
+
+      let fill_cnt_next =
+        C.comb3 c "fill_cnt_next" (offset_bits + 1) state fill_cnt bus_ready (fun st cnt rdy ->
+            if st = st_idle then 0 else if st = st_fill && rdy <> 0 then cnt + 1 else cnt)
+      in
+      C.connect c fill_cnt ~d:fill_cnt_next ();
+
+      (* Line base address for refills. *)
+      let line_base =
+        C.comb1 c "line_base" 32 addr (fun a -> a land lnot (line_bytes - 1))
+      in
+      let fill_addr =
+        C.comb2 c "fill_addr" 32 line_base fill_cnt (fun base cnt -> base + (cnt lsl 2))
+      in
+
+      (* Fill write port into the data array. *)
+      let fill_we = Util.and2 c "fill_we" in_fill bus_ready in
+      let fill_idx =
+        C.comb2 c "fill_idx" (index_bits + offset_bits) index fill_cnt (fun i cnt ->
+            (i lsl offset_bits) lor (cnt land (words_per_line - 1)))
+      in
+      C.write_port c data_mem ~we:fill_we ~addr:fill_idx ~data:bus_rdata;
+
+      (* Tag update once the last word lands. *)
+      let tag_we =
+        C.comb3 c "tag_we" 1 in_fill bus_ready last_word (fun f r l -> f land r land l)
+      in
+      let tag_wdata =
+        C.comb1 c "tag_wdata" (tag_bits + 1) tag (fun t -> (1 lsl tag_bits) lor t)
+      in
+      C.write_port c tag_mem ~we:tag_we ~addr:index ~data:tag_wdata;
+
+      (* Store path: write-through to the bus, write-around on miss. *)
+      if with_store then begin
+        let merged =
+          C.combn c "st_merge" 32
+            [| rdata; wdata; size; addr |]
+            (fun vs ->
+              let old = vs.(0) and v = vs.(1) and sz = vs.(2) and a = vs.(3) in
+              match sz with
+              | 2 -> v
+              | 1 ->
+                  let sh = 8 * (2 - (a land 2)) in
+                  old land lnot (0xFFFF lsl sh) lor ((v land 0xFFFF) lsl sh)
+              | _ ->
+                  let sh = 8 * (3 - (a land 3)) in
+                  old land lnot (0xFF lsl sh) lor ((v land 0xFF) lsl sh))
+        in
+        let st_upd_we =
+          C.comb3 c "st_upd_we" 1 in_write bus_ready hit (fun w r h -> w land r land h)
+        in
+        C.write_port c data_mem ~we:st_upd_we ~addr:data_idx ~data:merged
+      end;
+
+      (* Bus port towards the environment. *)
+      let bus_req = Util.or2 c "bus_req" in_fill in_write in
+      let bus_we = C.comb1 c "bus_we" 1 in_write Fun.id in
+      let bus_addr = Util.mux2 c "bus_addr" 32 ~sel:in_write addr fill_addr in
+      let bus_wdata = C.comb1 c "bus_wdata" 32 wdata Fun.id in
+      let bus_size = Util.mux2 c "bus_size" 2 ~sel:in_write size (C.const c "size_word" 2 2) in
+
+      (* Load ready: an idle-state hit.  Store ready: bus acknowledge. *)
+      let load_ready =
+        C.comb4 c "load_ready" 1 in_idle req we hit (fun idle r w h ->
+            idle land r land (w lxor 1) land h)
+      in
+      let store_ready = Util.and2 c "store_ready" in_write bus_ready in
+      let ready = Util.or2 c "ready" load_ready store_ready in
+
+      { ready; rdata; hit; bus_req; bus_we; bus_addr; bus_wdata; bus_size; bus_ready;
+        bus_rdata; tag_mem; data_mem })

@@ -1,0 +1,40 @@
+(** Structural direct-mapped cache (the CMEM fault-injection target).
+
+    Tag, valid and data bits live in kernel memories (injectable as
+    cells); the controller FSM, comparators and merge datapath are
+    ordinary nodes.  Misses fill a whole line from the bus, one word
+    per bus transaction; the data cache is write-through
+    (write-around on miss), so every store is off-core observable. *)
+
+module C = Rtl.Circuit
+
+type ports = {
+  ready : C.signal;  (** request complete this cycle *)
+  rdata : C.signal;  (** full word containing the requested address *)
+  hit : C.signal;
+  bus_req : C.signal;
+  bus_we : C.signal;
+  bus_addr : C.signal;
+  bus_wdata : C.signal;
+  bus_size : C.signal;
+  bus_ready : C.signal;  (** input: to be driven by the environment *)
+  bus_rdata : C.signal;  (** input: to be driven by the environment *)
+  tag_mem : C.memory;
+  data_mem : C.memory;
+}
+
+val build :
+  C.t ->
+  scope:string ->
+  lines:int ->
+  words_per_line:int ->
+  with_store:bool ->
+  req:C.signal ->
+  we:C.signal ->
+  addr:C.signal ->
+  wdata:C.signal ->
+  size:C.signal ->
+  ports
+(** Requesters must hold [req] (and the address) stable until [ready].
+    [size] is 0/1/2 for byte/half/word; [wdata] is the raw (unshifted)
+    store value as it travels on the bus. *)

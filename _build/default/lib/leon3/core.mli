@@ -1,0 +1,75 @@
+(** Leon3-class microcontroller RTL model.
+
+    A SPARC v8 integer unit built as a synthesisable-style netlist on
+    the {!Rtl.Circuit} kernel: program counter and fetch, decode,
+    windowed register file, adder/logic/shifter/multiplier/divider
+    execution units with condition codes, load/store unit, exception
+    stage and writeback, plus structural instruction and data caches
+    (the CMEM block).  The instruction lifecycle walks the seven Leon3
+    stage names FE DE RA EX ME XC WB as a multi-cycle sequencer; DESIGN.md
+    discusses why dropping instruction overlap is sound for the
+    paper's permanent-fault scope.
+
+    Hierarchical scopes double as the paper's functional units:
+    ["iu.fe"], ["iu.de"], ["iu.ctrl"], ["iu.regfile"], ["iu.ra"],
+    ["iu.ex.adder"], ["iu.ex.logic"], ["iu.ex.shift"], ["iu.ex.mul"],
+    ["iu.ex.div"], ["iu.ex.branch"], ["iu.ex"], ["iu.me"], ["iu.xc"],
+    ["iu.wb"], ["cmem.icache"], ["cmem.dcache"]. *)
+
+module C = Rtl.Circuit
+
+(** FSM state encoding (3 bits). *)
+
+val st_fe : int
+val st_de : int
+val st_ra : int
+val st_ex : int
+val st_me : int
+val st_xc : int
+val st_wb : int
+val st_halt : int
+
+(** Trap codes as latched in [iu.xc.trap_code]. *)
+
+val trap_none : int
+val trap_illegal : int
+val trap_misaligned : int
+val trap_div0 : int
+
+type t = {
+  circuit : C.t;
+  nwindows : int;
+  state : C.signal;
+  pc : C.signal;
+  ir : C.signal;
+  halted : C.signal;  (** 1 when the sequencer reached HALT (trap taken) *)
+  trap_code : C.signal;
+  instret : C.signal;  (** retired-instruction counter *)
+  icc : C.signal;
+  cwp : C.signal;
+  icache : Cache_block.ports;
+  dcache : Cache_block.ports;
+  regfile : C.memory;
+}
+
+type params = {
+  nwindows_p : int;
+  icache_lines : int;
+  dcache_lines : int;
+  words_per_line : int;
+  reset_pc : int;
+  gate_level_adder : bool;
+      (** elaborate the EX adder as a ripple-carry gate network
+          (~130 extra 1-bit nodes under [iu.ex.adder.gates]) instead of
+          behavioural nodes — the finer, slower injection granularity
+          the paper contrasts RTL against *)
+}
+
+val default_params : params
+
+val build : ?params:params -> unit -> t
+(** Construct and {e elaborate} the full microcontroller circuit. *)
+
+val regfile_slot : nwindows:int -> cwp:int -> int -> int
+(** Physical register-file index of architectural register [r] in
+    window [cwp]; shared with tests to cross-check the ISS mapping. *)

@@ -1,0 +1,137 @@
+module Isa = Sparc.Isa
+module Encode = Sparc.Encode
+
+let width = 27
+
+let b_valid = 0
+let b_is_load = 1
+let b_is_store = 2
+let b_is_branch = 3
+let b_is_call = 4
+let b_is_sethi = 5
+let b_is_jmpl = 6
+let b_is_save = 7
+let b_is_restore = 8
+let b_wreg = 9
+let b_cc_en = 10
+let b_use_imm = 11
+let b_load_signed = 12
+let b_is_mul = 13
+let b_is_div = 14
+
+let f_unit = (15, 3)
+let f_subop = (18, 3)
+let f_size = (21, 2)
+let f_cond = (23, 4)
+
+let unit_adder = 0
+let unit_logic = 1
+let unit_shift = 2
+let unit_mul = 3
+let unit_div = 4
+
+let sub_add = 0
+let sub_sub = 1
+let sub_addx = 2
+let sub_subx = 3
+let sub_and = 0
+let sub_andn = 1
+let sub_or = 2
+let sub_orn = 3
+let sub_xor = 4
+let sub_xnor = 5
+let sub_sll = 0
+let sub_srl = 1
+let sub_sra = 2
+let sub_umul = 0
+let sub_smul = 1
+let sub_udiv = 0
+let sub_sdiv = 1
+
+let flag b = 1 lsl b
+
+let field (lo, _) v = v lsl lo
+
+let unit_subop (op : Isa.opcode) =
+  match op with
+  | Add | Addcc -> (unit_adder, sub_add)
+  | Addx | Addxcc -> (unit_adder, sub_addx)
+  | Sub | Subcc -> (unit_adder, sub_sub)
+  | Subx | Subxcc -> (unit_adder, sub_subx)
+  | And | Andcc -> (unit_logic, sub_and)
+  | Andn | Andncc -> (unit_logic, sub_andn)
+  | Or | Orcc -> (unit_logic, sub_or)
+  | Orn | Orncc -> (unit_logic, sub_orn)
+  | Xor | Xorcc -> (unit_logic, sub_xor)
+  | Xnor | Xnorcc -> (unit_logic, sub_xnor)
+  | Sll -> (unit_shift, sub_sll)
+  | Srl -> (unit_shift, sub_srl)
+  | Sra -> (unit_shift, sub_sra)
+  | Umul | Umulcc -> (unit_mul, sub_umul)
+  | Smul | Smulcc -> (unit_mul, sub_smul)
+  | Udiv -> (unit_div, sub_udiv)
+  | Sdiv -> (unit_div, sub_sdiv)
+  | Save | Restore | Jmpl
+  | Ld | Ldub | Ldsb | Lduh | Ldsh | St | Stb | Sth ->
+      (unit_adder, sub_add)
+  | Sethi | Call
+  | Ba | Bn | Bne | Be | Bg | Ble | Bge | Bl
+  | Bgu | Bleu | Bcc | Bcs | Bpos | Bneg | Bvc | Bvs ->
+      (unit_adder, sub_add)
+
+let size_of (op : Isa.opcode) =
+  match op with
+  | Ldub | Ldsb | Stb -> 0
+  | Lduh | Ldsh | Sth -> 1
+  | Ld | St -> 2
+  | Add | Addcc | Addx | Addxcc | Sub | Subcc | Subx | Subxcc
+  | And | Andcc | Andn | Andncc | Or | Orcc | Orn | Orncc
+  | Xor | Xorcc | Xnor | Xnorcc | Sll | Srl | Sra
+  | Umul | Umulcc | Smul | Smulcc | Udiv | Sdiv
+  | Save | Restore | Jmpl | Sethi | Call
+  | Ba | Bn | Bne | Be | Bg | Ble | Bge | Bl
+  | Bgu | Bleu | Bcc | Bcs | Bpos | Bneg | Bvc | Bvs ->
+      2
+
+let decode word =
+  match Encode.decode word with
+  | None -> 0
+  | Some instr -> (
+      let op = Isa.opcode_of_instr instr in
+      let base = flag b_valid in
+      match instr with
+      | Isa.Alu { op2; _ } ->
+          let u, s = unit_subop op in
+          let use_imm = match op2 with Isa.Imm _ -> flag b_use_imm | Isa.Reg _ -> 0 in
+          base lor flag b_wreg lor use_imm
+          lor (if Isa.writes_icc op then flag b_cc_en else 0)
+          lor (if op = Isa.Jmpl then flag b_is_jmpl else 0)
+          lor (if op = Isa.Save then flag b_is_save else 0)
+          lor (if op = Isa.Restore then flag b_is_restore else 0)
+          lor (if u = unit_mul then flag b_is_mul else 0)
+          lor (if u = unit_div then flag b_is_div else 0)
+          lor field f_unit u lor field f_subop s lor field f_size 2
+      | Isa.Mem { op2; _ } ->
+          let use_imm = match op2 with Isa.Imm _ -> flag b_use_imm | Isa.Reg _ -> 0 in
+          let signed = match op with Isa.Ldsb | Isa.Ldsh -> flag b_load_signed | _ -> 0 in
+          base lor use_imm lor signed
+          lor (if Isa.is_load op then flag b_is_load lor flag b_wreg else flag b_is_store)
+          lor field f_unit unit_adder lor field f_subop sub_add
+          lor field f_size (size_of op)
+      | Isa.Sethi_i _ ->
+          base lor flag b_is_sethi lor flag b_wreg lor flag b_use_imm lor field f_size 2
+      | Isa.Branch_i _ ->
+          base lor flag b_is_branch lor field f_cond (Encode.cond_code op)
+          lor field f_size 2
+      | Isa.Call_i _ -> base lor flag b_is_call lor flag b_wreg lor field f_size 2)
+
+let imm_of word =
+  match Encode.decode word with
+  | None -> 0
+  | Some instr -> (
+      match instr with
+      | Isa.Alu { op2; _ } | Isa.Mem { op2; _ } -> (
+          match op2 with Isa.Imm i -> Bitops.of_int i | Isa.Reg _ -> 0)
+      | Isa.Sethi_i { imm22; _ } -> Bitops.of_int (imm22 lsl 10)
+      | Isa.Branch_i { disp22; _ } -> Bitops.of_int (disp22 * 4)
+      | Isa.Call_i { disp30 } -> Bitops.of_int (disp30 * 4))

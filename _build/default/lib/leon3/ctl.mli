@@ -1,0 +1,82 @@
+(** Packed decode control word.
+
+    The decode stage condenses an instruction word into a single
+    27-bit control word (one RTL node, like a microcoded control bus),
+    from which the later stages slice individual lines.  Field layout:
+
+    {v
+    bit 0   valid        bit 9   wreg          [17:15] unit
+    bit 1   is_load      bit 10  cc_en         [20:18] subop
+    bit 2   is_store     bit 11  use_imm       [22:21] size
+    bit 3   is_branch    bit 12  load_signed   [26:23] cond
+    bit 4   is_call      bit 13  is_mul
+    bit 5   is_sethi     bit 14  is_div
+    bit 6   is_jmpl
+    bit 7   is_save
+    bit 8   is_restore
+    v} *)
+
+val width : int
+
+(** Flag bit numbers. *)
+
+val b_valid : int
+val b_is_load : int
+val b_is_store : int
+val b_is_branch : int
+val b_is_call : int
+val b_is_sethi : int
+val b_is_jmpl : int
+val b_is_save : int
+val b_is_restore : int
+val b_wreg : int
+val b_cc_en : int
+val b_use_imm : int
+val b_load_signed : int
+val b_is_mul : int
+val b_is_div : int
+
+(** Multi-bit field positions [(lo, width)]. *)
+
+val f_unit : int * int
+val f_subop : int * int
+val f_size : int * int
+val f_cond : int * int
+
+(** Execution-unit select values. *)
+
+val unit_adder : int
+val unit_logic : int
+val unit_shift : int
+val unit_mul : int
+val unit_div : int
+
+(** Sub-operation values. *)
+
+val sub_add : int
+val sub_sub : int
+val sub_addx : int
+val sub_subx : int
+val sub_and : int
+val sub_andn : int
+val sub_or : int
+val sub_orn : int
+val sub_xor : int
+val sub_xnor : int
+val sub_sll : int
+val sub_srl : int
+val sub_sra : int
+val sub_umul : int
+val sub_smul : int
+val sub_udiv : int
+val sub_sdiv : int
+
+val decode : int -> int
+(** [decode word] is the control word for an instruction word (built on
+    {!Sparc.Encode.decode}, so the two engines can never disagree);
+    an unsupported word yields a control word with [valid = 0]. *)
+
+val imm_of : int -> int
+(** The 32-bit immediate datapath value for an instruction word:
+    [simm13] for ALU/memory forms, [imm22 << 10] for SETHI, the
+    sign-extended {e byte} displacement for branches and calls. *)

@@ -1,0 +1,182 @@
+module C = Rtl.Circuit
+module Asm = Sparc.Asm
+module Memory = Sparc.Memory
+module Layout = Sparc.Layout
+module Bus_event = Sparc.Bus_event
+
+type stop_reason = Exited of int | Trapped of int | Cycle_limit | Aborted
+
+(* Per-bus-port driver state: [-1] idle, otherwise cycles until the
+   acknowledge is presented. *)
+type port_driver = {
+  ports : Cache_block.ports;
+  read_only : bool;
+  mutable countdown : int;
+  mutable ready_out : bool;  (* we asserted ready for the current cycle *)
+}
+
+type t = {
+  core : Core.t;
+  mem_latency : int;
+  iport : port_driver;
+  dport : port_driver;
+  mutable mem : Memory.t;
+  mutable events_rev : Bus_event.t list;
+  mutable stopped : stop_reason option;
+  mutable abort : bool;
+}
+
+let create ?params ?(mem_latency = 1) () =
+  let core = Core.build ?params () in
+  { core;
+    mem_latency;
+    iport = { ports = core.icache; read_only = true; countdown = -1; ready_out = false };
+    dport = { ports = core.dcache; read_only = false; countdown = -1; ready_out = false };
+    mem = Memory.create ();
+    events_rev = [];
+    stopped = None;
+    abort = false }
+
+let core t = t.core
+
+let circuit t = t.core.Core.circuit
+
+let load t prog =
+  assert (prog.Asm.entry = Core.default_params.reset_pc || prog.Asm.entry <> 0);
+  C.reset (circuit t);
+  t.mem <- Memory.create ();
+  Asm.load prog t.mem;
+  t.events_rev <- [];
+  t.stopped <- None;
+  t.abort <- false;
+  t.iport.countdown <- -1;
+  t.iport.ready_out <- false;
+  t.dport.countdown <- -1;
+  t.dport.ready_out <- false;
+  C.set_input (circuit t) t.core.Core.icache.bus_ready 0;
+  C.set_input (circuit t) t.core.Core.dcache.bus_ready 0;
+  C.settle (circuit t)
+
+let record t ev on_event =
+  t.events_rev <- ev :: t.events_rev;
+  match on_event with
+  | Some f -> if not (f ev) then t.abort <- true
+  | None -> ()
+
+let size_of_code = function 0 -> Bus_event.Byte | 1 -> Bus_event.Half | _ -> Bus_event.Word
+
+(* Inspect a port's settled request, advance its countdown, and return
+   the (ready, rdata) pair to present next cycle. *)
+let drive_port t p on_event =
+  let c = circuit t in
+  let req = C.value c p.ports.bus_req in
+  if p.ready_out then begin
+    (* Transaction acknowledged during the current cycle. *)
+    p.ready_out <- false;
+    p.countdown <- -1;
+    (0, 0)
+  end
+  else if req = 0 then begin
+    p.countdown <- -1;
+    (0, 0)
+  end
+  else begin
+    if p.countdown < 0 then p.countdown <- t.mem_latency;
+    p.countdown <- p.countdown - 1;
+    if p.countdown > 0 then (0, 0)
+    else begin
+      let addr = C.value c p.ports.bus_addr in
+      let we = C.value c p.ports.bus_we in
+      p.ready_out <- true;
+      if we <> 0 && not p.read_only then begin
+        let size_code = C.value c p.ports.bus_size in
+        let value = C.value c p.ports.bus_wdata in
+        let size = size_of_code size_code in
+        record t (Bus_event.Write { addr; size; value }) on_event;
+        if Layout.is_exit_store addr then t.stopped <- Some (Exited value)
+        else begin
+          (* A fault inside the core can defeat its own alignment check
+             and push a misaligned address onto the bus; the memory
+             controller truncates like real hardware would (the raw
+             address is already recorded, so lockstep still sees the
+             divergence). *)
+          match size with
+          | Bus_event.Byte -> Memory.store_byte t.mem addr value
+          | Bus_event.Half -> Memory.store_half t.mem (addr land lnot 1) value
+          | Bus_event.Word -> Memory.store_word t.mem (addr land lnot 3) value
+        end;
+        (1, 0)
+      end
+      else begin
+        let word = Memory.load_word t.mem (addr land lnot 3) in
+        if not p.read_only then
+          record t (Bus_event.Read { addr; size = Bus_event.Word }) on_event;
+        (1, word)
+      end
+    end
+  end
+
+let step_with t on_event =
+  let c = circuit t in
+  let i_ready, i_rdata = drive_port t t.iport on_event in
+  let d_ready, d_rdata = drive_port t t.dport on_event in
+  C.clock c;
+  C.set_input c t.core.Core.icache.bus_ready i_ready;
+  C.set_input c t.core.Core.icache.bus_rdata i_rdata;
+  C.set_input c t.core.Core.dcache.bus_ready d_ready;
+  C.set_input c t.core.Core.dcache.bus_rdata d_rdata;
+  C.settle c
+
+let step t = step_with t None
+
+let run ?on_event t ~max_cycles =
+  let c = circuit t in
+  let rec go () =
+    match t.stopped with
+    | Some r -> r
+    | None ->
+        if t.abort then begin
+          t.stopped <- Some Aborted;
+          Aborted
+        end
+        else if C.value c t.core.Core.halted <> 0 then begin
+          let r = Trapped (C.value c t.core.Core.trap_code) in
+          t.stopped <- Some r;
+          r
+        end
+        else if C.cycle c >= max_cycles then begin
+          t.stopped <- Some Cycle_limit;
+          Cycle_limit
+        end
+        else begin
+          step_with t on_event;
+          go ()
+        end
+  in
+  go ()
+
+let stop t = t.stopped
+
+let cycles t = C.cycle (circuit t)
+
+let instructions t = C.value (circuit t) t.core.Core.instret
+
+let events t = List.rev t.events_rev
+
+let writes t = List.filter Bus_event.is_write (events t)
+
+let memory t = t.mem
+
+let reg t r =
+  let c = circuit t in
+  if r = 0 then 0
+  else
+    let cwp = C.value c t.core.Core.cwp in
+    C.mem_read c t.core.Core.regfile
+      (Core.regfile_slot ~nwindows:t.core.Core.nwindows ~cwp r)
+
+let pp_stop fmt = function
+  | Exited code -> Format.fprintf fmt "exited(%d)" code
+  | Trapped code -> Format.fprintf fmt "trap(%d)" code
+  | Cycle_limit -> Format.fprintf fmt "cycle-limit"
+  | Aborted -> Format.fprintf fmt "aborted"

@@ -1,0 +1,61 @@
+(** Complete RTL system: the {!Core} microcontroller plus its off-core
+    environment — main memory behind the bus, the exit port, and the
+    bus-transaction driver.  This is the machine the fault-injection
+    campaigns run: everything inside {!Core} is injectable, everything
+    in here is the (fault-free) outside world.
+
+    The circuit is elaborated once per {!create}; each {!load} resets
+    it and installs a fresh memory image, so one [t] is reused across
+    thousands of campaign runs. *)
+
+module Asm = Sparc.Asm
+module Memory = Sparc.Memory
+module Bus_event = Sparc.Bus_event
+
+type stop_reason =
+  | Exited of int  (** store to the exit port; payload is the exit code *)
+  | Trapped of int  (** core reached HALT; payload is the trap code *)
+  | Cycle_limit
+  | Aborted  (** the [on_event] callback requested an early stop *)
+
+type t
+
+val create : ?params:Core.params -> ?mem_latency:int -> unit -> t
+(** Build and elaborate the system.  [mem_latency] is the number of
+    cycles between a bus request and its acknowledgement (default 1). *)
+
+val core : t -> Core.t
+
+val load : t -> Asm.program -> unit
+(** Reset the circuit, clear recorded events and install the program
+    image.  The program must be linked at the core's reset PC. *)
+
+val step : t -> unit
+(** Advance one clock cycle (drive bus responses, clock, settle). *)
+
+val run : ?on_event:(Bus_event.t -> bool) -> t -> max_cycles:int -> stop_reason
+(** Step until the program exits, the core traps, [max_cycles] clocks
+    have elapsed, or [on_event] returns [false] for a bus event
+    (events are delivered in order, writes and reads alike). *)
+
+val stop : t -> stop_reason option
+
+val cycles : t -> int
+
+val instructions : t -> int
+(** Value of the retired-instruction counter. *)
+
+val events : t -> Bus_event.t list
+(** All off-core bus events so far, in order (data-side only;
+    instruction fetches are not recorded). *)
+
+val writes : t -> Bus_event.t list
+
+val memory : t -> Memory.t
+(** The main-memory image behind the bus. *)
+
+val reg : t -> int -> int
+(** Architectural register of the current window (backdoor, for
+    differential testing against the ISS). *)
+
+val pp_stop : Format.formatter -> stop_reason -> unit

@@ -1,0 +1,15 @@
+module C = Rtl.Circuit
+
+let bit1 b = if b then 1 else 0
+
+let not1 c nm a = C.comb1 c nm 1 a (fun x -> x lxor 1)
+
+let and2 c nm a b = C.comb2 c nm 1 a b (fun x y -> x land y)
+
+let or2 c nm a b = C.comb2 c nm 1 a b (fun x y -> x lor y)
+
+let eq_const c nm a k = C.comb1 c nm 1 a (fun x -> bit1 (x = k))
+
+let mux2 c nm width ~sel a b = C.comb3 c nm width sel a b (fun s x y -> if s <> 0 then x else y)
+
+let slice c nm a ~hi ~lo = C.comb1 c nm (hi - lo + 1) a (fun x -> Bitops.bits ~hi ~lo x)

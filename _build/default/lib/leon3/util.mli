@@ -1,0 +1,19 @@
+(** Small combinational builders shared by the Leon3 model blocks. *)
+
+module C = Rtl.Circuit
+
+val bit1 : bool -> int
+(** [bit1 b] is 1 or 0. *)
+
+val not1 : C.t -> string -> C.signal -> C.signal
+val and2 : C.t -> string -> C.signal -> C.signal -> C.signal
+val or2 : C.t -> string -> C.signal -> C.signal -> C.signal
+
+val eq_const : C.t -> string -> C.signal -> int -> C.signal
+(** 1-bit equality with a constant. *)
+
+val mux2 : C.t -> string -> int -> sel:C.signal -> C.signal -> C.signal -> C.signal
+(** [mux2 c name width ~sel a b] is [sel ? a : b]. *)
+
+val slice : C.t -> string -> C.signal -> hi:int -> lo:int -> C.signal
+(** Bit-field extraction node. *)

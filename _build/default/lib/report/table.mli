@@ -1,0 +1,24 @@
+(** Plain-text tables for experiment output (and CSV for plotting). *)
+
+type t = {
+  title : string;
+  header : string list;
+  rows : string list list;
+  notes : string list;
+}
+
+val make : title:string -> header:string list -> ?notes:string list -> string list list -> t
+
+val render : Format.formatter -> t -> unit
+(** Boxed, column-aligned ASCII rendering. *)
+
+val to_string : t -> string
+
+val to_csv : t -> string
+(** Header + rows, comma-separated with minimal quoting. *)
+
+val cell_float : float -> string
+(** Two-decimal rendering used across experiment tables. *)
+
+val cell_pct : float -> string
+(** ["12.3%"] from a 0-100 value. *)

@@ -1,0 +1,1 @@
+lib/rtl/circuit.ml: Array Bitops Fun List Printf Seq String

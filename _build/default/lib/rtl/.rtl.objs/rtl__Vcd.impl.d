@@ -1,0 +1,1 @@
+lib/rtl/vcd.ml: Buffer Char Circuit List Printf String

@@ -1,0 +1,432 @@
+type signal = int
+
+type memory = int
+
+exception Combinational_cycle of string
+exception Not_elaborated
+exception Already_elaborated
+
+type fault_model = Stuck_at_0 | Stuck_at_1 | Open_line | Bit_flip
+
+type fault_site = Node of signal * int | Cell of memory * int * int
+
+type reg_info = { init : int; mutable d : int; mutable en : int }
+
+type kind =
+  | Input
+  | Const of int
+  | Comb of { deps : int array; eval : int array -> int }
+  | Register of reg_info
+
+type node = { nm : string; width : int; kind : kind }
+
+type write_port_info = { wp_we : int; wp_addr : int; wp_data : int }
+
+type mem_info = {
+  m_name : string;
+  words : int;
+  m_width : int;
+  data : int array;
+  mutable write_ports : write_port_info list;
+}
+
+type fault = {
+  site : fault_site;
+  model : fault_model;
+  from_cycle : int;
+  duration : int option;  (** [None] = permanent *)
+  mutable frozen : int option;
+      (** open-line: captured bit value; bit-flip cells: applied marker *)
+}
+
+type t = {
+  c_name : string;
+  mutable building : node list;  (* reversed during construction *)
+  mutable scopes : string list;
+  mutable mems : mem_info list;  (* reversed *)
+  mutable node_cnt : int;
+  mutable mem_cnt : int;
+  (* elaboration products *)
+  mutable nodes : node array;
+  mutable mem_arr : mem_info array;
+  mutable values : int array;
+  mutable masks : int array;
+  mutable order : int array;  (* comb schedule *)
+  mutable evals : (int array -> int) array;  (* parallel to order *)
+  mutable reg_ids : int array;
+  mutable reg_next : int array;
+  mutable elaborated : bool;
+  mutable cyc : int;
+  mutable fault : fault option;
+}
+
+let create c_name =
+  { c_name; building = []; scopes = []; mems = []; node_cnt = 0; mem_cnt = 0;
+    nodes = [||]; mem_arr = [||]; values = [||]; masks = [||]; order = [||]; evals = [||];
+    reg_ids = [||]; reg_next = [||]; elaborated = false; cyc = 0; fault = None }
+
+let name t = t.c_name
+
+let scoped t scope f =
+  t.scopes <- scope :: t.scopes;
+  let finish () = t.scopes <- List.tl t.scopes in
+  match f () with
+  | v ->
+      finish ();
+      v
+  | exception e ->
+      finish ();
+      raise e
+
+let full_name t nm = String.concat "." (List.rev (nm :: t.scopes))
+
+let add_node t nm width kind =
+  if t.elaborated then raise Already_elaborated;
+  if width < 1 || width > 32 then invalid_arg "Circuit: width must be 1..32";
+  let id = t.node_cnt in
+  t.building <- { nm = full_name t nm; width; kind } :: t.building;
+  t.node_cnt <- t.node_cnt + 1;
+  id
+
+let input t nm width = add_node t nm width Input
+
+let const t nm width v = add_node t nm width (Const (v land ((1 lsl width) - 1)))
+
+(* [combn] presents dependency values positionally; the scratch buffer
+   is reused across evaluations to keep the hot loop allocation-free. *)
+let combn t nm width deps f =
+  let n = Array.length deps in
+  let scratch = Array.make (max n 1) 0 in
+  let eval values =
+    for i = 0 to n - 1 do
+      Array.unsafe_set scratch i (Array.unsafe_get values (Array.unsafe_get deps i))
+    done;
+    f scratch
+  in
+  add_node t nm width (Comb { deps; eval })
+
+let comb1 t nm width a f =
+  add_node t nm width (Comb { deps = [| a |]; eval = (fun vs -> f vs.(a)) })
+
+let comb2 t nm width a b f =
+  add_node t nm width (Comb { deps = [| a; b |]; eval = (fun vs -> f vs.(a) vs.(b)) })
+
+let comb3 t nm width a b c f =
+  add_node t nm width
+    (Comb { deps = [| a; b; c |]; eval = (fun vs -> f vs.(a) vs.(b) vs.(c)) })
+
+let comb4 t nm width a b c d f =
+  add_node t nm width
+    (Comb { deps = [| a; b; c; d |]; eval = (fun vs -> f vs.(a) vs.(b) vs.(c) vs.(d)) })
+
+let reg t nm ~width ?(init = 0) () =
+  add_node t nm width (Register { init; d = -1; en = -1 })
+
+let connect t r ?en ~d () =
+  let node = List.nth t.building (t.node_cnt - 1 - r) in
+  match node.kind with
+  | Register info ->
+      if info.d >= 0 then invalid_arg ("Circuit.connect: already connected: " ^ node.nm);
+      info.d <- d;
+      (match en with Some e -> info.en <- e | None -> ())
+  | Input | Const _ | Comb _ ->
+      invalid_arg ("Circuit.connect: not a register: " ^ node.nm)
+
+let memory t nm ~words ~width =
+  if t.elaborated then raise Already_elaborated;
+  let id = t.mem_cnt in
+  t.mems <-
+    { m_name = full_name t nm; words; m_width = width; data = Array.make words 0;
+      write_ports = [] }
+    :: t.mems;
+  t.mem_cnt <- t.mem_cnt + 1;
+  id
+
+let mem_info t m = if t.elaborated then t.mem_arr.(m) else List.nth t.mems (t.mem_cnt - 1 - m)
+
+let read_port t nm m addr =
+  let info = mem_info t m in
+  let data = info.data in
+  let words = info.words in
+  combn t nm info.m_width [| addr |] (fun vs ->
+      let a = vs.(0) in
+      if a < words then data.(a) else 0)
+
+let write_port t m ~we ~addr ~data =
+  let info = mem_info t m in
+  info.write_ports <- { wp_we = we; wp_addr = addr; wp_data = data } :: info.write_ports
+
+(* --- elaboration --- *)
+
+let elaborate t =
+  if t.elaborated then raise Already_elaborated;
+  let nodes = Array.of_list (List.rev t.building) in
+  let n = Array.length nodes in
+  let masks = Array.map (fun nd -> (1 lsl nd.width) - 1) nodes in
+  (* check registers are connected *)
+  Array.iter
+    (fun nd ->
+      match nd.kind with
+      | Register info when info.d < 0 ->
+          invalid_arg ("Circuit.elaborate: unconnected register: " ^ nd.nm)
+      | Register _ | Input | Const _ | Comb _ -> ())
+    nodes;
+  (* topological order over combinational dependencies *)
+  let color = Array.make n 0 in
+  (* 0 unvisited, 1 in progress, 2 done *)
+  let order = ref [] in
+  let rec visit id =
+    match color.(id) with
+    | 2 -> ()
+    | 1 -> raise (Combinational_cycle nodes.(id).nm)
+    | _ -> (
+        color.(id) <- 1;
+        (match nodes.(id).kind with
+        | Comb { deps; _ } ->
+            Array.iter visit deps;
+            order := id :: !order
+        | Input | Const _ | Register _ -> ());
+        color.(id) <- 2)
+  in
+  for id = 0 to n - 1 do
+    visit id
+  done;
+  let reg_ids =
+    Array.of_seq
+      (Seq.filter_map
+         (fun id ->
+           match nodes.(id).kind with
+           | Register _ -> Some id
+           | Input | Const _ | Comb _ -> None)
+         (Seq.init n Fun.id))
+  in
+  t.nodes <- nodes;
+  t.mem_arr <- Array.of_list (List.rev t.mems);
+  t.values <- Array.make n 0;
+  t.masks <- masks;
+  t.order <- Array.of_list (List.rev !order);
+  t.evals <-
+    Array.map
+      (fun id ->
+        match nodes.(id).kind with
+        | Comb { eval; _ } -> eval
+        | Input | Const _ | Register _ -> assert false)
+      t.order;
+  t.reg_ids <- reg_ids;
+  t.reg_next <- Array.make (Array.length reg_ids) 0;
+  t.elaborated <- true
+
+let check_elab t = if not t.elaborated then raise Not_elaborated
+
+let reset t =
+  check_elab t;
+  Array.iteri
+    (fun id nd ->
+      t.values.(id) <-
+        (match nd.kind with
+        | Const v -> v
+        | Register { init; _ } -> init land t.masks.(id)
+        | Input | Comb _ -> 0))
+    t.nodes;
+  Array.iter (fun m -> Array.fill m.data 0 m.words 0) t.mem_arr;
+  t.cyc <- 0;
+  (match t.fault with Some f -> f.frozen <- None | None -> ())
+
+let set_input t s v =
+  check_elab t;
+  (match t.nodes.(s).kind with
+  | Input -> ()
+  | Const _ | Comb _ | Register _ -> invalid_arg "Circuit.set_input: not an input");
+  t.values.(s) <- v land t.masks.(s)
+
+(* --- fault machinery --- *)
+
+let fault_active t f =
+  t.cyc >= f.from_cycle
+  && match f.duration with None -> true | Some d -> t.cyc < f.from_cycle + d
+
+let transform_bit f ~bit v =
+  match f.model with
+  | Stuck_at_0 -> Bitops.clear_bit bit v
+  | Stuck_at_1 -> Bitops.set_bit bit v
+  | Bit_flip -> v lxor (1 lsl bit)
+  | Open_line -> (
+      match f.frozen with
+      | Some frozen -> Bitops.update_bit bit (frozen <> 0) v
+      | None ->
+          (* Capture the floating value at activation. *)
+          let b = Bitops.bit bit v in
+          f.frozen <- Some b;
+          v)
+
+let apply_node_fault t id v =
+  match t.fault with
+  | Some ({ site = Node (s, bit); _ } as f) when s = id && fault_active t f ->
+      transform_bit f ~bit v
+  | Some _ | None -> v
+
+let write_cell t m idx v =
+  let info = t.mem_arr.(m) in
+  let v =
+    match t.fault with
+    | Some ({ site = Cell (fm, fidx, bit); _ } as f)
+      when fm = m && fidx = idx && fault_active t f -> (
+        match f.model with
+        | Stuck_at_0 -> Bitops.clear_bit bit v
+        | Stuck_at_1 -> Bitops.set_bit bit v
+        | Bit_flip -> v
+        (* an SEU corrupts content once, not the write path *)
+        | Open_line ->
+            (* The cell bit is disconnected: the write does not change it. *)
+            Bitops.update_bit bit (Bitops.bit bit info.data.(idx) <> 0) v)
+    | Some _ | None -> v
+  in
+  info.data.(idx) <- v land ((1 lsl info.m_width) - 1)
+
+(* Force stuck-at cell faults into the stored content when they become
+   active, so reads observe them even without an intervening write. *)
+let refresh_cell_fault t =
+  match t.fault with
+  | Some ({ site = Cell (m, idx, bit); _ } as f) when fault_active t f -> (
+      let info = t.mem_arr.(m) in
+      if idx < info.words then
+        match f.model with
+        | Stuck_at_0 -> info.data.(idx) <- Bitops.clear_bit bit info.data.(idx)
+        | Stuck_at_1 -> info.data.(idx) <- Bitops.set_bit bit info.data.(idx)
+        | Bit_flip ->
+            (* single-event upset: invert the cell content exactly once *)
+            if f.frozen = None then begin
+              info.data.(idx) <- info.data.(idx) lxor (1 lsl bit);
+              f.frozen <- Some 1
+            end
+        | Open_line -> ())
+  | Some _ | None -> ()
+
+let inject t ?(from_cycle = 0) ?duration site model =
+  t.fault <- Some { site; model; from_cycle; duration; frozen = None }
+
+let clear_fault t = t.fault <- None
+
+let fault_model_name = function
+  | Stuck_at_0 -> "stuck-at-0"
+  | Stuck_at_1 -> "stuck-at-1"
+  | Open_line -> "open-line"
+  | Bit_flip -> "bit-flip"
+
+(* --- simulation --- *)
+
+let settle t =
+  check_elab t;
+  refresh_cell_fault t;
+  (* A fault on a source node (input/const/register) is applied to its
+     stored value before combinational propagation. *)
+  (match t.fault with
+  | Some ({ site = Node (s, bit); _ } as f) when fault_active t f -> (
+      match t.nodes.(s).kind with
+      | Input | Const _ | Register _ -> t.values.(s) <- transform_bit f ~bit t.values.(s)
+      | Comb _ -> ())
+  | Some _ | None -> ());
+  let order = t.order in
+  let evals = t.evals in
+  let values = t.values in
+  let masks = t.masks in
+  (* Single compare per node in the hot loop: the armed comb fault id,
+     or -1 when no comb-node fault is active this cycle. *)
+  let fnode =
+    match t.fault with
+    | Some ({ site = Node (s, _); _ } as f) when fault_active t f -> (
+        match t.nodes.(s).kind with Comb _ -> s | Input | Const _ | Register _ -> -1)
+    | Some _ | None -> -1
+  in
+  if fnode < 0 then
+    for k = 0 to Array.length order - 1 do
+      let id = Array.unsafe_get order k in
+      Array.unsafe_set values id
+        ((Array.unsafe_get evals k) values land Array.unsafe_get masks id)
+    done
+  else
+    for k = 0 to Array.length order - 1 do
+      let id = Array.unsafe_get order k in
+      let v = (Array.unsafe_get evals k) values land Array.unsafe_get masks id in
+      Array.unsafe_set values id (if id = fnode then apply_node_fault t id v else v)
+    done
+
+let clock t =
+  check_elab t;
+  let values = t.values in
+  (* Phase 1: sample every register input and write port. *)
+  Array.iteri
+    (fun k id ->
+      match t.nodes.(id).kind with
+      | Register { d; en; _ } ->
+          t.reg_next.(k) <-
+            (if en >= 0 && values.(en) = 0 then values.(id)
+             else values.(d) land t.masks.(id))
+      | Input | Const _ | Comb _ -> assert false)
+    t.reg_ids;
+  Array.iteri
+    (fun m info ->
+      List.iter
+        (fun { wp_we; wp_addr; wp_data } ->
+          if values.(wp_we) <> 0 then begin
+            let idx = values.(wp_addr) in
+            if idx < info.words then write_cell t m idx values.(wp_data)
+          end)
+        (List.rev info.write_ports))
+    t.mem_arr;
+  (* Phase 2: commit. *)
+  Array.iteri (fun k id -> values.(id) <- t.reg_next.(k)) t.reg_ids;
+  t.cyc <- t.cyc + 1
+
+let value t s =
+  check_elab t;
+  t.values.(s)
+
+let cycle t = t.cyc
+
+let mem_read t m idx =
+  check_elab t;
+  let info = t.mem_arr.(m) in
+  if idx < info.words then info.data.(idx) else 0
+
+let mem_write t m idx v =
+  check_elab t;
+  let info = t.mem_arr.(m) in
+  if idx < info.words then write_cell t m idx v
+
+(* --- introspection --- *)
+
+let all_nodes t = if t.elaborated then t.nodes else Array.of_list (List.rev t.building)
+
+let signals t =
+  Array.to_list (Array.mapi (fun id nd -> (nd.nm, id, nd.width)) (all_nodes t))
+
+let memories t =
+  let arr = if t.elaborated then t.mem_arr else Array.of_list (List.rev t.mems) in
+  Array.to_list (Array.mapi (fun m info -> (info.m_name, m, info.words, info.m_width)) arr)
+
+let signal_width t s = (all_nodes t).(s).width
+
+let signal_name t s = (all_nodes t).(s).nm
+
+let find_signal t nm =
+  let nodes = all_nodes t in
+  let rec go id =
+    if id >= Array.length nodes then None
+    else if nodes.(id).nm = nm then Some id
+    else go (id + 1)
+  in
+  go 0
+
+let node_count t = Array.length (all_nodes t)
+
+let injection_bits t ~prefix =
+  let sites = ref [] in
+  Array.iteri
+    (fun id nd ->
+      if String.starts_with ~prefix nd.nm then
+        for bit = nd.width - 1 downto 0 do
+          sites := (Node (id, bit), Printf.sprintf "%s[%d]" nd.nm bit) :: !sites
+        done)
+    (all_nodes t);
+  !sites

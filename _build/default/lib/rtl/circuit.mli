@@ -1,0 +1,163 @@
+(** Structural RTL simulation kernel.
+
+    A circuit is a netlist of named, width-annotated nodes — external
+    inputs, constants, combinational functions and clocked registers —
+    plus word-organised memories with combinational read ports and
+    clocked write ports.  After {!elaborate} the combinational nodes
+    are scheduled in dependency order and the circuit is stepped with
+    [settle]/[clock] pairs, exactly like an HDL simulator with a single
+    clock domain.
+
+    Every node is a {e fault-injection point}: a single permanent fault
+    (stuck-at-0, stuck-at-1 or open-line) can be armed on any bit of
+    any node or memory cell from a given cycle onwards, reproducing the
+    simulator-command injection technique of Jenn et al. (MEFISTO) that
+    the paper uses.  Open line is modelled as charge retention: the bit
+    keeps its previous settled value (for cells: writes to the bit are
+    lost).
+
+    The kernel is deliberately cycle-based rather than event-driven —
+    fault-injection campaigns run thousands of full-program
+    simulations, so the per-cycle cost is a flat sweep over a
+    precomputed schedule. *)
+
+type t
+type signal
+type memory
+
+exception Combinational_cycle of string
+(** Raised by {!elaborate}; the payload names a node on the cycle. *)
+
+exception Not_elaborated
+exception Already_elaborated
+
+val create : string -> t
+(** [create name] makes an empty circuit. *)
+
+val name : t -> string
+
+(** {2 Construction}
+
+    All constructors must be called before {!elaborate}.  Node names
+    are prefixed by the current scope path, ["iu.ex.alu_result"]. *)
+
+val scoped : t -> string -> (unit -> 'a) -> 'a
+(** [scoped c scope f] runs [f] with [scope] pushed on the name
+    prefix stack. *)
+
+val input : t -> string -> int -> signal
+(** [input c name width] declares an externally driven port. *)
+
+val const : t -> string -> int -> int -> signal
+(** [const c name width value]. *)
+
+val comb1 : t -> string -> int -> signal -> (int -> int) -> signal
+val comb2 : t -> string -> int -> signal -> signal -> (int -> int -> int) -> signal
+val comb3 :
+  t -> string -> int -> signal -> signal -> signal -> (int -> int -> int -> int) -> signal
+val comb4 :
+  t -> string -> int -> signal -> signal -> signal -> signal ->
+  (int -> int -> int -> int -> int) -> signal
+val combn : t -> string -> int -> signal array -> (int array -> int) -> signal
+(** [combn c name width deps f] — [f] receives the dependency values
+    {e positionally}: element [i] of its argument is the value of
+    [deps.(i)].  The argument array is reused between evaluations, so
+    [f] must not retain it.  Results are truncated to [width] bits by
+    the kernel (as are all comb results). *)
+
+val reg : t -> string -> width:int -> ?init:int -> unit -> signal
+(** Declare a clocked register; its data input is attached later with
+    {!connect} (registers may sit on feedback paths). *)
+
+val connect : t -> signal -> ?en:signal -> d:signal -> unit -> unit
+(** [connect c r ~en ~d ()] attaches register [r]'s next-value input; when
+    the optional enable is 0 the register holds.  Each register must be
+    connected exactly once. *)
+
+val memory : t -> string -> words:int -> width:int -> memory
+(** Word-organised storage (register file, cache tag/data arrays). *)
+
+val read_port : t -> string -> memory -> signal -> signal
+(** Combinational (asynchronous) read port: output follows the
+    addressed cell.  Out-of-range addresses read zero. *)
+
+val write_port : t -> memory -> we:signal -> addr:signal -> data:signal -> unit
+(** Clocked write port, committed on {!clock} when [we] is non-zero.
+    Out-of-range addresses are discarded. *)
+
+(** {2 Elaboration and simulation} *)
+
+val elaborate : t -> unit
+(** Freeze the netlist and schedule combinational nodes.  Checks that
+    every register is connected and that the combinational graph is
+    acyclic. *)
+
+val reset : t -> unit
+(** Restore registers to their init values, clear memories, inputs and
+    the cycle counter (the armed fault, if any, is kept). *)
+
+val set_input : t -> signal -> int -> unit
+
+val settle : t -> unit
+(** Propagate combinational values from the current register/input
+    state. *)
+
+val clock : t -> unit
+(** Commit register next-values and memory writes from the settled
+    values, then advance the cycle counter.  Call {!settle} again
+    before reading outputs. *)
+
+val value : t -> signal -> int
+(** Settled value of a node. *)
+
+val cycle : t -> int
+(** Number of {!clock} calls since reset. *)
+
+val mem_read : t -> memory -> int -> int
+(** Direct backdoor read (testing and environment models). *)
+
+val mem_write : t -> memory -> int -> int -> unit
+(** Direct backdoor write; still subject to an armed cell fault. *)
+
+(** {2 Fault injection} *)
+
+type fault_model =
+  | Stuck_at_0
+  | Stuck_at_1
+  | Open_line
+  | Bit_flip
+      (** inversion of the bit while active; combined with
+          [duration = Some 1] this is a single-event upset (a register
+          or cell keeps the corrupted value after the window closes) *)
+
+type fault_site =
+  | Node of signal * int  (** node, bit *)
+  | Cell of memory * int * int  (** memory, word index, bit *)
+
+val inject : t -> ?from_cycle:int -> ?duration:int -> fault_site -> fault_model -> unit
+(** Arm the (single) fault: active from [from_cycle] for [duration]
+    cycles ([None] = permanent).  Replaces any previous fault. *)
+
+val clear_fault : t -> unit
+
+val fault_model_name : fault_model -> string
+
+(** {2 Introspection} *)
+
+val signals : t -> (string * signal * int) list
+(** All nodes: [(hierarchical name, signal, width)], in creation
+    order.  Includes inputs, constants, combs and registers. *)
+
+val memories : t -> (string * memory * int * int) list
+(** [(name, memory, words, width)]. *)
+
+val signal_width : t -> signal -> int
+val signal_name : t -> signal -> string
+val find_signal : t -> string -> signal option
+val node_count : t -> int
+(** Total number of signal nodes (netlist size proxy for area). *)
+
+val injection_bits : t -> prefix:string -> (fault_site * string) list
+(** Every (node, bit) site whose hierarchical name starts with
+    [prefix]; the string is ["name[bit]"].  Memory cells are not
+    included (enumerate them explicitly if wanted). *)

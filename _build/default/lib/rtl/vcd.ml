@@ -1,0 +1,83 @@
+type watched = {
+  signal : Circuit.signal;
+  code : string;
+  width : int;
+  mutable last : int;
+}
+
+type t = {
+  out : out_channel;
+  circuit : Circuit.t;
+  watched : watched list;
+  mutable first_sample : bool;
+}
+
+(* Compact printable id codes: '!' .. '~' positional encoding. *)
+let code_of_index i =
+  let base = 94 and first = 33 in
+  let buf = Buffer.create 4 in
+  let rec go i =
+    Buffer.add_char buf (Char.chr (first + (i mod base)));
+    if i >= base then go ((i / base) - 1)
+  in
+  go i;
+  Buffer.contents buf
+
+let create ~out ?(prefix = "") ?(timescale = "1ns") circuit =
+  Printf.fprintf out "$date reproduction run $end\n";
+  Printf.fprintf out "$version iss-rtl-correlation rtl kernel $end\n";
+  Printf.fprintf out "$timescale %s $end\n" timescale;
+  Printf.fprintf out "$scope module %s $end\n" (Circuit.name circuit);
+  let watched =
+    List.filteri (fun _ _ -> true) (Circuit.signals circuit)
+    |> List.filter (fun (nm, _, _) -> String.starts_with ~prefix nm)
+    |> List.mapi (fun i (nm, signal, width) ->
+           let code = code_of_index i in
+           (* dots are hierarchy separators; VCD wants flat names here *)
+           let flat = String.map (fun c -> if c = '.' then '_' else c) nm in
+           Printf.fprintf out "$var wire %d %s %s $end\n" width code flat;
+           { signal; code; width; last = -1 })
+  in
+  Printf.fprintf out "$upscope $end\n$enddefinitions $end\n";
+  { out; circuit; watched; first_sample = true }
+
+let emit t w v =
+  if w.width = 1 then Printf.fprintf t.out "%d%s\n" (v land 1) w.code
+  else begin
+    output_char t.out 'b';
+    for bit = w.width - 1 downto 0 do
+      output_char t.out (if (v lsr bit) land 1 = 1 then '1' else '0')
+    done;
+    Printf.fprintf t.out " %s\n" w.code
+  end
+
+let sample t =
+  Printf.fprintf t.out "#%d\n" (Circuit.cycle t.circuit);
+  List.iter
+    (fun w ->
+      let v = Circuit.value t.circuit w.signal in
+      if t.first_sample || v <> w.last then begin
+        emit t w v;
+        w.last <- v
+      end)
+    t.watched;
+  t.first_sample <- false
+
+let close t =
+  Printf.fprintf t.out "#%d\n" (Circuit.cycle t.circuit + 1);
+  flush t.out
+
+let trace_run ~path ?prefix circuit ~cycles ~step =
+  let out = open_out path in
+  let t = create ~out ?prefix circuit in
+  (try
+     sample t;
+     for _ = 1 to cycles do
+       step ();
+       sample t
+     done;
+     close t
+   with e ->
+     close_out out;
+     raise e);
+  close_out out

@@ -1,0 +1,27 @@
+(** Value-change-dump (IEEE 1364 VCD) tracing for {!Circuit}
+    simulations — open the result in GTKWave next to a campaign log to
+    see exactly how an injected fault walks through the netlist.
+
+    Usage: create a tracer over an elaborated circuit (optionally
+    restricted to a hierarchy prefix), then call {!sample} once per
+    settled cycle and {!close} at the end. *)
+
+type t
+
+val create :
+  out:out_channel -> ?prefix:string -> ?timescale:string -> Circuit.t -> t
+(** [create ~out circuit] writes the VCD header for every signal whose
+    hierarchical name starts with [prefix] (default: all).
+    [timescale] defaults to ["1ns"]. *)
+
+val sample : t -> unit
+(** Record the current settled values at the circuit's current cycle
+    (only changed signals are emitted, per the format). *)
+
+val close : t -> unit
+(** Flush the final timestamp.  The channel is not closed. *)
+
+val trace_run :
+  path:string -> ?prefix:string -> Circuit.t -> cycles:int -> step:(unit -> unit) -> unit
+(** Convenience: open [path], sample, call [step] (one full clock+settle),
+    repeat [cycles] times, close. *)

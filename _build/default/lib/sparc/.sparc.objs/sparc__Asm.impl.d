@@ -1,0 +1,1 @@
+lib/sparc/asm.ml: Array Bitops Encode Hashtbl Isa Layout List Memory Printf

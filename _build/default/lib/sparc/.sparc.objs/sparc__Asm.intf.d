@@ -1,0 +1,1 @@
+lib/sparc/asm.mli: Isa Memory

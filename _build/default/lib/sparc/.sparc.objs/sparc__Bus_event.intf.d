@@ -1,0 +1,1 @@
+lib/sparc/bus_event.mli: Format

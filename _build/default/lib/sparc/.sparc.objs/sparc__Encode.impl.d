@@ -1,0 +1,1 @@
+lib/sparc/encode.ml: Bitops Isa

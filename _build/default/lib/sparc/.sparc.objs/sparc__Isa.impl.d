@@ -1,0 +1,1 @@
+lib/sparc/isa.ml: Array Format Hashtbl List Printf

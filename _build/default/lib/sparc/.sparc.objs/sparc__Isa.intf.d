@@ -1,0 +1,1 @@
+lib/sparc/isa.mli: Format

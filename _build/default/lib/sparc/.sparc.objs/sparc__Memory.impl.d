@@ -1,0 +1,1 @@
+lib/sparc/memory.ml: Array Hashtbl

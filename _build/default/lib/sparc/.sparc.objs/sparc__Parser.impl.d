@@ -1,0 +1,1 @@
+lib/sparc/parser.ml: Asm Buffer Char Isa List Printf String

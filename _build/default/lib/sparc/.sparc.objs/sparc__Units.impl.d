@@ -1,0 +1,1 @@
+lib/sparc/units.ml: Format Isa List

@@ -1,0 +1,1 @@
+lib/sparc/units.mli: Format Isa

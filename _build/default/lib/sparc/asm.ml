@@ -1,0 +1,150 @@
+type program = {
+  name : string;
+  text_base : int;
+  code : int array;
+  instrs : Isa.instr array;
+  data : (int * int array) list;
+  entry : int;
+  symbols : (string * int) list;
+}
+
+(* Each slot is exactly one machine instruction; pseudo-instructions
+   push a fixed count of slots so addresses are known immediately. *)
+type slot =
+  | Ready of Isa.instr
+  | Branch_fix of Isa.opcode * string
+  | Call_fix of string
+  | Hi22_fix of string * Isa.reg
+  | Lo10_fix of string * Isa.reg
+
+type t = {
+  name : string;
+  text_base : int;
+  data_base : int;
+  mutable slots : slot list;  (* reversed *)
+  mutable text_len : int;     (* in instructions *)
+  mutable data_words : int list;  (* reversed *)
+  mutable data_len : int;     (* in words *)
+  labels : (string, int) Hashtbl.t;  (* absolute addresses *)
+}
+
+exception Unknown_label of string
+exception Duplicate_label of string
+
+let create ?(name = "prog") ?(text_base = Layout.text_base) ?(data_base = Layout.data_base)
+    () =
+  { name; text_base; data_base; slots = []; text_len = 0; data_words = []; data_len = 0;
+    labels = Hashtbl.create 64 }
+
+let define_label b lbl addr =
+  if Hashtbl.mem b.labels lbl then raise (Duplicate_label lbl);
+  Hashtbl.add b.labels lbl addr
+
+let here b = b.text_base + (4 * b.text_len)
+
+let label b lbl = define_label b lbl (here b)
+
+let push b slot =
+  b.slots <- slot :: b.slots;
+  b.text_len <- b.text_len + 1
+
+let emit b i = push b (Ready i)
+
+let op3 b op rs1 op2 rd =
+  assert (not (Isa.is_mem op || Isa.is_branch op || op = Isa.Sethi || op = Isa.Call));
+  emit b (Isa.Alu { op; rs1; op2; rd })
+
+let ld b op rs1 op2 rd =
+  assert (Isa.is_load op);
+  emit b (Isa.Mem { op; rs1; op2; rd })
+
+let st b op src rs1 op2 =
+  assert (Isa.is_store op);
+  emit b (Isa.Mem { op; rs1; op2; rd = src })
+
+let sethi b imm22 rd = emit b (Isa.Sethi_i { imm22; rd })
+
+let nop b = emit b Isa.nop
+
+let mov b op2 rd = op3 b Isa.Or Isa.g0 op2 rd
+
+let cmp b rs1 op2 = op3 b Isa.Subcc rs1 op2 Isa.g0
+
+let branch b op lbl =
+  assert (Isa.is_branch op);
+  push b (Branch_fix (op, lbl))
+
+let call b lbl = push b (Call_fix lbl)
+
+let ret b = emit b (Isa.Alu { op = Isa.Jmpl; rs1 = Isa.o7; op2 = Imm 4; rd = Isa.g0 })
+
+let set32 b value rd =
+  let value = Bitops.of_int value in
+  sethi b (value lsr 10) rd;
+  op3 b Isa.Or rd (Imm (value land 0x3FF)) rd
+
+let load_label b lbl rd =
+  push b (Hi22_fix (lbl, rd));
+  push b (Lo10_fix (lbl, rd))
+
+let prologue b =
+  set32 b Layout.stack_top Isa.sp;
+  (* %g7 holds the exit-port address for the whole run (halt convention). *)
+  set32 b Layout.exit_addr Isa.g7
+
+let halt b code_reg = st b Isa.St code_reg Isa.g7 (Imm 0)
+
+let data_here b = b.data_base + (4 * b.data_len)
+
+let data_label b lbl = define_label b lbl (data_here b)
+
+let word b v =
+  b.data_words <- Bitops.of_int v :: b.data_words;
+  b.data_len <- b.data_len + 1
+
+let words b vs = Array.iter (word b) vs
+
+let space_words b n =
+  for _ = 1 to n do
+    word b 0
+  done
+
+let lookup b lbl =
+  match Hashtbl.find_opt b.labels lbl with
+  | Some a -> a
+  | None -> raise (Unknown_label lbl)
+
+let resolve b index slot =
+  let pc = b.text_base + (4 * index) in
+  match slot with
+  | Ready i -> i
+  | Branch_fix (op, lbl) ->
+      let disp22 = (lookup b lbl - pc) asr 2 in
+      Isa.Branch_i { op; disp22 }
+  | Call_fix lbl ->
+      let disp30 = (lookup b lbl - pc) asr 2 in
+      Isa.Call_i { disp30 }
+  | Hi22_fix (lbl, rd) -> Isa.Sethi_i { imm22 = lookup b lbl lsr 10; rd }
+  | Lo10_fix (lbl, rd) ->
+      Isa.Alu { op = Isa.Or; rs1 = rd; op2 = Imm (lookup b lbl land 0x3FF); rd }
+
+let assemble b =
+  let slots = Array.of_list (List.rev b.slots) in
+  let instrs = Array.mapi (resolve b) slots in
+  let code = Array.map Encode.encode instrs in
+  let data_words = Array.of_list (List.rev b.data_words) in
+  let data = if Array.length data_words = 0 then [] else [ (b.data_base, data_words) ] in
+  let symbols = Hashtbl.fold (fun k v acc -> (k, v) :: acc) b.labels [] in
+  { name = b.name; text_base = b.text_base; code; instrs; data; entry = b.text_base;
+    symbols = List.sort compare symbols }
+
+let load (prog : program) mem =
+  Memory.blit_words mem prog.text_base prog.code;
+  List.iter (fun (base, ws) -> Memory.blit_words mem base ws) prog.data
+
+let disassemble (prog : program) =
+  Array.to_list
+    (Array.mapi
+       (fun i instr ->
+         Printf.sprintf "%08x: %s" (prog.text_base + (4 * i)) (Isa.instr_to_string instr))
+       prog.instrs)

@@ -1,0 +1,102 @@
+(** Two-pass assembler with a small embedded DSL.
+
+    Workloads are written against this module: emit instructions and
+    pseudo-instructions into a builder, place labelled data words, then
+    {!assemble} into a relocated {!program} that both simulation
+    engines load.  All pseudo-instructions expand to a fixed number of
+    machine instructions so label addresses are known in one sizing
+    pass. *)
+
+type program = {
+  name : string;
+  text_base : int;
+  code : int array;  (** encoded instruction words, in address order *)
+  instrs : Isa.instr array;  (** the same instructions, decoded *)
+  data : (int * int array) list;  (** data segments: base address, words *)
+  entry : int;
+  symbols : (string * int) list;  (** label -> absolute address *)
+}
+
+type t
+(** Builder state. *)
+
+exception Unknown_label of string
+exception Duplicate_label of string
+
+val create : ?name:string -> ?text_base:int -> ?data_base:int -> unit -> t
+
+val label : t -> string -> unit
+(** Define a code label at the current text position. *)
+
+val emit : t -> Isa.instr -> unit
+
+(** {2 Instruction helpers} *)
+
+val op3 : t -> Isa.opcode -> Isa.reg -> Isa.operand -> Isa.reg -> unit
+(** [op3 b op rs1 op2 rd] emits an ALU-format instruction. *)
+
+val ld : t -> Isa.opcode -> Isa.reg -> Isa.operand -> Isa.reg -> unit
+(** [ld b op base off rd] emits a load ([op] must be a load opcode). *)
+
+val st : t -> Isa.opcode -> Isa.reg -> Isa.reg -> Isa.operand -> unit
+(** [st b op src base off] emits a store ([op] must be a store opcode). *)
+
+val sethi : t -> int -> Isa.reg -> unit
+val nop : t -> unit
+
+val mov : t -> Isa.operand -> Isa.reg -> unit
+(** [or %g0, op2, rd]. *)
+
+val cmp : t -> Isa.reg -> Isa.operand -> unit
+(** [subcc rs1, op2, %g0]. *)
+
+val branch : t -> Isa.opcode -> string -> unit
+(** Symbolic branch to a code label. *)
+
+val call : t -> string -> unit
+(** Symbolic call; return address (address of the call) goes to %o7. *)
+
+val ret : t -> unit
+(** [jmpl %o7 + 4, %g0] — return past the call (no delay slots). *)
+
+val set32 : t -> int -> Isa.reg -> unit
+(** Load an arbitrary 32-bit constant: expands to [sethi] + [or]
+    (always two instructions). *)
+
+val load_label : t -> string -> Isa.reg -> unit
+(** Load the absolute address of a (code or data) label: [sethi %hi]
+    + [or %lo], always two instructions. *)
+
+val prologue : t -> unit
+(** Standard entry: set %sp to the stack top and %g7 to the exit port
+    address (three instructions: set32 + mov). *)
+
+val halt : t -> Isa.reg -> unit
+(** Store the given register to the exit port (requires {!prologue}'s
+    %g7 convention). *)
+
+(** {2 Data section} *)
+
+val data_label : t -> string -> unit
+(** Define a data label at the current data position. *)
+
+val word : t -> int -> unit
+val words : t -> int array -> unit
+val space_words : t -> int -> unit
+(** Reserve zero-initialised words. *)
+
+(** {2 Assembly} *)
+
+val here : t -> int
+(** Current text address (for manual displacement checks in tests). *)
+
+val assemble : t -> program
+(** Resolve labels and encode.  Raises {!Unknown_label} on undefined
+    references and {!Duplicate_label} at definition time. *)
+
+val load : program -> Memory.t -> unit
+(** Write code and data segments into a memory image. *)
+
+val disassemble : program -> string list
+(** One line per instruction, ["<addr>: <mnemonic ...>"] — useful in
+    error messages and example output. *)

@@ -1,0 +1,201 @@
+type reg = int
+
+type operand = Reg of reg | Imm of int
+
+type opcode =
+  | Add | Addcc | Addx | Addxcc
+  | Sub | Subcc | Subx | Subxcc
+  | And | Andcc | Andn | Andncc
+  | Or | Orcc | Orn | Orncc
+  | Xor | Xorcc | Xnor | Xnorcc
+  | Sll | Srl | Sra
+  | Umul | Umulcc | Smul | Smulcc
+  | Udiv | Sdiv
+  | Save | Restore | Jmpl
+  | Ld | Ldub | Ldsb | Lduh | Ldsh
+  | St | Stb | Sth
+  | Sethi
+  | Ba | Bn | Bne | Be | Bg | Ble | Bge | Bl
+  | Bgu | Bleu | Bcc | Bcs | Bpos | Bneg | Bvc | Bvs
+  | Call
+
+type instr =
+  | Alu of { op : opcode; rs1 : reg; op2 : operand; rd : reg }
+  | Mem of { op : opcode; rs1 : reg; op2 : operand; rd : reg }
+  | Sethi_i of { imm22 : int; rd : reg }
+  | Branch_i of { op : opcode; disp22 : int }
+  | Call_i of { disp30 : int }
+
+type icc = { n : bool; z : bool; v : bool; c : bool }
+
+let icc_zero = { n = false; z = false; v = false; c = false }
+
+let icc_of_word w =
+  { n = w land 8 <> 0; z = w land 4 <> 0; v = w land 2 <> 0; c = w land 1 <> 0 }
+
+let icc_to_word { n; z; v; c } =
+  (if n then 8 else 0) lor (if z then 4 else 0) lor (if v then 2 else 0)
+  lor if c then 1 else 0
+
+let opcode_of_instr = function
+  | Alu { op; _ } | Mem { op; _ } | Branch_i { op; _ } -> op
+  | Sethi_i _ -> Sethi
+  | Call_i _ -> Call
+
+let all_opcodes =
+  [ Add; Addcc; Addx; Addxcc; Sub; Subcc; Subx; Subxcc;
+    And; Andcc; Andn; Andncc; Or; Orcc; Orn; Orncc;
+    Xor; Xorcc; Xnor; Xnorcc;
+    Sll; Srl; Sra;
+    Umul; Umulcc; Smul; Smulcc; Udiv; Sdiv;
+    Save; Restore; Jmpl;
+    Ld; Ldub; Ldsb; Lduh; Ldsh; St; Stb; Sth;
+    Sethi;
+    Ba; Bn; Bne; Be; Bg; Ble; Bge; Bl;
+    Bgu; Bleu; Bcc; Bcs; Bpos; Bneg; Bvc; Bvs;
+    Call ]
+
+let num_opcodes = List.length all_opcodes
+
+let opcode_table = Array.of_list all_opcodes
+
+let index_table =
+  let h = Hashtbl.create 64 in
+  List.iteri (fun i op -> Hashtbl.add h op i) all_opcodes;
+  h
+
+let opcode_index op = Hashtbl.find index_table op
+
+let opcode_of_index i = opcode_table.(i)
+
+let mnemonic = function
+  | Add -> "add" | Addcc -> "addcc" | Addx -> "addx" | Addxcc -> "addxcc"
+  | Sub -> "sub" | Subcc -> "subcc" | Subx -> "subx" | Subxcc -> "subxcc"
+  | And -> "and" | Andcc -> "andcc" | Andn -> "andn" | Andncc -> "andncc"
+  | Or -> "or" | Orcc -> "orcc" | Orn -> "orn" | Orncc -> "orncc"
+  | Xor -> "xor" | Xorcc -> "xorcc" | Xnor -> "xnor" | Xnorcc -> "xnorcc"
+  | Sll -> "sll" | Srl -> "srl" | Sra -> "sra"
+  | Umul -> "umul" | Umulcc -> "umulcc" | Smul -> "smul" | Smulcc -> "smulcc"
+  | Udiv -> "udiv" | Sdiv -> "sdiv"
+  | Save -> "save" | Restore -> "restore" | Jmpl -> "jmpl"
+  | Ld -> "ld" | Ldub -> "ldub" | Ldsb -> "ldsb" | Lduh -> "lduh" | Ldsh -> "ldsh"
+  | St -> "st" | Stb -> "stb" | Sth -> "sth"
+  | Sethi -> "sethi"
+  | Ba -> "ba" | Bn -> "bn" | Bne -> "bne" | Be -> "be"
+  | Bg -> "bg" | Ble -> "ble" | Bge -> "bge" | Bl -> "bl"
+  | Bgu -> "bgu" | Bleu -> "bleu" | Bcc -> "bcc" | Bcs -> "bcs"
+  | Bpos -> "bpos" | Bneg -> "bneg" | Bvc -> "bvc" | Bvs -> "bvs"
+  | Call -> "call"
+
+let opcode_of_mnemonic s =
+  List.find_opt (fun op -> mnemonic op = s) all_opcodes
+
+let is_branch = function
+  | Ba | Bn | Bne | Be | Bg | Ble | Bge | Bl
+  | Bgu | Bleu | Bcc | Bcs | Bpos | Bneg | Bvc | Bvs -> true
+  | Add | Addcc | Addx | Addxcc | Sub | Subcc | Subx | Subxcc
+  | And | Andcc | Andn | Andncc | Or | Orcc | Orn | Orncc
+  | Xor | Xorcc | Xnor | Xnorcc | Sll | Srl | Sra
+  | Umul | Umulcc | Smul | Smulcc | Udiv | Sdiv
+  | Save | Restore | Jmpl
+  | Ld | Ldub | Ldsb | Lduh | Ldsh | St | Stb | Sth
+  | Sethi | Call -> false
+
+let is_load = function
+  | Ld | Ldub | Ldsb | Lduh | Ldsh -> true
+  | Add | Addcc | Addx | Addxcc | Sub | Subcc | Subx | Subxcc
+  | And | Andcc | Andn | Andncc | Or | Orcc | Orn | Orncc
+  | Xor | Xorcc | Xnor | Xnorcc | Sll | Srl | Sra
+  | Umul | Umulcc | Smul | Smulcc | Udiv | Sdiv
+  | Save | Restore | Jmpl | St | Stb | Sth | Sethi
+  | Ba | Bn | Bne | Be | Bg | Ble | Bge | Bl
+  | Bgu | Bleu | Bcc | Bcs | Bpos | Bneg | Bvc | Bvs | Call -> false
+
+let is_store = function
+  | St | Stb | Sth -> true
+  | Ld | Ldub | Ldsb | Lduh | Ldsh
+  | Add | Addcc | Addx | Addxcc | Sub | Subcc | Subx | Subxcc
+  | And | Andcc | Andn | Andncc | Or | Orcc | Orn | Orncc
+  | Xor | Xorcc | Xnor | Xnorcc | Sll | Srl | Sra
+  | Umul | Umulcc | Smul | Smulcc | Udiv | Sdiv
+  | Save | Restore | Jmpl | Sethi
+  | Ba | Bn | Bne | Be | Bg | Ble | Bge | Bl
+  | Bgu | Bleu | Bcc | Bcs | Bpos | Bneg | Bvc | Bvs | Call -> false
+
+let is_mem op = is_load op || is_store op
+
+let writes_icc = function
+  | Addcc | Addxcc | Subcc | Subxcc | Andcc | Andncc | Orcc | Orncc
+  | Xorcc | Xnorcc | Umulcc | Smulcc -> true
+  | Add | Addx | Sub | Subx | And | Andn | Or | Orn | Xor | Xnor
+  | Sll | Srl | Sra | Umul | Smul | Udiv | Sdiv
+  | Save | Restore | Jmpl
+  | Ld | Ldub | Ldsb | Lduh | Ldsh | St | Stb | Sth | Sethi
+  | Ba | Bn | Bne | Be | Bg | Ble | Bge | Bl
+  | Bgu | Bleu | Bcc | Bcs | Bpos | Bneg | Bvc | Bvs | Call -> false
+
+let cond_holds op { n; z; v; c } =
+  match op with
+  | Ba -> true
+  | Bn -> false
+  | Bne -> not z
+  | Be -> z
+  | Bg -> not (z || n <> v)
+  | Ble -> z || n <> v
+  | Bge -> not (n <> v)
+  | Bl -> n <> v
+  | Bgu -> not (c || z)
+  | Bleu -> c || z
+  | Bcc -> not c
+  | Bcs -> c
+  | Bpos -> not n
+  | Bneg -> n
+  | Bvc -> not v
+  | Bvs -> v
+  | Add | Addcc | Addx | Addxcc | Sub | Subcc | Subx | Subxcc
+  | And | Andcc | Andn | Andncc | Or | Orcc | Orn | Orncc
+  | Xor | Xorcc | Xnor | Xnorcc | Sll | Srl | Sra
+  | Umul | Umulcc | Smul | Smulcc | Udiv | Sdiv
+  | Save | Restore | Jmpl
+  | Ld | Ldub | Ldsb | Lduh | Ldsh | St | Stb | Sth
+  | Sethi | Call ->
+      invalid_arg "Isa.cond_holds: not a branch opcode"
+
+let nop = Sethi_i { imm22 = 0; rd = 0 }
+
+let g0 = 0 and g1 = 1 and g2 = 2 and g3 = 3
+and g4 = 4 and g5 = 5 and g6 = 6 and g7 = 7
+let o0 = 8 and o1 = 9 and o2 = 10 and o3 = 11
+and o4 = 12 and o5 = 13 and sp = 14 and o7 = 15
+let l0 = 16 and l1 = 17 and l2 = 18 and l3 = 19
+and l4 = 20 and l5 = 21 and l6 = 22 and l7 = 23
+let i0 = 24 and i1 = 25 and i2 = 26 and i3 = 27
+and i4 = 28 and i5 = 29 and fp = 30 and i7 = 31
+
+let reg_name r =
+  assert (r >= 0 && r < 32);
+  if r = 14 then "%sp"
+  else if r = 30 then "%fp"
+  else
+    let group = [| 'g'; 'o'; 'l'; 'i' |].(r / 8) in
+    Printf.sprintf "%%%c%d" group (r mod 8)
+
+let pp_operand fmt = function
+  | Reg r -> Format.pp_print_string fmt (reg_name r)
+  | Imm i -> Format.pp_print_int fmt i
+
+let pp_instr fmt = function
+  | Alu { op; rs1; op2; rd } ->
+      Format.fprintf fmt "%s %s, %a, %s" (mnemonic op) (reg_name rs1) pp_operand op2
+        (reg_name rd)
+  | Mem { op; rs1; op2; rd } when is_store op ->
+      Format.fprintf fmt "%s %s, [%s + %a]" (mnemonic op) (reg_name rd) (reg_name rs1)
+        pp_operand op2
+  | Mem { op; rs1; op2; rd } ->
+      Format.fprintf fmt "%s [%s + %a], %s" (mnemonic op) (reg_name rs1) pp_operand op2
+        (reg_name rd)
+  | Sethi_i { imm22; rd } -> Format.fprintf fmt "sethi 0x%x, %s" imm22 (reg_name rd)
+  | Branch_i { op; disp22 } -> Format.fprintf fmt "%s .%+d" (mnemonic op) disp22
+  | Call_i { disp30 } -> Format.fprintf fmt "call .%+d" disp30
+
+let instr_to_string i = Format.asprintf "%a" pp_instr i

@@ -1,0 +1,137 @@
+(** SPARC v8 integer instruction set (subset used by this study).
+
+    The subset covers the whole integer pipeline of a Leon3-class
+    microcontroller: arithmetic and logic with and without condition-code
+    update, tagged add/sub with carry, shifts, multiply/divide, the full
+    [Bicc] branch family (one instruction type per condition, as the
+    paper's diversity metric counts mnemonics), byte/half/word loads and
+    stores, [SETHI], [CALL]/[JMPL] and register-window [SAVE]/[RESTORE].
+
+    Deviations from full SPARC v8, shared by the ISS and the RTL model and
+    recorded in DESIGN.md: no branch delay slots, no annul bit, no traps
+    other than alignment/zero-divide run termination, no FPU/ASR/ASI. *)
+
+type reg = int
+(** Architectural register index 0..31 within the current window:
+    0-7 = %g, 8-15 = %o, 16-23 = %l, 24-31 = %i. *)
+
+type operand =
+  | Reg of reg
+  | Imm of int  (** signed 13-bit immediate, -4096..4095 *)
+
+type opcode =
+  (* Format 3 op=10: arithmetic and logic *)
+  | Add | Addcc | Addx | Addxcc
+  | Sub | Subcc | Subx | Subxcc
+  | And | Andcc | Andn | Andncc
+  | Or | Orcc | Orn | Orncc
+  | Xor | Xorcc | Xnor | Xnorcc
+  | Sll | Srl | Sra
+  | Umul | Umulcc | Smul | Smulcc
+  | Udiv | Sdiv
+  | Save | Restore | Jmpl
+  (* Format 3 op=11: memory *)
+  | Ld | Ldub | Ldsb | Lduh | Ldsh
+  | St | Stb | Sth
+  (* Format 2 *)
+  | Sethi
+  | Ba | Bn | Bne | Be | Bg | Ble | Bge | Bl
+  | Bgu | Bleu | Bcc | Bcs | Bpos | Bneg | Bvc | Bvs
+  (* Format 1 *)
+  | Call
+
+type instr =
+  | Alu of { op : opcode; rs1 : reg; op2 : operand; rd : reg }
+      (** arithmetic, logic, shift, mul/div, SAVE, RESTORE, JMPL *)
+  | Mem of { op : opcode; rs1 : reg; op2 : operand; rd : reg }
+      (** loads and stores; effective address is [rs1 + op2] *)
+  | Sethi_i of { imm22 : int; rd : reg }
+  | Branch_i of { op : opcode; disp22 : int }
+      (** [disp22] is a signed word displacement relative to the branch *)
+  | Call_i of { disp30 : int }
+      (** signed word displacement relative to the call *)
+
+type icc = { n : bool; z : bool; v : bool; c : bool }
+(** Integer condition codes. *)
+
+val icc_zero : icc
+val icc_of_word : int -> icc
+val icc_to_word : icc -> int
+(** 4-bit packing, [n:3 z:2 v:1 c:0], as in the PSR icc field. *)
+
+val opcode_of_instr : instr -> opcode
+
+val all_opcodes : opcode list
+(** Every opcode of the subset, in a fixed order (58 entries). *)
+
+val num_opcodes : int
+(** [List.length all_opcodes]. *)
+
+val opcode_index : opcode -> int
+(** Position of the opcode in {!all_opcodes}; a stable dense index for
+    histogram arrays. *)
+
+val opcode_of_index : int -> opcode
+
+val mnemonic : opcode -> string
+
+val opcode_of_mnemonic : string -> opcode option
+
+val is_branch : opcode -> bool
+val is_load : opcode -> bool
+val is_store : opcode -> bool
+val is_mem : opcode -> bool
+(** [is_mem op] holds for loads and stores. *)
+
+val writes_icc : opcode -> bool
+(** Does the opcode update the integer condition codes? *)
+
+val cond_holds : opcode -> icc -> bool
+(** [cond_holds b icc] evaluates branch opcode [b]'s condition.
+    Raises [Invalid_argument] if [b] is not a branch. *)
+
+val nop : instr
+(** [SETHI 0, %g0]. *)
+
+val pp_instr : Format.formatter -> instr -> unit
+(** Disassembly-style rendering, e.g. ["add %o0, 4, %o1"]. *)
+
+val instr_to_string : instr -> string
+
+(** Register aliases. *)
+
+val g0 : reg
+val g1 : reg
+val g2 : reg
+val g3 : reg
+val g4 : reg
+val g5 : reg
+val g6 : reg
+val g7 : reg
+val o0 : reg
+val o1 : reg
+val o2 : reg
+val o3 : reg
+val o4 : reg
+val o5 : reg
+val sp : reg (* %o6 *)
+val o7 : reg
+val l0 : reg
+val l1 : reg
+val l2 : reg
+val l3 : reg
+val l4 : reg
+val l5 : reg
+val l6 : reg
+val l7 : reg
+val i0 : reg
+val i1 : reg
+val i2 : reg
+val i3 : reg
+val i4 : reg
+val i5 : reg
+val fp : reg (* %i6 *)
+val i7 : reg
+
+val reg_name : reg -> string
+(** ["%g0"] .. ["%i7"], with %o6/%i6 rendered as %sp/%fp. *)

@@ -1,0 +1,6 @@
+let text_base = 0x0000_1000
+let data_base = 0x0001_0000
+let stack_top = 0x0003_FF00
+let exit_addr = 0xFFFF_0000
+let result_base = 0x0002_0000
+let is_exit_store addr = addr = exit_addr

@@ -1,0 +1,25 @@
+(** Memory map shared by the assembler, the ISS and the RTL system.
+
+    The map mimics a small microcontroller: code and data in on-chip
+    RAM, an "exit port" in I/O space whose write terminates the run
+    (the store is still off-core observable, like any other store). *)
+
+val text_base : int
+(** Default base address of the code section. *)
+
+val data_base : int
+(** Default base address of the data section. *)
+
+val stack_top : int
+(** Initial %sp value (grows down). *)
+
+val exit_addr : int
+(** A word store to this address terminates the program; the stored
+    value is the exit code. *)
+
+val result_base : int
+(** Conventional base address where benchmarks store their published
+    results (a plain RAM region; listed here for readability only). *)
+
+val is_exit_store : int -> bool
+(** [is_exit_store addr] recognises the exit port. *)

@@ -1,0 +1,257 @@
+exception Parse_error of { line : int; message : string }
+
+let fail line fmt = Printf.ksprintf (fun message -> raise (Parse_error { line; message })) fmt
+
+let register_of_string s =
+  let named =
+    [ ("%sp", Isa.sp); ("%fp", Isa.fp) ]
+  in
+  match List.assoc_opt (String.lowercase_ascii s) named with
+  | Some r -> Some r
+  | None ->
+      if String.length s < 3 || s.[0] <> '%' then None
+      else
+        let group = Char.lowercase_ascii s.[1] in
+        let num = String.sub s 2 (String.length s - 2) in
+        match (group, int_of_string_opt num) with
+        | _, None -> None
+        | 'g', Some n when n < 8 -> Some n
+        | 'o', Some n when n < 8 -> Some (8 + n)
+        | 'l', Some n when n < 8 -> Some (16 + n)
+        | 'i', Some n when n < 8 -> Some (24 + n)
+        | 'r', Some n when n < 32 -> Some n
+        | _, Some _ -> None
+
+(* ---- lexing: split a statement into label / mnemonic / operand text ---- *)
+
+let strip_comment line =
+  let cut ch s = match String.index_opt s ch with Some i -> String.sub s 0 i | None -> s in
+  cut '!' (cut '#' line)
+
+let split_label stmt =
+  match String.index_opt stmt ':' with
+  | Some i
+    when String.for_all
+           (fun c -> c = '_' || c = '.' || Char.lowercase_ascii c <> Char.uppercase_ascii c
+                     || (c >= '0' && c <= '9'))
+           (String.trim (String.sub stmt 0 i)) ->
+      ( Some (String.trim (String.sub stmt 0 i)),
+        String.sub stmt (i + 1) (String.length stmt - i - 1) )
+  | Some _ | None -> (None, stmt)
+
+let split_operands text =
+  (* commas separate operands; brackets group an address expression *)
+  let ops = ref [] in
+  let buf = Buffer.create 16 in
+  let depth = ref 0 in
+  String.iter
+    (fun c ->
+      match c with
+      | '[' ->
+          incr depth;
+          Buffer.add_char buf c
+      | ']' ->
+          decr depth;
+          Buffer.add_char buf c
+      | ',' when !depth = 0 ->
+          ops := Buffer.contents buf :: !ops;
+          Buffer.clear buf
+      | _ -> Buffer.add_char buf c)
+    text;
+  if Buffer.length buf > 0 || !ops <> [] then ops := Buffer.contents buf :: !ops;
+  List.rev_map String.trim !ops
+
+let parse_int ~line s =
+  let s = String.trim s in
+  match int_of_string_opt s with
+  | Some v -> v
+  | None -> fail line "expected an integer, got %S" s
+
+let parse_operand2 ~line s : Isa.operand =
+  match register_of_string (String.trim s) with
+  | Some r -> Reg r
+  | None -> Imm (parse_int ~line s)
+
+let parse_reg ~line s =
+  match register_of_string (String.trim s) with
+  | Some r -> r
+  | None -> fail line "expected a register, got %S" s
+
+(* "[%rs1]", "[%rs1 + 4]", "[%rs1 - 4]", "[%rs1 + %rs2]" *)
+let parse_address ~line s =
+  let s = String.trim s in
+  let n = String.length s in
+  if n < 2 || s.[0] <> '[' || s.[n - 1] <> ']' then
+    fail line "expected an address like [%%reg + off], got %S" s
+  else begin
+    let inner = String.trim (String.sub s 1 (n - 2)) in
+    let split_at op =
+      (* find the operator outside the leading register *)
+      match String.index_opt inner op with
+      | Some i when i > 0 ->
+          Some
+            ( String.trim (String.sub inner 0 i),
+              String.trim (String.sub inner (i + 1) (String.length inner - i - 1)) )
+      | Some _ | None -> None
+    in
+    match split_at '+' with
+    | Some (base, off) -> (parse_reg ~line base, parse_operand2 ~line off)
+    | None -> (
+        match split_at '-' with
+        | Some (base, off) -> (parse_reg ~line base, Isa.Imm (-parse_int ~line off))
+        | None -> (parse_reg ~line inner, Isa.Imm 0))
+  end
+
+(* ---- statement dispatch ---- *)
+
+type section = Text | Data
+
+let branch_target b ~line s =
+  let s = String.trim s in
+  if String.length s >= 2 && s.[0] = '.' && (s.[1] = '+' || s.[1] = '-') then
+    `Disp (parse_int ~line (String.sub s 1 (String.length s - 1)))
+  else begin
+    ignore b;
+    `Label s
+  end
+
+let emit_statement b ~line ~section mnemonic operands =
+  let module A = Asm in
+  let op2 () =
+    match operands with
+    | [ a; bb; c ] -> (parse_reg ~line a, parse_operand2 ~line bb, parse_reg ~line c)
+    | _ -> fail line "%s expects 3 operands" mnemonic
+  in
+  match (section, mnemonic) with
+  | Data, _ -> fail line "instruction %S in .data section" mnemonic
+  | Text, "nop" -> A.nop b
+  | Text, "ret" -> A.ret b
+  | Text, "prologue" -> A.prologue b
+  | Text, "halt" -> (
+      match operands with
+      | [ r ] -> A.halt b (parse_reg ~line r)
+      | _ -> fail line "halt expects 1 register")
+  | Text, "set" -> (
+      match operands with
+      | [ v; rd ] -> (
+          let rd = parse_reg ~line rd in
+          match int_of_string_opt (String.trim v) with
+          | Some value -> A.set32 b value rd
+          | None -> A.load_label b (String.trim v) rd)
+      | _ -> fail line "set expects 2 operands")
+  | Text, "mov" -> (
+      match operands with
+      | [ src; rd ] -> A.mov b (parse_operand2 ~line src) (parse_reg ~line rd)
+      | _ -> fail line "mov expects 2 operands")
+  | Text, "cmp" -> (
+      match operands with
+      | [ rs1; o ] -> A.cmp b (parse_reg ~line rs1) (parse_operand2 ~line o)
+      | _ -> fail line "cmp expects 2 operands")
+  | Text, "sethi" -> (
+      match operands with
+      | [ v; rd ] -> A.sethi b (parse_int ~line v) (parse_reg ~line rd)
+      | _ -> fail line "sethi expects 2 operands")
+  | Text, "call" -> (
+      match operands with
+      | [ target ] -> (
+          match branch_target b ~line target with
+          | `Label l -> A.call b l
+          | `Disp d -> A.emit b (Isa.Call_i { disp30 = d }))
+      | _ -> fail line "call expects a target")
+  | Text, "jmpl" -> (
+      match operands with
+      | [ addr; rd ] ->
+          let rs1, off =
+            if String.length (String.trim addr) > 0 && (String.trim addr).[0] = '[' then
+              parse_address ~line addr
+            else
+              match String.index_opt addr '+' with
+              | Some i ->
+                  ( parse_reg ~line (String.sub addr 0 i),
+                    parse_operand2 ~line
+                      (String.sub addr (i + 1) (String.length addr - i - 1)) )
+              | None -> (parse_reg ~line addr, Isa.Imm 0)
+          in
+          A.emit b (Isa.Alu { op = Isa.Jmpl; rs1; op2 = off; rd = parse_reg ~line rd })
+      | _ -> fail line "jmpl expects address, rd")
+  | Text, m -> (
+      match Isa.opcode_of_mnemonic m with
+      | None -> fail line "unknown mnemonic %S" m
+      | Some op when Isa.is_branch op -> (
+          match operands with
+          | [ target ] -> (
+              match branch_target b ~line target with
+              | `Label l -> A.branch b op l
+              | `Disp d -> A.emit b (Isa.Branch_i { op; disp22 = d }))
+          | _ -> fail line "%s expects a target" m)
+      | Some op when Isa.is_load op -> (
+          match operands with
+          | [ addr; rd ] ->
+              let rs1, off = parse_address ~line addr in
+              A.ld b op rs1 off (parse_reg ~line rd)
+          | _ -> fail line "%s expects [address], rd" m)
+      | Some op when Isa.is_store op -> (
+          match operands with
+          | [ src; addr ] ->
+              let rs1, off = parse_address ~line addr in
+              A.st b op (parse_reg ~line src) rs1 off
+          | _ -> fail line "%s expects rd, [address]" m)
+      | Some Isa.Sethi | Some Isa.Call -> fail line "%s handled above" m
+      | Some op -> (
+          match op2 () with rs1, o, rd -> A.op3 b op rs1 o rd))
+
+let parse_lines ?(name = "asm") lines =
+  let b = Asm.create ~name () in
+  let section = ref Text in
+  List.iteri
+    (fun idx raw ->
+      let line = idx + 1 in
+      let stmt = String.trim (strip_comment raw) in
+      if stmt <> "" then begin
+        let label, rest = split_label stmt in
+        (match label with
+        | Some l -> (
+            match !section with
+            | Text -> Asm.label b l
+            | Data -> Asm.data_label b l)
+        | None -> ());
+        let rest = String.trim rest in
+        if rest <> "" then begin
+          if rest.[0] = '.' then begin
+            (* directive *)
+            let directive, args =
+              match String.index_opt rest ' ' with
+              | Some i ->
+                  ( String.sub rest 0 i,
+                    String.trim (String.sub rest (i + 1) (String.length rest - i - 1)) )
+              | None -> (rest, "")
+            in
+            match directive with
+            | ".text" -> section := Text
+            | ".data" -> section := Data
+            | ".word" ->
+                if !section <> Data then fail line ".word outside .data";
+                List.iter
+                  (fun w -> Asm.word b (parse_int ~line w))
+                  (split_operands args)
+            | ".space" ->
+                if !section <> Data then fail line ".space outside .data";
+                Asm.space_words b (parse_int ~line args)
+            | d -> fail line "unknown directive %S" d
+          end
+          else begin
+            let mnemonic, args =
+              match String.index_opt rest ' ' with
+              | Some i ->
+                  ( String.lowercase_ascii (String.sub rest 0 i),
+                    String.sub rest (i + 1) (String.length rest - i - 1) )
+              | None -> (String.lowercase_ascii rest, "")
+            in
+            emit_statement b ~line ~section:!section mnemonic (split_operands args)
+          end
+        end
+      end)
+    lines;
+  Asm.assemble b
+
+let parse_string ?name source = parse_lines ?name (String.split_on_char '\n' source)

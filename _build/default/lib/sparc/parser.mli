@@ -1,0 +1,37 @@
+(** Text front-end for the assembler: parse SPARC assembly source into
+    an {!Asm.program}.
+
+    Accepted syntax (one statement per line, ['!'] or ['#'] comments):
+
+    {v
+            .text                 ! optional section directives
+    start:  set   0x20000, %o0    ! pseudo: 32-bit constant or label
+            mov   5, %o1
+    loop:   subcc %o1, 1, %o1
+            bne   loop
+            st    %o1, [%o0 + 4]
+            ld    [%o0], %o2
+            call  fn
+            ret
+            nop
+            .data
+    tbl:    .word 1, 2, 0xff      ! data words
+    buf:    .space 4              ! zero words
+    v}
+
+    Mnemonics are those of {!Isa.mnemonic}; [set]/[mov]/[cmp]/[ret]/
+    [nop] pseudo-instructions expand as in the {!Asm} DSL.  Branch
+    targets are labels or ['.'-relative] word displacements ([.+2]),
+    which makes {!Asm.disassemble} output re-parseable. *)
+
+exception Parse_error of { line : int; message : string }
+
+val parse_string : ?name:string -> string -> Asm.program
+(** Parse and assemble a whole source text.  Raises {!Parse_error}
+    with a 1-based line number, or the {!Asm} exceptions for label
+    errors. *)
+
+val parse_lines : ?name:string -> string list -> Asm.program
+
+val register_of_string : string -> Isa.reg option
+(** ["%o3"], ["%sp"], ["%fp"], ["%r17"] forms. *)

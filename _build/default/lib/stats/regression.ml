@@ -1,0 +1,52 @@
+type fit = { slope : float; intercept : float; r_squared : float; n : int }
+
+let sums points =
+  List.fold_left
+    (fun (n, sx, sy, sxx, sxy, syy) (x, y) ->
+      (n + 1, sx +. x, sy +. y, sxx +. (x *. x), sxy +. (x *. y), syy +. (y *. y)))
+    (0, 0., 0., 0., 0., 0.)
+    points
+
+let linear points =
+  let n, sx, sy, sxx, sxy, syy = sums points in
+  if n < 2 then invalid_arg "Regression.linear: need at least two points";
+  let nf = float_of_int n in
+  let denom = (nf *. sxx) -. (sx *. sx) in
+  if abs_float denom < 1e-12 then invalid_arg "Regression.linear: degenerate x values";
+  let slope = ((nf *. sxy) -. (sx *. sy)) /. denom in
+  let intercept = (sy -. (slope *. sx)) /. nf in
+  let ss_tot = syy -. (sy *. sy /. nf) in
+  let ss_res =
+    List.fold_left
+      (fun acc (x, y) ->
+        let e = y -. ((slope *. x) +. intercept) in
+        acc +. (e *. e))
+      0. points
+  in
+  let r_squared = if ss_tot < 1e-12 then 1. else 1. -. (ss_res /. ss_tot) in
+  { slope; intercept; r_squared; n }
+
+let log_fit points =
+  let log_points =
+    List.map
+      (fun (x, y) ->
+        if x <= 0. then invalid_arg "Regression.log_fit: x must be positive";
+        (log x, y))
+      points
+  in
+  linear log_points
+
+let predict fit x = (fit.slope *. x) +. fit.intercept
+
+let predict_log fit x =
+  if x <= 0. then invalid_arg "Regression.predict_log: x must be positive";
+  (fit.slope *. log x) +. fit.intercept
+
+let pearson points =
+  let n, sx, sy, sxx, sxy, syy = sums points in
+  if n < 2 then invalid_arg "Regression.pearson: need at least two points";
+  let nf = float_of_int n in
+  let cov = sxy -. (sx *. sy /. nf) in
+  let vx = sxx -. (sx *. sx /. nf) in
+  let vy = syy -. (sy *. sy /. nf) in
+  if vx < 1e-12 || vy < 1e-12 then 0. else cov /. sqrt (vx *. vy)

@@ -1,0 +1,27 @@
+(** Least-squares fitting used for the diversity/Pf correlation (paper
+    Fig. 7 reports [Pf = 0.0838 ln(x) - 0.0191] with [R² = 0.9246]). *)
+
+type fit = {
+  slope : float;  (** coefficient of the regressor *)
+  intercept : float;
+  r_squared : float;  (** coefficient of determination on the fitted data *)
+  n : int;  (** number of points used *)
+}
+
+val linear : (float * float) list -> fit
+(** [linear points] fits [y = slope * x + intercept] by ordinary least
+    squares.  Raises [Invalid_argument] with fewer than two distinct
+    x-values. *)
+
+val log_fit : (float * float) list -> fit
+(** [log_fit points] fits [y = slope * ln x + intercept]; every [x] must
+    be positive. *)
+
+val predict : fit -> float -> float
+(** [predict fit x] evaluates a {!linear} fit at [x]. *)
+
+val predict_log : fit -> float -> float
+(** [predict_log fit x] evaluates a {!log_fit} at [x > 0]. *)
+
+val pearson : (float * float) list -> float
+(** [pearson points] is the sample correlation coefficient. *)

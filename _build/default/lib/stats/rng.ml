@@ -1,0 +1,59 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed = { state = mix64 (Int64.of_int seed) }
+
+let copy rng = { state = rng.state }
+
+let next64 rng =
+  rng.state <- Int64.add rng.state golden_gamma;
+  mix64 rng.state
+
+let word32 rng = Int64.to_int (Int64.shift_right_logical (next64 rng) 32) land 0xFFFF_FFFF
+
+let float rng =
+  let top53 = Int64.to_int (Int64.shift_right_logical (next64 rng) 11) in
+  Stdlib.float_of_int top53 *. 0x1.0p-53
+
+let int rng n =
+  assert (n > 0);
+  (* Rejection-free modulo is fine here: n is always tiny next to 2^62. *)
+  let raw = Int64.to_int (Int64.shift_right_logical (next64 rng) 2) in
+  raw mod n
+
+let bool rng = Int64.logand (next64 rng) 1L = 1L
+
+let range rng ~lo ~hi =
+  assert (hi >= lo);
+  lo + int rng (hi - lo + 1)
+
+let shuffle rng a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int rng (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let sample_without_replacement rng k a =
+  let n = Array.length a in
+  if k >= n then Array.copy a
+  else begin
+    let pool = Array.copy a in
+    (* Partial Fisher-Yates: settle the first k slots only. *)
+    for i = 0 to k - 1 do
+      let j = range rng ~lo:i ~hi:(n - 1) in
+      let tmp = pool.(i) in
+      pool.(i) <- pool.(j);
+      pool.(j) <- tmp
+    done;
+    Array.sub pool 0 k
+  end
+
+let split rng = { state = mix64 (next64 rng) }

@@ -1,0 +1,33 @@
+type t = { n : int; mean : float; stddev : float; min : float; max : float }
+
+let of_array xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Summary.of_array: empty sample";
+  let sum = Array.fold_left ( +. ) 0. xs in
+  let mean = sum /. float_of_int n in
+  let sq_dev = Array.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.)) 0. xs in
+  let stddev = if n < 2 then 0. else sqrt (sq_dev /. float_of_int (n - 1)) in
+  let min = Array.fold_left Float.min xs.(0) xs in
+  let max = Array.fold_left Float.max xs.(0) xs in
+  { n; mean; stddev; min; max }
+
+let of_list xs = of_array (Array.of_list xs)
+
+let percentile xs p =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Summary.percentile: empty sample";
+  if p < 0. || p > 100. then invalid_arg "Summary.percentile: p out of range";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let rank = p /. 100. *. float_of_int (n - 1) in
+  let lo = int_of_float (floor rank) in
+  let hi = int_of_float (ceil rank) in
+  if lo = hi then sorted.(lo)
+  else
+    let frac = rank -. float_of_int lo in
+    (sorted.(lo) *. (1. -. frac)) +. (sorted.(hi) *. frac)
+
+let ratio ~num ~den = if den = 0 then 0. else float_of_int num /. float_of_int den
+
+let pp fmt t =
+  Format.fprintf fmt "n=%d mean=%.4f sd=%.4f min=%.4f max=%.4f" t.n t.mean t.stddev t.min t.max

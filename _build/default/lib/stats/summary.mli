@@ -1,0 +1,25 @@
+(** Descriptive statistics over float samples. *)
+
+type t = {
+  n : int;
+  mean : float;
+  stddev : float;  (** sample standard deviation (n-1 denominator) *)
+  min : float;
+  max : float;
+}
+
+val of_list : float list -> t
+(** [of_list xs] summarises a non-empty sample.  Raises
+    [Invalid_argument] on the empty list. *)
+
+val of_array : float array -> t
+
+val percentile : float array -> float -> float
+(** [percentile xs p] is the [p]-th percentile ([0 <= p <= 100]) using
+    linear interpolation on the sorted copy of [xs]. *)
+
+val ratio : num:int -> den:int -> float
+(** [ratio ~num ~den] is [num /. den], or [0.] when [den = 0] — the
+    guarded division used for fault-to-failure percentages. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/workloads/a2time.ml: Array Common Sparc

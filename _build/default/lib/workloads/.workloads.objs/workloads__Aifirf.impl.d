@@ -1,0 +1,1 @@
+lib/workloads/aifirf.ml: Common Sparc

@@ -1,0 +1,1 @@
+lib/workloads/basefp.ml: Common Sparc

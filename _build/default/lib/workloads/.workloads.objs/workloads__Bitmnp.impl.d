@@ -1,0 +1,1 @@
+lib/workloads/bitmnp.ml: Common Sparc

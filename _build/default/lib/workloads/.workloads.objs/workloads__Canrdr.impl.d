@@ -1,0 +1,1 @@
+lib/workloads/canrdr.ml: Array Bitops Common Sparc

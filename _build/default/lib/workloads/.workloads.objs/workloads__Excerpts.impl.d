@@ -1,0 +1,1 @@
+lib/workloads/excerpts.ml: Bitops Common Sparc

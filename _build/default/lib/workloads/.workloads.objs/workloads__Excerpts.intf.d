@@ -1,0 +1,1 @@
+lib/workloads/excerpts.mli: Sparc

@@ -1,0 +1,1 @@
+lib/workloads/iirflt.ml: Common Sparc

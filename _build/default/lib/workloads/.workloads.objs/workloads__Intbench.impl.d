@@ -1,0 +1,1 @@
+lib/workloads/intbench.ml: Bitops Common Sparc

@@ -1,0 +1,1 @@
+lib/workloads/intbench.mli: Sparc

@@ -1,0 +1,1 @@
+lib/workloads/membench.ml: Bitops Common Sparc

@@ -1,0 +1,1 @@
+lib/workloads/pntrch.ml: Array Common Sparc Stats

@@ -1,0 +1,1 @@
+lib/workloads/puwmod.mli: Sparc

@@ -1,0 +1,1 @@
+lib/workloads/rspeed.ml: Common Sparc

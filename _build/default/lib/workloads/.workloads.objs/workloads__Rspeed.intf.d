@@ -1,0 +1,1 @@
+lib/workloads/rspeed.mli: Sparc

@@ -1,0 +1,1 @@
+lib/workloads/suite.ml: A2time Aifirf Basefp Bitmnp Canrdr Iirflt Intbench List Matrix Membench Pntrch Puwmod Rspeed Sparc Tblook Ttsprk

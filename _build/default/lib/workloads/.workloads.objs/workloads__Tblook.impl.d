@@ -1,0 +1,1 @@
+lib/workloads/tblook.ml: Common Sparc

@@ -1,0 +1,1 @@
+lib/workloads/tblook.mli: Sparc

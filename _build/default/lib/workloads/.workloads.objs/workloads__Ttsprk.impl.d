@@ -1,0 +1,1 @@
+lib/workloads/ttsprk.ml: Common Sparc

@@ -1,0 +1,113 @@
+(** Angle-to-time conversion (EEMBC Autobench [a2time01]).
+
+    Converts crankshaft tooth-wheel angle samples into firing delay
+    times: per sample, locate the tooth, compute the residual angle,
+    scale it by the measured rotation period and accumulate the 64-bit
+    total, counting out-of-window samples and saturating the per-sample
+    delay as real ignition controllers do. *)
+
+module A = Sparc.Asm
+module I = Sparc.Isa
+
+let name = "a2time"
+
+let n_samples = 24
+
+let tooth_angle = 1500 (* hundredths of a degree per tooth *)
+
+let init b =
+  (* Allocation phase: copy the raw angle samples into the working
+     buffer, clamping to a full revolution. *)
+  A.load_label b "a2time_in" I.l0;
+  A.load_label b "a2time_work" I.l1;
+  A.set32 b n_samples I.l2;
+  A.set32 b 36000 I.l4;
+  A.label b "init_loop";
+  A.ld b I.Ld I.l0 (Imm 0) I.l3;
+  A.cmp b I.l3 (Reg I.l4);
+  A.branch b I.Bleu "init_ok";
+  A.mov b (Reg I.l4) I.l3;
+  A.label b "init_ok";
+  A.st b I.St I.l3 I.l1 (Imm 0);
+  A.op3 b I.Add I.l0 (Imm 4) I.l0;
+  A.op3 b I.Add I.l1 (Imm 4) I.l1;
+  A.op3 b I.Subcc I.l2 (Imm 1) I.l2;
+  A.branch b I.Bne "init_loop"
+
+let kernel b =
+  A.load_label b "a2time_work" I.l0;
+  A.load_label b "a2time_periods" I.l1;
+  A.set32 b n_samples I.l2;
+  A.mov b (Imm 0) I.l3;
+  (* acc lo *)
+  A.mov b (Imm 0) I.l4;
+  (* acc hi *)
+  A.mov b (Imm 0) I.l5;
+  (* out-of-window count *)
+  A.mov b (Imm 0) I.l6;
+  (* saturation count *)
+  A.label b "a2_loop";
+  A.ld b I.Ld I.l0 (Imm 0) I.o0;
+  (* tooth index and residual angle within the tooth *)
+  A.op3 b I.Udiv I.o0 (Imm tooth_angle) I.o1;
+  A.op3 b I.Umul I.o1 (Imm tooth_angle) I.o2;
+  A.op3 b I.Sub I.o0 (Reg I.o2) I.o3;
+  (* delay = residual * period / tooth_angle, with period a 16-bit sensor *)
+  A.ld b I.Lduh I.l1 (Imm 0) I.o4;
+  A.op3 b I.Umul I.o3 (Reg I.o4) I.o5;
+  A.op3 b I.Udiv I.o5 (Imm tooth_angle) I.o5;
+  (* saturate the per-sample delay at 0x7FFF (ignition hardware limit) *)
+  A.set32 b 0x7FFF I.o2;
+  A.cmp b I.o5 (Reg I.o2);
+  A.branch b I.Bleu "a2_no_sat";
+  A.mov b (Reg I.o2) I.o5;
+  A.op3 b I.Add I.l6 (Imm 1) I.l6;
+  A.label b "a2_no_sat";
+  (* 64-bit accumulate *)
+  A.op3 b I.Addcc I.l3 (Reg I.o5) I.l3;
+  A.op3 b I.Addx I.l4 (Imm 0) I.l4;
+  (* out-of-window detection: tooth index beyond the wheel *)
+  A.cmp b I.o1 (Imm 20);
+  A.branch b I.Bleu "a2_in_window";
+  A.op3 b I.Add I.l5 (Imm 1) I.l5;
+  A.label b "a2_in_window";
+  (* signed drift check on the residual: negative after centring? *)
+  A.op3 b I.Subcc I.o3 (Imm (tooth_angle / 2)) I.o0;
+  A.branch b I.Bneg "a2_low_half";
+  A.op3 b I.Xorcc I.o1 (Imm 7) I.g0;
+  A.branch b I.Bne "a2_half_done";
+  A.st b I.Sth I.o5 I.l1 (Imm 2);
+  A.branch b I.Ba "a2_half_done";
+  A.label b "a2_low_half";
+  A.op3 b I.Sra I.o3 (Imm 1) I.o3;
+  A.label b "a2_half_done";
+  A.op3 b I.Add I.l0 (Imm 4) I.l0;
+  A.op3 b I.Add I.l1 (Imm 2) I.l1;
+  A.op3 b I.Subcc I.l2 (Imm 1) I.l2;
+  A.branch b I.Bne "a2_loop";
+  (* publish: accumulator, overflow word, window misses, saturations *)
+  A.op3 b I.Srl I.l3 (Imm 4) I.o0;
+  Common.store_result b ~index:0 ~src:I.o0 ~addr_tmp:I.o7;
+  Common.store_result b ~index:1 ~src:I.l4 ~addr_tmp:I.o7;
+  Common.store_result b ~index:2 ~src:I.l5 ~addr_tmp:I.o7;
+  Common.store_result b ~index:3 ~src:I.l6 ~addr_tmp:I.o7
+
+let data ~dataset b =
+  let angles = Common.gen_words ~seed:(101 + dataset) ~n:n_samples ~lo:1 ~hi:39000 in
+  let periods = Common.gen_words ~seed:(201 + dataset) ~n:n_samples ~lo:100 ~hi:60000 in
+  A.data_label b "a2time_in";
+  A.words b angles;
+  A.data_label b "a2time_work";
+  A.space_words b n_samples;
+  A.data_label b "a2time_periods";
+  (* halfword array, packed two per word, big-endian *)
+  let packed =
+    Array.init ((n_samples + 1) / 2) (fun i ->
+        let hi = periods.(2 * i) land 0xFFFF in
+        let lo = if (2 * i) + 1 < n_samples then periods.((2 * i) + 1) land 0xFFFF else 0 in
+        (hi lsl 16) lor lo)
+  in
+  A.words b packed
+
+let program ?(iterations = 2) ?(dataset = 0) () =
+  Common.standard ~name ~iterations ~init ~kernel ~data:(data ~dataset)

@@ -1,0 +1,92 @@
+(** FIR filter (EEMBC Autobench [aifirf01]).
+
+    The classic automotive signal-conditioning kernel: a 16-tap
+    direct-form FIR over a sensor sample stream, Q12 coefficients,
+    with output saturation and an energy accumulator. *)
+
+module A = Sparc.Asm
+module I = Sparc.Isa
+
+let name = "aifirf"
+
+let taps = 8
+
+let n_samples = 28
+
+let init b =
+  (* Centre the raw samples around zero (DC removal, as the EEMBC
+     kernel's setup does). *)
+  A.load_label b "fir_in" I.l0;
+  A.load_label b "fir_work" I.l1;
+  A.set32 b n_samples I.l2;
+  A.label b "init_loop";
+  A.ld b I.Ld I.l0 (Imm 0) I.l3;
+  A.op3 b I.Sub I.l3 (Imm 2048) I.l3;
+  A.st b I.St I.l3 I.l1 (Imm 0);
+  A.op3 b I.Add I.l0 (Imm 4) I.l0;
+  A.op3 b I.Add I.l1 (Imm 4) I.l1;
+  A.op3 b I.Subcc I.l2 (Imm 1) I.l2;
+  A.branch b I.Bne "init_loop"
+
+let kernel b =
+  A.load_label b "fir_work" I.l0;
+  A.load_label b "fir_coef" I.l1;
+  A.set32 b (n_samples - taps) I.l2;
+  A.mov b (Imm 0) I.l3;
+  (* energy accumulator lo *)
+  A.mov b (Imm 0) I.l4;
+  (* energy accumulator hi *)
+  A.mov b (Imm 0) I.l5;
+  (* saturation count *)
+  A.label b "fir_n";
+  A.mov b (Imm 0) I.o0;
+  (* y *)
+  A.mov b (Imm 0) I.o1;
+  (* k *)
+  A.label b "fir_k";
+  A.op3 b I.Sll I.o1 (Imm 2) I.o2;
+  A.op3 b I.Add I.l0 (Reg I.o2) I.o3;
+  A.ld b I.Ld I.o3 (Imm 0) I.o3;
+  A.op3 b I.Add I.l1 (Reg I.o2) I.o4;
+  A.ld b I.Ld I.o4 (Imm 0) I.o4;
+  A.op3 b I.Smul I.o3 (Reg I.o4) I.o3;
+  A.op3 b I.Sra I.o3 (Imm 12) I.o3;
+  (* Q12 *)
+  A.op3 b I.Addcc I.o0 (Reg I.o3) I.o0;
+  A.branch b I.Bvc "fir_no_sat";
+  A.set32 b 0x7FFF_FFFF I.o0;
+  A.op3 b I.Add I.l5 (Imm 1) I.l5;
+  A.label b "fir_no_sat";
+  A.op3 b I.Add I.o1 (Imm 1) I.o1;
+  A.cmp b I.o1 (Imm taps);
+  A.branch b I.Bl "fir_k";
+  (* publish the sample and accumulate |y| into the energy estimate *)
+  A.load_label b "fir_out" I.o2;
+  A.st b I.Sth I.o0 I.o2 (Imm 0);
+  A.op3 b I.Orcc I.o0 (Imm 0) I.g0;
+  A.branch b I.Bpos "fir_abs_done";
+  A.op3 b I.Sub I.g0 (Reg I.o0) I.o0;
+  A.label b "fir_abs_done";
+  A.op3 b I.Addcc I.l3 (Reg I.o0) I.l3;
+  A.op3 b I.Addx I.l4 (Imm 0) I.l4;
+  A.op3 b I.Add I.l0 (Imm 4) I.l0;
+  A.op3 b I.Subcc I.l2 (Imm 1) I.l2;
+  A.branch b I.Bne "fir_n";
+  Common.store_result b ~index:0 ~src:I.l3 ~addr_tmp:I.o7;
+  Common.store_result b ~index:1 ~src:I.l4 ~addr_tmp:I.o7;
+  Common.store_result b ~index:2 ~src:I.l5 ~addr_tmp:I.o7
+
+let data ~dataset b =
+  let samples = Common.gen_words ~seed:(1201 + dataset) ~n:n_samples ~lo:0 ~hi:4095 in
+  let coefs = Common.gen_words ~seed:(1202 + dataset) ~n:taps ~lo:1 ~hi:8191 in
+  A.data_label b "fir_in";
+  A.words b samples;
+  A.data_label b "fir_work";
+  A.space_words b n_samples;
+  A.data_label b "fir_coef";
+  A.words b coefs;
+  A.data_label b "fir_out";
+  A.space_words b 1
+
+let program ?(iterations = 2) ?(dataset = 0) () =
+  Common.standard ~name ~iterations ~init ~kernel ~data:(data ~dataset)

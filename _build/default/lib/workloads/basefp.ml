@@ -1,0 +1,125 @@
+(** Basic "floating-point" automotive kernel (EEMBC Autobench
+    [basefp01]), here in Q16.16 fixed point: the paper's study targets
+    the integer unit only, and on an FPU-less Leon3 configuration FP
+    arithmetic is exactly this kind of soft multi-word integer code.
+
+    Per sample: Q16.16 multiply built from four 16x16 partial products,
+    a Newton-style reciprocal refinement step, and range reduction —
+    shift/add/carry heavy, as soft-float is. *)
+
+module A = Sparc.Asm
+module I = Sparc.Isa
+
+let name = "basefp"
+
+let n_samples = 10
+
+let init b =
+  (* Normalise raw samples into Q16.16 in [1.0, 2.0): find the leading
+     bit by shifting, the soft-float normalisation idiom. *)
+  A.load_label b "bfp_in" I.l0;
+  A.load_label b "bfp_work" I.l1;
+  A.set32 b n_samples I.l2;
+  A.label b "init_loop";
+  A.ld b I.Ld I.l0 (Imm 0) I.l3;
+  A.set32 b 0x10000 I.l4;
+  A.label b "init_norm";
+  A.cmp b I.l3 (Reg I.l4);
+  A.branch b I.Bcc "init_done_norm";
+  A.op3 b I.Sll I.l3 (Imm 1) I.l3;
+  A.branch b I.Ba "init_norm";
+  A.label b "init_done_norm";
+  A.set32 b 0x1FFFF I.l4;
+  A.op3 b I.And I.l3 (Reg I.l4) I.l3;
+  A.set32 b 0x10000 I.l4;
+  A.op3 b I.Or I.l3 (Reg I.l4) I.l3;
+  A.st b I.St I.l3 I.l1 (Imm 0);
+  A.op3 b I.Add I.l0 (Imm 4) I.l0;
+  A.op3 b I.Add I.l1 (Imm 4) I.l1;
+  A.op3 b I.Subcc I.l2 (Imm 1) I.l2;
+  A.branch b I.Bne "init_loop"
+
+(* Q16.16 multiply o0*o1 -> o0 using 16-bit halves (umul gives the low
+   32 bits only, as the paper's Leon3 sees architecturally). *)
+let emit_qmul b =
+  A.op3 b I.Srl I.o0 (Imm 16) I.o2;
+  (* ah *)
+  A.set32 b 0xFFFF I.o5;
+  A.op3 b I.And I.o0 (Reg I.o5) I.o3;
+  (* al *)
+  A.op3 b I.Srl I.o1 (Imm 16) I.o4;
+  (* bh *)
+  A.op3 b I.And I.o1 (Reg I.o5) I.o5;
+  (* bl *)
+  A.op3 b I.Umul I.o2 (Reg I.o4) I.g3;
+  (* ah*bh *)
+  A.op3 b I.Sll I.g3 (Imm 16) I.g3;
+  A.op3 b I.Umul I.o2 (Reg I.o5) I.o2;
+  (* ah*bl *)
+  A.op3 b I.Umul I.o3 (Reg I.o4) I.o4;
+  (* al*bh *)
+  A.op3 b I.Umul I.o3 (Reg I.o5) I.o3;
+  (* al*bl *)
+  A.op3 b I.Srl I.o3 (Imm 16) I.o3;
+  A.op3 b I.Addcc I.o2 (Reg I.o4) I.o2;
+  A.op3 b I.Addx I.o2 (Imm 0) I.o2;
+  A.op3 b I.Add I.o2 (Reg I.o3) I.o2;
+  A.op3 b I.Add I.g3 (Reg I.o2) I.o0
+
+let kernel b =
+  A.load_label b "bfp_work" I.l0;
+  A.set32 b n_samples I.l1;
+  A.mov b (Imm 0) I.l2;
+  (* product accumulator *)
+  A.mov b (Imm 0) I.l3;
+  (* exponent-underflow count *)
+  A.label b "bfp_loop";
+  A.ld b I.Ld I.l0 (Imm 0) I.o0;
+  A.mov b (Reg I.o0) I.l4;
+  (* x *)
+  (* y = x * x (Q16.16) *)
+  A.mov b (Reg I.o0) I.o1;
+  emit_qmul b;
+  A.mov b (Reg I.o0) I.l5;
+  (* one Newton step of reciprocal: r = r*(2 - x*r), seed r = 1.0 *)
+  A.set32 b 0x8000 I.o1;
+  (* r0 = 0.5 *)
+  A.mov b (Reg I.l4) I.o0;
+  emit_qmul b;
+  (* x*r *)
+  A.set32 b 0x20000 I.o1;
+  A.op3 b I.Subcc I.o1 (Reg I.o0) I.o0;
+  (* 2 - x*r *)
+  A.branch b I.Bpos "bfp_pos";
+  A.mov b (Imm 0) I.o0;
+  A.op3 b I.Add I.l3 (Imm 1) I.l3;
+  A.label b "bfp_pos";
+  A.set32 b 0x8000 I.o1;
+  emit_qmul b;
+  (* r1 *)
+  (* blend: acc += (y >> 2) + r1, detecting unsigned wrap *)
+  A.op3 b I.Srl I.l5 (Imm 2) I.o2;
+  A.op3 b I.Add I.o0 (Reg I.o2) I.o0;
+  A.op3 b I.Addcc I.l2 (Reg I.o0) I.l2;
+  A.branch b I.Bcs "bfp_wrap";
+  A.branch b I.Ba "bfp_no_wrap";
+  A.label b "bfp_wrap";
+  A.op3 b I.Add I.l3 (Imm 1) I.l3;
+  A.label b "bfp_no_wrap";
+  A.st b I.St I.o0 I.l0 (Imm 0);
+  (* write back refined value *)
+  A.op3 b I.Add I.l0 (Imm 4) I.l0;
+  A.op3 b I.Subcc I.l1 (Imm 1) I.l1;
+  A.branch b I.Bne "bfp_loop";
+  Common.store_result b ~index:0 ~src:I.l2 ~addr_tmp:I.o7;
+  Common.store_result b ~index:1 ~src:I.l3 ~addr_tmp:I.o7
+
+let data ~dataset b =
+  let samples = Common.gen_words ~seed:(801 + dataset) ~n:n_samples ~lo:3 ~hi:0xFFFFF in
+  A.data_label b "bfp_in";
+  A.words b samples;
+  A.data_label b "bfp_work";
+  A.space_words b n_samples
+
+let program ?(iterations = 2) ?(dataset = 0) () =
+  Common.standard ~name ~iterations ~init ~kernel ~data:(data ~dataset)

@@ -1,0 +1,107 @@
+(** Bit manipulation (EEMBC Autobench [bitmnp01]).
+
+    Renders "needle" segments into a packed monochrome bitmap: per
+    command, compute the word index and bit mask, set/clear/toggle the
+    pixel run, then count the lit pixels of the touched word (software
+    popcount) and fold a display parity — dense logical/shift traffic
+    over byte-addressed video memory. *)
+
+module A = Sparc.Asm
+module I = Sparc.Isa
+
+let name = "bitmnp"
+
+let n_commands = 20
+
+let bitmap_words = 16
+
+let init b =
+  (* Clear the bitmap and draw the static dial outline (every 5th bit
+     of the first row), byte by byte as display drivers do. *)
+  A.load_label b "bmp_map" I.l0;
+  A.set32 b (bitmap_words * 4) I.l1;
+  A.mov b (Imm 0) I.l2;
+  A.label b "init_clear";
+  A.op3 b I.Add I.l0 (Reg I.l2) I.l3;
+  A.st b I.Stb I.g0 I.l3 (Imm 0);
+  A.op3 b I.Add I.l2 (Imm 1) I.l2;
+  A.cmp b I.l2 (Reg I.l1);
+  A.branch b I.Bl "init_clear";
+  A.set32 b 0x21084210 I.l4;
+  A.st b I.St I.l4 I.l0 (Imm 0)
+
+let kernel b =
+  A.load_label b "bmp_cmds" I.l0;
+  A.load_label b "bmp_map" I.l1;
+  A.set32 b n_commands I.l2;
+  A.mov b (Imm 0) I.l3;
+  (* lit-pixel accumulator *)
+  A.mov b (Imm 0) I.l4;
+  (* parity *)
+  A.label b "bmp_cmd";
+  A.ld b I.Ld I.l0 (Imm 0) I.o0;
+  (* command: [pos:9][op:2] *)
+  A.op3 b I.Srl I.o0 (Imm 2) I.o1;
+  A.set32 b (bitmap_words * 32 - 1) I.o2;
+  A.op3 b I.And I.o1 (Reg I.o2) I.o1;
+  (* pixel position *)
+  A.op3 b I.And I.o0 (Imm 3) I.o0;
+  (* operation *)
+  A.op3 b I.Srl I.o1 (Imm 5) I.o2;
+  (* word index *)
+  A.op3 b I.And I.o1 (Imm 31) I.o3;
+  A.mov b (Imm 1) I.o4;
+  A.op3 b I.Sll I.o4 (Reg I.o3) I.o4;
+  (* bit mask *)
+  A.op3 b I.Sll I.o2 (Imm 2) I.o2;
+  A.op3 b I.Add I.l1 (Reg I.o2) I.o2;
+  (* word address *)
+  A.ld b I.Ld I.o2 (Imm 0) I.o5;
+  (* op 0: set, 1: clear, 2: toggle, 3: test-and-set-if-clear *)
+  A.cmp b I.o0 (Imm 1);
+  A.branch b I.Bl "bmp_set";
+  A.branch b I.Be "bmp_clear";
+  A.cmp b I.o0 (Imm 2);
+  A.branch b I.Be "bmp_toggle";
+  (* test-and-set *)
+  A.op3 b I.Andcc I.o5 (Reg I.o4) I.g0;
+  A.branch b I.Bne "bmp_write";
+  A.op3 b I.Or I.o5 (Reg I.o4) I.o5;
+  A.branch b I.Ba "bmp_write";
+  A.label b "bmp_set";
+  A.op3 b I.Or I.o5 (Reg I.o4) I.o5;
+  A.branch b I.Ba "bmp_write";
+  A.label b "bmp_clear";
+  A.op3 b I.Andn I.o5 (Reg I.o4) I.o5;
+  A.branch b I.Ba "bmp_write";
+  A.label b "bmp_toggle";
+  A.op3 b I.Xor I.o5 (Reg I.o4) I.o5;
+  A.label b "bmp_write";
+  A.st b I.St I.o5 I.o2 (Imm 0);
+  (* popcount of the touched word *)
+  A.mov b (Imm 0) I.o3;
+  A.label b "bmp_pop";
+  A.op3 b I.Andcc I.o5 (Imm 1) I.g0;
+  A.branch b I.Be "bmp_pop_z";
+  A.op3 b I.Add I.o3 (Imm 1) I.o3;
+  A.label b "bmp_pop_z";
+  A.op3 b I.Srl I.o5 (Imm 1) I.o5;
+  A.op3 b I.Orcc I.o5 (Imm 0) I.g0;
+  A.branch b I.Bne "bmp_pop";
+  A.op3 b I.Add I.l3 (Reg I.o3) I.l3;
+  A.op3 b I.Xor I.l4 (Reg I.o3) I.l4;
+  A.op3 b I.Add I.l0 (Imm 4) I.l0;
+  A.op3 b I.Subcc I.l2 (Imm 1) I.l2;
+  A.branch b I.Bne "bmp_cmd";
+  Common.store_result b ~index:0 ~src:I.l3 ~addr_tmp:I.o7;
+  Common.store_result b ~index:1 ~src:I.l4 ~addr_tmp:I.o7
+
+let data ~dataset b =
+  let cmds = Common.gen_words ~seed:(901 + dataset) ~n:n_commands ~lo:0 ~hi:0x7FF in
+  A.data_label b "bmp_cmds";
+  A.words b cmds;
+  A.data_label b "bmp_map";
+  A.space_words b bitmap_words
+
+let program ?(iterations = 2) ?(dataset = 0) () =
+  Common.standard ~name ~iterations ~init ~kernel ~data:(data ~dataset)

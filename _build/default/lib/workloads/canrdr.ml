@@ -1,0 +1,127 @@
+(** CAN remote data request handling (EEMBC Autobench [canrdr01]).
+
+    Walks a queue of received CAN frames: extract the 11-bit identifier
+    from the packed header, match it against the acceptance-filter
+    table, copy the matched frame's payload bytes to the reply buffer,
+    and keep RTR/error statistics — byte-grain traffic with heavy bit
+    slicing, as in the EEMBC original. *)
+
+module A = Sparc.Asm
+module I = Sparc.Isa
+
+let name = "canrdr"
+
+let n_frames = 12
+
+let n_filters = 6
+
+let payload_bytes = 8
+
+let init b =
+  (* Build the acceptance filter table from the seed words. *)
+  A.load_label b "can_seed" I.l0;
+  A.load_label b "can_filters" I.l1;
+  A.set32 b n_filters I.l2;
+  A.label b "init_loop";
+  A.ld b I.Ld I.l0 (Imm 0) I.l3;
+  A.op3 b I.Srl I.l3 (Imm 5) I.l3;
+  A.op3 b I.And I.l3 (Imm 0x7FF) I.l3;
+  A.st b I.St I.l3 I.l1 (Imm 0);
+  A.op3 b I.Add I.l0 (Imm 4) I.l0;
+  A.op3 b I.Add I.l1 (Imm 4) I.l1;
+  A.op3 b I.Subcc I.l2 (Imm 1) I.l2;
+  A.branch b I.Bne "init_loop"
+
+let kernel b =
+  A.load_label b "can_frames" I.l0;
+  A.set32 b n_frames I.l1;
+  A.mov b (Imm 0) I.l2;
+  (* matched count *)
+  A.mov b (Imm 0) I.l3;
+  (* rtr count *)
+  A.mov b (Imm 0) I.l4;
+  (* stuff-bit estimate accumulator *)
+  A.label b "can_frame";
+  (* header: [id:11][rtr:1][dlc:4] in the low 16 bits *)
+  A.ld b I.Lduh I.l0 (Imm 0) I.o0;
+  A.op3 b I.Srl I.o0 (Imm 5) I.o1;
+  A.op3 b I.And I.o1 (Imm 0x7FF) I.o1;
+  (* id *)
+  A.op3 b I.Andcc I.o0 (Imm 0x10) I.g0;
+  A.branch b I.Be "can_not_rtr";
+  A.op3 b I.Add I.l3 (Imm 1) I.l3;
+  A.label b "can_not_rtr";
+  (* filter scan *)
+  A.load_label b "can_filters" I.o2;
+  A.mov b (Imm n_filters) I.o3;
+  A.label b "can_filter";
+  A.ld b I.Ld I.o2 (Imm 0) I.o4;
+  A.op3 b I.Xorcc I.o4 (Reg I.o1) I.g0;
+  A.branch b I.Be "can_match";
+  A.op3 b I.Add I.o2 (Imm 4) I.o2;
+  A.op3 b I.Subcc I.o3 (Imm 1) I.o3;
+  A.branch b I.Bne "can_filter";
+  A.branch b I.Ba "can_next";
+  A.label b "can_match";
+  A.op3 b I.Add I.l2 (Imm 1) I.l2;
+  (* copy payload bytes into the reply buffer, xor-folding a parity *)
+  A.load_label b "can_reply" I.o2;
+  A.mov b (Imm 0) I.o3;
+  A.mov b (Imm 0) I.o5;
+  A.label b "can_copy";
+  A.op3 b I.Add I.l0 (Reg I.o3) I.o4;
+  A.ld b I.Ldub I.o4 (Imm 4) I.o4;
+  A.op3 b I.Xor I.o5 (Reg I.o4) I.o5;
+  A.op3 b I.Add I.o2 (Reg I.o3) I.g3;
+  A.st b I.Stb I.o4 I.g3 (Imm 0);
+  A.op3 b I.Add I.o3 (Imm 1) I.o3;
+  A.cmp b I.o3 (Imm payload_bytes);
+  A.branch b I.Bl "can_copy";
+  (* stuff-bit estimate: count 1-runs via shifted self-ands (signed mul
+     mixes the parity in, as the reference model's CRC seed does) *)
+  A.op3 b I.Smul I.o5 (Imm 31) I.o5;
+  A.op3 b I.Sra I.o5 (Imm 3) I.o5;
+  A.op3 b I.Addcc I.l4 (Reg I.o5) I.l4;
+  A.branch b I.Bcc "can_no_carry";
+  A.op3 b I.Add I.l3 (Imm 1) I.l3;
+  A.label b "can_no_carry";
+  A.label b "can_next";
+  A.op3 b I.Add I.l0 (Imm 16) I.l0;
+  (* frame record: 4-byte header + 8 payload + pad *)
+  A.op3 b I.Subcc I.l1 (Imm 1) I.l1;
+  A.branch b I.Bne "can_frame";
+  (* reply status halfword *)
+  A.load_label b "can_reply" I.o2;
+  A.op3 b I.Sll I.l2 (Imm 8) I.o0;
+  A.op3 b I.Or I.o0 (Reg I.l3) I.o0;
+  A.st b I.Sth I.o0 I.o2 (Imm 8);
+  Common.store_result b ~index:0 ~src:I.l2 ~addr_tmp:I.o7;
+  Common.store_result b ~index:1 ~src:I.l3 ~addr_tmp:I.o7;
+  Common.store_result b ~index:2 ~src:I.l4 ~addr_tmp:I.o7
+
+let data ~dataset b =
+  let seeds = Common.gen_words ~seed:(501 + dataset) ~n:n_filters ~lo:1 ~hi:0xFFFF in
+  (* Frame records: header word + two payload words + pad word. *)
+  let headers = Common.gen_words ~seed:(502 + dataset) ~n:n_frames ~lo:1 ~hi:0xFFFF in
+  let payloads = Common.gen_words ~seed:(503 + dataset) ~n:(2 * n_frames) ~lo:0 ~hi:Bitops.mask32 in
+  A.data_label b "can_seed";
+  A.words b seeds;
+  A.data_label b "can_frames";
+  for i = 0 to n_frames - 1 do
+    (* Make some identifiers actually match the filter table. *)
+    let header =
+      if i mod 3 = 0 then ((seeds.(i mod n_filters) lsr 5) land 0x7FF) lsl 5
+      else headers.(i)
+    in
+    A.word b (header lsl 16 lor (header land 0xFFFF));
+    A.word b payloads.(2 * i);
+    A.word b payloads.((2 * i) + 1);
+    A.word b 0
+  done;
+  A.data_label b "can_filters";
+  A.space_words b n_filters;
+  A.data_label b "can_reply";
+  A.space_words b 4
+
+let program ?(iterations = 2) ?(dataset = 0) () =
+  Common.standard ~name ~iterations ~init ~kernel ~data:(data ~dataset)

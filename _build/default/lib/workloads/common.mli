@@ -1,0 +1,64 @@
+(** Shared workload harness, mirroring the EEMBC Autobench test-harness
+    structure: a top-level iteration driver calls the kernel once per
+    iteration (through a register window), a result-summary pass
+    publishes extrema/mean/sign statistics, and a table-driven CRC-16
+    over the result region seals the run — so every benchmark's
+    outcome is off-core observable even when a fault corrupts only
+    intermediate state. *)
+
+module A = Sparc.Asm
+module I = Sparc.Isa
+
+val result_words : int
+(** Size of the result region each kernel may publish into (starting
+    at {!Sparc.Layout.result_base}).  Kernels own slots 0-7; the
+    harness summary uses slots 10-14 and the CRC lands in the last. *)
+
+val standard :
+  name:string ->
+  iterations:int ->
+  init:(A.t -> unit) ->
+  kernel:(A.t -> unit) ->
+  data:(A.t -> unit) ->
+  A.program
+(** [standard ~name ~iterations ~init ~kernel ~data] assembles:
+    prologue; [init] (runs once — the benchmark's data-allocation
+    phase); an iteration loop calling the kernel function; the summary
+    and CRC-16 epilogues; exit.  [kernel] is emitted inside a
+    [save]/[restore] window and may use %i, %l, %o and %g1-%g3
+    registers freely ([%i0] receives the iteration index, counting
+    down).  [data] emits the data section (the CRC table is appended
+    automatically). *)
+
+val emit_stats : A.t -> unit
+(** The harness summary pass over the result region (exposed for the
+    [custom_benchmark] example); clobbers %l0-%l6, %o0-%o5, %g3. *)
+
+val emit_crc16 :
+  A.t ->
+  prefix:string ->
+  base:int ->
+  bytes:int ->
+  dst:I.reg ->
+  tmp:I.reg * I.reg * I.reg ->
+  unit
+(** Emit a table-driven CRC-16/CCITT loop over [bytes] bytes starting
+    at absolute address [base], leaving the checksum in [dst].
+    Requires the harness data section (the [crc16_tab] label).
+    [prefix] namespaces the internal labels; the three [tmp] registers
+    and %g1-%g3 are clobbered. *)
+
+val crc16_table : int array
+(** The 256-entry CRC-16/CCITT table shipped in every program's data
+    section. *)
+
+val crc16_reference : int array -> int
+(** Host-side CRC over a byte array — lets tests predict the checksum
+    a fault-free run must publish. *)
+
+val store_result : A.t -> index:int -> src:I.reg -> addr_tmp:I.reg -> unit
+(** Store a word into slot [index] of the result region. *)
+
+val gen_words : seed:int -> n:int -> lo:int -> hi:int -> int array
+(** Deterministic input-data generation for a dataset: [n] uniform
+    values in \[lo, hi\] (inclusive). *)

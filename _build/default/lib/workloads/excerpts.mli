@@ -1,0 +1,25 @@
+(** Benchmark excerpts for the paper's Fig. 3 input-data study.
+
+    Each subset is one program — the initialisation phase where input
+    data is read and allocated — run under three datasets named after
+    the benchmarks the paper drew them from.  Subset A uses exactly 8
+    instruction types; subset B exactly 11. *)
+
+val n_words : int
+(** Words copied per pass. *)
+
+val passes : int
+(** Init passes per run. *)
+
+val subset_a_members : string list
+(** ["a2time"; "ttsprk"; "bitmnp"]. *)
+
+val subset_b_members : string list
+(** ["rspeed"; "tblook"; "basefp"]. *)
+
+val subset_a : string -> Sparc.Asm.program
+(** [subset_a member] builds the 8-type excerpt with that member's
+    dataset.  Raises [Invalid_argument] on an unknown member. *)
+
+val subset_b : string -> Sparc.Asm.program
+(** The 11-type variant. *)

@@ -1,0 +1,96 @@
+(** IIR filter (EEMBC Autobench [iirflt01]).
+
+    A cascaded biquad (direct form I) over a pressure-sensor stream:
+    two feedback and two feedforward taps per section in Q12, with the
+    state carried in memory between samples — heavier on loads/stores
+    than the FIR, as the EEMBC original is. *)
+
+module A = Sparc.Asm
+module I = Sparc.Isa
+
+let name = "iirflt"
+
+let n_samples = 24
+
+let init b =
+  (* Scale raw samples into Q12 and clear the filter state. *)
+  A.load_label b "iir_in" I.l0;
+  A.load_label b "iir_work" I.l1;
+  A.set32 b n_samples I.l2;
+  A.label b "init_loop";
+  A.ld b I.Ld I.l0 (Imm 0) I.l3;
+  A.op3 b I.Sll I.l3 (Imm 2) I.l3;
+  A.st b I.St I.l3 I.l1 (Imm 0);
+  A.op3 b I.Add I.l0 (Imm 4) I.l0;
+  A.op3 b I.Add I.l1 (Imm 4) I.l1;
+  A.op3 b I.Subcc I.l2 (Imm 1) I.l2;
+  A.branch b I.Bne "init_loop";
+  A.load_label b "iir_state" I.l4;
+  A.st b I.St I.g0 I.l4 (Imm 0);
+  A.st b I.St I.g0 I.l4 (Imm 4);
+  A.st b I.St I.g0 I.l4 (Imm 8);
+  A.st b I.St I.g0 I.l4 (Imm 12)
+
+(* y = (b0*x + b1*x1 - a1*y1 - a2*y2) >> 12, state in memory *)
+let kernel b =
+  A.load_label b "iir_work" I.l0;
+  A.load_label b "iir_state" I.l1;
+  A.set32 b n_samples I.l2;
+  A.mov b (Imm 0) I.l3;
+  (* output accumulator *)
+  A.mov b (Imm 0) I.l5;
+  (* limit-cycle guard count *)
+  A.label b "iir_n";
+  A.ld b I.Ld I.l0 (Imm 0) I.o0;
+  (* x *)
+  (* feedforward *)
+  A.op3 b I.Smul I.o0 (Imm 1638) I.o1;
+  (* b0 = 0.4 Q12 *)
+  A.ld b I.Ld I.l1 (Imm 0) I.o2;
+  (* x1 *)
+  A.op3 b I.Smul I.o2 (Imm 819) I.o3;
+  (* b1 = 0.2 Q12 *)
+  A.op3 b I.Add I.o1 (Reg I.o3) I.o1;
+  (* feedback *)
+  A.ld b I.Ld I.l1 (Imm 8) I.o3;
+  (* y1 *)
+  A.op3 b I.Smul I.o3 (Imm 1229) I.o4;
+  (* a1 = 0.3 Q12 *)
+  A.op3 b I.Sub I.o1 (Reg I.o4) I.o1;
+  A.ld b I.Ld I.l1 (Imm 12) I.o4;
+  (* y2 *)
+  A.op3 b I.Smul I.o4 (Imm 410) I.o5;
+  (* a2 = 0.1 Q12 *)
+  A.op3 b I.Subcc I.o1 (Reg I.o5) I.o1;
+  A.op3 b I.Sra I.o1 (Imm 12) I.o1;
+  (* limit-cycle guard: tiny negative outputs snap to zero *)
+  A.branch b I.Bpos "iir_pos";
+  A.op3 b I.Subcc I.o1 (Imm (-4)) I.g0;
+  A.branch b I.Bl "iir_pos";
+  A.mov b (Imm 0) I.o1;
+  A.op3 b I.Add I.l5 (Imm 1) I.l5;
+  A.label b "iir_pos";
+  (* rotate state: x1 <- x, y2 <- y1, y1 <- y *)
+  A.st b I.St I.o0 I.l1 (Imm 0);
+  A.st b I.St I.o3 I.l1 (Imm 12);
+  A.st b I.St I.o1 I.l1 (Imm 8);
+  A.op3 b I.Add I.l3 (Reg I.o1) I.l3;
+  A.st b I.St I.o1 I.l0 (Imm 0);
+  (* in-place output *)
+  A.op3 b I.Add I.l0 (Imm 4) I.l0;
+  A.op3 b I.Subcc I.l2 (Imm 1) I.l2;
+  A.branch b I.Bne "iir_n";
+  Common.store_result b ~index:0 ~src:I.l3 ~addr_tmp:I.o7;
+  Common.store_result b ~index:1 ~src:I.l5 ~addr_tmp:I.o7
+
+let data ~dataset b =
+  let samples = Common.gen_words ~seed:(1301 + dataset) ~n:n_samples ~lo:1 ~hi:1023 in
+  A.data_label b "iir_in";
+  A.words b samples;
+  A.data_label b "iir_work";
+  A.space_words b n_samples;
+  A.data_label b "iir_state";
+  A.space_words b 4
+
+let program ?(iterations = 2) ?(dataset = 0) () =
+  Common.standard ~name ~iterations ~init ~kernel ~data:(data ~dataset)

@@ -1,0 +1,7 @@
+(** IIR filter (EEMBC Autobench iirflt01) — see the .ml for the algorithm notes. *)
+
+val name : string
+
+val program : ?iterations:int -> ?dataset:int -> unit -> Sparc.Asm.program
+(** Assemble the workload. [iterations] scales the kernel loop;
+    [dataset] selects the deterministic input data. *)

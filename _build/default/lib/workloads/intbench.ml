@@ -1,0 +1,58 @@
+(** Synthetic integer-intensive benchmark ("intbench" of the paper's
+    Table 1): a register-resident mixing loop with almost no memory
+    traffic (Table 1 reports 19 memory instructions out of 2621) and
+    modest diversity (~20 types). *)
+
+module A = Sparc.Asm
+module I = Sparc.Isa
+
+let name = "intbench"
+
+let rounds = 120
+
+let program ?(iterations = 2) ?(dataset = 0) () =
+  let b = A.create ~name () in
+  let seeds = Common.gen_words ~seed:(1101 + dataset) ~n:4 ~lo:1 ~hi:Bitops.mask32 in
+  A.prologue b;
+  A.set32 b iterations I.l6;
+  A.label b "ib_iter";
+  (* seed the mixer registers from the data section (the only loads) *)
+  A.load_label b "ib_seed" I.l0;
+  A.ld b I.Ld I.l0 (Imm 0) I.o0;
+  A.ld b I.Ld I.l0 (Imm 4) I.o1;
+  A.ld b I.Ld I.l0 (Imm 8) I.o2;
+  A.ld b I.Ld I.l0 (Imm 12) I.o3;
+  A.set32 b rounds I.l1;
+  A.label b "ib_round";
+  (* xorshift-flavoured integer mixing *)
+  A.op3 b I.Sll I.o0 (Imm 13) I.o4;
+  A.op3 b I.Xor I.o0 (Reg I.o4) I.o0;
+  A.op3 b I.Srl I.o0 (Imm 17) I.o4;
+  A.op3 b I.Xor I.o0 (Reg I.o4) I.o0;
+  A.op3 b I.Add I.o0 (Reg I.o1) I.o0;
+  A.op3 b I.Sub I.o1 (Reg I.o2) I.o1;
+  A.op3 b I.Umul I.o2 (Imm 37) I.o2;
+  A.op3 b I.And I.o2 (Reg I.o3) I.o5;
+  A.op3 b I.Or I.o3 (Reg I.o0) I.o3;
+  A.op3 b I.Xor I.o3 (Reg I.o5) I.o3;
+  (* 64-bit accumulate and signed scaling of the mix *)
+  A.op3 b I.Addcc I.o4 (Reg I.o3) I.o4;
+  A.op3 b I.Addx I.o5 (Imm 0) I.o5;
+  A.op3 b I.Sra I.o4 (Imm 1) I.o4;
+  A.op3 b I.Andcc I.o4 (Imm 7) I.g0;
+  A.branch b I.Be "ib_even";
+  A.op3 b I.Orcc I.o5 (Imm 1) I.o5;
+  A.label b "ib_even";
+  A.op3 b I.Subcc I.l1 (Imm 1) I.l1;
+  A.branch b I.Bne "ib_round";
+  A.op3 b I.Subcc I.l6 (Imm 1) I.l6;
+  A.branch b I.Bne "ib_iter";
+  A.op3 b I.Xor I.o0 (Reg I.o1) I.o0;
+  A.op3 b I.Xor I.o0 (Reg I.o2) I.o0;
+  A.op3 b I.Xor I.o0 (Reg I.o3) I.o0;
+  A.set32 b Sparc.Layout.result_base I.l4;
+  A.st b I.St I.o0 I.l4 (Imm 0);
+  A.halt b I.o0;
+  A.data_label b "ib_seed";
+  A.words b seeds;
+  A.assemble b

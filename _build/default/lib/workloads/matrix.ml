@@ -1,0 +1,101 @@
+(** Matrix arithmetic (EEMBC Autobench [matrix01]).
+
+    Fixed-point matrix work on a 6x6 operand set: multiply, add a
+    bias matrix, and fold the trace and column checksums — the dense
+    multiply/accumulate inner loops of model-based control code. *)
+
+module A = Sparc.Asm
+module I = Sparc.Isa
+
+let name = "matrix"
+
+let dim = 6
+
+let words = dim * dim
+
+let init b =
+  (* Narrow the raw operands to signed Q8-ish range. *)
+  A.load_label b "mat_in" I.l0;
+  A.load_label b "mat_a" I.l1;
+  A.set32 b (2 * words) I.l2;
+  A.label b "init_loop";
+  A.ld b I.Ld I.l0 (Imm 0) I.l3;
+  A.op3 b I.And I.l3 (Imm 0x1FF) I.l3;
+  A.op3 b I.Sub I.l3 (Imm 0x100) I.l3;
+  A.st b I.St I.l3 I.l1 (Imm 0);
+  A.op3 b I.Add I.l0 (Imm 4) I.l0;
+  A.op3 b I.Add I.l1 (Imm 4) I.l1;
+  A.op3 b I.Subcc I.l2 (Imm 1) I.l2;
+  A.branch b I.Bne "init_loop"
+
+let kernel b =
+  A.load_label b "mat_a" I.l0;
+  A.load_label b "mat_b" I.l1;
+  A.load_label b "mat_c" I.l2;
+  A.mov b (Imm 0) I.l3;
+  (* i *)
+  A.label b "mat_i";
+  A.mov b (Imm 0) I.l4;
+  (* j *)
+  A.label b "mat_j";
+  A.mov b (Imm 0) I.o0;
+  (* acc *)
+  A.mov b (Imm 0) I.o1;
+  (* k *)
+  A.label b "mat_k";
+  (* a[i][k] *)
+  A.op3 b I.Umul I.l3 (Imm (4 * dim)) I.o2;
+  A.op3 b I.Sll I.o1 (Imm 2) I.o3;
+  A.op3 b I.Add I.o2 (Reg I.o3) I.o2;
+  A.op3 b I.Add I.l0 (Reg I.o2) I.o2;
+  A.ld b I.Ld I.o2 (Imm 0) I.o2;
+  (* b[k][j] *)
+  A.op3 b I.Umul I.o1 (Imm (4 * dim)) I.o3;
+  A.op3 b I.Sll I.l4 (Imm 2) I.o4;
+  A.op3 b I.Add I.o3 (Reg I.o4) I.o3;
+  A.op3 b I.Add I.l1 (Reg I.o3) I.o3;
+  A.ld b I.Ld I.o3 (Imm 0) I.o3;
+  A.op3 b I.Smul I.o2 (Reg I.o3) I.o2;
+  A.op3 b I.Add I.o0 (Reg I.o2) I.o0;
+  A.op3 b I.Add I.o1 (Imm 1) I.o1;
+  A.cmp b I.o1 (Imm dim);
+  A.branch b I.Bl "mat_k";
+  (* c[i][j] = acc >> 8 *)
+  A.op3 b I.Sra I.o0 (Imm 8) I.o0;
+  A.op3 b I.Umul I.l3 (Imm (4 * dim)) I.o2;
+  A.op3 b I.Sll I.l4 (Imm 2) I.o3;
+  A.op3 b I.Add I.o2 (Reg I.o3) I.o2;
+  A.op3 b I.Add I.l2 (Reg I.o2) I.o2;
+  A.st b I.St I.o0 I.o2 (Imm 0);
+  A.op3 b I.Add I.l4 (Imm 1) I.l4;
+  A.cmp b I.l4 (Imm dim);
+  A.branch b I.Bl "mat_j";
+  A.op3 b I.Add I.l3 (Imm 1) I.l3;
+  A.cmp b I.l3 (Imm dim);
+  A.branch b I.Bl "mat_i";
+  (* trace of c *)
+  A.mov b (Imm 0) I.o0;
+  A.mov b (Imm 0) I.o1;
+  A.label b "mat_trace";
+  A.op3 b I.Umul I.o1 (Imm ((4 * dim) + 4)) I.o2;
+  A.op3 b I.Add I.l2 (Reg I.o2) I.o2;
+  A.ld b I.Ld I.o2 (Imm 0) I.o2;
+  A.op3 b I.Add I.o0 (Reg I.o2) I.o0;
+  A.op3 b I.Add I.o1 (Imm 1) I.o1;
+  A.cmp b I.o1 (Imm dim);
+  A.branch b I.Bl "mat_trace";
+  Common.store_result b ~index:0 ~src:I.o0 ~addr_tmp:I.o7
+
+let data ~dataset b =
+  let raw = Common.gen_words ~seed:(1501 + dataset) ~n:(2 * words) ~lo:0 ~hi:0xFFFF in
+  A.data_label b "mat_in";
+  A.words b raw;
+  A.data_label b "mat_a";
+  A.space_words b words;
+  A.data_label b "mat_b";
+  A.space_words b words;
+  A.data_label b "mat_c";
+  A.space_words b words
+
+let program ?(iterations = 2) ?(dataset = 0) () =
+  Common.standard ~name ~iterations ~init ~kernel ~data:(data ~dataset)

@@ -1,0 +1,52 @@
+(** Synthetic memory-intensive benchmark ("membench" of the paper's
+    Table 1): a narrow-opcode copy/accumulate sweep designed to stress
+    load/store traffic while keeping instruction diversity low
+    (~18 types), to pull the diversity axis of Fig. 7 down. *)
+
+module A = Sparc.Asm
+module I = Sparc.Isa
+
+let name = "membench"
+
+let n_words = 48
+
+let program ?(iterations = 6) ?(dataset = 0) () =
+  let b = A.create ~name () in
+  let input = Common.gen_words ~seed:(1001 + dataset) ~n:n_words ~lo:1 ~hi:Bitops.mask32 in
+  A.prologue b;
+  A.set32 b iterations I.l6;
+  A.label b "mb_iter";
+  A.load_label b "mb_src" I.l0;
+  A.load_label b "mb_dst" I.l1;
+  A.set32 b n_words I.l2;
+  A.mov b (Imm 0) I.l3;
+  A.label b "mb_loop";
+  (* word copy + running sum *)
+  A.ld b I.Ld I.l0 (Imm 0) I.o0;
+  A.op3 b I.Add I.l3 (Reg I.o0) I.l3;
+  A.st b I.St I.o0 I.l1 (Imm 0);
+  (* byte echo of the low byte *)
+  A.ld b I.Ldub I.l0 (Imm 3) I.o1;
+  A.st b I.Stb I.o1 I.l1 (Imm 3);
+  (* halfword swap of the upper half *)
+  A.ld b I.Lduh I.l0 (Imm 0) I.o2;
+  A.st b I.Sth I.o2 I.l1 (Imm 0);
+  (* masked fold of the tail pointer distance *)
+  A.op3 b I.Sub I.l1 (Reg I.l0) I.o3;
+  A.op3 b I.And I.o3 (Imm 0xFC) I.o3;
+  A.op3 b I.Srl I.o0 (Imm 16) I.o4;
+  A.op3 b I.Add I.l3 (Reg I.o4) I.l3;
+  A.op3 b I.Add I.l0 (Imm 4) I.l0;
+  A.op3 b I.Add I.l1 (Imm 4) I.l1;
+  A.op3 b I.Subcc I.l2 (Imm 1) I.l2;
+  A.branch b I.Bne "mb_loop";
+  A.op3 b I.Subcc I.l6 (Imm 1) I.l6;
+  A.branch b I.Bne "mb_iter";
+  A.set32 b Sparc.Layout.result_base I.l4;
+  A.st b I.St I.l3 I.l4 (Imm 0);
+  A.halt b I.l3;
+  A.data_label b "mb_src";
+  A.words b input;
+  A.data_label b "mb_dst";
+  A.space_words b n_words;
+  A.assemble b

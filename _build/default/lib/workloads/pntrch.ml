@@ -1,0 +1,95 @@
+(** Pointer chase (EEMBC Autobench [pntrch01]).
+
+    Token search through a linked structure: follow a chain of nodes
+    laid out pseudo-randomly in memory, matching each node's token
+    against a target and counting hops — load-latency bound, cache
+    unfriendly, as the EEMBC original. *)
+
+module A = Sparc.Asm
+module I = Sparc.Isa
+
+let name = "pntrch"
+
+let n_nodes = 24
+
+(* Node layout: word 0 = next-node address, word 1 = token. *)
+let init b =
+  (* Link the nodes into a permutation chain derived from the token
+     seeds, terminating back at node 0. *)
+  A.load_label b "ptr_nodes" I.l0;
+  A.load_label b "ptr_perm" I.l1;
+  A.set32 b n_nodes I.l2;
+  A.mov b (Reg I.l0) I.l3;
+  (* current node *)
+  A.label b "init_loop";
+  A.ld b I.Ld I.l1 (Imm 0) I.l4;
+  (* successor index *)
+  A.op3 b I.Sll I.l4 (Imm 3) I.l4;
+  (* *8 bytes per node *)
+  A.op3 b I.Add I.l0 (Reg I.l4) I.l4;
+  A.st b I.St I.l4 I.l3 (Imm 0);
+  A.mov b (Reg I.l4) I.l3;
+  A.op3 b I.Add I.l1 (Imm 4) I.l1;
+  A.op3 b I.Subcc I.l2 (Imm 1) I.l2;
+  A.branch b I.Bne "init_loop"
+
+let kernel b =
+  A.load_label b "ptr_nodes" I.l0;
+  A.load_label b "ptr_targets" I.l1;
+  A.mov b (Imm 0) I.l2;
+  (* found count *)
+  A.mov b (Imm 0) I.l3;
+  (* hop count *)
+  A.mov b (Imm 4) I.l4;
+  (* searches to run *)
+  A.label b "ptr_search";
+  A.ld b I.Ld I.l1 (Imm 0) I.o0;
+  (* target token *)
+  A.mov b (Reg I.l0) I.o1;
+  (* cursor *)
+  A.set32 b (2 * n_nodes) I.o2;
+  (* hop budget *)
+  A.label b "ptr_hop";
+  A.ld b I.Ld I.o1 (Imm 4) I.o3;
+  (* token *)
+  A.op3 b I.Xorcc I.o3 (Reg I.o0) I.g0;
+  A.branch b I.Be "ptr_found";
+  A.ld b I.Ld I.o1 (Imm 0) I.o1;
+  (* follow next *)
+  A.op3 b I.Add I.l3 (Imm 1) I.l3;
+  A.op3 b I.Subcc I.o2 (Imm 1) I.o2;
+  A.branch b I.Bne "ptr_hop";
+  A.branch b I.Ba "ptr_next";
+  A.label b "ptr_found";
+  A.op3 b I.Add I.l2 (Imm 1) I.l2;
+  A.label b "ptr_next";
+  A.op3 b I.Add I.l1 (Imm 4) I.l1;
+  A.op3 b I.Subcc I.l4 (Imm 1) I.l4;
+  A.branch b I.Bne "ptr_search";
+  Common.store_result b ~index:0 ~src:I.l2 ~addr_tmp:I.o7;
+  Common.store_result b ~index:1 ~src:I.l3 ~addr_tmp:I.o7
+
+let data ~dataset b =
+  let rng = Stats.Rng.create (1401 + dataset) in
+  (* a single-cycle permutation so every search can reach every node *)
+  let perm = Array.init n_nodes (fun i -> i) in
+  Stats.Rng.shuffle rng perm;
+  let succ = Array.make n_nodes 0 in
+  for i = 0 to n_nodes - 1 do
+    succ.(perm.(i)) <- perm.((i + 1) mod n_nodes)
+  done;
+  let tokens = Common.gen_words ~seed:(1402 + dataset) ~n:n_nodes ~lo:1 ~hi:0xFFFF in
+  A.data_label b "ptr_nodes";
+  for i = 0 to n_nodes - 1 do
+    A.word b 0;
+    (* next pointer, filled by init *)
+    A.word b tokens.(i)
+  done;
+  A.data_label b "ptr_perm";
+  A.words b succ;
+  A.data_label b "ptr_targets";
+  (* two guaranteed hits, two probable misses *)
+  A.words b [| tokens.(3); tokens.(n_nodes - 1); 0x1_0000 land 0xFFFF lor 0x3; 0x7 |]
+
+let program ?(iterations = 2) ?(dataset = 0) () =
+  Common.standard ~name ~iterations ~init ~kernel ~data:(data ~dataset)

@@ -1,0 +1,102 @@
+(** Pulse-width modulation (EEMBC Autobench [puwmod01]).
+
+    Generates PWM duty cycles for a command table: per command, the
+    duty count is derived from the commanded torque, the carrier
+    counter is swept over one period, and the output port bit pattern
+    is built with set/clear/toggle masks, counting edges, exactly the
+    bit-banging structure of the EEMBC kernel. *)
+
+module A = Sparc.Asm
+module I = Sparc.Isa
+
+let name = "puwmod"
+
+let n_commands = 16
+
+let period = 64
+
+let init b =
+  (* Scale raw torque commands into duty counts in [1, period]. *)
+  A.load_label b "puw_in" I.l0;
+  A.load_label b "puw_duty" I.l1;
+  A.set32 b n_commands I.l2;
+  A.label b "init_loop";
+  A.ld b I.Ld I.l0 (Imm 0) I.l3;
+  A.op3 b I.Umul I.l3 (Imm period) I.l3;
+  A.set32 b 1000 I.l4;
+  A.op3 b I.Udiv I.l3 (Reg I.l4) I.l3;
+  A.op3 b I.Orcc I.l3 (Imm 0) I.g0;
+  A.branch b I.Bne "init_nz";
+  A.mov b (Imm 1) I.l3;
+  A.label b "init_nz";
+  A.st b I.St I.l3 I.l1 (Imm 0);
+  A.op3 b I.Add I.l0 (Imm 4) I.l0;
+  A.op3 b I.Add I.l1 (Imm 4) I.l1;
+  A.op3 b I.Subcc I.l2 (Imm 1) I.l2;
+  A.branch b I.Bne "init_loop"
+
+let kernel b =
+  A.load_label b "puw_duty" I.l0;
+  A.set32 b n_commands I.l1;
+  A.mov b (Imm 0) I.l2;
+  (* port shadow *)
+  A.mov b (Imm 0) I.l3;
+  (* edge count *)
+  A.mov b (Imm 0) I.l4;
+  (* high-time accumulator *)
+  A.label b "puw_cmd";
+  A.ld b I.Ld I.l0 (Imm 0) I.o0;
+  (* duty count *)
+  A.mov b (Imm 0) I.o1;
+  (* carrier counter *)
+  A.label b "puw_carrier";
+  A.cmp b I.o1 (Reg I.o0);
+  A.branch b I.Bcc "puw_low";
+  (* high phase: set bit 3, clear bit 5, accumulate high time *)
+  A.op3 b I.Or I.l2 (Imm 8) I.o2;
+  A.op3 b I.Andn I.o2 (Imm 32) I.o2;
+  A.op3 b I.Add I.l4 (Imm 1) I.l4;
+  A.branch b I.Ba "puw_apply";
+  A.label b "puw_low";
+  (* low phase: clear bit 3, set bit 5 *)
+  A.op3 b I.Andn I.l2 (Imm 8) I.o2;
+  A.op3 b I.Or I.o2 (Imm 32) I.o2;
+  A.label b "puw_apply";
+  (* edge detection: did any port bit change? *)
+  A.op3 b I.Xorcc I.o2 (Reg I.l2) I.g0;
+  A.branch b I.Be "puw_no_edge";
+  A.op3 b I.Add I.l3 (Imm 1) I.l3;
+  A.label b "puw_no_edge";
+  A.mov b (Reg I.o2) I.l2;
+  A.op3 b I.Add I.o1 (Imm 4) I.o1;
+  (* carrier step of 4 keeps dynamic counts tractable *)
+  A.cmp b I.o1 (Imm period);
+  A.branch b I.Bl "puw_carrier";
+  (* write the final port byte of this command to the port register *)
+  A.load_label b "puw_port" I.o3;
+  A.st b I.Stb I.l2 I.o3 (Imm 0);
+  A.op3 b I.Add I.l0 (Imm 4) I.l0;
+  A.op3 b I.Subcc I.l1 (Imm 1) I.l1;
+  A.branch b I.Bne "puw_cmd";
+  (* dither check: signed parity of high time, toggles with xnor mask *)
+  A.op3 b I.Sra I.l4 (Imm 3) I.o4;
+  A.op3 b I.Xnor I.o4 (Imm 0) I.o5;
+  A.op3 b I.Subcc I.o5 (Imm (-1)) I.g0;
+  A.branch b I.Bvc "puw_no_ovf";
+  A.mov b (Imm 0) I.o5;
+  A.label b "puw_no_ovf";
+  Common.store_result b ~index:0 ~src:I.l3 ~addr_tmp:I.o7;
+  Common.store_result b ~index:1 ~src:I.l4 ~addr_tmp:I.o7;
+  Common.store_result b ~index:2 ~src:I.o5 ~addr_tmp:I.o7
+
+let data ~dataset b =
+  let torques = Common.gen_words ~seed:(301 + dataset) ~n:n_commands ~lo:50 ~hi:999 in
+  A.data_label b "puw_in";
+  A.words b torques;
+  A.data_label b "puw_duty";
+  A.space_words b n_commands;
+  A.data_label b "puw_port";
+  A.space_words b 1
+
+let program ?(iterations = 2) ?(dataset = 0) () =
+  Common.standard ~name ~iterations ~init ~kernel ~data:(data ~dataset)

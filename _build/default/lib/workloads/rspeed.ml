@@ -1,0 +1,103 @@
+(** Road-speed calculation (EEMBC Autobench [rspeed01]).
+
+    Converts wheel-pulse periods into road speed with a constant
+    numerator division, applies an exponential moving-average filter
+    and a hysteresis classifier into speed bands, counting band
+    transitions — the paper's Fig. 4 iteration study runs this
+    workload with 2, 4 and 10 iterations. *)
+
+module A = Sparc.Asm
+module I = Sparc.Isa
+
+let name = "rspeed"
+
+let n_pulses = 20
+
+let speed_k = 360_000 (* distance constant: speed = k / period *)
+
+let init b =
+  (* Bound the pulse periods away from zero (stalled-wheel guard). *)
+  A.load_label b "rsp_in" I.l0;
+  A.load_label b "rsp_work" I.l1;
+  A.set32 b n_pulses I.l2;
+  A.label b "init_loop";
+  A.ld b I.Ld I.l0 (Imm 0) I.l3;
+  A.op3 b I.Orcc I.l3 (Imm 0) I.g0;
+  A.branch b I.Bne "init_nz";
+  A.mov b (Imm 1) I.l3;
+  A.label b "init_nz";
+  A.st b I.St I.l3 I.l1 (Imm 0);
+  A.op3 b I.Add I.l0 (Imm 4) I.l0;
+  A.op3 b I.Add I.l1 (Imm 4) I.l1;
+  A.op3 b I.Subcc I.l2 (Imm 1) I.l2;
+  A.branch b I.Bne "init_loop"
+
+let kernel b =
+  A.load_label b "rsp_work" I.l0;
+  A.set32 b n_pulses I.l1;
+  A.mov b (Imm 0) I.l2;
+  (* filtered speed *)
+  A.mov b (Imm 0) I.l3;
+  (* current band *)
+  A.mov b (Imm 0) I.l4;
+  (* band transition count *)
+  A.mov b (Imm 0) I.l5;
+  (* top-speed latch *)
+  A.label b "rsp_loop";
+  A.ld b I.Ld I.l0 (Imm 0) I.o0;
+  A.set32 b speed_k I.o1;
+  A.op3 b I.Udiv I.o1 (Reg I.o0) I.o2;
+  (* raw speed *)
+  (* EMA filter: f += (raw - f) >> 2, signed *)
+  A.op3 b I.Sub I.o2 (Reg I.l2) I.o3;
+  A.op3 b I.Sra I.o3 (Imm 2) I.o3;
+  A.op3 b I.Addcc I.l2 (Reg I.o3) I.l2;
+  A.branch b I.Bpos "rsp_nonneg";
+  A.mov b (Imm 0) I.l2;
+  A.label b "rsp_nonneg";
+  (* track the top speed with an unsigned compare *)
+  A.cmp b I.l5 (Reg I.l2);
+  A.branch b I.Bgu "rsp_no_top";
+  A.mov b (Reg I.l2) I.l5;
+  A.label b "rsp_no_top";
+  (* hysteresis bands at 300/600/900 with an 8-count dead zone *)
+  A.op3 b I.Umul I.l3 (Imm 300) I.o4;
+  A.op3 b I.Add I.o4 (Imm 8) I.o4;
+  A.cmp b I.l2 (Reg I.o4);
+  A.branch b I.Bleu "rsp_no_up";
+  A.op3 b I.Add I.l3 (Imm 1) I.l3;
+  A.op3 b I.Add I.l4 (Imm 1) I.l4;
+  A.branch b I.Ba "rsp_band_done";
+  A.label b "rsp_no_up";
+  A.op3 b I.Subcc I.o4 (Imm 316) I.o4;
+  A.branch b I.Bneg "rsp_band_done";
+  A.cmp b I.l2 (Reg I.o4);
+  A.branch b I.Bcc "rsp_band_done";
+  A.op3 b I.Subcc I.l3 (Imm 1) I.l3;
+  A.branch b I.Bpos "rsp_down_ok";
+  A.mov b (Imm 0) I.l3;
+  A.label b "rsp_down_ok";
+  A.op3 b I.Add I.l4 (Imm 1) I.l4;
+  A.label b "rsp_band_done";
+  (* publish the band byte to the dashboard port *)
+  A.load_label b "rsp_port" I.o5;
+  A.st b I.Stb I.l3 I.o5 (Imm 0);
+  A.st b I.Sth I.l2 I.o5 (Imm 2);
+  A.op3 b I.Add I.l0 (Imm 4) I.l0;
+  A.op3 b I.Subcc I.l1 (Imm 1) I.l1;
+  A.branch b I.Bne "rsp_loop";
+  Common.store_result b ~index:0 ~src:I.l2 ~addr_tmp:I.o7;
+  Common.store_result b ~index:1 ~src:I.l4 ~addr_tmp:I.o7;
+  Common.store_result b ~index:2 ~src:I.l5 ~addr_tmp:I.o7
+
+let data ~dataset b =
+  let periods = Common.gen_words ~seed:(601 + dataset) ~n:n_pulses ~lo:200 ~hi:4000 in
+  A.data_label b "rsp_in";
+  A.words b periods;
+  A.data_label b "rsp_work";
+  A.space_words b n_pulses;
+  A.data_label b "rsp_port";
+  A.space_words b 1
+
+let program ?(iterations = 2) ?(dataset = 0) () =
+  Common.standard ~name ~iterations ~init ~kernel ~data:(data ~dataset)

@@ -1,0 +1,45 @@
+module A = Sparc.Asm
+
+type kind = Automotive | Synthetic
+
+type entry = {
+  name : string;
+  kind : kind;
+  default_iterations : int;
+  build : iterations:int -> dataset:int -> A.program;
+}
+
+let entry name kind default_iterations f =
+  { name;
+    kind;
+    default_iterations;
+    build = (fun ~iterations ~dataset -> f ?iterations:(Some iterations) ?dataset:(Some dataset) ()) }
+
+let all =
+  [ entry "a2time" Automotive 2 A2time.program;
+    entry "puwmod" Automotive 2 Puwmod.program;
+    entry "canrdr" Automotive 2 Canrdr.program;
+    entry "ttsprk" Automotive 2 Ttsprk.program;
+    entry "rspeed" Automotive 2 Rspeed.program;
+    entry "tblook" Automotive 2 Tblook.program;
+    entry "basefp" Automotive 2 Basefp.program;
+    entry "bitmnp" Automotive 2 Bitmnp.program;
+    entry "aifirf" Automotive 2 Aifirf.program;
+    entry "iirflt" Automotive 2 Iirflt.program;
+    entry "pntrch" Automotive 2 Pntrch.program;
+    entry "matrix" Automotive 2 Matrix.program;
+    entry "membench" Synthetic 6 Membench.program;
+    entry "intbench" Synthetic 2 Intbench.program ]
+
+let find name = List.find (fun e -> e.name = name) all
+
+let table1_set =
+  List.map find [ "puwmod"; "canrdr"; "ttsprk"; "rspeed"; "membench"; "intbench" ]
+
+let automotive = List.filter (fun e -> e.kind = Automotive) all
+
+let synthetic = List.filter (fun e -> e.kind = Synthetic) all
+
+let names = List.map (fun e -> e.name) all
+
+let kind_name = function Automotive -> "automotive" | Synthetic -> "synthetic"

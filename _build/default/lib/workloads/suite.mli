@@ -1,0 +1,30 @@
+(** Registry of every workload in the study. *)
+
+module A = Sparc.Asm
+
+type kind = Automotive | Synthetic
+
+type entry = {
+  name : string;
+  kind : kind;
+  default_iterations : int;
+  build : iterations:int -> dataset:int -> A.program;
+}
+
+val all : entry list
+(** The eight EEMBC-like automotive kernels plus the two synthetics. *)
+
+val table1_set : entry list
+(** The six benchmarks of the paper's Table 1: puwmod, canrdr, ttsprk,
+    rspeed, membench, intbench. *)
+
+val automotive : entry list
+
+val synthetic : entry list
+
+val find : string -> entry
+(** Raises [Not_found]. *)
+
+val names : string list
+
+val kind_name : kind -> string

@@ -1,0 +1,107 @@
+(** Table lookup and interpolation (EEMBC Autobench [tblook01]).
+
+    Classic sensor-linearisation kernel: binary-search a monotone
+    breakpoint table for each probe value, then linearly interpolate
+    between the bracketing entries with signed arithmetic. *)
+
+module A = Sparc.Asm
+module I = Sparc.Isa
+
+let name = "tblook"
+
+let n_probes = 18
+
+let table_size = 16
+
+let init b =
+  (* Build a monotone breakpoint table by prefix-summing the seeds. *)
+  A.load_label b "tbl_seed" I.l0;
+  A.load_label b "tbl_x" I.l1;
+  A.set32 b table_size I.l2;
+  A.mov b (Imm 0) I.l3;
+  A.label b "init_loop";
+  A.ld b I.Ld I.l0 (Imm 0) I.l4;
+  A.op3 b I.And I.l4 (Imm 0xFF) I.l4;
+  A.op3 b I.Add I.l4 (Imm 1) I.l4;
+  A.op3 b I.Add I.l3 (Reg I.l4) I.l3;
+  A.st b I.St I.l3 I.l1 (Imm 0);
+  A.op3 b I.Add I.l0 (Imm 4) I.l0;
+  A.op3 b I.Add I.l1 (Imm 4) I.l1;
+  A.op3 b I.Subcc I.l2 (Imm 1) I.l2;
+  A.branch b I.Bne "init_loop"
+
+let kernel b =
+  A.load_label b "tbl_probes" I.l0;
+  A.set32 b n_probes I.l1;
+  A.mov b (Imm 0) I.l2;
+  (* interpolated sum *)
+  A.mov b (Imm 0) I.l3;
+  (* out-of-range count *)
+  A.label b "tbl_probe";
+  A.ld b I.Ld I.l0 (Imm 0) I.o0;
+  (* binary search for the bracketing index: lo in o1, hi in o2 *)
+  A.mov b (Imm 0) I.o1;
+  A.mov b (Imm (table_size - 1)) I.o2;
+  A.label b "tbl_search";
+  A.op3 b I.Sub I.o2 (Reg I.o1) I.o3;
+  A.cmp b I.o3 (Imm 1);
+  A.branch b I.Bleu "tbl_found";
+  A.op3 b I.Add I.o1 (Reg I.o2) I.o3;
+  A.op3 b I.Srl I.o3 (Imm 1) I.o3;
+  (* mid *)
+  A.load_label b "tbl_x" I.o4;
+  A.op3 b I.Sll I.o3 (Imm 2) I.o5;
+  A.op3 b I.Add I.o4 (Reg I.o5) I.o4;
+  A.ld b I.Ld I.o4 (Imm 0) I.o4;
+  A.cmp b I.o0 (Reg I.o4);
+  A.branch b I.Bl "tbl_go_left";
+  A.mov b (Reg I.o3) I.o1;
+  A.branch b I.Ba "tbl_search";
+  A.label b "tbl_go_left";
+  A.mov b (Reg I.o3) I.o2;
+  A.branch b I.Ba "tbl_search";
+  A.label b "tbl_found";
+  (* y = y0 + (x - x0) * (y1 - y0) / (x1 - x0), all signed *)
+  A.load_label b "tbl_x" I.o3;
+  A.op3 b I.Sll I.o1 (Imm 2) I.o4;
+  A.op3 b I.Add I.o3 (Reg I.o4) I.o3;
+  A.ld b I.Ld I.o3 (Imm 0) I.o4;
+  (* x0 *)
+  A.ld b I.Ld I.o3 (Imm 4) I.o5;
+  (* x1 *)
+  A.op3 b I.Sub I.o0 (Reg I.o4) I.o0;
+  (* x - x0 *)
+  A.op3 b I.Subcc I.o5 (Reg I.o4) I.o5;
+  (* x1 - x0, guaranteed > 0 *)
+  A.branch b I.Bne "tbl_dx_ok";
+  A.mov b (Imm 1) I.o5;
+  A.label b "tbl_dx_ok";
+  (* y table is x>>1 + idx*3: derive y0,y1 arithmetically (no second
+     table in memory keeps the kernel's loads focused on the search) *)
+  A.op3 b I.Sra I.o4 (Imm 1) I.o4;
+  A.op3 b I.Smul I.o0 (Imm 3) I.o0;
+  A.op3 b I.Sdiv I.o0 (Reg I.o5) I.o0;
+  A.op3 b I.Addcc I.o4 (Reg I.o0) I.o4;
+  A.branch b I.Bvc "tbl_no_ovf";
+  A.op3 b I.Add I.l3 (Imm 1) I.l3;
+  A.mov b (Imm 0) I.o4;
+  A.label b "tbl_no_ovf";
+  A.op3 b I.Add I.l2 (Reg I.o4) I.l2;
+  A.op3 b I.Add I.l0 (Imm 4) I.l0;
+  A.op3 b I.Subcc I.l1 (Imm 1) I.l1;
+  A.branch b I.Bne "tbl_probe";
+  Common.store_result b ~index:0 ~src:I.l2 ~addr_tmp:I.o7;
+  Common.store_result b ~index:1 ~src:I.l3 ~addr_tmp:I.o7
+
+let data ~dataset b =
+  let seeds = Common.gen_words ~seed:(701 + dataset) ~n:table_size ~lo:1 ~hi:0xFFFF in
+  let probes = Common.gen_words ~seed:(702 + dataset) ~n:n_probes ~lo:1 ~hi:2000 in
+  A.data_label b "tbl_seed";
+  A.words b seeds;
+  A.data_label b "tbl_x";
+  A.space_words b table_size;
+  A.data_label b "tbl_probes";
+  A.words b probes
+
+let program ?(iterations = 2) ?(dataset = 0) () =
+  Common.standard ~name ~iterations ~init ~kernel ~data:(data ~dataset)

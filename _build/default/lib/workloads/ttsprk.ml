@@ -1,0 +1,115 @@
+(** Tooth-to-spark advance computation (EEMBC Autobench [ttsprk01]).
+
+    Per tooth event: interpolate the spark-advance table between load
+    and RPM breakpoints, clamp the advance, derive the dwell window
+    with bit masks and accumulate diagnostics.  The paper pairs this
+    benchmark with [puwmod] as the two execute the same instruction
+    {e types} in a different order — the kernel deliberately draws
+    from the same opcode palette. *)
+
+module A = Sparc.Asm
+module I = Sparc.Isa
+
+let name = "ttsprk"
+
+let n_events = 14
+
+let table_size = 8
+
+let init b =
+  (* Clamp raw RPM samples into the table's domain. *)
+  A.load_label b "tts_in" I.l0;
+  A.load_label b "tts_work" I.l1;
+  A.set32 b n_events I.l2;
+  A.set32 b 7999 I.l4;
+  A.label b "init_loop";
+  A.ld b I.Ld I.l0 (Imm 0) I.l3;
+  A.cmp b I.l3 (Reg I.l4);
+  A.branch b I.Bleu "init_ok";
+  A.mov b (Reg I.l4) I.l3;
+  A.label b "init_ok";
+  A.st b I.St I.l3 I.l1 (Imm 0);
+  A.op3 b I.Add I.l0 (Imm 4) I.l0;
+  A.op3 b I.Add I.l1 (Imm 4) I.l1;
+  A.op3 b I.Subcc I.l2 (Imm 1) I.l2;
+  A.branch b I.Bne "init_loop"
+
+let kernel b =
+  A.load_label b "tts_work" I.l0;
+  A.load_label b "tts_table" I.l1;
+  A.set32 b n_events I.l2;
+  A.mov b (Imm 0) I.l3;
+  (* advance accumulator *)
+  A.mov b (Imm 0) I.l4;
+  (* clamp count *)
+  A.mov b (Imm 0) I.l5;
+  (* dwell mask shadow *)
+  A.label b "tts_loop";
+  A.ld b I.Ld I.l0 (Imm 0) I.o0;
+  (* rpm *)
+  (* table cell: idx = rpm / 1000, frac = (rpm % 1000) scaled *)
+  A.set32 b 1000 I.o1;
+  A.op3 b I.Udiv I.o0 (Reg I.o1) I.o2;
+  A.op3 b I.Umul I.o2 (Reg I.o1) I.o3;
+  A.op3 b I.Sub I.o0 (Reg I.o3) I.o3;
+  (* residual rpm *)
+  A.cmp b I.o2 (Imm (table_size - 1));
+  A.branch b I.Bl "tts_idx_ok";
+  A.mov b (Imm (table_size - 2)) I.o2;
+  A.op3 b I.Add I.l4 (Imm 1) I.l4;
+  A.label b "tts_idx_ok";
+  (* interpolate adv = t[i] + (t[i+1]-t[i]) * frac / 1000, signed *)
+  A.op3 b I.Sll I.o2 (Imm 2) I.o4;
+  A.op3 b I.Add I.l1 (Reg I.o4) I.o4;
+  A.ld b I.Ld I.o4 (Imm 0) I.o5;
+  A.ld b I.Ld I.o4 (Imm 4) I.o4;
+  A.op3 b I.Sub I.o4 (Reg I.o5) I.o4;
+  A.op3 b I.Smul I.o4 (Reg I.o3) I.o4;
+  A.op3 b I.Sdiv I.o4 (Reg I.o1) I.o4;
+  A.op3 b I.Addcc I.o5 (Reg I.o4) I.o5;
+  (* negative advance is clamped (retard limit) *)
+  A.branch b I.Bpos "tts_pos";
+  A.mov b (Imm 0) I.o5;
+  A.op3 b I.Add I.l4 (Imm 1) I.l4;
+  A.label b "tts_pos";
+  A.op3 b I.Addcc I.l3 (Reg I.o5) I.l3;
+  A.op3 b I.Addx I.l3 (Imm 0) I.l3;
+  (* dwell window mask from the tooth parity *)
+  A.op3 b I.Andcc I.o0 (Imm 1) I.g0;
+  A.branch b I.Be "tts_even";
+  A.op3 b I.Or I.l5 (Imm 0x11) I.l5;
+  A.op3 b I.Xnor I.l5 (Imm 0) I.o3;
+  A.branch b I.Ba "tts_mask_done";
+  A.label b "tts_even";
+  A.op3 b I.Andn I.l5 (Imm 0x10) I.l5;
+  A.op3 b I.Xorcc I.l5 (Imm 0) I.o3;
+  A.branch b I.Bvc "tts_mask_done";
+  A.mov b (Imm 0) I.l5;
+  A.label b "tts_mask_done";
+  (* publish per-event dwell byte *)
+  A.load_label b "tts_port" I.o4;
+  A.st b I.Stb I.l5 I.o4 (Imm 0);
+  A.st b I.Sth I.o5 I.o4 (Imm 2);
+  A.op3 b I.Add I.l0 (Imm 4) I.l0;
+  A.op3 b I.Subcc I.l2 (Imm 1) I.l2;
+  A.branch b I.Bne "tts_loop";
+  A.op3 b I.Sra I.l3 (Imm 2) I.o0;
+  A.op3 b I.Srl I.l3 (Imm 16) I.o1;
+  Common.store_result b ~index:0 ~src:I.o0 ~addr_tmp:I.o7;
+  Common.store_result b ~index:1 ~src:I.o1 ~addr_tmp:I.o7;
+  Common.store_result b ~index:2 ~src:I.l4 ~addr_tmp:I.o7
+
+let data ~dataset b =
+  let rpms = Common.gen_words ~seed:(401 + dataset) ~n:n_events ~lo:600 ~hi:9500 in
+  let table = Common.gen_words ~seed:(402 + dataset) ~n:table_size ~lo:5 ~hi:350 in
+  A.data_label b "tts_in";
+  A.words b rpms;
+  A.data_label b "tts_work";
+  A.space_words b n_events;
+  A.data_label b "tts_table";
+  A.words b table;
+  A.data_label b "tts_port";
+  A.space_words b 1
+
+let program ?(iterations = 2) ?(dataset = 0) () =
+  Common.standard ~name ~iterations ~init ~kernel ~data:(data ~dataset)

@@ -1,0 +1,1 @@
+test/test_correlation.ml: Alcotest Correlation Fault_injection Lazy List Report Rtl Stats String Unix Workloads

@@ -1,0 +1,1 @@
+test/test_diversity.ml: Alcotest Diversity Lazy Leon3 List QCheck2 QCheck_alcotest Sparc

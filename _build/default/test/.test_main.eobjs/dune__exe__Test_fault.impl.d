@@ -1,0 +1,1 @@
+test/test_fault.ml: Alcotest Array Fault_injection Lazy Leon3 List Rtl Sparc String

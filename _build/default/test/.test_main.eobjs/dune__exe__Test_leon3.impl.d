@@ -1,0 +1,1 @@
+test/test_leon3.ml: Alcotest Bitops Iss Lazy Leon3 List Printf QCheck2 QCheck_alcotest Rtl Sparc Workloads

@@ -1,0 +1,1 @@
+test/test_rtl.ml: Alcotest Array Filename In_channel List Rtl String Sys

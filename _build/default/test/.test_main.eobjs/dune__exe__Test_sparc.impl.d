@@ -1,0 +1,1 @@
+test/test_sparc.ml: Alcotest Array Bitops Iss List QCheck2 QCheck_alcotest Sparc String

@@ -1,0 +1,160 @@
+(* Unit and property tests for the 32-bit word arithmetic layer. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_of_int () =
+  check_int "truncates" 0x2345_6789 (Bitops.of_int 0x1_2345_6789);
+  check_int "identity" 42 (Bitops.of_int 42);
+  check_int "negative wraps" 0xFFFF_FFFF (Bitops.of_int (-1))
+
+let test_signedness () =
+  check_int "positive" 5 (Bitops.to_signed 5);
+  check_int "minus one" (-1) (Bitops.to_signed 0xFFFF_FFFF);
+  check_int "int32 min" (-0x8000_0000) (Bitops.to_signed 0x8000_0000);
+  check_bool "negative" true (Bitops.is_negative 0x8000_0000);
+  check_bool "positive" false (Bitops.is_negative 0x7FFF_FFFF)
+
+let test_int32_roundtrip () =
+  List.iter
+    (fun w -> check_int "roundtrip" w (Bitops.of_int32 (Bitops.to_int32 w)))
+    [ 0; 1; 0x7FFF_FFFF; 0x8000_0000; 0xFFFF_FFFF; 0xDEAD_BEEF ]
+
+let test_add_full () =
+  let r, c, v = Bitops.add_full 0xFFFF_FFFF 1 0 in
+  check_int "wrap result" 0 r;
+  check_bool "carry out" true c;
+  check_bool "no overflow" false v;
+  let r, c, v = Bitops.add_full 0x7FFF_FFFF 1 0 in
+  check_int "result" 0x8000_0000 r;
+  check_bool "no carry" false c;
+  check_bool "signed overflow" true v;
+  let r, c, _ = Bitops.add_full 1 1 1 in
+  check_int "carry in" 3 r;
+  check_bool "no carry out" false c
+
+let test_sub_full () =
+  let r, borrow, v = Bitops.sub_full 0 1 0 in
+  check_int "wrap" 0xFFFF_FFFF r;
+  check_bool "borrow" true borrow;
+  check_bool "no ovf" false v;
+  let r, borrow, v = Bitops.sub_full 0x8000_0000 1 0 in
+  check_int "result" 0x7FFF_FFFF r;
+  check_bool "no borrow" false borrow;
+  check_bool "overflow" true v;
+  let r, _, _ = Bitops.sub_full 5 3 1 in
+  check_int "borrow in" 1 r
+
+let test_mul_full () =
+  let hi, lo = Bitops.mul_full ~signed:false 0xFFFF_FFFF 0xFFFF_FFFF in
+  check_int "u hi" 0xFFFF_FFFE hi;
+  check_int "u lo" 1 lo;
+  let hi, lo = Bitops.mul_full ~signed:true 0xFFFF_FFFF 0xFFFF_FFFF in
+  (* (-1) * (-1) = 1 *)
+  check_int "s hi" 0 hi;
+  check_int "s lo" 1 lo;
+  let hi, lo = Bitops.mul_full ~signed:true 0xFFFF_FFFE 3 in
+  (* -2 * 3 = -6 *)
+  check_int "neg hi" 0xFFFF_FFFF hi;
+  check_int "neg lo" 0xFFFF_FFFA lo
+
+let test_div32 () =
+  (match Bitops.div32 ~signed:false ~hi:0 ~lo:100 7 with
+  | Some (q, ovf) ->
+      check_int "100/7" 14 q;
+      check_bool "no ovf" false ovf
+  | None -> Alcotest.fail "unexpected zero divide");
+  check_bool "divide by zero" true (Bitops.div32 ~signed:false ~hi:0 ~lo:5 0 = None);
+  (match Bitops.div32 ~signed:true ~hi:0xFFFF_FFFF ~lo:0xFFFF_FFF6 2 with
+  | Some (q, _) -> check_int "-10/2" 0xFFFF_FFFB q
+  | None -> Alcotest.fail "unexpected zero divide");
+  (* unsigned overflow clamps: (2^32 * 16) / 2 > 2^32-1 *)
+  (match Bitops.div32 ~signed:false ~hi:16 ~lo:0 2 with
+  | Some (q, ovf) ->
+      check_int "clamped" 0xFFFF_FFFF q;
+      check_bool "overflowed" true ovf
+  | None -> Alcotest.fail "unexpected zero divide")
+
+let test_shifts () =
+  check_int "shl" 0x8000_0000 (Bitops.shl 1 31);
+  check_int "shl masks count" 2 (Bitops.shl 1 33);
+  check_int "shr" 1 (Bitops.shr 0x8000_0000 31);
+  check_int "sar sign" 0xFFFF_FFFF (Bitops.sar 0x8000_0000 31);
+  check_int "sar positive" 0x0800_0000 (Bitops.sar 0x1000_0000 1)
+
+let test_sext () =
+  check_int "byte positive" 0x7F (Bitops.sext ~bits:8 0x7F);
+  check_int "byte negative" 0xFFFF_FF80 (Bitops.sext ~bits:8 0x80);
+  check_int "simm13" 0xFFFF_F000 (Bitops.sext ~bits:13 0x1000);
+  check_int "full width" 0xDEAD_BEEF (Bitops.sext ~bits:32 0xDEAD_BEEF)
+
+let test_fields () =
+  check_int "bits" 0xD (Bitops.bits ~hi:15 ~lo:12 0xDEAD);
+  check_int "bit" 1 (Bitops.bit 31 0x8000_0000);
+  check_int "set" 0b101 (Bitops.set_bit 2 0b001);
+  check_int "clear" 0b001 (Bitops.clear_bit 2 0b101);
+  check_int "update true" 0b100 (Bitops.update_bit 2 true 0);
+  check_int "update false" 0 (Bitops.update_bit 2 false 0b100);
+  check_int "popcount" 8 (Bitops.popcount 0xFF);
+  check_int "popcount full" 32 (Bitops.popcount 0xFFFF_FFFF)
+
+let test_compare () =
+  check_bool "ult" true (Bitops.ult 1 0xFFFF_FFFF);
+  check_bool "slt opposite" true (Bitops.slt 0xFFFF_FFFF 1);
+  check_bool "ult false" false (Bitops.ult 0xFFFF_FFFF 1);
+  check_bool "slt false" false (Bitops.slt 1 0xFFFF_FFFF)
+
+(* Properties: agreement with Int64 reference arithmetic. *)
+
+let gen_word = QCheck2.Gen.(map (fun x -> x land Bitops.mask32) (int_bound max_int))
+
+let prop_add_matches_int64 =
+  QCheck2.Test.make ~name:"add matches Int64" ~count:500
+    QCheck2.Gen.(pair gen_word gen_word)
+    (fun (a, b) ->
+      let expected =
+        Int64.to_int (Int64.logand (Int64.add (Int64.of_int a) (Int64.of_int b)) 0xFFFF_FFFFL)
+      in
+      Bitops.add a b = expected)
+
+let prop_sub_neg =
+  QCheck2.Test.make ~name:"a - b = a + (-b)" ~count:500
+    QCheck2.Gen.(pair gen_word gen_word)
+    (fun (a, b) -> Bitops.sub a b = Bitops.add a (Bitops.neg b))
+
+let prop_mul_low_sign_invariant =
+  QCheck2.Test.make ~name:"signed/unsigned mul agree on low word" ~count:500
+    QCheck2.Gen.(pair gen_word gen_word)
+    (fun (a, b) ->
+      snd (Bitops.mul_full ~signed:true a b) = snd (Bitops.mul_full ~signed:false a b))
+
+let prop_sext_idempotent =
+  QCheck2.Test.make ~name:"sext idempotent" ~count:500
+    QCheck2.Gen.(pair (int_range 1 32) gen_word)
+    (fun (bits, x) ->
+      let once = Bitops.sext ~bits x in
+      Bitops.sext ~bits once = once)
+
+let prop_shift_inverse =
+  QCheck2.Test.make ~name:"shr inverts shl on low bits" ~count:500
+    QCheck2.Gen.(pair (int_bound 31) gen_word)
+    (fun (n, x) ->
+      let low = x land ((1 lsl (32 - n)) - 1) in
+      Bitops.shr (Bitops.shl low n) n = low)
+
+let suite =
+  ( "bitops",
+    [ Alcotest.test_case "of_int" `Quick test_of_int;
+      Alcotest.test_case "signedness" `Quick test_signedness;
+      Alcotest.test_case "int32 roundtrip" `Quick test_int32_roundtrip;
+      Alcotest.test_case "add_full" `Quick test_add_full;
+      Alcotest.test_case "sub_full" `Quick test_sub_full;
+      Alcotest.test_case "mul_full" `Quick test_mul_full;
+      Alcotest.test_case "div32" `Quick test_div32;
+      Alcotest.test_case "shifts" `Quick test_shifts;
+      Alcotest.test_case "sext" `Quick test_sext;
+      Alcotest.test_case "fields" `Quick test_fields;
+      Alcotest.test_case "compare" `Quick test_compare ]
+    @ List.map QCheck_alcotest.to_alcotest
+        [ prop_add_matches_int64; prop_sub_neg; prop_mul_low_sign_invariant;
+          prop_sext_idempotent; prop_shift_inverse ] )

@@ -1,0 +1,156 @@
+(* Tests for the diversity metric and the Eq. (1) predictor. *)
+
+module I = Sparc.Isa
+module U = Sparc.Units
+module M = Diversity.Metric
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_of_histogram_counts () =
+  let hist = [ (I.Add, 10); (I.Ld, 3); (I.St, 2); (I.Bne, 5); (I.Umul, 1) ] in
+  let info = M.of_histogram ~workload:"synthetic" hist in
+  check_int "instructions" 21 info.M.instructions;
+  check_int "memory" 5 info.M.memory_instructions;
+  check_int "diversity" 5 info.M.diversity;
+  check_int "iu = total" info.M.instructions info.M.iu_instructions
+
+let test_per_unit_diversity () =
+  let hist = [ (I.Add, 1); (I.Sub, 1); (I.Sll, 1); (I.Umul, 1) ] in
+  let info = M.of_histogram ~workload:"t" hist in
+  let d u = List.assoc u info.M.per_unit in
+  (* every type goes through fetch/decode *)
+  check_int "fetch sees all types" 4 (d U.Fetch);
+  check_int "adder sees add/sub" 2 (d U.Adder);
+  check_int "shifter sees sll" 1 (d U.Shifter);
+  check_int "multiplier sees umul" 1 (d U.Multiplier);
+  check_int "divider idle" 0 (d U.Divider);
+  check_int "dcache idle" 0 (d U.Dcache)
+
+let test_order_independence () =
+  (* The metric must not depend on execution order: two histograms with
+     the same support but different counts give the same diversity. *)
+  let h1 = [ (I.Add, 1000); (I.Ld, 1) ] in
+  let h2 = [ (I.Add, 1); (I.Ld, 1000) ] in
+  let d h = (M.of_histogram ~workload:"x" h).M.diversity in
+  check_int "same type set, same diversity" (d h1) (d h2)
+
+let test_unit_capacity () =
+  check_int "every opcode can fetch" I.num_opcodes (M.unit_capacity U.Fetch);
+  check_int "two divider types" 2 (M.unit_capacity U.Divider);
+  check_int "three shifter types" 3 (M.unit_capacity U.Shifter);
+  check_bool "dcache loads+stores" true (M.unit_capacity U.Dcache = 8)
+
+let shared_core = lazy (Leon3.Core.build ())
+
+let test_predictor_alpha_normalised () =
+  let p = Diversity.Predictor.of_core (Lazy.force shared_core) in
+  let total = List.fold_left (fun acc (_, a) -> acc +. a) 0. (Diversity.Predictor.alpha p) in
+  Alcotest.(check (float 1e-9)) "alphas sum to 1" 1.0 total;
+  List.iter
+    (fun (_, a) -> check_bool "alpha in [0,1]" true (a >= 0. && a <= 1.))
+    (Diversity.Predictor.alpha p)
+
+let test_predictor_monotonic_in_types () =
+  let p = Diversity.Predictor.of_core (Lazy.force shared_core) in
+  let poor = M.of_histogram ~workload:"poor" [ (I.Add, 10); (I.Bne, 5) ] in
+  let rich =
+    M.of_histogram ~workload:"rich"
+      (List.map (fun op -> (op, 1)) I.all_opcodes)
+  in
+  let s_poor = Diversity.Predictor.utilisation_score p poor in
+  let s_rich = Diversity.Predictor.utilisation_score p rich in
+  check_bool "richer mix scores higher" true (s_rich > s_poor);
+  Alcotest.(check (float 1e-9)) "full ISA scores 1" 1.0 s_rich
+
+let test_predictor_calibration () =
+  let p = Diversity.Predictor.of_core (Lazy.force shared_core) in
+  let mk ops = M.of_histogram ~workload:"w" (List.map (fun op -> (op, 1)) ops) in
+  let i1 = mk [ I.Add ] in
+  let i2 = mk [ I.Add; I.Umul; I.Ld; I.Sll ] in
+  let i3 = mk I.all_opcodes in
+  (* fabricate Pf = 10 * score + 1 and recover it *)
+  let obs =
+    List.map
+      (fun i -> (i, (10. *. Diversity.Predictor.utilisation_score p i) +. 1.))
+      [ i1; i2; i3 ]
+  in
+  let a, b = Diversity.Predictor.calibrate p obs in
+  Alcotest.(check (float 1e-6)) "slope" 10. a;
+  Alcotest.(check (float 1e-6)) "intercept" 1. b;
+  Alcotest.(check (float 1e-6))
+    "predict" 11.
+    (Diversity.Predictor.predict p ~a ~b i3)
+
+(* ---- AVF ---- *)
+
+let avf_fragment body =
+  let b = Sparc.Asm.create ~name:"avf" () in
+  Sparc.Asm.prologue b;
+  body b;
+  Sparc.Asm.halt b I.g0;
+  Diversity.Avf.of_program (Sparc.Asm.assemble b)
+
+let test_avf_bounds_and_counting () =
+  let r =
+    avf_fragment (fun b ->
+        Sparc.Asm.mov b (Imm 5) I.o0;
+        Sparc.Asm.op3 b I.Add I.o0 (Reg I.o0) I.o1;
+        Sparc.Asm.op3 b I.Add I.o1 (Imm 1) I.o1)
+  in
+  Alcotest.(check bool) "avf in range" true (r.Diversity.Avf.avf >= 0. && r.Diversity.Avf.avf <= 1.);
+  Alcotest.(check bool) "reads observed" true (r.Diversity.Avf.reads > 0);
+  Alcotest.(check bool) "writes observed" true (r.Diversity.Avf.writes > 0);
+  Alcotest.(check bool) "some liveness" true (r.Diversity.Avf.live_reg_cycles > 0)
+
+let test_avf_dead_values_not_counted () =
+  (* A value written and immediately overwritten is never ACE; a value
+     held live across a long loop is.  The live variant must score
+     higher despite similar instruction counts. *)
+  let spin b =
+    Sparc.Asm.set32 b 60 I.l0;
+    Sparc.Asm.label b "spin";
+    Sparc.Asm.op3 b I.Subcc I.l0 (Imm 1) I.l0;
+    Sparc.Asm.branch b I.Bne "spin"
+  in
+  let dead =
+    avf_fragment (fun b ->
+        Sparc.Asm.mov b (Imm 1) I.o0;
+        Sparc.Asm.mov b (Imm 2) I.o0;
+        (* overwrites, never read *)
+        spin b)
+  in
+  let live =
+    avf_fragment (fun b ->
+        Sparc.Asm.mov b (Imm 1) I.o0;
+        spin b;
+        Sparc.Asm.op3 b I.Add I.o0 (Imm 1) I.o1 (* read after the loop *))
+  in
+  Alcotest.(check bool) "live value raises AVF" true
+    (live.Diversity.Avf.avf > dead.Diversity.Avf.avf)
+
+let prop_diversity_le_types =
+  QCheck2.Test.make ~name:"diversity bounded by ISA size" ~count:200
+    QCheck2.Gen.(list_size (int_range 0 100) (pair (int_bound (I.num_opcodes - 1)) (int_range 1 50)))
+    (fun raw ->
+      let hist =
+        List.map (fun (i, c) -> (I.opcode_of_index i, c)) raw
+        |> List.sort_uniq (fun (a, _) (b, _) -> compare a b)
+      in
+      let info = M.of_histogram ~workload:"q" hist in
+      info.M.diversity <= I.num_opcodes
+      && info.M.diversity = List.length hist
+      && info.M.memory_instructions <= info.M.instructions)
+
+let suite =
+  ( "diversity",
+    [ Alcotest.test_case "histogram counting" `Quick test_of_histogram_counts;
+      Alcotest.test_case "per-unit diversity" `Quick test_per_unit_diversity;
+      Alcotest.test_case "order independence" `Quick test_order_independence;
+      Alcotest.test_case "unit capacity" `Quick test_unit_capacity;
+      Alcotest.test_case "alpha normalised" `Quick test_predictor_alpha_normalised;
+      Alcotest.test_case "score monotonic" `Quick test_predictor_monotonic_in_types;
+      Alcotest.test_case "calibration" `Quick test_predictor_calibration;
+      Alcotest.test_case "avf bounds" `Quick test_avf_bounds_and_counting;
+      Alcotest.test_case "avf liveness" `Quick test_avf_dead_values_not_counted ]
+    @ [ QCheck_alcotest.to_alcotest prop_diversity_le_types ] )

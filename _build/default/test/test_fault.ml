@@ -1,0 +1,274 @@
+(* Tests for injection-point enumeration and the campaign engine. *)
+
+module A = Sparc.Asm
+module I = Sparc.Isa
+module C = Rtl.Circuit
+module Campaign = Fault_injection.Campaign
+module Injection = Fault_injection.Injection
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let shared_sys = lazy (Leon3.System.create ())
+
+let small_prog =
+  lazy
+    (let b = A.create ~name:"small" () in
+     A.prologue b;
+     A.mov b (Imm 0) I.o0;
+     A.mov b (Imm 0) I.o1;
+     A.label b "loop";
+     A.op3 b I.Add I.o0 (Reg I.o1) I.o0;
+     A.op3 b I.Add I.o1 (Imm 1) I.o1;
+     A.cmp b I.o1 (Imm 8);
+     A.branch b I.Bne "loop";
+     A.set32 b Sparc.Layout.result_base I.o2;
+     A.st b I.St I.o0 I.o2 (Imm 0);
+     A.halt b I.o0;
+     A.assemble b)
+
+(* ---- site enumeration ---- *)
+
+let test_pools_nonempty () =
+  let core = Leon3.System.core (Lazy.force shared_sys) in
+  let iu = Injection.sites core Injection.Iu in
+  let cmem = Injection.sites core Injection.Cmem in
+  check_bool "iu pool large" true (List.length iu > 1000);
+  check_bool "cmem pool large" true (List.length cmem > 1000);
+  let iu_sig = Injection.sites ~include_cells:false core Injection.Iu in
+  check_bool "cells add sites" true (List.length iu > List.length iu_sig)
+
+let test_unit_pools_disjoint_prefixes () =
+  let core = Leon3.System.core (Lazy.force shared_sys) in
+  List.iter
+    (fun u ->
+      let sites = Injection.sites core (Injection.Unit_of u) in
+      List.iter
+        (fun s ->
+          check_bool "attributed to its own unit" true
+            (Injection.unit_of_site_name s.Injection.site_name = Some u))
+        sites)
+    [ Sparc.Units.Adder; Sparc.Units.Shifter; Sparc.Units.Multiplier; Sparc.Units.Divider ]
+
+let test_pool_sizes_cover_everything () =
+  let core = Leon3.System.core (Lazy.force shared_sys) in
+  let sizes = Injection.pool_sizes core in
+  let total = List.fold_left (fun acc (_, n) -> acc + n) 0 sizes in
+  let iu = List.length (Injection.sites core Injection.Iu) in
+  let cmem = List.length (Injection.sites core Injection.Cmem) in
+  check_int "per-unit sizes sum to the two blocks" (iu + cmem) total;
+  (* the register file (with its cells) must dominate the IU, like a
+     real windowed file dominates an integer unit's bit count *)
+  check_bool "regfile biggest IU unit" true
+    (List.assoc Sparc.Units.Regfile sizes > List.assoc Sparc.Units.Adder sizes)
+
+(* ---- golden runs ---- *)
+
+let test_golden_run () =
+  let sys = Lazy.force shared_sys in
+  let golden = Campaign.golden_run sys (Lazy.force small_prog) ~max_cycles:100_000 in
+  check_bool "has writes" true (Array.length golden.Campaign.writes >= 2);
+  check_bool "cycles positive" true (golden.Campaign.cycles > 0);
+  (* golden of a hanging program is a workload bug, not a result *)
+  let b = A.create ~name:"hang" () in
+  A.label b "spin";
+  A.branch b I.Ba "spin";
+  let hang = A.assemble b in
+  Alcotest.check_raises "hanging golden rejected"
+    (Failure "golden run hit the cycle limit") (fun () ->
+      ignore (Campaign.golden_run sys hang ~max_cycles:2_000))
+
+(* ---- single runs ---- *)
+
+let find_site core name =
+  let sites = Injection.sites core Injection.Iu in
+  List.find (fun s -> s.Injection.site_name = name) sites
+
+let test_fault_on_pc_fails () =
+  let sys = Lazy.force shared_sys in
+  let prog = Lazy.force small_prog in
+  let golden = Campaign.golden_run sys prog ~max_cycles:100_000 in
+  let site = find_site (Leon3.System.core sys) "iu.fe.pc[2]" in
+  let r = Campaign.run_one sys prog golden site C.Stuck_at_1 in
+  check_bool "pc fault is a failure" true (r.Campaign.outcome <> Campaign.Silent)
+
+let test_fault_on_divider_is_silent_without_div () =
+  (* The small program never divides: faults inside the divider's
+     quotient datapath cannot reach the outputs. *)
+  let sys = Lazy.force shared_sys in
+  let prog = Lazy.force small_prog in
+  let golden = Campaign.golden_run sys prog ~max_cycles:100_000 in
+  let core = Leon3.System.core sys in
+  let sites = Injection.sites core (Injection.Unit_of Sparc.Units.Divider) in
+  let quotient_sites =
+    List.filter
+      (fun s ->
+        String.length s.Injection.site_name >= 19
+        && String.sub s.Injection.site_name 0 19 = "iu.ex.div.quotient[")
+      sites
+  in
+  check_bool "quotient bits exist" true (List.length quotient_sites = 32);
+  List.iter
+    (fun site ->
+      let r = Campaign.run_one sys prog golden site C.Stuck_at_1 in
+      check_bool ("silent: " ^ site.Injection.site_name) true
+        (r.Campaign.outcome = Campaign.Silent))
+    quotient_sites
+
+let test_latency_measured_on_failures () =
+  let sys = Lazy.force shared_sys in
+  let prog = Lazy.force small_prog in
+  let golden = Campaign.golden_run sys prog ~max_cycles:100_000 in
+  let site = find_site (Leon3.System.core sys) "iu.fe.pc[2]" in
+  let r = Campaign.run_one sys prog golden site C.Stuck_at_1 in
+  match (r.Campaign.outcome, r.Campaign.detect_cycle) with
+  | Campaign.Failure _, Some cyc -> check_bool "latency positive" true (cyc > 0)
+  | Campaign.Failure _, None -> Alcotest.fail "failure without detect cycle"
+  | Campaign.Silent, _ -> Alcotest.fail "expected a failure"
+
+let test_injection_instant_honoured () =
+  let sys = Lazy.force shared_sys in
+  let prog = Lazy.force small_prog in
+  let golden = Campaign.golden_run sys prog ~max_cycles:100_000 in
+  (* injecting after the program finished is necessarily silent *)
+  let site = find_site (Leon3.System.core sys) "iu.fe.pc[2]" in
+  let r =
+    Campaign.run_one sys prog golden ~inject_cycle:(golden.Campaign.cycles + 1000) site
+      C.Stuck_at_1
+  in
+  check_bool "late injection silent" true (r.Campaign.outcome = Campaign.Silent)
+
+(* ---- summaries and campaign ---- *)
+
+let test_summarize () =
+  let mk outcome detect_cycle =
+    { Campaign.site_name = "s"; model = C.Stuck_at_1; outcome; detect_cycle;
+      inject_cycle = 0 }
+  in
+  let results =
+    [ mk Campaign.Silent None;
+      mk (Campaign.Failure (Campaign.Wrong_write 3)) (Some 100);
+      mk (Campaign.Failure (Campaign.Trap 2)) (Some 50);
+      mk (Campaign.Failure Campaign.Hang) (Some 9999) ]
+  in
+  let s = Campaign.summarize results in
+  check_int "injections" 4 s.Campaign.injections;
+  check_int "failures" 3 s.Campaign.failures;
+  Alcotest.(check (float 1e-9)) "pf" 0.75 s.Campaign.pf;
+  check_int "wrong writes" 1 s.Campaign.wrong_writes;
+  check_int "traps" 1 s.Campaign.traps;
+  check_int "hangs" 1 s.Campaign.hangs;
+  (* hang latency excluded: max over {100, 50} *)
+  check_int "max latency" 100 s.Campaign.max_latency
+
+let test_campaign_end_to_end () =
+  let sys = Lazy.force shared_sys in
+  let prog = Lazy.force small_prog in
+  let config =
+    { Campaign.default_config with
+      Campaign.models = [ C.Stuck_at_1; C.Stuck_at_0 ];
+      sample_size = Some 40 }
+  in
+  let progress = ref 0 in
+  let summaries, results =
+    Campaign.run ~config ~on_progress:(fun ~done_:_ ~total:_ -> incr progress) sys prog
+      Injection.Iu
+  in
+  check_int "two models" 2 (List.length summaries);
+  check_int "results = 2 * sample" 80 (List.length results);
+  check_int "progress calls" 80 !progress;
+  List.iter
+    (fun (_, s) ->
+      check_int "per-model injections" 40 s.Campaign.injections;
+      check_bool "pf in range" true (s.Campaign.pf >= 0. && s.Campaign.pf <= 1.))
+    summaries;
+  (* determinism: same config, same results *)
+  let summaries', _ = Campaign.run ~config sys prog Injection.Iu in
+  List.iter2
+    (fun (m, s) (m', s') ->
+      check_bool "model order" true (m = m');
+      check_int "deterministic failures" s.Campaign.failures s'.Campaign.failures)
+    summaries summaries'
+
+let test_parallel_matches_sequential () =
+  let prog = Lazy.force small_prog in
+  let config =
+    { Campaign.default_config with
+      Campaign.models = [ C.Stuck_at_1; C.Open_line ];
+      sample_size = Some 30 }
+  in
+  let seq_summaries, seq_results =
+    Campaign.run ~config (Lazy.force shared_sys) prog Injection.Iu
+  in
+  let par_summaries, par_results =
+    Campaign.run_parallel ~config ~domains:2 (fun () -> Leon3.System.create ()) prog
+      Injection.Iu
+  in
+  List.iter2
+    (fun (m, s) (m', s') ->
+      check_bool "model" true (m = m');
+      check_int "failures equal" s.Campaign.failures s'.Campaign.failures;
+      check_int "injections equal" s.Campaign.injections s'.Campaign.injections)
+    seq_summaries par_summaries;
+  (* per-run verdicts are identical, order included *)
+  check_int "result count" (List.length seq_results) (List.length par_results);
+  let key (r : Campaign.run_result) = (r.Campaign.site_name, r.Campaign.model, r.Campaign.outcome) in
+  check_bool "verdicts identical" true
+    (List.sort compare (List.map key seq_results)
+    = List.sort compare (List.map key par_results))
+
+let test_transient_campaign () =
+  let sys = Lazy.force shared_sys in
+  let prog = Lazy.force small_prog in
+  let s = Campaign.run_transient ~sample:60 ~seed:3 sys prog Injection.Iu in
+  check_int "sampled" 60 s.Campaign.injections;
+  check_bool "pf bounded" true (s.Campaign.pf >= 0. && s.Campaign.pf <= 1.);
+  (* transients must propagate no more often than permanent SA1 *)
+  let golden = Campaign.golden_run sys prog ~max_cycles:100_000 in
+  let config =
+    { Campaign.default_config with
+      Campaign.models = [ Rtl.Circuit.Stuck_at_1 ];
+      sample_size = Some 60;
+      seed = 3 }
+  in
+  ignore golden;
+  let summaries, _ = Campaign.run ~config sys prog Injection.Iu in
+  let permanent = List.assoc Rtl.Circuit.Stuck_at_1 summaries in
+  check_bool "transient <= permanent" true (s.Campaign.pf <= permanent.Campaign.pf)
+
+let test_campaign_same_sites_across_models () =
+  (* The same sampled sites are used for every model (paired design). *)
+  let sys = Lazy.force shared_sys in
+  let prog = Lazy.force small_prog in
+  let config =
+    { Campaign.default_config with
+      Campaign.models = [ C.Stuck_at_1; C.Open_line ];
+      sample_size = Some 25 }
+  in
+  let _, results = Campaign.run ~config sys prog Injection.Iu in
+  let names_of model =
+    List.filter_map
+      (fun (r : Campaign.run_result) ->
+        if r.Campaign.model = model then Some r.Campaign.site_name else None)
+      results
+  in
+  Alcotest.(check (list string))
+    "paired sites"
+    (names_of C.Stuck_at_1)
+    (names_of C.Open_line)
+
+let suite =
+  ( "fault_injection",
+    [ Alcotest.test_case "pools non-empty" `Quick test_pools_nonempty;
+      Alcotest.test_case "unit attribution" `Quick test_unit_pools_disjoint_prefixes;
+      Alcotest.test_case "pool sizes" `Quick test_pool_sizes_cover_everything;
+      Alcotest.test_case "golden run" `Quick test_golden_run;
+      Alcotest.test_case "pc fault fails" `Quick test_fault_on_pc_fails;
+      Alcotest.test_case "unused divider silent" `Slow test_fault_on_divider_is_silent_without_div;
+      Alcotest.test_case "latency measured" `Quick test_latency_measured_on_failures;
+      Alcotest.test_case "injection instant" `Quick test_injection_instant_honoured;
+      Alcotest.test_case "summarize" `Quick test_summarize;
+      Alcotest.test_case "campaign end-to-end" `Slow test_campaign_end_to_end;
+      Alcotest.test_case "parallel = sequential" `Slow test_parallel_matches_sequential;
+      Alcotest.test_case "transient campaign" `Slow test_transient_campaign;
+      Alcotest.test_case "paired sites" `Quick test_campaign_same_sites_across_models ] )

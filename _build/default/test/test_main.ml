@@ -1,0 +1,15 @@
+(* Aggregated alcotest entry point; suites live one per library. *)
+
+let () =
+  Alcotest.run "iss_rtl_correlation"
+    [ Test_bitops.suite;
+      Test_stats.suite;
+      Test_sparc.suite;
+      Test_iss.suite;
+      Test_rtl.suite;
+      Test_leon3.suite;
+      Test_fault.suite;
+      Test_workloads.suite;
+      Test_diversity.suite;
+      Test_report.suite;
+      Test_correlation.suite ]

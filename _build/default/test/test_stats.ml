@@ -1,0 +1,130 @@
+(* Tests for the deterministic RNG, regressions and summaries. *)
+
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 1e-9))
+
+let test_rng_deterministic () =
+  let a = Stats.Rng.create 42 and b = Stats.Rng.create 42 in
+  for _ = 1 to 100 do
+    check_int "same stream" (Stats.Rng.word32 a) (Stats.Rng.word32 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Stats.Rng.create 1 and b = Stats.Rng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Stats.Rng.word32 a = Stats.Rng.word32 b then incr same
+  done;
+  Alcotest.(check bool) "streams differ" true (!same < 4)
+
+let test_rng_copy () =
+  let a = Stats.Rng.create 9 in
+  ignore (Stats.Rng.word32 a);
+  let b = Stats.Rng.copy a in
+  check_int "copy continues identically" (Stats.Rng.word32 a) (Stats.Rng.word32 b)
+
+let test_rng_range () =
+  let rng = Stats.Rng.create 5 in
+  for _ = 1 to 1000 do
+    let v = Stats.Rng.range rng ~lo:10 ~hi:20 in
+    Alcotest.(check bool) "in range" true (v >= 10 && v <= 20)
+  done
+
+let test_sample_without_replacement () =
+  let rng = Stats.Rng.create 11 in
+  let pool = Array.init 100 Fun.id in
+  let sample = Stats.Rng.sample_without_replacement rng 30 pool in
+  check_int "size" 30 (Array.length sample);
+  let sorted = Array.copy sample in
+  Array.sort compare sorted;
+  for i = 1 to 29 do
+    Alcotest.(check bool) "distinct" true (sorted.(i) <> sorted.(i - 1))
+  done;
+  let all = Stats.Rng.sample_without_replacement rng 1000 pool in
+  check_int "clamped to pool" 100 (Array.length all)
+
+let test_linear_regression () =
+  (* y = 2x + 1, exactly *)
+  let fit = Stats.Regression.linear [ (0., 1.); (1., 3.); (2., 5.); (3., 7.) ] in
+  check_float "slope" 2. fit.Stats.Regression.slope;
+  check_float "intercept" 1. fit.Stats.Regression.intercept;
+  check_float "r2" 1. fit.Stats.Regression.r_squared;
+  check_float "predict" 9. (Stats.Regression.predict fit 4.)
+
+let test_log_fit () =
+  (* y = 3 ln x + 2 *)
+  let points = List.map (fun x -> (x, (3. *. log x) +. 2.)) [ 1.; 2.; 5.; 10.; 20. ] in
+  let fit = Stats.Regression.log_fit points in
+  check_float "slope" 3. fit.Stats.Regression.slope;
+  check_float "intercept" 2. fit.Stats.Regression.intercept;
+  check_float "predict_log" ((3. *. log 7.) +. 2.) (Stats.Regression.predict_log fit 7.)
+
+let test_regression_errors () =
+  Alcotest.check_raises "too few points" (Invalid_argument "Regression.linear: need at least two points")
+    (fun () -> ignore (Stats.Regression.linear [ (1., 1.) ]));
+  Alcotest.check_raises "degenerate x" (Invalid_argument "Regression.linear: degenerate x values")
+    (fun () -> ignore (Stats.Regression.linear [ (1., 1.); (1., 2.) ]));
+  Alcotest.check_raises "log of non-positive" (Invalid_argument "Regression.log_fit: x must be positive")
+    (fun () -> ignore (Stats.Regression.log_fit [ (0., 1.); (1., 2.) ]))
+
+let test_pearson () =
+  let r = Stats.Regression.pearson [ (1., 2.); (2., 4.); (3., 6.) ] in
+  check_float "perfect correlation" 1. r;
+  let r = Stats.Regression.pearson [ (1., 6.); (2., 4.); (3., 2.) ] in
+  check_float "perfect anticorrelation" (-1.) r
+
+let test_summary () =
+  let s = Stats.Summary.of_list [ 1.; 2.; 3.; 4. ] in
+  check_int "n" 4 s.Stats.Summary.n;
+  check_float "mean" 2.5 s.Stats.Summary.mean;
+  check_float "min" 1. s.Stats.Summary.min;
+  check_float "max" 4. s.Stats.Summary.max;
+  Alcotest.(check (float 1e-6)) "stddev" 1.290994449 s.Stats.Summary.stddev
+
+let test_percentile () =
+  let xs = [| 1.; 2.; 3.; 4.; 5. |] in
+  check_float "median" 3. (Stats.Summary.percentile xs 50.);
+  check_float "p0" 1. (Stats.Summary.percentile xs 0.);
+  check_float "p100" 5. (Stats.Summary.percentile xs 100.);
+  check_float "interpolated" 1.4 (Stats.Summary.percentile xs 10.)
+
+let test_ratio () =
+  check_float "guarded zero" 0. (Stats.Summary.ratio ~num:3 ~den:0);
+  check_float "plain" 0.75 (Stats.Summary.ratio ~num:3 ~den:4)
+
+let prop_fit_recovers_line =
+  QCheck2.Test.make ~name:"linear fit recovers exact lines" ~count:200
+    QCheck2.Gen.(triple (float_range (-50.) 50.) (float_range (-50.) 50.) (int_range 3 20))
+    (fun (a, b, n) ->
+      let points = List.init n (fun i -> (float_of_int i, (a *. float_of_int i) +. b)) in
+      match Stats.Regression.linear points with
+      | fit ->
+          abs_float (fit.Stats.Regression.slope -. a) < 1e-6
+          && abs_float (fit.Stats.Regression.intercept -. b) < 1e-6
+      | exception Invalid_argument _ -> false)
+
+let prop_shuffle_preserves_multiset =
+  QCheck2.Test.make ~name:"shuffle is a permutation" ~count:200
+    QCheck2.Gen.(pair (int_bound 1000) (list_size (int_range 0 50) (int_bound 100)))
+    (fun (seed, xs) ->
+      let rng = Stats.Rng.create seed in
+      let arr = Array.of_list xs in
+      Stats.Rng.shuffle rng arr;
+      List.sort compare (Array.to_list arr) = List.sort compare xs)
+
+let suite =
+  ( "stats",
+    [ Alcotest.test_case "rng determinism" `Quick test_rng_deterministic;
+      Alcotest.test_case "rng seed sensitivity" `Quick test_rng_seed_sensitivity;
+      Alcotest.test_case "rng copy" `Quick test_rng_copy;
+      Alcotest.test_case "rng range" `Quick test_rng_range;
+      Alcotest.test_case "sampling" `Quick test_sample_without_replacement;
+      Alcotest.test_case "linear regression" `Quick test_linear_regression;
+      Alcotest.test_case "log fit" `Quick test_log_fit;
+      Alcotest.test_case "regression errors" `Quick test_regression_errors;
+      Alcotest.test_case "pearson" `Quick test_pearson;
+      Alcotest.test_case "summary" `Quick test_summary;
+      Alcotest.test_case "percentile" `Quick test_percentile;
+      Alcotest.test_case "ratio" `Quick test_ratio ]
+    @ List.map QCheck_alcotest.to_alcotest
+        [ prop_fit_recovers_line; prop_shuffle_preserves_multiset ] )

@@ -1,0 +1,178 @@
+(* Tests for the workload suite: every program assembles, terminates
+   cleanly on the ISS, has the intended diversity profile, and reacts
+   to its parameters. *)
+
+module E = Iss.Emulator
+module I = Sparc.Isa
+module Suite = Workloads.Suite
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let run ?(iterations = None) ?(dataset = 0) name =
+  let e = Suite.find name in
+  let iterations =
+    match iterations with Some n -> n | None -> e.Suite.default_iterations
+  in
+  E.execute (e.Suite.build ~iterations ~dataset)
+
+let test_all_terminate () =
+  List.iter
+    (fun e ->
+      let r = run e.Suite.name in
+      match r.E.stop with
+      | E.Exited _ -> ()
+      | s -> Alcotest.failf "%s did not exit: %a" e.Suite.name E.pp_stop s)
+    Suite.all
+
+let test_registry () =
+  check_int "fourteen workloads" 14 (List.length Suite.all);
+  check_int "table1 set" 6 (List.length Suite.table1_set);
+  check_int "automotive" 12 (List.length Suite.automotive);
+  check_int "synthetic" 2 (List.length Suite.synthetic);
+  check_bool "find" true ((Suite.find "rspeed").Suite.name = "rspeed");
+  check_bool "names unique" true
+    (List.length (List.sort_uniq compare Suite.names) = List.length Suite.names)
+
+let test_diversity_profile () =
+  (* The paper's Table 1 pattern: automotive benchmarks cluster at high
+     diversity, synthetics sit far below. *)
+  List.iter
+    (fun e ->
+      let r = run e.Suite.name in
+      match e.Suite.kind with
+      | Suite.Automotive ->
+          check_bool
+            (Printf.sprintf "%s diversity %d in automotive band" e.Suite.name r.E.diversity)
+            true
+            (r.E.diversity >= 45 && r.E.diversity <= 58)
+      | Suite.Synthetic ->
+          check_bool
+            (Printf.sprintf "%s diversity %d in synthetic band" e.Suite.name r.E.diversity)
+            true
+            (r.E.diversity >= 8 && r.E.diversity <= 25))
+    Suite.all
+
+let test_paired_diversity_puwmod_ttsprk () =
+  (* The paper uses puwmod/ttsprk as an order-vs-types control pair:
+     their type sets must be nearly identical. *)
+  let a = run "puwmod" and b = run "ttsprk" in
+  let set r = List.map fst r.E.histogram in
+  let diff =
+    List.length (List.filter (fun op -> not (List.mem op (set b))) (set a))
+    + List.length (List.filter (fun op -> not (List.mem op (set a))) (set b))
+  in
+  check_bool "type sets nearly identical" true (diff <= 8)
+
+let test_intbench_memory_starved () =
+  let r = run "intbench" in
+  check_bool "almost no memory instructions" true
+    (r.E.memory_instructions * 50 < r.E.instructions)
+
+let test_membench_memory_heavy () =
+  let r = run "membench" in
+  check_bool "memory instructions dominate" true
+    (r.E.memory_instructions * 3 > r.E.instructions)
+
+let test_iterations_scale_work () =
+  let r2 = run ~iterations:(Some 2) "rspeed" in
+  let r4 = run ~iterations:(Some 4) "rspeed" in
+  check_bool "more iterations, more instructions" true
+    (r4.E.instructions > r2.E.instructions);
+  (* kernel work is roughly linear in iterations *)
+  let delta = r4.E.instructions - r2.E.instructions in
+  check_bool "delta is twice the kernel cost" true (delta > 1000)
+
+let test_datasets_change_data_not_code () =
+  let e = Suite.find "canrdr" in
+  let p0 = e.Suite.build ~iterations:2 ~dataset:0 in
+  let p1 = e.Suite.build ~iterations:2 ~dataset:1 in
+  check_bool "same code" true (p0.Sparc.Asm.code = p1.Sparc.Asm.code);
+  check_bool "different data" true (p0.Sparc.Asm.data <> p1.Sparc.Asm.data)
+
+let test_results_published () =
+  (* Every automotive workload must write into the result region and
+     publish a final CRC (slot result_words-1). *)
+  let crc_addr =
+    Sparc.Layout.result_base + (4 * (Workloads.Common.result_words - 1))
+  in
+  List.iter
+    (fun e ->
+      let r = run e.Suite.name in
+      let wrote_crc =
+        List.exists
+          (function
+            | Sparc.Bus_event.Write { addr; _ } -> addr = crc_addr
+            | Sparc.Bus_event.Read _ -> false)
+          r.E.writes
+      in
+      check_bool (e.Suite.name ^ " publishes a CRC") true wrote_crc)
+    Suite.automotive
+
+let test_crc_reference_matches () =
+  (* The harness's in-guest CRC equals the host-side reference over the
+     final result-region bytes. *)
+  let e = Suite.find "tblook" in
+  let prog = e.Suite.build ~iterations:2 ~dataset:0 in
+  let t = E.create prog in
+  (match E.run t with E.Exited _ -> () | s -> Alcotest.failf "%a" E.pp_stop s);
+  let mem = E.memory t in
+  let n_bytes = 4 * (Workloads.Common.result_words - 1) in
+  let bytes =
+    Array.init n_bytes (fun i ->
+        Sparc.Memory.load_byte mem (Sparc.Layout.result_base + i))
+  in
+  let expected = Workloads.Common.crc16_reference bytes in
+  let crc_addr =
+    Sparc.Layout.result_base + (4 * (Workloads.Common.result_words - 1))
+  in
+  check_int "crc matches host reference" expected (Sparc.Memory.load_word mem crc_addr)
+
+let test_excerpt_type_counts () =
+  let div prog = (E.execute prog).E.diversity in
+  List.iter
+    (fun m ->
+      check_int ("subset A diversity: " ^ m) 8 (div (Workloads.Excerpts.subset_a m)))
+    Workloads.Excerpts.subset_a_members;
+  List.iter
+    (fun m ->
+      check_int ("subset B diversity: " ^ m) 11 (div (Workloads.Excerpts.subset_b m)))
+    Workloads.Excerpts.subset_b_members
+
+let test_excerpt_identical_code () =
+  let progs = List.map Workloads.Excerpts.subset_a Workloads.Excerpts.subset_a_members in
+  match progs with
+  | p :: rest ->
+      List.iter
+        (fun p' -> check_bool "identical code" true (p.Sparc.Asm.code = p'.Sparc.Asm.code))
+        rest
+  | [] -> Alcotest.fail "no members"
+
+let test_excerpt_unknown_member_rejected () =
+  Alcotest.check_raises "unknown member"
+    (Invalid_argument "Excerpts.dataset_of_member: unknown member nope") (fun () ->
+      ignore (Workloads.Excerpts.subset_a "nope"))
+
+let test_gen_words_bounds () =
+  let ws = Workloads.Common.gen_words ~seed:1 ~n:500 ~lo:10 ~hi:20 in
+  check_int "count" 500 (Array.length ws);
+  Array.iter (fun w -> check_bool "bounded" true (w >= 10 && w <= 20)) ws;
+  let ws' = Workloads.Common.gen_words ~seed:1 ~n:500 ~lo:10 ~hi:20 in
+  check_bool "deterministic" true (ws = ws')
+
+let suite =
+  ( "workloads",
+    [ Alcotest.test_case "all terminate" `Slow test_all_terminate;
+      Alcotest.test_case "registry" `Quick test_registry;
+      Alcotest.test_case "diversity profile" `Slow test_diversity_profile;
+      Alcotest.test_case "puwmod/ttsprk pair" `Quick test_paired_diversity_puwmod_ttsprk;
+      Alcotest.test_case "intbench starved of memory" `Quick test_intbench_memory_starved;
+      Alcotest.test_case "membench memory-heavy" `Quick test_membench_memory_heavy;
+      Alcotest.test_case "iterations scale" `Quick test_iterations_scale_work;
+      Alcotest.test_case "datasets vary data only" `Quick test_datasets_change_data_not_code;
+      Alcotest.test_case "results published" `Slow test_results_published;
+      Alcotest.test_case "guest CRC = host CRC" `Quick test_crc_reference_matches;
+      Alcotest.test_case "excerpt type counts" `Quick test_excerpt_type_counts;
+      Alcotest.test_case "excerpt identical code" `Quick test_excerpt_identical_code;
+      Alcotest.test_case "excerpt bad member" `Quick test_excerpt_unknown_member_rejected;
+      Alcotest.test_case "gen_words" `Quick test_gen_words_bounds ] )
