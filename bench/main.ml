@@ -8,7 +8,8 @@
      dune exec bench/main.exe -- figure5      -- one experiment
      dune exec bench/main.exe -- micro        -- Bechamel suite
    The RICV_SAMPLES environment variable scales campaign sample sizes
-   (default 250). *)
+   (default 250); RICV_TRIM=0 disables trimmed campaign execution
+   (identical results, full simulation cost). *)
 
 module Experiments = Correlation.Experiments
 module Context = Correlation.Context
@@ -30,6 +31,8 @@ let run_experiments ?csv_dir ids =
   let ctx = Context.create () in
   Format.printf "injection sample size per (workload, block): %d@."
     (Context.samples ctx);
+  Format.printf "trimmed execution: %s (RICV_TRIM=0 disables)@."
+    (if Context.trim ctx then "on" else "off");
   List.iter
     (fun id ->
       Format.printf "@.";
@@ -38,7 +41,14 @@ let run_experiments ?csv_dir ids =
       print_tables tables;
       (match csv_dir with Some dir -> write_csv ~dir ~id tables | None -> ());
       Format.printf "  [%s took %.1fs]@." id (Unix.gettimeofday () -. t0))
-    ids
+    ids;
+  let st = Context.trim_stats ctx in
+  if st.Context.injections > 0 then
+    Format.printf
+      "@.trim totals: %d injections, %d prefiltered (%.1f%%), %d early-exited@."
+      st.Context.injections st.Context.skipped
+      (100. *. float_of_int st.Context.skipped /. float_of_int st.Context.injections)
+      st.Context.early_exits
 
 (* ---- Bechamel microbenchmarks: one per table/figure, measuring the
    dominant engine primitive behind that experiment. ---- *)

@@ -168,12 +168,19 @@ let campaign_cmd =
     Arg.(value & opt int 1 & info [ "domains"; "j" ] ~docv:"N"
            ~doc:"Shard the campaign over N OCaml domains.")
   in
-  let run name iterations dataset target samples domains =
+  let no_trim_arg =
+    Arg.(value & flag & info [ "no-trim" ]
+           ~doc:"Disable trimmed execution (activation prefilter and checkpointed \
+                 early exit).  Results are identical; only the runtime changes.")
+  in
+  let run name iterations dataset target samples domains no_trim =
     let prog = or_fail (build_workload name iterations dataset) in
     let config =
       { Fault_injection.Campaign.default_config with
-        Fault_injection.Campaign.sample_size = Some samples }
+        Fault_injection.Campaign.sample_size = Some samples;
+        trim = not no_trim }
     in
+    let t0 = Unix.gettimeofday () in
     let summaries, _ =
       if domains > 1 then
         Fault_injection.Campaign.run_parallel ~config ~domains
@@ -188,6 +195,7 @@ let campaign_cmd =
         Fault_injection.Campaign.run ~config ~on_progress sys prog target
       end
     in
+    let elapsed = Unix.gettimeofday () -. t0 in
     prerr_newline ();
     List.iter
       (fun (model, s) ->
@@ -200,12 +208,26 @@ let campaign_cmd =
           s.Fault_injection.Campaign.wrong_writes s.Fault_injection.Campaign.missing_writes
           s.Fault_injection.Campaign.traps s.Fault_injection.Campaign.hangs
           s.Fault_injection.Campaign.max_latency)
-      summaries
+      summaries;
+    let injections, skipped, early =
+      List.fold_left
+        (fun (i, k, e) (_, s) ->
+          ( i + s.Fault_injection.Campaign.injections,
+            k + s.Fault_injection.Campaign.skipped,
+            e + s.Fault_injection.Campaign.early_exits ))
+        (0, 0, 0) summaries
+    in
+    Printf.printf
+      "%d injections in %.1fs: %d prefiltered (%.1f%%), %d early-exited%s\n"
+      injections elapsed skipped
+      (if injections = 0 then 0. else 100. *. float_of_int skipped /. float_of_int injections)
+      early
+      (if config.Fault_injection.Campaign.trim then "" else "  [trimming disabled]")
   in
   Cmd.v
     (Cmd.info "campaign" ~doc:"Run a fault-injection campaign on the RTL model.")
     Term.(const run $ workload_arg $ iterations_arg $ dataset_arg $ target_arg
-          $ samples_arg $ domains_arg)
+          $ samples_arg $ domains_arg $ no_trim_arg)
 
 (* ---- experiment ---- *)
 

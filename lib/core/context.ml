@@ -1,10 +1,14 @@
 module Campaign = Fault_injection.Campaign
 module Injection = Fault_injection.Injection
 
+type trim_stats = { injections : int; skipped : int; early_exits : int }
+
 type t = {
   sys : Leon3.System.t;
   samples_ : int;
   seed : int;
+  trim_ : bool;
+  mutable stats : trim_stats;
   campaigns :
     (string * string * string, (Rtl.Circuit.fault_model * Campaign.summary) list)
     Hashtbl.t;
@@ -16,15 +20,27 @@ let default_samples () =
   | Some s -> ( match int_of_string_opt s with Some n when n > 0 -> n | Some _ | None -> 250)
   | None -> 250
 
-let create ?samples ?(seed = 7) () =
+let default_trim () =
+  match Sys.getenv_opt "RICV_TRIM" with
+  | Some ("0" | "false" | "no" | "off") -> false
+  | Some _ | None -> true
+
+let create ?samples ?(seed = 7) ?trim () =
   let samples_ = match samples with Some n -> n | None -> default_samples () in
+  let trim_ = match trim with Some b -> b | None -> default_trim () in
   { sys = Leon3.System.create ();
     samples_;
     seed;
+    trim_;
+    stats = { injections = 0; skipped = 0; early_exits = 0 };
     campaigns = Hashtbl.create 64;
     goldens = Hashtbl.create 64 }
 
 let samples t = t.samples_
+
+let trim t = t.trim_
+
+let trim_stats t = t.stats
 
 let system t = t.sys
 
@@ -52,9 +68,17 @@ let campaign t ~key ?(models = Campaign.default_config.Campaign.models) prog tar
         { Campaign.default_config with
           Campaign.models;
           sample_size = Some t.samples_;
-          seed = t.seed }
+          seed = t.seed;
+          trim = t.trim_ }
       in
       let summaries, _ = Campaign.run ~config t.sys prog target in
+      List.iter
+        (fun (_, (s : Campaign.summary)) ->
+          t.stats <-
+            { injections = t.stats.injections + s.Campaign.injections;
+              skipped = t.stats.skipped + s.Campaign.skipped;
+              early_exits = t.stats.early_exits + s.Campaign.early_exits })
+        summaries;
       Hashtbl.add t.campaigns memo_key summaries;
       summaries
 

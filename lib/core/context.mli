@@ -8,12 +8,22 @@ module Injection = Fault_injection.Injection
 
 type t
 
-val create : ?samples:int -> ?seed:int -> unit -> t
+type trim_stats = { injections : int; skipped : int; early_exits : int }
+(** Running totals over every campaign this context has executed
+    (memoised hits are not double-counted). *)
+
+val create : ?samples:int -> ?seed:int -> ?trim:bool -> unit -> t
 (** [samples] is the per-(workload, block) injection sample size
     (default 250; the [RICV_SAMPLES] environment variable, when set,
-    overrides the default). *)
+    overrides the default).  [trim] enables trimmed campaign execution
+    (default true; set [RICV_TRIM=0] to disable without code changes —
+    results are identical either way, only the time changes). *)
 
 val samples : t -> int
+
+val trim : t -> bool
+
+val trim_stats : t -> trim_stats
 
 val system : t -> Leon3.System.t
 

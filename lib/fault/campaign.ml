@@ -7,12 +7,50 @@ type golden = {
   cycles : int;
   instructions : int;
   stop : Leon3.System.stop_reason;
+  coverage : C.coverage option;
+  checkpoints : Leon3.System.checkpoint array;
 }
 
-let golden_run sys prog ~max_cycles =
-  C.clear_fault (Leon3.System.core sys).Leon3.Core.circuit;
+(* Checkpoint-memory budget: when a golden run outgrows it, every
+   other checkpoint is dropped and the interval doubles, so long runs
+   keep a bounded, evenly spaced set. *)
+let checkpoint_budget = 96
+
+let default_checkpoint_interval = 512
+
+let golden_run ?(coverage = false) ?checkpoint_every sys prog ~max_cycles =
+  let circuit = (Leon3.System.core sys).Leon3.Core.circuit in
+  C.clear_fault circuit;
+  if coverage then C.coverage_start circuit;
   Leon3.System.load sys prog;
-  let stop = Leon3.System.run sys ~max_cycles in
+  let checkpoints = ref [] in
+  (* newest first *)
+  let count = ref 0 in
+  let stop =
+    match checkpoint_every with
+    | None -> Leon3.System.run sys ~max_cycles
+    | Some every ->
+        let interval = ref (max 1 every) in
+        let rec go () =
+          let until = Leon3.System.cycles sys + !interval in
+          match Leon3.System.run_segment sys ~until_cycle:until ~max_cycles with
+          | Some r -> r
+          | None ->
+              checkpoints := Leon3.System.checkpoint sys :: !checkpoints;
+              incr count;
+              if !count >= checkpoint_budget then begin
+                (* The newest checkpoint sits at an even multiple of
+                   the doubled interval, so keeping alternate entries
+                   preserves alignment. *)
+                checkpoints := List.filteri (fun i _ -> i mod 2 = 0) !checkpoints;
+                count := List.length !checkpoints;
+                interval := !interval * 2
+              end;
+              go ()
+        in
+        go ()
+  in
+  let cov = if coverage then Some (C.coverage_stop circuit) else None in
   (match stop with
   | Leon3.System.Exited _ -> ()
   | Leon3.System.Trapped code ->
@@ -23,11 +61,15 @@ let golden_run sys prog ~max_cycles =
     events = Array.of_list (Leon3.System.events sys);
     cycles = Leon3.System.cycles sys;
     instructions = Leon3.System.instructions sys;
-    stop }
+    stop;
+    coverage = cov;
+    checkpoints = Array.of_list (List.rev !checkpoints) }
 
 type failure_kind = Wrong_write of int | Missing_writes of int | Trap of int | Hang
 
 type outcome = Silent | Failure of failure_kind
+
+type sim_status = Simulated | Prefiltered | Converged of int
 
 type run_result = {
   site_name : string;
@@ -35,44 +77,105 @@ type run_result = {
   outcome : outcome;
   detect_cycle : int option;
   inject_cycle : int;
+  sim : sim_status;
 }
 
 let run_one sys prog golden ?(inject_cycle = 0) ?duration ?(hang_factor = 4)
     ?(compare_reads = false) (site : Injection.site) model =
   let circuit = (Leon3.System.core sys).Leon3.Core.circuit in
-  Leon3.System.load sys prog;
-  C.inject circuit ~from_cycle:inject_cycle ?duration site.Injection.fault_site model;
-  let reference = if compare_reads then golden.events else golden.writes in
-  let matched = ref 0 in
-  let mismatch_cycle = ref None in
-  let on_event ev =
-    let relevant = compare_reads || Bus_event.is_write ev in
-    if not relevant then true
-    else if !matched < Array.length reference
-            && Bus_event.equal ev reference.(!matched)
-    then begin
-      incr matched;
-      true
-    end
-    else begin
-      mismatch_cycle := Some (Leon3.System.cycles sys);
-      false
-    end
+  let mk outcome detect_cycle sim =
+    { site_name = site.Injection.site_name; model; outcome; detect_cycle; inject_cycle;
+      sim }
   in
-  let max_cycles = (hang_factor * golden.cycles) + 2000 in
-  let stop = Leon3.System.run ~on_event sys ~max_cycles in
-  C.clear_fault circuit;
-  let outcome, detect_cycle =
-    match stop with
-    | Leon3.System.Aborted -> (Failure (Wrong_write !matched), !mismatch_cycle)
-    | Leon3.System.Trapped code ->
-        (Failure (Trap code), Some (Leon3.System.cycles sys))
-    | Leon3.System.Cycle_limit -> (Failure Hang, Some max_cycles)
-    | Leon3.System.Exited _ ->
-        if !matched = Array.length reference then (Silent, None)
-        else (Failure (Missing_writes !matched), Some (Leon3.System.cycles sys))
+  let prefiltered =
+    match golden.coverage with
+    | Some cov -> C.never_activates cov site.Injection.fault_site model
+    | None -> false
   in
-  { site_name = site.Injection.site_name; model; outcome; detect_cycle; inject_cycle }
+  if prefiltered then mk Silent None Prefiltered
+  else begin
+    let reference = if compare_reads then golden.events else golden.writes in
+    let ck_progress ck =
+      if compare_reads then Leon3.System.checkpoint_events ck
+      else Leon3.System.checkpoint_writes ck
+    in
+    (* Trimmed start: the run is fault-free strictly before
+       [inject_cycle], so resume from the last golden checkpoint
+       before it (strictly: the settle AT the injection instant is
+       already faulty and must be re-executed). *)
+    let start_ck =
+      Array.fold_left
+        (fun acc ck ->
+          if Leon3.System.checkpoint_cycle ck < inject_cycle then Some ck else acc)
+        None golden.checkpoints
+    in
+    let matched = ref 0 in
+    (match start_ck with
+    | Some ck ->
+        Leon3.System.restore_checkpoint sys ck;
+        matched := ck_progress ck
+    | None -> Leon3.System.load sys prog);
+    C.inject circuit ~from_cycle:inject_cycle ?duration site.Injection.fault_site model;
+    let mismatch_cycle = ref None in
+    let on_event ev =
+      let relevant = compare_reads || Bus_event.is_write ev in
+      if not relevant then true
+      else if !matched < Array.length reference
+              && Bus_event.equal ev reference.(!matched)
+      then begin
+        incr matched;
+        true
+      end
+      else begin
+        mismatch_cycle := Some (Leon3.System.cycles sys);
+        false
+      end
+    in
+    let max_cycles = (hang_factor * golden.cycles) + 2000 in
+    (* Early exit: once a bounded fault has expired, exact state
+       equality with a golden checkpoint proves the remaining
+       trajectory is golden — classify silent without simulating the
+       rest. *)
+    let expiry = match duration with Some d -> inject_cycle + d | None -> max_int in
+    let converged = ref None in
+    let stop =
+      let n = Array.length golden.checkpoints in
+      let rec from_boundary i =
+        if i >= n then Leon3.System.run ~on_event sys ~max_cycles
+        else begin
+          let ck = golden.checkpoints.(i) in
+          let bc = Leon3.System.checkpoint_cycle ck in
+          if bc < expiry || bc <= Leon3.System.cycles sys then from_boundary (i + 1)
+          else
+            match Leon3.System.run_segment ~on_event sys ~until_cycle:bc ~max_cycles with
+            | Some r -> r
+            | None ->
+                if !matched = ck_progress ck && Leon3.System.matches_checkpoint sys ck
+                then begin
+                  converged := Some bc;
+                  golden.stop
+                end
+                else from_boundary (i + 1)
+        end
+      in
+      from_boundary 0
+    in
+    C.clear_fault circuit;
+    match !converged with
+    | Some cyc -> mk Silent None (Converged cyc)
+    | None ->
+        let outcome, detect_cycle =
+          match stop with
+          | Leon3.System.Aborted -> (Failure (Wrong_write !matched), !mismatch_cycle)
+          | Leon3.System.Trapped code ->
+              (Failure (Trap code), Some (Leon3.System.cycles sys))
+          | Leon3.System.Cycle_limit -> (Failure Hang, Some max_cycles)
+          | Leon3.System.Exited _ ->
+              if !matched = Array.length reference then (Silent, None)
+              else (Failure (Missing_writes !matched), Some (Leon3.System.cycles sys))
+        in
+        mk outcome detect_cycle Simulated
+  end
 
 type summary = {
   injections : int;
@@ -84,6 +187,8 @@ type summary = {
   hangs : int;
   max_latency : int;
   mean_latency : float;
+  skipped : int;
+  early_exits : int;
 }
 
 let summarize results =
@@ -115,7 +220,10 @@ let summarize results =
       (if latencies = [] then 0.
        else
          float_of_int (List.fold_left ( + ) 0 latencies)
-         /. float_of_int (List.length latencies)) }
+         /. float_of_int (List.length latencies));
+    skipped = count (fun r -> r.sim = Prefiltered);
+    early_exits =
+      count (fun r -> match r.sim with Converged _ -> true | Simulated | Prefiltered -> false) }
 
 type config = {
   models : C.fault_model list;
@@ -125,6 +233,8 @@ type config = {
   hang_factor : int;
   compare_reads : bool;
   seed : int;
+  trim : bool;
+  checkpoint_every : int option;
 }
 
 let default_config =
@@ -134,11 +244,28 @@ let default_config =
     inject_cycle = 0;
     hang_factor = 4;
     compare_reads = false;
-    seed = 7 }
+    seed = 7;
+    trim = true;
+    checkpoint_every = None }
+
+(* Golden-run options for a campaign: value coverage powers the
+   permanent-fault prefilter (useless for bit-flips, which always
+   activate); checkpoints only pay off when runs start after cycle 0
+   or can exit early (bounded faults). *)
+let golden_options config ~bounded_faults =
+  if not config.trim then (false, None)
+  else
+    let coverage = List.exists (fun m -> m <> C.Bit_flip) config.models in
+    let want_checkpoints = bounded_faults || config.inject_cycle > 0 in
+    ( coverage,
+      if want_checkpoints then
+        Some (Option.value config.checkpoint_every ~default:default_checkpoint_interval)
+      else None )
 
 let run ?(config = default_config) ?on_progress sys prog target =
   let core = Leon3.System.core sys in
-  let golden = golden_run sys prog ~max_cycles:5_000_000 in
+  let coverage, checkpoint_every = golden_options config ~bounded_faults:false in
+  let golden = golden_run ~coverage ?checkpoint_every sys prog ~max_cycles:5_000_000 in
   let pool =
     Array.of_list (Injection.sites ~include_cells:config.include_cells core target)
   in
@@ -182,12 +309,15 @@ let pf_percent s = 100. *. s.pf
 (* Parallel campaigns: the runs are independent, so they shard across
    domains.  Each domain owns a private RTL system; injection sites
    carry node ids, which are valid across systems because circuit
-   construction is deterministic (same build ⇒ same numbering).  The
-   task order is fixed up front, so results are identical to the
-   sequential engine's. *)
+   construction is deterministic (same build ⇒ same numbering) — the
+   same property lets every domain share the golden coverage and
+   checkpoints captured on the scratch system.  The task order is
+   fixed up front, so results are identical to the sequential
+   engine's. *)
 let run_parallel ?(config = default_config) ?(domains = 4) sys_factory prog target =
   let scratch = sys_factory () in
-  let golden = golden_run scratch prog ~max_cycles:5_000_000 in
+  let coverage, checkpoint_every = golden_options config ~bounded_faults:false in
+  let golden = golden_run ~coverage ?checkpoint_every scratch prog ~max_cycles:5_000_000 in
   let pool =
     Array.of_list
       (Injection.sites ~include_cells:config.include_cells (Leon3.System.core scratch)
@@ -244,10 +374,19 @@ let run_parallel ?(config = default_config) ?(domains = 4) sys_factory prog targ
 (* Transient study (the paper's stated future work): single-event
    upsets — one-cycle bit inversions at uniformly random instants of
    the run.  Unlike permanent faults the outcome depends on *when* the
-   fault hits, so each sampled site gets its own random instant. *)
-let run_transient ?(sample = 400) ?(seed = 7) sys prog target =
+   fault hits, so each sampled site gets its own random instant.  The
+   1-cycle window is where checkpoint trimming shines: each injection
+   resumes from the checkpoint before its instant and stops at the
+   first checkpoint where its state has re-converged with the golden
+   run. *)
+let run_transient ?(sample = 400) ?(seed = 7) ?(trim = true) ?checkpoint_every sys prog
+    target =
   let core = Leon3.System.core sys in
-  let golden = golden_run sys prog ~max_cycles:5_000_000 in
+  let checkpoint_every =
+    if trim then Some (Option.value checkpoint_every ~default:default_checkpoint_interval)
+    else None
+  in
+  let golden = golden_run ?checkpoint_every sys prog ~max_cycles:5_000_000 in
   let pool = Array.of_list (Injection.sites core target) in
   let rng = Stats.Rng.create seed in
   let chosen =

@@ -7,7 +7,21 @@
     write stream diverges from the golden one (light-lockstep
     observation): a wrong/extra write, a missing write at program end,
     a trap, or a hang (watchdog).  Runs stop at the first divergent
-    write, so failures are cheap and only silent runs pay full cost. *)
+    write, so failures are cheap and only silent runs pay full cost.
+
+    {b Trimmed execution.}  Most injections are redundant work: a
+    permanent fault whose forced value the golden run never
+    contradicts can never activate, and a 1-cycle transient whose
+    state re-converges with the golden state has a provably golden
+    future.  With [config.trim] (on by default) the engine records
+    value coverage and checkpoints during the golden run and uses them
+    to (a) classify never-activating permanent faults silent without
+    simulating, (b) start each bounded-fault run at the last
+    checkpoint before its injection instant, and (c) stop a
+    bounded-fault run at the first checkpoint where its state equals
+    the golden state.  All three are exact — trimmed and untrimmed
+    campaigns produce identical verdicts, failure breakdowns and
+    latencies; {!summary} reports how much simulation was avoided. *)
 
 module C = Rtl.Circuit
 module Bus_event = Sparc.Bus_event
@@ -18,12 +32,27 @@ type golden = {
   cycles : int;
   instructions : int;
   stop : Leon3.System.stop_reason;
+  coverage : C.coverage option;
+      (** value coverage, when recorded — powers the activation
+          prefilter *)
+  checkpoints : Leon3.System.checkpoint array;
+      (** golden state at increasing cycles, when captured — powers
+          checkpointed starts and early exits *)
 }
 
-val golden_run : Leon3.System.t -> Sparc.Asm.program -> max_cycles:int -> golden
-(** Run fault-free and capture the reference behaviour.  Raises
-    [Failure] if the golden run itself traps or hits the cycle limit
-    (the workload is broken, not the hardware). *)
+val golden_run :
+  ?coverage:bool ->
+  ?checkpoint_every:int ->
+  Leon3.System.t ->
+  Sparc.Asm.program ->
+  max_cycles:int ->
+  golden
+(** Run fault-free and capture the reference behaviour.  [coverage]
+    (default false) records per-bit value coverage for the activation
+    prefilter; [checkpoint_every] captures a state checkpoint at that
+    cycle interval (the set is thinned to a bounded count on long
+    runs).  Raises [Failure] if the golden run itself traps or hits
+    the cycle limit (the workload is broken, not the hardware). *)
 
 type failure_kind =
   | Wrong_write of int  (** index of the first divergent write *)
@@ -33,6 +62,13 @@ type failure_kind =
 
 type outcome = Silent | Failure of failure_kind
 
+type sim_status =
+  | Simulated  (** the faulty run was executed (possibly from a checkpoint) *)
+  | Prefiltered  (** provably never activates; no simulation at all *)
+  | Converged of int
+      (** simulated until state equality with the golden checkpoint at
+          this cycle proved the rest *)
+
 type run_result = {
   site_name : string;
   model : C.fault_model;
@@ -40,6 +76,7 @@ type run_result = {
   detect_cycle : int option;
       (** cycle of first divergence/trap, when the run failed *)
   inject_cycle : int;
+  sim : sim_status;  (** how much of the run was actually simulated *)
 }
 
 val run_one :
@@ -58,7 +95,9 @@ val run_one :
     count into the watchdog budget (default 4 — cache-degrading faults
     can legitimately run slower without failing).  [compare_reads]
     extends the lockstep comparison to read addresses (default false,
-    the paper compares writes only). *)
+    the paper compares writes only).  Trimming follows what [golden]
+    carries: coverage enables the prefilter, checkpoints enable
+    resumed starts and (for bounded faults) convergence early-exit. *)
 
 type summary = {
   injections : int;
@@ -70,6 +109,8 @@ type summary = {
   hangs : int;
   max_latency : int;  (** cycles, over detected failures *)
   mean_latency : float;
+  skipped : int;  (** injections classified by the prefilter, unsimulated *)
+  early_exits : int;  (** simulated runs cut short by checkpoint convergence *)
 }
 
 val summarize : run_result list -> summary
@@ -82,11 +123,17 @@ type config = {
   hang_factor : int;
   compare_reads : bool;
   seed : int;
+  trim : bool;
+      (** trimmed execution (activation prefilter + checkpointing);
+          [false] forces every injection through a full simulation *)
+  checkpoint_every : int option;
+      (** golden checkpoint interval in cycles; [None] = default *)
 }
 
 val default_config : config
 (** Stuck-at-0/1 + open-line, 400-site sample, cells included,
-    injection at cycle 0, watchdog 4x, writes-only compare, seed 7. *)
+    injection at cycle 0, watchdog 4x, writes-only compare, seed 7,
+    trimming on. *)
 
 val run :
   ?config:config ->
@@ -111,15 +158,20 @@ val run_parallel :
   (C.fault_model * summary) list * run_result list
 (** Like {!run}, sharded over [domains] OCaml domains (default 4).
     The factory is called once per domain to build a private RTL
-    system; results are bit-identical to the sequential engine's. *)
+    system; golden coverage and checkpoints are shared read-only, and
+    results are bit-identical to the sequential engine's. *)
 
 val run_transient :
   ?sample:int ->
   ?seed:int ->
+  ?trim:bool ->
+  ?checkpoint_every:int ->
   Leon3.System.t ->
   Sparc.Asm.program ->
   Injection.target ->
   summary
 (** Single-event-upset campaign (the paper's stated future work):
     one-cycle bit inversions at uniformly random instants, one instant
-    per sampled site. *)
+    per sampled site.  With [trim] (default true) each run starts at
+    the last golden checkpoint before its instant and early-exits on
+    state re-convergence; verdicts are unchanged. *)

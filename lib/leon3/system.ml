@@ -22,6 +22,8 @@ type t = {
   dport : port_driver;
   mutable mem : Memory.t;
   mutable events_rev : Bus_event.t list;
+  mutable n_events : int;  (* length of events_rev *)
+  mutable n_writes : int;  (* write events among them *)
   mutable stopped : stop_reason option;
   mutable abort : bool;
 }
@@ -34,6 +36,8 @@ let create ?params ?(mem_latency = 1) () =
     dport = { ports = core.dcache; read_only = false; countdown = -1; ready_out = false };
     mem = Memory.create ();
     events_rev = [];
+    n_events = 0;
+    n_writes = 0;
     stopped = None;
     abort = false }
 
@@ -47,6 +51,8 @@ let load t prog =
   t.mem <- Memory.create ();
   Asm.load prog t.mem;
   t.events_rev <- [];
+  t.n_events <- 0;
+  t.n_writes <- 0;
   t.stopped <- None;
   t.abort <- false;
   t.iport.countdown <- -1;
@@ -59,6 +65,8 @@ let load t prog =
 
 let record t ev on_event =
   t.events_rev <- ev :: t.events_rev;
+  t.n_events <- t.n_events + 1;
+  if Bus_event.is_write ev then t.n_writes <- t.n_writes + 1;
   match on_event with
   | Some f -> if not (f ev) then t.abort <- true
   | None -> ()
@@ -129,31 +137,92 @@ let step_with t on_event =
 
 let step t = step_with t None
 
-let run ?on_event t ~max_cycles =
+(* [run_segment] pauses (returns [None]) once the cycle counter
+   reaches [until_cycle]; terminal conditions return [Some reason] and
+   latch as before.  The pause point is between steps, i.e. at a
+   settled state — exactly the point {!checkpoint} captures, so a
+   paused run can be compared against golden checkpoints. *)
+let run_segment ?on_event t ~until_cycle ~max_cycles =
   let c = circuit t in
   let rec go () =
     match t.stopped with
-    | Some r -> r
+    | Some r -> Some r
     | None ->
         if t.abort then begin
           t.stopped <- Some Aborted;
-          Aborted
+          Some Aborted
         end
         else if C.value c t.core.Core.halted <> 0 then begin
           let r = Trapped (C.value c t.core.Core.trap_code) in
           t.stopped <- Some r;
-          r
+          Some r
         end
         else if C.cycle c >= max_cycles then begin
           t.stopped <- Some Cycle_limit;
-          Cycle_limit
+          Some Cycle_limit
         end
+        else if C.cycle c >= until_cycle then None
         else begin
           step_with t on_event;
           go ()
         end
   in
   go ()
+
+let run ?on_event t ~max_cycles =
+  match run_segment ?on_event t ~until_cycle:max_int ~max_cycles with
+  | Some r -> r
+  | None -> assert false (* until_cycle = max_int never pauses first *)
+
+(* --- checkpoints (trimmed campaign execution) --- *)
+
+type checkpoint = {
+  ck_cycle : int;
+  ck_circuit : C.snapshot;
+  ck_mem : Memory.t;
+  ck_hash : int;
+  ck_iport : int * bool;  (* countdown, ready_out *)
+  ck_dport : int * bool;
+  ck_events : int;
+  ck_writes : int;
+}
+
+let checkpoint t =
+  { ck_cycle = C.cycle (circuit t);
+    ck_circuit = C.snapshot (circuit t);
+    ck_mem = Memory.copy t.mem;
+    ck_hash = C.state_hash (circuit t) lxor Memory.hash t.mem;
+    ck_iport = (t.iport.countdown, t.iport.ready_out);
+    ck_dport = (t.dport.countdown, t.dport.ready_out);
+    ck_events = t.n_events;
+    ck_writes = t.n_writes }
+
+let restore_checkpoint t ck =
+  C.restore (circuit t) ck.ck_circuit;
+  t.mem <- Memory.copy ck.ck_mem;
+  t.events_rev <- [];
+  t.n_events <- ck.ck_events;
+  t.n_writes <- ck.ck_writes;
+  t.stopped <- None;
+  t.abort <- false;
+  (let cd, ro = ck.ck_iport in
+   t.iport.countdown <- cd;
+   t.iport.ready_out <- ro);
+  let cd, ro = ck.ck_dport in
+  t.dport.countdown <- cd;
+  t.dport.ready_out <- ro
+
+let matches_checkpoint t ck =
+  C.cycle (circuit t) = ck.ck_cycle
+  && (t.iport.countdown, t.iport.ready_out) = ck.ck_iport
+  && (t.dport.countdown, t.dport.ready_out) = ck.ck_dport
+  && C.state_equal (circuit t) ck.ck_circuit
+  && Memory.equal t.mem ck.ck_mem
+
+let checkpoint_cycle ck = ck.ck_cycle
+let checkpoint_events ck = ck.ck_events
+let checkpoint_writes ck = ck.ck_writes
+let checkpoint_hash ck = ck.ck_hash
 
 let stop t = t.stopped
 

@@ -38,7 +38,53 @@ val run : ?on_event:(Bus_event.t -> bool) -> t -> max_cycles:int -> stop_reason
     have elapsed, or [on_event] returns [false] for a bus event
     (events are delivered in order, writes and reads alike). *)
 
+val run_segment :
+  ?on_event:(Bus_event.t -> bool) -> t -> until_cycle:int -> max_cycles:int ->
+  stop_reason option
+(** Like {!run} but pauses once the cycle counter reaches
+    [until_cycle], returning [None]; the run can then be inspected
+    (e.g. compared against a golden {!checkpoint}) and resumed with
+    another [run_segment] or {!run} call.  Terminal outcomes return
+    [Some reason] and latch exactly as {!run} does. *)
+
 val stop : t -> stop_reason option
+
+(** {2 Checkpoints}
+
+    A checkpoint freezes everything a resumed run needs: the circuit's
+    sequential state, the main-memory image, the bus-driver state and
+    the event counters.  Golden-run checkpoints let a faulty run (a)
+    start at the last checkpoint before its injection instant instead
+    of cycle 0 and (b) stop as soon as its state re-converges with the
+    golden state after the fault expires — both without changing any
+    verdict.  Checkpoints transfer between systems built with the same
+    parameters (deterministic elaboration). *)
+
+type checkpoint
+
+val checkpoint : t -> checkpoint
+(** Capture the current state (must be between steps, which is any
+    point from the caller's perspective). *)
+
+val restore_checkpoint : t -> checkpoint -> unit
+(** Rewind (or fast-forward) the system to the checkpointed state.
+    The recorded-event list is cleared — {!events} afterwards returns
+    only events recorded since the restore — but the event {e counts}
+    continue from the checkpoint's, so comparator bookkeeping stays
+    aligned with a full run. *)
+
+val matches_checkpoint : t -> checkpoint -> bool
+(** Exact state equality between the live system and a checkpoint:
+    cycle counter, bus drivers, every circuit node and memory word.
+    For a deterministic circuit this implies identical futures. *)
+
+val checkpoint_cycle : checkpoint -> int
+val checkpoint_events : checkpoint -> int
+(** Bus events recorded up to the checkpoint (reads and writes). *)
+
+val checkpoint_writes : checkpoint -> int
+val checkpoint_hash : checkpoint -> int
+(** Fingerprint of circuit + memory state (diagnostics). *)
 
 val cycles : t -> int
 

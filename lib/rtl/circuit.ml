@@ -39,6 +39,18 @@ type fault = {
       (** open-line: captured bit value; bit-flip cells: applied marker *)
 }
 
+(* Value coverage of one run: for every node (and memory cell) a mask
+   of bits observed at 0 and a mask of bits observed at 1, sampled at
+   every settled state (nodes) / content change (cells).  A stuck-at
+   fault on a bit whose "wrong" value was never observed is provably
+   inactive for the whole run — the campaign prefilter builds on this. *)
+type coverage = {
+  cov_seen0 : int array;  (* per node *)
+  cov_seen1 : int array;
+  cov_cell_seen0 : int array array;  (* per memory, per word *)
+  cov_cell_seen1 : int array array;
+}
+
 type t = {
   c_name : string;
   mutable building : node list;  (* reversed during construction *)
@@ -58,12 +70,14 @@ type t = {
   mutable elaborated : bool;
   mutable cyc : int;
   mutable fault : fault option;
+  mutable recording : coverage option;
 }
 
 let create c_name =
   { c_name; building = []; scopes = []; mems = []; node_cnt = 0; mem_cnt = 0;
     nodes = [||]; mem_arr = [||]; values = [||]; masks = [||]; order = [||]; evals = [||];
-    reg_ids = [||]; reg_next = [||]; elaborated = false; cyc = 0; fault = None }
+    reg_ids = [||]; reg_next = [||]; elaborated = false; cyc = 0; fault = None;
+    recording = None }
 
 let name t = t.c_name
 
@@ -218,6 +232,55 @@ let elaborate t =
 
 let check_elab t = if not t.elaborated then raise Not_elaborated
 
+(* --- value-coverage recording --- *)
+
+let record_nodes t cov =
+  let n = Array.length t.values in
+  for id = 0 to n - 1 do
+    let v = Array.unsafe_get t.values id in
+    Array.unsafe_set cov.cov_seen1 id (Array.unsafe_get cov.cov_seen1 id lor v);
+    Array.unsafe_set cov.cov_seen0 id
+      (Array.unsafe_get cov.cov_seen0 id lor (Array.unsafe_get t.masks id land lnot v))
+  done
+
+let record_cell cov m idx ~mask v =
+  cov.cov_cell_seen1.(m).(idx) <- cov.cov_cell_seen1.(m).(idx) lor v;
+  cov.cov_cell_seen0.(m).(idx) <- cov.cov_cell_seen0.(m).(idx) lor (mask land lnot v)
+
+let coverage_start t =
+  check_elab t;
+  let n = Array.length t.values in
+  let cov =
+    { cov_seen0 = Array.make n 0;
+      cov_seen1 = Array.make n 0;
+      cov_cell_seen0 = Array.map (fun m -> Array.make m.words 0) t.mem_arr;
+      cov_cell_seen1 = Array.map (fun m -> Array.make m.words 0) t.mem_arr }
+  in
+  t.recording <- Some cov
+
+let coverage_stop t =
+  check_elab t;
+  match t.recording with
+  | Some cov ->
+      t.recording <- None;
+      cov
+  | None -> invalid_arg "Circuit.coverage_stop: not recording"
+
+let never_activates cov site model =
+  let seen0, seen1 =
+    match site with
+    | Node (s, bit) ->
+        (Bitops.bit bit cov.cov_seen0.(s) <> 0, Bitops.bit bit cov.cov_seen1.(s) <> 0)
+    | Cell (m, idx, bit) ->
+        ( Bitops.bit bit cov.cov_cell_seen0.(m).(idx) <> 0,
+          Bitops.bit bit cov.cov_cell_seen1.(m).(idx) <> 0 )
+  in
+  match model with
+  | Stuck_at_0 -> not seen1  (* forcing 0 onto a bit that is always 0 *)
+  | Stuck_at_1 -> not seen0
+  | Open_line -> not (seen0 && seen1)  (* bit never changes: frozen = current *)
+  | Bit_flip -> false  (* an inversion always perturbs the value *)
+
 let reset t =
   check_elab t;
   Array.iteri
@@ -230,7 +293,18 @@ let reset t =
     t.nodes;
   Array.iter (fun m -> Array.fill m.data 0 m.words 0) t.mem_arr;
   t.cyc <- 0;
-  (match t.fault with Some f -> f.frozen <- None | None -> ())
+  (match t.fault with Some f -> f.frozen <- None | None -> ());
+  match t.recording with
+  | Some cov ->
+      record_nodes t cov;
+      Array.iteri
+        (fun m info ->
+          let mask = (1 lsl info.m_width) - 1 in
+          for idx = 0 to info.words - 1 do
+            record_cell cov m idx ~mask 0
+          done)
+        t.mem_arr
+  | None -> ()
 
 let set_input t s v =
   check_elab t;
@@ -281,7 +355,12 @@ let write_cell t m idx v =
             Bitops.update_bit bit (Bitops.bit bit info.data.(idx) <> 0) v)
     | Some _ | None -> v
   in
-  info.data.(idx) <- v land ((1 lsl info.m_width) - 1)
+  let mask = (1 lsl info.m_width) - 1 in
+  let v = v land mask in
+  info.data.(idx) <- v;
+  match t.recording with
+  | Some cov -> record_cell cov m idx ~mask v
+  | None -> ()
 
 (* Force stuck-at cell faults into the stored content when they become
    active, so reads observe them even without an intervening write. *)
@@ -349,7 +428,8 @@ let settle t =
       let id = Array.unsafe_get order k in
       let v = (Array.unsafe_get evals k) values land Array.unsafe_get masks id in
       Array.unsafe_set values id (if id = fnode then apply_node_fault t id v else v)
-    done
+    done;
+  match t.recording with Some cov -> record_nodes t cov | None -> ()
 
 let clock t =
   check_elab t;
@@ -393,6 +473,53 @@ let mem_write t m idx v =
   check_elab t;
   let info = t.mem_arr.(m) in
   if idx < info.words then write_cell t m idx v
+
+(* --- state snapshots (campaign checkpointing) --- *)
+
+type snapshot = {
+  snap_values : int array;
+  snap_mems : int array array;
+  snap_cycle : int;
+}
+
+let snapshot t =
+  check_elab t;
+  { snap_values = Array.copy t.values;
+    snap_mems = Array.map (fun m -> Array.copy m.data) t.mem_arr;
+    snap_cycle = t.cyc }
+
+let restore t snap =
+  check_elab t;
+  Array.blit snap.snap_values 0 t.values 0 (Array.length t.values);
+  Array.iteri
+    (fun m info -> Array.blit snap.snap_mems.(m) 0 info.data 0 info.words)
+    t.mem_arr;
+  t.cyc <- snap.snap_cycle
+
+let int_arrays_equal a b =
+  let n = Array.length a in
+  n = Array.length b
+  &&
+  let rec go i = i >= n || (Array.unsafe_get a i = Array.unsafe_get b i && go (i + 1)) in
+  go 0
+
+let state_equal t snap =
+  check_elab t;
+  t.cyc = snap.snap_cycle
+  && int_arrays_equal t.values snap.snap_values
+  && Array.for_all Fun.id
+       (Array.mapi (fun m info -> int_arrays_equal info.data snap.snap_mems.(m)) t.mem_arr)
+
+let mix h x =
+  let h = (h lxor x) * 0x100000001B3 in
+  h lxor (h lsr 31)
+
+let state_hash t =
+  check_elab t;
+  let h = ref (mix 0x27D4EB2F165667C5 t.cyc) in
+  Array.iter (fun v -> h := mix !h v) t.values;
+  Array.iter (fun info -> Array.iter (fun v -> h := mix !h v) info.data) t.mem_arr;
+  !h
 
 (* --- introspection --- *)
 

@@ -119,6 +119,34 @@ val mem_read : t -> memory -> int -> int
 val mem_write : t -> memory -> int -> int -> unit
 (** Direct backdoor write; still subject to an armed cell fault. *)
 
+(** {2 State snapshots}
+
+    A snapshot captures the complete sequential state of the circuit —
+    every node value, every memory word and the cycle counter — so a
+    run can be resumed from an intermediate point.  Snapshots taken on
+    one circuit are valid on any other circuit built by the same
+    deterministic construction (same netlist ⇒ same node numbering),
+    which is what lets parallel campaign domains share golden
+    checkpoints. *)
+
+type snapshot
+
+val snapshot : t -> snapshot
+(** Copy the current settled state. *)
+
+val restore : t -> snapshot -> unit
+(** Overwrite node values, memory contents and the cycle counter from
+    a snapshot.  The armed fault (if any) is left untouched. *)
+
+val state_equal : t -> snapshot -> bool
+(** Exact equality of the live state against a snapshot (stronger than
+    comparing {!state_hash}es: no collision risk, and it short-circuits
+    on the first differing word). *)
+
+val state_hash : t -> int
+(** Deterministic hash of the full sequential state; cheap fingerprint
+    for logging and cross-checking checkpoints. *)
+
 (** {2 Fault injection} *)
 
 type fault_model =
@@ -141,6 +169,32 @@ val inject : t -> ?from_cycle:int -> ?duration:int -> fault_site -> fault_model 
 val clear_fault : t -> unit
 
 val fault_model_name : fault_model -> string
+
+(** {2 Value coverage (activation prefilter)}
+
+    While recording, the kernel accumulates per-node and per-cell
+    bitmasks of values observed at every settled state (and, for
+    cells, at every content change).  A permanent fault whose forced
+    value was always the observed value provably never activates: the
+    faulty run's trajectory is identical to the recorded one, so a
+    campaign can classify it silent without simulating it. *)
+
+type coverage
+
+val coverage_start : t -> unit
+(** Begin recording (clears any previous recording).  Recording adds
+    one sweep over the node array per {!settle}; enable it only for
+    the golden run. *)
+
+val coverage_stop : t -> coverage
+(** Stop recording and return the accumulated coverage. *)
+
+val never_activates : coverage -> fault_site -> fault_model -> bool
+(** [never_activates cov site model] is [true] when the fault is
+    provably inactive over any run whose observed values are covered
+    by [cov]: stuck-at-0 on a bit never seen 1, stuck-at-1 on a bit
+    never seen 0, open-line on a bit that never toggled.  [Bit_flip]
+    always activates. *)
 
 (** {2 Introspection} *)
 

@@ -74,6 +74,26 @@ let blit_words t base words =
 
 let read_words t base n = Array.init n (fun i -> load_word t (base + (4 * i)))
 
+(* Pages are allocated on first touch, so two images with the same
+   words can differ in page population — an all-zero page equals an
+   absent one. *)
+let zero_page = Array.make page_words 0
+
+let page_equal a b =
+  let rec go i = i >= page_words || (a.(i) = b.(i) && go (i + 1)) in
+  go 0
+
+let equal a b =
+  let covers x y =
+    Hashtbl.fold
+      (fun key page acc ->
+        acc
+        && page_equal page
+             (match Hashtbl.find_opt y.pages key with Some p -> p | None -> zero_page))
+      x.pages true
+  in
+  covers a b && covers b a
+
 let iter_nonzero t f =
   Hashtbl.iter
     (fun key page ->
@@ -81,3 +101,12 @@ let iter_nonzero t f =
         (fun i v -> if v <> 0 then f (((key lsl page_shift) lor i) lsl 2) v)
         page)
     t.pages
+
+let hash t =
+  (* Order-independent (hashtable iteration order is unspecified):
+     combine a per-word mix commutatively. *)
+  let h = ref 0 in
+  iter_nonzero t (fun addr v ->
+      let x = (addr * 0x9E3779B1) lxor (v * 0x85EBCA77) in
+      h := !h + (x lxor (x lsr 29)));
+  !h land max_int

@@ -16,6 +16,14 @@ val create : unit -> t
 val copy : t -> t
 (** Deep copy, so a faulty run cannot disturb the golden image. *)
 
+val equal : t -> t -> bool
+(** Word-for-word equality of the stored images (an all-zero page
+    equals an absent one); used by the campaign engine to detect a
+    faulty run re-converging with the golden run. *)
+
+val hash : t -> int
+(** Deterministic, page-order-independent fingerprint of the image. *)
+
 val load_word : t -> int -> int
 val store_word : t -> int -> int -> unit
 

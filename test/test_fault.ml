@@ -141,23 +141,27 @@ let test_injection_instant_honoured () =
 (* ---- summaries and campaign ---- *)
 
 let test_summarize () =
-  let mk outcome detect_cycle =
+  let mk ?(sim = Campaign.Simulated) outcome detect_cycle =
     { Campaign.site_name = "s"; model = C.Stuck_at_1; outcome; detect_cycle;
-      inject_cycle = 0 }
+      inject_cycle = 0; sim }
   in
   let results =
     [ mk Campaign.Silent None;
+      mk ~sim:Campaign.Prefiltered Campaign.Silent None;
+      mk ~sim:(Campaign.Converged 512) Campaign.Silent None;
       mk (Campaign.Failure (Campaign.Wrong_write 3)) (Some 100);
       mk (Campaign.Failure (Campaign.Trap 2)) (Some 50);
       mk (Campaign.Failure Campaign.Hang) (Some 9999) ]
   in
   let s = Campaign.summarize results in
-  check_int "injections" 4 s.Campaign.injections;
+  check_int "injections" 6 s.Campaign.injections;
   check_int "failures" 3 s.Campaign.failures;
-  Alcotest.(check (float 1e-9)) "pf" 0.75 s.Campaign.pf;
+  Alcotest.(check (float 1e-9)) "pf" 0.5 s.Campaign.pf;
   check_int "wrong writes" 1 s.Campaign.wrong_writes;
   check_int "traps" 1 s.Campaign.traps;
   check_int "hangs" 1 s.Campaign.hangs;
+  check_int "skipped" 1 s.Campaign.skipped;
+  check_int "early exits" 1 s.Campaign.early_exits;
   (* hang latency excluded: max over {100, 50} *)
   check_int "max latency" 100 s.Campaign.max_latency
 
@@ -257,6 +261,93 @@ let test_campaign_same_sites_across_models () =
     (names_of C.Stuck_at_1)
     (names_of C.Open_line)
 
+(* ---- trimmed execution ---- *)
+
+(* Verdict-relevant projection of a result: everything except the
+   [sim] status, which is the only field trimming may legitimately
+   change. *)
+let verdict (r : Campaign.run_result) =
+  (r.Campaign.site_name, r.Campaign.model, r.Campaign.outcome, r.Campaign.detect_cycle,
+   r.Campaign.inject_cycle)
+
+let core_summary (s : Campaign.summary) =
+  (s.Campaign.injections, s.Campaign.failures, s.Campaign.pf, s.Campaign.wrong_writes,
+   s.Campaign.missing_writes, s.Campaign.traps, s.Campaign.hangs,
+   s.Campaign.max_latency, s.Campaign.mean_latency)
+
+let test_trim_matches_untrimmed () =
+  let sys = Lazy.force shared_sys in
+  let prog = Lazy.force small_prog in
+  let base =
+    { Campaign.default_config with
+      Campaign.models = [ C.Stuck_at_0; C.Stuck_at_1; C.Open_line ];
+      sample_size = Some 40 }
+  in
+  let sum_t, res_t = Campaign.run ~config:{ base with Campaign.trim = true } sys prog Injection.Iu in
+  let sum_u, res_u = Campaign.run ~config:{ base with Campaign.trim = false } sys prog Injection.Iu in
+  (* byte-identical verdicts, result for result *)
+  check_int "result count" (List.length res_u) (List.length res_t);
+  List.iter2
+    (fun rt ru ->
+      check_bool ("verdict: " ^ rt.Campaign.site_name) true (verdict rt = verdict ru))
+    res_t res_u;
+  List.iter2
+    (fun (m, st) (m', su) ->
+      check_bool "model order" true (m = m');
+      check_bool "summary core fields identical" true (core_summary st = core_summary su);
+      check_int "untrimmed skips nothing" 0 su.Campaign.skipped;
+      check_int "untrimmed never exits early" 0 su.Campaign.early_exits)
+    sum_t sum_u;
+  (* trimming must actually pay: >= 20% of this workload's injections
+     are provably never-activating and classified without simulation *)
+  let total = List.fold_left (fun a (_, s) -> a + s.Campaign.injections) 0 sum_t in
+  let skipped = List.fold_left (fun a (_, s) -> a + s.Campaign.skipped) 0 sum_t in
+  check_bool
+    (Printf.sprintf "prefilter skips >= 20%% (%d/%d)" skipped total)
+    true
+    (skipped * 5 >= total)
+
+let test_parallel_domain_count_irrelevant () =
+  let prog = Lazy.force small_prog in
+  let config =
+    { Campaign.default_config with
+      Campaign.models = [ C.Stuck_at_1; C.Open_line ];
+      sample_size = Some 30 }
+  in
+  let sum1, res1 =
+    Campaign.run_parallel ~config ~domains:1 (fun () -> Leon3.System.create ()) prog
+      Injection.Iu
+  in
+  let sum4, res4 =
+    Campaign.run_parallel ~config ~domains:4 (fun () -> Leon3.System.create ()) prog
+      Injection.Iu
+  in
+  (* result-for-result, order included: sharding must not reorder *)
+  check_int "result count" (List.length res1) (List.length res4);
+  List.iter2
+    (fun r1 r4 ->
+      check_bool ("identical result: " ^ r1.Campaign.site_name) true
+        (verdict r1 = verdict r4 && r1.Campaign.sim = r4.Campaign.sim))
+    res1 res4;
+  List.iter2
+    (fun (m, s1) (m', s4) ->
+      check_bool "model order" true (m = m');
+      check_bool "summaries identical" true
+        (core_summary s1 = core_summary s4
+        && s1.Campaign.skipped = s4.Campaign.skipped
+        && s1.Campaign.early_exits = s4.Campaign.early_exits))
+    sum1 sum4
+
+let test_transient_trim_equivalence () =
+  let sys = Lazy.force shared_sys in
+  let prog = Lazy.force small_prog in
+  let s_t = Campaign.run_transient ~sample:60 ~seed:11 ~trim:true ~checkpoint_every:64 sys prog Injection.Iu in
+  let s_u = Campaign.run_transient ~sample:60 ~seed:11 ~trim:false sys prog Injection.Iu in
+  check_bool "verdict summary identical" true (core_summary s_t = core_summary s_u);
+  check_int "bit flips never prefiltered" 0 s_t.Campaign.skipped;
+  check_bool "some runs early-exit on convergence" true (s_t.Campaign.early_exits > 0);
+  check_int "untrimmed never exits early" 0 s_u.Campaign.early_exits
+
 let suite =
   ( "fault_injection",
     [ Alcotest.test_case "pools non-empty" `Quick test_pools_nonempty;
@@ -271,4 +362,7 @@ let suite =
       Alcotest.test_case "campaign end-to-end" `Slow test_campaign_end_to_end;
       Alcotest.test_case "parallel = sequential" `Slow test_parallel_matches_sequential;
       Alcotest.test_case "transient campaign" `Slow test_transient_campaign;
-      Alcotest.test_case "paired sites" `Quick test_campaign_same_sites_across_models ] )
+      Alcotest.test_case "paired sites" `Quick test_campaign_same_sites_across_models;
+      Alcotest.test_case "trim = untrimmed" `Slow test_trim_matches_untrimmed;
+      Alcotest.test_case "domains 1 = domains 4" `Slow test_parallel_domain_count_irrelevant;
+      Alcotest.test_case "transient trim equivalence" `Slow test_transient_trim_equivalence ] )
