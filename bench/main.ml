@@ -28,7 +28,19 @@ let write_csv ~dir ~id tables =
     tables
 
 let run_experiments ?csv_dir ids =
-  let ctx = Context.create () in
+  (* One collector feeds every per-experiment span and every campaign
+     counter; the end-of-run metrics (the BENCH_*.json numbers) are
+     derived from it rather than from hand-rolled timers.  RICV_TRACE
+     streams the same events as a JSONL file. *)
+  let sink, close_sink =
+    match Sys.getenv_opt "RICV_TRACE" with
+    | Some path ->
+        let sink, close = Obs.file_sink path in
+        (Some sink, close)
+    | None -> (None, fun () -> ())
+  in
+  let obs = match sink with Some sink -> Obs.create ~sink () | None -> Obs.create () in
+  let ctx = Context.create ~obs () in
   Format.printf "injection sample size per (workload, block): %d@."
     (Context.samples ctx);
   Format.printf "trimmed execution: %s (RICV_TRIM=0 disables)@."
@@ -36,11 +48,10 @@ let run_experiments ?csv_dir ids =
   List.iter
     (fun id ->
       Format.printf "@.";
-      let t0 = Unix.gettimeofday () in
-      let tables = Experiments.run ctx id in
+      let tables = Obs.span obs ("experiment." ^ id) (fun () -> Experiments.run ctx id) in
       print_tables tables;
       (match csv_dir with Some dir -> write_csv ~dir ~id tables | None -> ());
-      Format.printf "  [%s took %.1fs]@." id (Unix.gettimeofday () -. t0))
+      Format.printf "  [%s took %.1fs]@." id (Obs.span_total obs ("experiment." ^ id)))
     ids;
   let st = Context.trim_stats ctx in
   if st.Context.injections > 0 then
@@ -48,7 +59,21 @@ let run_experiments ?csv_dir ids =
       "@.trim totals: %d injections, %d prefiltered (%.1f%%), %d early-exited@."
       st.Context.injections st.Context.skipped
       (100. *. float_of_int st.Context.skipped /. float_of_int st.Context.injections)
-      st.Context.early_exits
+      st.Context.early_exits;
+  let wall =
+    List.fold_left (fun acc id -> acc +. Obs.span_total obs ("experiment." ^ id)) 0. ids
+  in
+  Format.printf "@.metrics: %s@."
+    (Obs.Json.to_string
+       (Obs.Json.Obj
+          [ ("injections_total", Obs.Json.Int st.Context.injections);
+            ("prefiltered", Obs.Json.Int st.Context.skipped);
+            ("early_exited", Obs.Json.Int st.Context.early_exits);
+            ("rtl_cycles", Obs.Json.Int (Obs.counter obs "rtl.cycles"));
+            ("cycles_saved", Obs.Json.Int (Obs.counter obs "cycles.saved"));
+            ("wall_seconds", Obs.Json.Float wall) ]));
+  Obs.flush obs;
+  close_sink ()
 
 (* ---- Bechamel microbenchmarks: one per table/figure, measuring the
    dominant engine primitive behind that experiment. ---- *)

@@ -24,6 +24,45 @@ let dataset_arg =
 
 let or_fail = function Ok v -> v | Error (`Msg m) -> prerr_endline m; exit 1
 
+(* ---- telemetry plumbing (shared by campaign/experiment) ---- *)
+
+let trace_arg =
+  Arg.(value & opt (some string) None
+         & info [ "trace" ]
+             ~env:(Cmd.Env.info "RICV_TRACE")
+             ~docv:"FILE"
+             ~doc:"Write a JSONL telemetry trace (one JSON object per span and, at \
+                   exit, per counter/histogram) to $(docv).")
+
+let metrics_arg =
+  Arg.(value & flag & info [ "metrics" ]
+         ~doc:"Print aggregated telemetry (span totals, counters, histograms) on \
+               stderr when done.")
+
+(* Returns the collector plus a [finish] that flushes counter events
+   to the trace, closes it and prints the [--metrics] report. *)
+let make_obs ~trace ~metrics =
+  if trace = None && not metrics then (Obs.null, fun () -> ())
+  else begin
+    let sink, close_sink =
+      match trace with
+      | Some path ->
+          let sink, close = Obs.file_sink path in
+          (Some sink, close)
+      | None -> (None, fun () -> ())
+    in
+    let obs = match sink with Some sink -> Obs.create ~sink () | None -> Obs.create () in
+    let finish () =
+      Obs.flush obs;
+      close_sink ();
+      (match trace with
+      | Some path -> Printf.eprintf "telemetry trace: %s\n%!" path
+      | None -> ());
+      if metrics then Obs.report Format.err_formatter obs
+    in
+    (obs, finish)
+  end
+
 (* ---- list ---- *)
 
 let list_cmd =
@@ -173,27 +212,28 @@ let campaign_cmd =
            ~doc:"Disable trimmed execution (activation prefilter and checkpointed \
                  early exit).  Results are identical; only the runtime changes.")
   in
-  let run name iterations dataset target samples domains no_trim =
+  let run name iterations dataset target samples domains no_trim trace metrics =
     let prog = or_fail (build_workload name iterations dataset) in
     let config =
       { Fault_injection.Campaign.default_config with
         Fault_injection.Campaign.sample_size = Some samples;
         trim = not no_trim }
     in
+    let obs, finish_obs = make_obs ~trace ~metrics in
     let t0 = Unix.gettimeofday () in
+    let on_progress ~done_ ~total =
+      if done_ mod 100 = 0 || done_ = total then
+        Printf.eprintf "\r%d/%d injections...%!" done_ total
+    in
     let summaries, _ =
-      if domains > 1 then
-        Fault_injection.Campaign.run_parallel ~config ~domains
-          (fun () -> Leon3.System.create ())
-          prog target
-      else begin
-        let sys = Leon3.System.create () in
-        let on_progress ~done_ ~total =
-          if done_ mod 100 = 0 || done_ = total then
-            Printf.eprintf "\r%d/%d injections...%!" done_ total
-        in
-        Fault_injection.Campaign.run ~config ~on_progress sys prog target
-      end
+      Obs.span obs "campaign" (fun () ->
+          if domains > 1 then
+            Fault_injection.Campaign.run_parallel ~config ~obs ~domains ~on_progress
+              (fun () -> Leon3.System.create ())
+              prog target
+          else
+            Fault_injection.Campaign.run ~config ~obs ~on_progress
+              (Leon3.System.create ()) prog target)
     in
     let elapsed = Unix.gettimeofday () -. t0 in
     prerr_newline ();
@@ -222,12 +262,13 @@ let campaign_cmd =
       injections elapsed skipped
       (if injections = 0 then 0. else 100. *. float_of_int skipped /. float_of_int injections)
       early
-      (if config.Fault_injection.Campaign.trim then "" else "  [trimming disabled]")
+      (if config.Fault_injection.Campaign.trim then "" else "  [trimming disabled]");
+    finish_obs ()
   in
   Cmd.v
     (Cmd.info "campaign" ~doc:"Run a fault-injection campaign on the RTL model.")
     Term.(const run $ workload_arg $ iterations_arg $ dataset_arg $ target_arg
-          $ samples_arg $ domains_arg $ no_trim_arg)
+          $ samples_arg $ domains_arg $ no_trim_arg $ trace_arg $ metrics_arg)
 
 (* ---- experiment ---- *)
 
@@ -240,14 +281,20 @@ let experiment_cmd =
     Arg.(value & opt (some int) None & info [ "samples"; "s" ] ~docv:"N"
            ~doc:"Injection sample size per (workload, block).")
   in
-  let run id samples =
-    let ctx = Correlation.Context.create ?samples () in
+  let run id samples trace metrics =
+    let obs, finish_obs = make_obs ~trace ~metrics in
+    let ctx =
+      match (trace, metrics) with
+      | None, false -> Correlation.Context.create ?samples ()
+      | _ -> Correlation.Context.create ?samples ~obs ()
+    in
     List.iter
       (Report.Table.render Format.std_formatter)
-      (Correlation.Experiments.run ctx id)
+      (Obs.span obs ("experiment." ^ id) (fun () -> Correlation.Experiments.run ctx id));
+    finish_obs ()
   in
   Cmd.v (Cmd.info "experiment" ~doc:"Reproduce one of the paper's tables/figures.")
-    Term.(const run $ id_arg $ samples_arg)
+    Term.(const run $ id_arg $ samples_arg $ trace_arg $ metrics_arg)
 
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in

@@ -8,7 +8,7 @@ type t = {
   samples_ : int;
   seed : int;
   trim_ : bool;
-  mutable stats : trim_stats;
+  obs_ : Obs.t;
   campaigns :
     (string * string * string, (Rtl.Circuit.fault_model * Campaign.summary) list)
     Hashtbl.t;
@@ -25,14 +25,18 @@ let default_trim () =
   | Some ("0" | "false" | "no" | "off") -> false
   | Some _ | None -> true
 
-let create ?samples ?(seed = 7) ?trim () =
+let create ?samples ?(seed = 7) ?trim ?obs () =
   let samples_ = match samples with Some n -> n | None -> default_samples () in
   let trim_ = match trim with Some b -> b | None -> default_trim () in
+  (* The context always aggregates (counters replace the old bespoke
+     trim_stats plumbing); pass a sink-equipped collector to also
+     stream JSONL trace events. *)
+  let obs_ = match obs with Some o -> o | None -> Obs.create () in
   { sys = Leon3.System.create ();
     samples_;
     seed;
     trim_;
-    stats = { injections = 0; skipped = 0; early_exits = 0 };
+    obs_;
     campaigns = Hashtbl.create 64;
     goldens = Hashtbl.create 64 }
 
@@ -40,7 +44,12 @@ let samples t = t.samples_
 
 let trim t = t.trim_
 
-let trim_stats t = t.stats
+let obs t = t.obs_
+
+let trim_stats t =
+  { injections = Obs.counter t.obs_ "injections";
+    skipped = Obs.counter t.obs_ "prefiltered";
+    early_exits = Obs.counter t.obs_ "early_exits" }
 
 let system t = t.sys
 
@@ -71,14 +80,7 @@ let campaign t ~key ?(models = Campaign.default_config.Campaign.models) prog tar
           seed = t.seed;
           trim = t.trim_ }
       in
-      let summaries, _ = Campaign.run ~config t.sys prog target in
-      List.iter
-        (fun (_, (s : Campaign.summary)) ->
-          t.stats <-
-            { injections = t.stats.injections + s.Campaign.injections;
-              skipped = t.stats.skipped + s.Campaign.skipped;
-              early_exits = t.stats.early_exits + s.Campaign.early_exits })
-        summaries;
+      let summaries, _ = Campaign.run ~config ~obs:t.obs_ t.sys prog target in
       Hashtbl.add t.campaigns memo_key summaries;
       summaries
 
@@ -86,6 +88,6 @@ let golden t ~key prog =
   match Hashtbl.find_opt t.goldens key with
   | Some g -> g
   | None ->
-      let g = Campaign.golden_run t.sys prog ~max_cycles:5_000_000 in
+      let g = Campaign.golden_run ~obs:t.obs_ t.sys prog ~max_cycles:5_000_000 in
       Hashtbl.add t.goldens key g;
       g

@@ -18,7 +18,9 @@ let checkpoint_budget = 96
 
 let default_checkpoint_interval = 512
 
-let golden_run ?(coverage = false) ?checkpoint_every sys prog ~max_cycles =
+let golden_run ?(obs = Obs.null) ?(coverage = false) ?checkpoint_every sys prog
+    ~max_cycles =
+  Obs.span obs "golden" @@ fun () ->
   let circuit = (Leon3.System.core sys).Leon3.Core.circuit in
   C.clear_fault circuit;
   if coverage then C.coverage_start circuit;
@@ -80,19 +82,58 @@ type run_result = {
   sim : sim_status;
 }
 
-let run_one sys prog golden ?(inject_cycle = 0) ?duration ?(hang_factor = 4)
-    ?(compare_reads = false) (site : Injection.site) model =
+(* Telemetry epilogue for one faulty run: outcome/sim counters, the
+   detection-latency histogram, time attribution per phase
+   (prefilter / simulate / converge) and the cycles the trimming
+   machinery avoided ([start_cycle] for a checkpointed start, the
+   remaining suffix for a convergence exit, the whole golden run for a
+   prefiltered injection). *)
+let record_run obs golden ~dt ~start_cycle r =
+  Obs.incr obs "injections";
+  (match r.outcome with
+  | Silent -> Obs.incr obs "outcome.silent"
+  | Failure (Wrong_write _) -> Obs.incr obs "outcome.wrong_write"
+  | Failure (Missing_writes _) -> Obs.incr obs "outcome.missing_writes"
+  | Failure (Trap _) -> Obs.incr obs "outcome.trap"
+  | Failure Hang -> Obs.incr obs "outcome.hang");
+  (match (r.outcome, r.detect_cycle) with
+  | Failure (Wrong_write _ | Missing_writes _ | Trap _), Some cyc ->
+      Obs.observe obs "detect_latency" (float_of_int (cyc - r.inject_cycle))
+  | (Failure _ | Silent), _ -> ());
+  match r.sim with
+  | Prefiltered ->
+      Obs.incr obs "prefiltered";
+      Obs.add_time obs "prefilter" dt;
+      Obs.incr obs ~by:golden.cycles "cycles.saved"
+  | Converged cyc ->
+      Obs.incr obs "early_exits";
+      Obs.add_time obs "converge" dt;
+      Obs.incr obs ~by:(start_cycle + max 0 (golden.cycles - cyc)) "cycles.saved"
+  | Simulated ->
+      Obs.incr obs "simulated";
+      Obs.add_time obs "simulate" dt;
+      Obs.incr obs ~by:start_cycle "cycles.saved"
+
+let run_one ?(obs = Obs.null) sys prog golden ?(inject_cycle = 0) ?duration
+    ?(hang_factor = 4) ?(compare_reads = false) (site : Injection.site) model =
+  let t_start = if Obs.enabled obs then Obs.now obs else 0. in
+  let start_cycle = ref 0 in
   let circuit = (Leon3.System.core sys).Leon3.Core.circuit in
   let mk outcome detect_cycle sim =
     { site_name = site.Injection.site_name; model; outcome; detect_cycle; inject_cycle;
       sim }
+  in
+  let finish r =
+    if Obs.enabled obs then
+      record_run obs golden ~dt:(Obs.now obs -. t_start) ~start_cycle:!start_cycle r;
+    r
   in
   let prefiltered =
     match golden.coverage with
     | Some cov -> C.never_activates cov site.Injection.fault_site model
     | None -> false
   in
-  if prefiltered then mk Silent None Prefiltered
+  if prefiltered then finish (mk Silent None Prefiltered)
   else begin
     let reference = if compare_reads then golden.events else golden.writes in
     let ck_progress ck =
@@ -115,6 +156,7 @@ let run_one sys prog golden ?(inject_cycle = 0) ?duration ?(hang_factor = 4)
         Leon3.System.restore_checkpoint sys ck;
         matched := ck_progress ck
     | None -> Leon3.System.load sys prog);
+    start_cycle := Leon3.System.cycles sys;
     C.inject circuit ~from_cycle:inject_cycle ?duration site.Injection.fault_site model;
     let mismatch_cycle = ref None in
     let on_event ev =
@@ -162,7 +204,7 @@ let run_one sys prog golden ?(inject_cycle = 0) ?duration ?(hang_factor = 4)
     in
     C.clear_fault circuit;
     match !converged with
-    | Some cyc -> mk Silent None (Converged cyc)
+    | Some cyc -> finish (mk Silent None (Converged cyc))
     | None ->
         let outcome, detect_cycle =
           match stop with
@@ -174,7 +216,7 @@ let run_one sys prog golden ?(inject_cycle = 0) ?duration ?(hang_factor = 4)
               if !matched = Array.length reference then (Silent, None)
               else (Failure (Missing_writes !matched), Some (Leon3.System.cycles sys))
         in
-        mk outcome detect_cycle Simulated
+        finish (mk outcome detect_cycle Simulated)
   end
 
 type summary = {
@@ -262,24 +304,30 @@ let golden_options config ~bounded_faults =
         Some (Option.value config.checkpoint_every ~default:default_checkpoint_interval)
       else None )
 
-let run ?(config = default_config) ?on_progress sys prog target =
-  let core = Leon3.System.core sys in
-  let coverage, checkpoint_every = golden_options config ~bounded_faults:false in
-  let golden = golden_run ~coverage ?checkpoint_every sys prog ~max_cycles:5_000_000 in
+(* Site enumeration and sampling, under its own span so campaign time
+   decomposes into golden / site_sampling / prefilter / simulate /
+   converge. *)
+let sample_sites ~obs ~config core target =
+  Obs.span obs "site_sampling" @@ fun () ->
   let pool =
     Array.of_list (Injection.sites ~include_cells:config.include_cells core target)
   in
   let rng = Stats.Rng.create config.seed in
-  let sample =
-    match config.sample_size with
-    | Some k when k < Array.length pool ->
-        Stats.Rng.sample_without_replacement rng k pool
-    | Some _ | None -> pool
+  match config.sample_size with
+  | Some k when k < Array.length pool -> Stats.Rng.sample_without_replacement rng k pool
+  | Some _ | None -> pool
+
+let run ?(config = default_config) ?(obs = Obs.null) ?on_progress sys prog target =
+  Leon3.System.set_obs sys obs;
+  let core = Leon3.System.core sys in
+  let coverage, checkpoint_every = golden_options config ~bounded_faults:false in
+  let golden =
+    golden_run ~obs ~coverage ?checkpoint_every sys prog ~max_cycles:5_000_000
   in
+  let sample = sample_sites ~obs ~config core target in
   let total = Array.length sample * List.length config.models in
   let done_ = ref 0 in
-  let all_results = ref [] in
-  let summaries =
+  let per_model =
     List.map
       (fun model ->
         let results =
@@ -287,7 +335,7 @@ let run ?(config = default_config) ?on_progress sys prog target =
             (Array.map
                (fun site ->
                  let r =
-                   run_one sys prog golden ~inject_cycle:config.inject_cycle
+                   run_one ~obs sys prog golden ~inject_cycle:config.inject_cycle
                      ~hang_factor:config.hang_factor
                      ~compare_reads:config.compare_reads site model
                  in
@@ -298,11 +346,12 @@ let run ?(config = default_config) ?on_progress sys prog target =
                  r)
                sample)
         in
-        all_results := !all_results @ results;
-        (model, summarize results))
+        (model, summarize results, results))
       config.models
   in
-  (summaries, !all_results)
+  Leon3.System.set_obs sys Obs.null;
+  ( List.map (fun (model, summary, _) -> (model, summary)) per_model,
+    List.concat_map (fun (_, _, results) -> results) per_model )
 
 let pf_percent s = 100. *. s.pf
 
@@ -314,21 +363,15 @@ let pf_percent s = 100. *. s.pf
    checkpoints captured on the scratch system.  The task order is
    fixed up front, so results are identical to the sequential
    engine's. *)
-let run_parallel ?(config = default_config) ?(domains = 4) sys_factory prog target =
+let run_parallel ?(config = default_config) ?(obs = Obs.null) ?(domains = 4)
+    ?on_progress sys_factory prog target =
   let scratch = sys_factory () in
+  Leon3.System.set_obs scratch obs;
   let coverage, checkpoint_every = golden_options config ~bounded_faults:false in
-  let golden = golden_run ~coverage ?checkpoint_every scratch prog ~max_cycles:5_000_000 in
-  let pool =
-    Array.of_list
-      (Injection.sites ~include_cells:config.include_cells (Leon3.System.core scratch)
-         target)
+  let golden =
+    golden_run ~obs ~coverage ?checkpoint_every scratch prog ~max_cycles:5_000_000
   in
-  let rng = Stats.Rng.create config.seed in
-  let sample =
-    match config.sample_size with
-    | Some k when k < Array.length pool -> Stats.Rng.sample_without_replacement rng k pool
-    | Some _ | None -> pool
-  in
+  let sample = sample_sites ~obs ~config (Leon3.System.core scratch) target in
   let tasks =
     Array.concat
       (List.map (fun model -> Array.map (fun site -> (model, site)) sample) config.models)
@@ -336,27 +379,40 @@ let run_parallel ?(config = default_config) ?(domains = 4) sys_factory prog targ
   let n = Array.length tasks in
   let results = Array.make n None in
   let next = Atomic.make 0 in
-  let worker sys =
+  let completed = Atomic.make 0 in
+  (* Every worker (the scratch domain included) aggregates into a
+     private fork, so the hot path never contends; the forks merge
+     into [obs] in spawn order at join, which keeps totals
+     deterministic for any domain count. *)
+  let worker sys fork =
+    Leon3.System.set_obs sys fork;
     let rec go () =
       let idx = Atomic.fetch_and_add next 1 in
       if idx < n then begin
         let model, site = tasks.(idx) in
         results.(idx) <-
           Some
-            (run_one sys prog golden ~inject_cycle:config.inject_cycle
+            (run_one ~obs:fork sys prog golden ~inject_cycle:config.inject_cycle
                ~hang_factor:config.hang_factor ~compare_reads:config.compare_reads site
                model);
+        (match on_progress with
+        | Some f -> f ~done_:(Atomic.fetch_and_add completed 1 + 1) ~total:n
+        | None -> ());
         go ()
       end
     in
     go ()
   in
   let domains = max 1 domains in
+  let forks = Array.init domains (fun _ -> Obs.fork obs) in
   let spawned =
-    List.init (domains - 1) (fun _ -> Domain.spawn (fun () -> worker (sys_factory ())))
+    List.init (domains - 1) (fun i ->
+        Domain.spawn (fun () -> worker (sys_factory ()) forks.(i + 1)))
   in
-  worker scratch;
+  worker scratch forks.(0);
   List.iter Domain.join spawned;
+  Array.iter (fun fork -> Obs.merge ~into:obs fork) forks;
+  Leon3.System.set_obs scratch Obs.null;
   let all =
     Array.to_list
       (Array.map
@@ -379,26 +435,32 @@ let run_parallel ?(config = default_config) ?(domains = 4) sys_factory prog targ
    resumes from the checkpoint before its instant and stops at the
    first checkpoint where its state has re-converged with the golden
    run. *)
-let run_transient ?(sample = 400) ?(seed = 7) ?(trim = true) ?checkpoint_every sys prog
-    target =
+let run_transient ?(sample = 400) ?(seed = 7) ?(trim = true) ?checkpoint_every
+    ?(obs = Obs.null) sys prog target =
+  Leon3.System.set_obs sys obs;
   let core = Leon3.System.core sys in
   let checkpoint_every =
     if trim then Some (Option.value checkpoint_every ~default:default_checkpoint_interval)
     else None
   in
-  let golden = golden_run ?checkpoint_every sys prog ~max_cycles:5_000_000 in
-  let pool = Array.of_list (Injection.sites core target) in
-  let rng = Stats.Rng.create seed in
+  let golden = golden_run ~obs ?checkpoint_every sys prog ~max_cycles:5_000_000 in
   let chosen =
-    if sample < Array.length pool then Stats.Rng.sample_without_replacement rng sample pool
-    else pool
+    Obs.span obs "site_sampling" @@ fun () ->
+    let pool = Array.of_list (Injection.sites core target) in
+    let rng = Stats.Rng.create seed in
+    let chosen =
+      if sample < Array.length pool then
+        Stats.Rng.sample_without_replacement rng sample pool
+      else pool
+    in
+    Array.map (fun site -> (site, Stats.Rng.int rng (max 1 golden.cycles))) chosen
   in
   let results =
     Array.to_list
       (Array.map
-         (fun site ->
-           let inject_cycle = Stats.Rng.int rng (max 1 golden.cycles) in
-           run_one sys prog golden ~inject_cycle ~duration:1 site C.Bit_flip)
+         (fun (site, inject_cycle) ->
+           run_one ~obs sys prog golden ~inject_cycle ~duration:1 site C.Bit_flip)
          chosen)
   in
+  Leon3.System.set_obs sys Obs.null;
   summarize results

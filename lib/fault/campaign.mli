@@ -21,7 +21,18 @@
     bounded-fault run at the first checkpoint where its state equals
     the golden state.  All three are exact — trimmed and untrimmed
     campaigns produce identical verdicts, failure breakdowns and
-    latencies; {!summary} reports how much simulation was avoided. *)
+    latencies; {!summary} reports how much simulation was avoided.
+
+    {b Telemetry.}  Every entry point accepts an [?obs] collector
+    (default {!Obs.null}, no cost).  A live collector receives
+    per-phase spans ([golden], [site_sampling], [prefilter],
+    [simulate], [converge]), per-injection outcome counters
+    ([injections], [outcome.*], [prefiltered], [early_exits],
+    [simulated], [cycles.saved], plus [rtl.cycles] /
+    [rtl.instructions] from the attached system) and a
+    [detect_latency] histogram.  {!run_parallel} gives each domain a
+    private {!Obs.fork} and merges them in spawn order, so counter
+    totals are identical for any domain count. *)
 
 module C = Rtl.Circuit
 module Bus_event = Sparc.Bus_event
@@ -41,6 +52,7 @@ type golden = {
 }
 
 val golden_run :
+  ?obs:Obs.t ->
   ?coverage:bool ->
   ?checkpoint_every:int ->
   Leon3.System.t ->
@@ -80,6 +92,7 @@ type run_result = {
 }
 
 val run_one :
+  ?obs:Obs.t ->
   Leon3.System.t ->
   Sparc.Asm.program ->
   golden ->
@@ -137,6 +150,7 @@ val default_config : config
 
 val run :
   ?config:config ->
+  ?obs:Obs.t ->
   ?on_progress:(done_:int -> total:int -> unit) ->
   Leon3.System.t ->
   Sparc.Asm.program ->
@@ -151,7 +165,9 @@ val pf_percent : summary -> float
 
 val run_parallel :
   ?config:config ->
+  ?obs:Obs.t ->
   ?domains:int ->
+  ?on_progress:(done_:int -> total:int -> unit) ->
   (unit -> Leon3.System.t) ->
   Sparc.Asm.program ->
   Injection.target ->
@@ -159,13 +175,18 @@ val run_parallel :
 (** Like {!run}, sharded over [domains] OCaml domains (default 4).
     The factory is called once per domain to build a private RTL
     system; golden coverage and checkpoints are shared read-only, and
-    results are bit-identical to the sequential engine's. *)
+    results are bit-identical to the sequential engine's.
+    [on_progress] is invoked after every completed injection with an
+    atomically increasing [done_] (callers must tolerate concurrent
+    invocation from worker domains); the final call reports
+    [done_ = total], the same total {!run} reports. *)
 
 val run_transient :
   ?sample:int ->
   ?seed:int ->
   ?trim:bool ->
   ?checkpoint_every:int ->
+  ?obs:Obs.t ->
   Leon3.System.t ->
   Sparc.Asm.program ->
   Injection.target ->

@@ -26,6 +26,7 @@ type t = {
   mutable n_writes : int;  (* write events among them *)
   mutable stopped : stop_reason option;
   mutable abort : bool;
+  mutable obs : Obs.t;
 }
 
 let create ?params ?(mem_latency = 1) () =
@@ -39,9 +40,14 @@ let create ?params ?(mem_latency = 1) () =
     n_events = 0;
     n_writes = 0;
     stopped = None;
-    abort = false }
+    abort = false;
+    obs = Obs.null }
 
 let core t = t.core
+
+let set_obs t obs = t.obs <- obs
+
+let obs t = t.obs
 
 let circuit t = t.core.Core.circuit
 
@@ -142,7 +148,7 @@ let step t = step_with t None
    latch as before.  The pause point is between steps, i.e. at a
    settled state — exactly the point {!checkpoint} captures, so a
    paused run can be compared against golden checkpoints. *)
-let run_segment ?on_event t ~until_cycle ~max_cycles =
+let run_segment_raw ?on_event t ~until_cycle ~max_cycles =
   let c = circuit t in
   let rec go () =
     match t.stopped with
@@ -168,6 +174,17 @@ let run_segment ?on_event t ~until_cycle ~max_cycles =
         end
   in
   go ()
+
+let run_segment ?on_event t ~until_cycle ~max_cycles =
+  if not (Obs.enabled t.obs) then run_segment_raw ?on_event t ~until_cycle ~max_cycles
+  else begin
+    let c = circuit t in
+    let c0 = C.cycle c and i0 = C.value c t.core.Core.instret in
+    let r = run_segment_raw ?on_event t ~until_cycle ~max_cycles in
+    Obs.incr t.obs ~by:(C.cycle c - c0) "rtl.cycles";
+    Obs.incr t.obs ~by:(C.value c t.core.Core.instret - i0) "rtl.instructions";
+    r
+  end
 
 let run ?on_event t ~max_cycles =
   match run_segment ?on_event t ~until_cycle:max_int ~max_cycles with

@@ -26,6 +26,14 @@ val create : ?params:Core.params -> ?mem_latency:int -> unit -> t
 
 val core : t -> Core.t
 
+val set_obs : t -> Obs.t -> unit
+(** Attach a telemetry collector: every {!run}/{!run_segment} call
+    then adds the cycles and instructions it simulated to the
+    [rtl.cycles] / [rtl.instructions] counters.  Default {!Obs.null}
+    (no cost). *)
+
+val obs : t -> Obs.t
+
 val load : t -> Asm.program -> unit
 (** Reset the circuit, clear recorded events and install the program
     image.  The program must be linked at the core's reset PC. *)

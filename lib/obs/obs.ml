@@ -1,0 +1,466 @@
+(* Telemetry collector: aggregate span/counter/histogram totals plus
+   an optional JSONL event sink.  The null collector makes every
+   operation a single-branch no-op, so instrumented hot paths cost
+   nothing when telemetry is off. *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  let escape s =
+    let buf = Buffer.create (String.length s + 2) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+
+  let rec write buf = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Float f ->
+        if Float.is_integer f && Float.abs f < 1e15 then
+          Buffer.add_string buf (Printf.sprintf "%.1f" f)
+        else Buffer.add_string buf (Printf.sprintf "%.9g" f)
+    | Str s ->
+        Buffer.add_char buf '"';
+        Buffer.add_string buf (escape s);
+        Buffer.add_char buf '"'
+    | List xs ->
+        Buffer.add_char buf '[';
+        List.iteri
+          (fun i x ->
+            if i > 0 then Buffer.add_char buf ',';
+            write buf x)
+          xs;
+        Buffer.add_char buf ']'
+    | Obj fields ->
+        Buffer.add_char buf '{';
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_char buf ',';
+            write buf (Str k);
+            Buffer.add_char buf ':';
+            write buf v)
+          fields;
+        Buffer.add_char buf '}'
+
+  let to_string v =
+    let buf = Buffer.create 128 in
+    write buf v;
+    Buffer.contents buf
+
+  (* Strict recursive-descent parser, used to validate trace lines. *)
+  exception Bad of string
+
+  let of_string s =
+    let n = String.length s in
+    let pos = ref 0 in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let advance () = incr pos in
+    let fail msg = raise (Bad (Printf.sprintf "%s at offset %d" msg !pos)) in
+    let rec skip_ws () =
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r') ->
+          advance ();
+          skip_ws ()
+      | Some _ | None -> ()
+    in
+    let expect c =
+      match peek () with
+      | Some c' when c' = c -> advance ()
+      | Some _ | None -> fail (Printf.sprintf "expected %C" c)
+    in
+    let literal word v =
+      if !pos + String.length word <= n && String.sub s !pos (String.length word) = word
+      then begin
+        pos := !pos + String.length word;
+        v
+      end
+      else fail (Printf.sprintf "expected %s" word)
+    in
+    let parse_string () =
+      expect '"';
+      let buf = Buffer.create 16 in
+      let rec go () =
+        match peek () with
+        | None -> fail "unterminated string"
+        | Some '"' -> advance ()
+        | Some '\\' -> (
+            advance ();
+            match peek () with
+            | Some '"' -> Buffer.add_char buf '"'; advance (); go ()
+            | Some '\\' -> Buffer.add_char buf '\\'; advance (); go ()
+            | Some '/' -> Buffer.add_char buf '/'; advance (); go ()
+            | Some 'n' -> Buffer.add_char buf '\n'; advance (); go ()
+            | Some 'r' -> Buffer.add_char buf '\r'; advance (); go ()
+            | Some 't' -> Buffer.add_char buf '\t'; advance (); go ()
+            | Some 'b' -> Buffer.add_char buf '\b'; advance (); go ()
+            | Some 'f' -> Buffer.add_char buf '\012'; advance (); go ()
+            | Some 'u' ->
+                advance ();
+                if !pos + 4 > n then fail "truncated \\u escape";
+                let hex = String.sub s !pos 4 in
+                (match int_of_string_opt ("0x" ^ hex) with
+                | Some code when code < 128 -> Buffer.add_char buf (Char.chr code)
+                | Some _ -> Buffer.add_char buf '?' (* non-ASCII: lossy but valid *)
+                | None -> fail "bad \\u escape");
+                pos := !pos + 4;
+                go ()
+            | Some c -> fail (Printf.sprintf "bad escape %C" c)
+            | None -> fail "unterminated escape")
+        | Some c when Char.code c < 0x20 -> fail "raw control character in string"
+        | Some c ->
+            Buffer.add_char buf c;
+            advance ();
+            go ()
+      in
+      go ();
+      Buffer.contents buf
+    in
+    let parse_number () =
+      let start = !pos in
+      let is_float = ref false in
+      let rec go () =
+        match peek () with
+        | Some ('0' .. '9' | '-' | '+') ->
+            advance ();
+            go ()
+        | Some ('.' | 'e' | 'E') ->
+            is_float := true;
+            advance ();
+            go ()
+        | Some _ | None -> ()
+      in
+      go ();
+      let text = String.sub s start (!pos - start) in
+      if !is_float then
+        match float_of_string_opt text with
+        | Some f -> Float f
+        | None -> fail "bad number"
+      else
+        match int_of_string_opt text with
+        | Some i -> Int i
+        | None -> (
+            match float_of_string_opt text with
+            | Some f -> Float f
+            | None -> fail "bad number")
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | None -> fail "unexpected end of input"
+      | Some '{' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some '}' then begin
+            advance ();
+            Obj []
+          end
+          else begin
+            let rec fields acc =
+              skip_ws ();
+              let k = parse_string () in
+              skip_ws ();
+              expect ':';
+              let v = parse_value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  advance ();
+                  fields ((k, v) :: acc)
+              | Some '}' ->
+                  advance ();
+                  List.rev ((k, v) :: acc)
+              | Some _ | None -> fail "expected ',' or '}'"
+            in
+            Obj (fields [])
+          end
+      | Some '[' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some ']' then begin
+            advance ();
+            List []
+          end
+          else begin
+            let rec elems acc =
+              let v = parse_value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  advance ();
+                  elems (v :: acc)
+              | Some ']' ->
+                  advance ();
+                  List.rev (v :: acc)
+              | Some _ | None -> fail "expected ',' or ']'"
+            in
+            List (elems [])
+          end
+      | Some '"' -> Str (parse_string ())
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some 'n' -> literal "null" Null
+      | Some ('-' | '0' .. '9') -> parse_number ()
+      | Some c -> fail (Printf.sprintf "unexpected %C" c)
+    in
+    try
+      let v = parse_value () in
+      skip_ws ();
+      if !pos <> n then Error (Printf.sprintf "trailing garbage at offset %d" !pos)
+      else Ok v
+    with Bad msg -> Error msg
+
+  let member key = function
+    | Obj fields -> List.assoc_opt key fields
+    | Null | Bool _ | Int _ | Float _ | Str _ | List _ -> None
+end
+
+type hist = { count : int; sum : float; min : float; max : float }
+
+type live = {
+  clock : unit -> float;
+  t0 : float;
+  sink : (string -> unit) option;
+  counters_tbl : (string, int ref) Hashtbl.t;
+  spans_tbl : (string, (int * float) ref) Hashtbl.t;  (* count, total seconds *)
+  hists_tbl : (string, hist ref) Hashtbl.t;
+}
+
+type t = Off | On of live
+
+let null = Off
+
+let create ?(clock = Unix.gettimeofday) ?sink () =
+  On
+    { clock;
+      t0 = clock ();
+      sink;
+      counters_tbl = Hashtbl.create 32;
+      spans_tbl = Hashtbl.create 16;
+      hists_tbl = Hashtbl.create 16 }
+
+let enabled = function Off -> false | On _ -> true
+
+let now = function Off -> 0. | On l -> Float.max 0. (l.clock () -. l.t0)
+
+let emit_line l json =
+  match l.sink with Some write -> write (Json.to_string json) | None -> ()
+
+(* ---- spans ---- *)
+
+let add_time_live l name dur =
+  let dur = Float.max 0. dur in
+  match Hashtbl.find_opt l.spans_tbl name with
+  | Some r ->
+      let c, total = !r in
+      r := (c + 1, total +. dur)
+  | None -> Hashtbl.add l.spans_tbl name (ref (1, dur))
+
+let add_time t name dur = match t with Off -> () | On l -> add_time_live l name dur
+
+let span t ?(emit = true) name f =
+  match t with
+  | Off -> f ()
+  | On l ->
+      let start = Float.max 0. (l.clock () -. l.t0) in
+      let finish () =
+        let dur = Float.max 0. (l.clock () -. l.t0 -. start) in
+        add_time_live l name dur;
+        if emit && l.sink <> None then
+          emit_line l
+            (Json.Obj
+               [ ("type", Json.Str "span");
+                 ("name", Json.Str name);
+                 ("start", Json.Float start);
+                 ("dur", Json.Float dur) ])
+      in
+      (match f () with
+      | v ->
+          finish ();
+          v
+      | exception e ->
+          finish ();
+          raise e)
+
+let span_count t name =
+  match t with
+  | Off -> 0
+  | On l -> (
+      match Hashtbl.find_opt l.spans_tbl name with Some r -> fst !r | None -> 0)
+
+let span_total t name =
+  match t with
+  | Off -> 0.
+  | On l -> (
+      match Hashtbl.find_opt l.spans_tbl name with Some r -> snd !r | None -> 0.)
+
+let sorted_bindings tbl read =
+  List.sort
+    (fun (a, _) (b, _) -> String.compare a b)
+    (Hashtbl.fold (fun k v acc -> (k, read v) :: acc) tbl [])
+
+let spans = function
+  | Off -> []
+  | On l -> sorted_bindings l.spans_tbl (fun r -> !r)
+
+(* ---- counters ---- *)
+
+let incr t ?(by = 1) name =
+  match t with
+  | Off -> ()
+  | On l -> (
+      match Hashtbl.find_opt l.counters_tbl name with
+      | Some r -> r := !r + by
+      | None -> Hashtbl.add l.counters_tbl name (ref by))
+
+let counter t name =
+  match t with
+  | Off -> 0
+  | On l -> (
+      match Hashtbl.find_opt l.counters_tbl name with Some r -> !r | None -> 0)
+
+let counters = function
+  | Off -> []
+  | On l -> sorted_bindings l.counters_tbl (fun r -> !r)
+
+(* ---- histograms ---- *)
+
+let observe t name x =
+  match t with
+  | Off -> ()
+  | On l -> (
+      match Hashtbl.find_opt l.hists_tbl name with
+      | Some r ->
+          let h = !r in
+          r :=
+            { count = h.count + 1;
+              sum = h.sum +. x;
+              min = Float.min h.min x;
+              max = Float.max h.max x }
+      | None -> Hashtbl.add l.hists_tbl name (ref { count = 1; sum = x; min = x; max = x }))
+
+let histogram t name =
+  match t with
+  | Off -> None
+  | On l -> Option.map (fun r -> !r) (Hashtbl.find_opt l.hists_tbl name)
+
+let histograms = function
+  | Off -> []
+  | On l -> sorted_bindings l.hists_tbl (fun r -> !r)
+
+(* ---- fan-out ---- *)
+
+let fork = function
+  | Off -> Off
+  | On l ->
+      On
+        { clock = l.clock;
+          t0 = l.t0;
+          sink = None;
+          counters_tbl = Hashtbl.create 32;
+          spans_tbl = Hashtbl.create 16;
+          hists_tbl = Hashtbl.create 16 }
+
+let merge ~into child =
+  match (into, child) with
+  | Off, _ | _, Off -> ()
+  | On dst, On src ->
+      Hashtbl.iter (fun name r -> incr (On dst) ~by:!r name) src.counters_tbl;
+      Hashtbl.iter
+        (fun name r ->
+          let c, total = !r in
+          match Hashtbl.find_opt dst.spans_tbl name with
+          | Some r' ->
+              let c', total' = !r' in
+              r' := (c' + c, total' +. total)
+          | None -> Hashtbl.add dst.spans_tbl name (ref (c, total)))
+        src.spans_tbl;
+      Hashtbl.iter
+        (fun name r ->
+          let h = !r in
+          match Hashtbl.find_opt dst.hists_tbl name with
+          | Some r' ->
+              let h' = !r' in
+              r' :=
+                { count = h'.count + h.count;
+                  sum = h'.sum +. h.sum;
+                  min = Float.min h'.min h.min;
+                  max = Float.max h'.max h.max }
+          | None -> Hashtbl.add dst.hists_tbl name (ref h))
+        src.hists_tbl
+
+(* ---- flush / report ---- *)
+
+let flush t =
+  match t with
+  | Off -> ()
+  | On l when l.sink = None -> ()
+  | On l ->
+      List.iter
+        (fun (name, v) ->
+          emit_line l
+            (Json.Obj
+               [ ("type", Json.Str "counter"); ("name", Json.Str name);
+                 ("value", Json.Int v) ]))
+        (counters t);
+      List.iter
+        (fun (name, h) ->
+          emit_line l
+            (Json.Obj
+               [ ("type", Json.Str "histogram"); ("name", Json.Str name);
+                 ("count", Json.Int h.count); ("sum", Json.Float h.sum);
+                 ("min", Json.Float h.min); ("max", Json.Float h.max) ]))
+        (histograms t)
+
+let report fmt t =
+  match t with
+  | Off -> Format.fprintf fmt "telemetry disabled@."
+  | On _ ->
+      let c = counters t and s = spans t and h = histograms t in
+      if s <> [] then begin
+        Format.fprintf fmt "spans:@.";
+        List.iter
+          (fun (name, (count, total)) ->
+            Format.fprintf fmt "  %-28s %8d calls  %10.3fs@." name count total)
+          s
+      end;
+      if c <> [] then begin
+        Format.fprintf fmt "counters:@.";
+        List.iter (fun (name, v) -> Format.fprintf fmt "  %-28s %12d@." name v) c
+      end;
+      if h <> [] then begin
+        Format.fprintf fmt "histograms:@.";
+        List.iter
+          (fun (name, hist) ->
+            Format.fprintf fmt "  %-28s n=%d mean=%.1f min=%.0f max=%.0f@." name
+              hist.count
+              (if hist.count = 0 then 0. else hist.sum /. float_of_int hist.count)
+              hist.min hist.max)
+          h
+      end;
+      if c = [] && s = [] && h = [] then Format.fprintf fmt "no telemetry recorded@."
+
+let file_sink path =
+  let oc = open_out path in
+  let write line =
+    output_string oc line;
+    output_char oc '\n'
+  in
+  (write, fun () -> close_out oc)

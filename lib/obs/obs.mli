@@ -1,0 +1,128 @@
+(** Zero-dependency telemetry: span timers, named counters and
+    histograms, and a pluggable sink for JSONL trace events.
+
+    A collector is either {!null} — every operation is a no-op costing
+    one branch, the default everywhere — or a live aggregator created
+    with {!create}.  Live collectors keep running totals (counter sums,
+    span counts/durations, histogram moments) that can be read back at
+    any time, and optionally stream one JSON object per span (and, at
+    {!flush}, per counter/histogram) to a sink such as a JSONL trace
+    file.
+
+    Parallel workers use {!fork} to obtain private child collectors
+    (no sink, no contention on the hot path) and {!merge} them back in
+    a fixed order at join, so aggregate totals are deterministic for
+    any domain count. *)
+
+(** {1 JSON} *)
+
+(** Minimal JSON values — enough to write and validate trace lines
+    without an external dependency. *)
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  val to_string : t -> string
+  (** Compact rendering (no newlines — one value per trace line). *)
+
+  val of_string : string -> (t, string) result
+  (** Strict parse of a complete JSON value (used by trace
+      validation; numbers with a ['.'], exponent, or too wide for an
+      [int] become [Float]). *)
+
+  val member : string -> t -> t option
+  (** Field lookup in an [Obj]; [None] otherwise. *)
+end
+
+(** {1 Collectors} *)
+
+type t
+
+val null : t
+(** The disabled collector: all operations are no-ops. *)
+
+val create : ?clock:(unit -> float) -> ?sink:(string -> unit) -> unit -> t
+(** A live collector.  [clock] supplies timestamps in seconds
+    (default [Unix.gettimeofday]; negative deltas are clamped to zero
+    so spans behave monotonically).  [sink] receives one rendered JSON
+    object per emitted event, without the trailing newline. *)
+
+val enabled : t -> bool
+(** [false] exactly for {!null} (and its forks). *)
+
+val now : t -> float
+(** Seconds since the collector was created ([0.] for {!null}). *)
+
+(** {1 Spans} *)
+
+val span : t -> ?emit:bool -> string -> (unit -> 'a) -> 'a
+(** [span t name f] times [f ()], adds the duration to [name]'s
+    aggregate, and (with [emit], the default, and a sink) writes a
+    [{"type":"span","name":...,"start":...,"dur":...}] event.
+    Exceptions propagate; the span is still recorded. *)
+
+val add_time : t -> string -> float -> unit
+(** Aggregate-only: add [dur] seconds to [name]'s span total without
+    emitting an event — the per-injection hot path. *)
+
+val span_count : t -> string -> int
+
+val span_total : t -> string -> float
+(** Accumulated seconds under [name] ([0.] if never recorded). *)
+
+val spans : t -> (string * (int * float)) list
+(** All span aggregates as [(name, (count, total_seconds))], sorted by
+    name. *)
+
+(** {1 Counters} *)
+
+val incr : t -> ?by:int -> string -> unit
+
+val counter : t -> string -> int
+(** Current total ([0] if never incremented). *)
+
+val counters : t -> (string * int) list
+(** All counters, sorted by name. *)
+
+(** {1 Histograms} *)
+
+type hist = { count : int; sum : float; min : float; max : float }
+
+val observe : t -> string -> float -> unit
+
+val histogram : t -> string -> hist option
+
+val histograms : t -> (string * hist) list
+
+(** {1 Fan-out} *)
+
+val fork : t -> t
+(** A private child aggregator sharing the parent's clock but with no
+    sink; {!fork}[ null = null].  Children are independent — safe to
+    use from another domain. *)
+
+val merge : into:t -> t -> unit
+(** Add a child's aggregates into [into].  Merging children in a fixed
+    order makes parallel totals deterministic. *)
+
+(** {1 Flush} *)
+
+val flush : t -> unit
+(** Write one [{"type":"counter",...}] event per counter and one
+    [{"type":"histogram",...}] event per histogram to the sink (spans
+    emit at completion).  No-op without a sink. *)
+
+val report : Format.formatter -> t -> unit
+(** Human-readable dump of all aggregates (the [--metrics] output). *)
+
+(** {1 File sinks} *)
+
+val file_sink : string -> (string -> unit) * (unit -> unit)
+(** [file_sink path] opens [path] for writing and returns the sink
+    (appends a newline per event) and a close function. *)

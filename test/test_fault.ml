@@ -165,6 +165,48 @@ let test_summarize () =
   (* hang latency excluded: max over {100, 50} *)
   check_int "max latency" 100 s.Campaign.max_latency
 
+let test_summarize_empty () =
+  let s = Campaign.summarize [] in
+  check_int "injections" 0 s.Campaign.injections;
+  check_int "failures" 0 s.Campaign.failures;
+  Alcotest.(check (float 1e-9)) "pf" 0. s.Campaign.pf;
+  check_int "skipped" 0 s.Campaign.skipped;
+  check_int "early exits" 0 s.Campaign.early_exits;
+  check_int "max latency" 0 s.Campaign.max_latency;
+  Alcotest.(check (float 1e-9)) "mean latency" 0. s.Campaign.mean_latency
+
+let test_summarize_all_hangs () =
+  (* Hang latencies are excluded from the latency statistics: a
+     campaign of only hangs has failures but no measured latency. *)
+  let mk i =
+    { Campaign.site_name = Printf.sprintf "s%d" i; model = C.Stuck_at_1;
+      outcome = Campaign.Failure Campaign.Hang; detect_cycle = Some 9999;
+      inject_cycle = 0; sim = Campaign.Simulated }
+  in
+  let s = Campaign.summarize (List.init 5 mk) in
+  check_int "injections" 5 s.Campaign.injections;
+  check_int "failures" 5 s.Campaign.failures;
+  check_int "hangs" 5 s.Campaign.hangs;
+  Alcotest.(check (float 1e-9)) "pf" 1. s.Campaign.pf;
+  check_int "max latency" 0 s.Campaign.max_latency;
+  Alcotest.(check (float 1e-9)) "mean latency" 0. s.Campaign.mean_latency
+
+let test_summarize_sim_status_counts () =
+  let mk ~sim i =
+    { Campaign.site_name = Printf.sprintf "s%d" i; model = C.Stuck_at_1;
+      outcome = Campaign.Silent; detect_cycle = None; inject_cycle = 0; sim }
+  in
+  let results =
+    List.init 3 (mk ~sim:Campaign.Prefiltered)
+    @ List.init 2 (fun i -> mk ~sim:(Campaign.Converged (i * 100)) i)
+    @ List.init 4 (mk ~sim:Campaign.Simulated)
+  in
+  let s = Campaign.summarize results in
+  check_int "injections" 9 s.Campaign.injections;
+  check_int "skipped counts prefiltered" 3 s.Campaign.skipped;
+  check_int "early exits counts converged" 2 s.Campaign.early_exits;
+  check_int "no failures" 0 s.Campaign.failures
+
 let test_campaign_end_to_end () =
   let sys = Lazy.force shared_sys in
   let prog = Lazy.force small_prog in
@@ -338,6 +380,72 @@ let test_parallel_domain_count_irrelevant () =
         && s1.Campaign.early_exits = s4.Campaign.early_exits))
     sum1 sum4
 
+let test_parallel_progress_reporting () =
+  (* run_parallel must report progress like run does: one callback per
+     injection, reaching done_ = total exactly once at the end.
+     Callbacks arrive concurrently, so record them atomically. *)
+  let prog = Lazy.force small_prog in
+  let config =
+    { Campaign.default_config with
+      Campaign.models = [ C.Stuck_at_1 ];
+      sample_size = Some 30 }
+  in
+  let seq_calls = ref 0 and seq_final = ref (-1) in
+  ignore
+    (Campaign.run ~config
+       ~on_progress:(fun ~done_ ~total ->
+         incr seq_calls;
+         if done_ = total then seq_final := done_)
+       (Lazy.force shared_sys) prog Injection.Iu);
+  let par_calls = Atomic.make 0 and par_final = Atomic.make (-1) in
+  ignore
+    (Campaign.run_parallel ~config ~domains:3
+       ~on_progress:(fun ~done_ ~total ->
+         Atomic.incr par_calls;
+         if done_ = total then Atomic.set par_final done_)
+       (fun () -> Leon3.System.create ())
+       prog Injection.Iu);
+  check_int "sequential calls = injections" 30 !seq_calls;
+  check_int "parallel calls = injections" 30 (Atomic.get par_calls);
+  check_int "both reach the same final total" !seq_final (Atomic.get par_final)
+
+let obs_counter_names =
+  [ "injections"; "prefiltered"; "early_exits"; "simulated"; "rtl.cycles";
+    "cycles.saved" ]
+
+let snapshot obs = List.map (fun n -> (n, Obs.counter obs n)) obs_counter_names
+
+let test_obs_counters_domain_invariant () =
+  (* Telemetry counters are facts about the campaign, not about its
+     schedule: sequential, domains=1 and domains=4 must agree on every
+     counter. *)
+  let prog = Lazy.force small_prog in
+  let config =
+    { Campaign.default_config with
+      Campaign.models = [ C.Stuck_at_1; C.Open_line ];
+      sample_size = Some 30 }
+  in
+  let obs_seq = Obs.create () in
+  ignore (Campaign.run ~config ~obs:obs_seq (Lazy.force shared_sys) prog Injection.Iu);
+  let run_par domains =
+    let obs = Obs.create () in
+    ignore
+      (Campaign.run_parallel ~config ~obs ~domains
+         (fun () -> Leon3.System.create ())
+         prog Injection.Iu);
+    obs
+  in
+  let obs1 = run_par 1 and obs4 = run_par 4 in
+  check_bool "injections recorded" true (Obs.counter obs_seq "injections" = 60);
+  Alcotest.(check (list (pair string int)))
+    "sequential = domains:1" (snapshot obs_seq) (snapshot obs1);
+  Alcotest.(check (list (pair string int)))
+    "domains:1 = domains:4" (snapshot obs1) (snapshot obs4);
+  (* phase spans exist on every path *)
+  check_bool "golden span" true (Obs.span_total obs4 "golden" >= 0.);
+  check_int "one golden per parallel run" 1 (Obs.span_count obs4 "golden");
+  check_int "one sampling pass" 1 (Obs.span_count obs4 "site_sampling")
+
 let test_transient_trim_equivalence () =
   let sys = Lazy.force shared_sys in
   let prog = Lazy.force small_prog in
@@ -359,10 +467,15 @@ let suite =
       Alcotest.test_case "latency measured" `Quick test_latency_measured_on_failures;
       Alcotest.test_case "injection instant" `Quick test_injection_instant_honoured;
       Alcotest.test_case "summarize" `Quick test_summarize;
+      Alcotest.test_case "summarize empty" `Quick test_summarize_empty;
+      Alcotest.test_case "summarize all hangs" `Quick test_summarize_all_hangs;
+      Alcotest.test_case "summarize sim statuses" `Quick test_summarize_sim_status_counts;
       Alcotest.test_case "campaign end-to-end" `Slow test_campaign_end_to_end;
       Alcotest.test_case "parallel = sequential" `Slow test_parallel_matches_sequential;
       Alcotest.test_case "transient campaign" `Slow test_transient_campaign;
       Alcotest.test_case "paired sites" `Quick test_campaign_same_sites_across_models;
       Alcotest.test_case "trim = untrimmed" `Slow test_trim_matches_untrimmed;
       Alcotest.test_case "domains 1 = domains 4" `Slow test_parallel_domain_count_irrelevant;
+      Alcotest.test_case "parallel progress reporting" `Slow test_parallel_progress_reporting;
+      Alcotest.test_case "obs counters domain-invariant" `Slow test_obs_counters_domain_invariant;
       Alcotest.test_case "transient trim equivalence" `Slow test_transient_trim_equivalence ] )

@@ -4,10 +4,13 @@ let () =
   Alcotest.run "iss_rtl_correlation"
     [ Test_bitops.suite;
       Test_stats.suite;
+      Test_obs.suite;
       Test_sparc.suite;
+      Test_roundtrip.suite;
       Test_iss.suite;
       Test_rtl.suite;
       Test_leon3.suite;
+      Test_differential.suite;
       Test_fault.suite;
       Test_workloads.suite;
       Test_diversity.suite;

@@ -1,0 +1,163 @@
+(* Tests for the telemetry subsystem: aggregation, the null
+   collector, fork/merge determinism, and JSONL trace emission. *)
+
+module J = Obs.Json
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-9))
+
+(* A fake clock the tests can advance deterministically. *)
+let make_clock () =
+  let t = ref 0. in
+  ((fun () -> !t), fun dt -> t := !t +. dt)
+
+(* ---- counters / spans / histograms ---- *)
+
+let test_counters () =
+  let obs = Obs.create () in
+  check_int "missing counter is 0" 0 (Obs.counter obs "x");
+  Obs.incr obs "x";
+  Obs.incr obs ~by:41 "x";
+  Obs.incr obs "y";
+  check_int "accumulates" 42 (Obs.counter obs "x");
+  Alcotest.(check (list (pair string int)))
+    "sorted listing"
+    [ ("x", 42); ("y", 1) ]
+    (Obs.counters obs)
+
+let test_spans () =
+  let clock, advance = make_clock () in
+  let obs = Obs.create ~clock () in
+  let v = Obs.span obs "phase" (fun () -> advance 2.5; "result") in
+  Alcotest.(check string) "span returns f's value" "result" v;
+  Obs.span obs "phase" (fun () -> advance 0.5);
+  check_int "span count" 2 (Obs.span_count obs "phase");
+  check_float "span total" 3.0 (Obs.span_total obs "phase");
+  Obs.add_time obs "phase" 1.0;
+  check_float "add_time aggregates" 4.0 (Obs.span_total obs "phase");
+  (* an exception still records the span *)
+  (try Obs.span obs "boom" (fun () -> advance 1.0; failwith "x") with Failure _ -> ());
+  check_float "exception recorded" 1.0 (Obs.span_total obs "boom")
+
+let test_histograms () =
+  let obs = Obs.create () in
+  Alcotest.(check bool) "missing histogram" true (Obs.histogram obs "h" = None);
+  List.iter (Obs.observe obs "h") [ 5.; 1.; 3. ];
+  match Obs.histogram obs "h" with
+  | None -> Alcotest.fail "histogram recorded"
+  | Some h ->
+      check_int "count" 3 h.Obs.count;
+      check_float "sum" 9. h.Obs.sum;
+      check_float "min" 1. h.Obs.min;
+      check_float "max" 5. h.Obs.max
+
+let test_null_is_free () =
+  let obs = Obs.null in
+  check_bool "disabled" false (Obs.enabled obs);
+  Obs.incr obs "x";
+  Obs.observe obs "h" 1.;
+  Obs.add_time obs "s" 1.;
+  check_int "counter stays 0" 0 (Obs.counter obs "x");
+  check_int "span ignored" 0 (Obs.span_count obs "s");
+  Alcotest.(check int) "span passes value through" 7 (Obs.span obs "s" (fun () -> 7));
+  check_bool "fork of null is null" false (Obs.enabled (Obs.fork obs))
+
+(* ---- fork / merge ---- *)
+
+let test_fork_merge () =
+  let obs = Obs.create () in
+  Obs.incr obs ~by:10 "n";
+  let a = Obs.fork obs and b = Obs.fork obs in
+  check_bool "forks are live" true (Obs.enabled a && Obs.enabled b);
+  Obs.incr a ~by:1 "n";
+  Obs.incr b ~by:2 "n";
+  Obs.add_time a "t" 1.5;
+  Obs.add_time b "t" 0.5;
+  Obs.observe a "h" 3.;
+  Obs.observe b "h" 7.;
+  check_int "fork is private" 10 (Obs.counter obs "n");
+  Obs.merge ~into:obs a;
+  Obs.merge ~into:obs b;
+  check_int "counters merged" 13 (Obs.counter obs "n");
+  check_float "span totals merged" 2.0 (Obs.span_total obs "t");
+  check_int "span counts merged" 2 (Obs.span_count obs "t");
+  match Obs.histogram obs "h" with
+  | None -> Alcotest.fail "histograms merged"
+  | Some h ->
+      check_int "hist count" 2 h.Obs.count;
+      check_float "hist min" 3. h.Obs.min;
+      check_float "hist max" 7. h.Obs.max
+
+(* ---- JSON ---- *)
+
+let test_json_roundtrip () =
+  let v =
+    J.Obj
+      [ ("type", J.Str "span"); ("name", J.Str "a \"quoted\"\nname");
+        ("n", J.Int (-42)); ("dur", J.Float 1.5); ("ok", J.Bool true);
+        ("xs", J.List [ J.Int 1; J.Null ]) ]
+  in
+  match J.of_string (J.to_string v) with
+  | Error e -> Alcotest.failf "round trip failed: %s" e
+  | Ok v' -> check_bool "round trip identity" true (v = v')
+
+let test_json_rejects_garbage () =
+  List.iter
+    (fun s ->
+      match J.of_string s with
+      | Ok _ -> Alcotest.failf "accepted %S" s
+      | Error _ -> ())
+    [ "{"; "{\"a\":}"; "[1,]"; "nope"; "{\"a\":1} trailing"; "\"unterminated" ]
+
+(* ---- JSONL sink ---- *)
+
+let test_sink_emits_valid_jsonl () =
+  let buf = ref [] in
+  let obs = Obs.create ~sink:(fun l -> buf := l :: !buf) () in
+  Obs.span obs "golden" (fun () -> ());
+  Obs.incr obs ~by:5 "injections";
+  Obs.observe obs "lat" 12.;
+  Obs.flush obs;
+  let lines = List.rev !buf in
+  check_int "span + counter + histogram events" 3 (List.length lines);
+  List.iter
+    (fun line ->
+      match J.of_string line with
+      | Error e -> Alcotest.failf "invalid JSON %S: %s" line e
+      | Ok obj ->
+          check_bool "has type" true (J.member "type" obj <> None);
+          check_bool "has name" true (J.member "name" obj <> None))
+    lines;
+  (* aggregate-only primitives must not emit events *)
+  Obs.add_time obs "quiet" 1.;
+  check_int "add_time emits nothing" 3 (List.length !buf)
+
+let test_span_event_fields () =
+  let clock, advance = make_clock () in
+  let lines = ref [] in
+  let obs = Obs.create ~clock ~sink:(fun l -> lines := l :: !lines) () in
+  advance 1.0;
+  Obs.span obs "work" (fun () -> advance 2.0);
+  match !lines with
+  | [ line ] -> (
+      match J.of_string line with
+      | Ok obj ->
+          check_bool "type span" true (J.member "type" obj = Some (J.Str "span"));
+          check_bool "name" true (J.member "name" obj = Some (J.Str "work"));
+          check_bool "start" true (J.member "start" obj = Some (J.Float 1.0));
+          check_bool "dur" true (J.member "dur" obj = Some (J.Float 2.0))
+      | Error e -> Alcotest.failf "bad event: %s" e)
+  | ls -> Alcotest.failf "expected exactly one event, got %d" (List.length ls)
+
+let suite =
+  ( "obs",
+    [ Alcotest.test_case "counters" `Quick test_counters;
+      Alcotest.test_case "spans" `Quick test_spans;
+      Alcotest.test_case "histograms" `Quick test_histograms;
+      Alcotest.test_case "null collector" `Quick test_null_is_free;
+      Alcotest.test_case "fork/merge" `Quick test_fork_merge;
+      Alcotest.test_case "json round trip" `Quick test_json_roundtrip;
+      Alcotest.test_case "json rejects garbage" `Quick test_json_rejects_garbage;
+      Alcotest.test_case "jsonl sink" `Quick test_sink_emits_valid_jsonl;
+      Alcotest.test_case "span event fields" `Quick test_span_event_fields ] )

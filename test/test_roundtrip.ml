@@ -1,0 +1,97 @@
+(* Property-based round trips through the two program
+   representations: Encode (binary) and the Parser (text).
+
+   encode/decode is a strict bijection on the supported subset, and
+   [Isa.pp_instr] output is accepted by [Sparc.Parser] — except Jmpl,
+   whose printed 3-operand form differs from the parser's
+   "jmpl address, rd" syntax. *)
+
+module I = Sparc.Isa
+module A = Sparc.Asm
+module Encode = Sparc.Encode
+module Parser = Sparc.Parser
+
+(* Format-3 ALU-shaped opcodes (everything that is not a memory op,
+   branch, sethi or call) — includes Save/Restore/Jmpl. *)
+let alu_ops =
+  List.filter
+    (fun op ->
+      (not (I.is_branch op)) && (not (I.is_mem op)) && op <> I.Sethi && op <> I.Call)
+    I.all_opcodes
+
+let mem_ops = List.filter I.is_mem I.all_opcodes
+let branch_ops = List.filter I.is_branch I.all_opcodes
+
+(* Random instructions with every field kept inside its encoded range:
+   registers 0..31, simm13 -4096..4095, imm22 22 bits, disp22/disp30
+   sign-extended 22/30-bit word displacements. *)
+let gen_instr =
+  let open QCheck2.Gen in
+  let reg = int_bound 31 in
+  let operand =
+    oneof
+      [ map (fun r -> I.Reg r) reg; map (fun i -> I.Imm i) (int_range (-4096) 4095) ]
+  in
+  let alu =
+    map3
+      (fun op (rs1, rd) op2 -> I.Alu { op; rs1; op2; rd })
+      (oneofl alu_ops) (pair reg reg) operand
+  in
+  let mem =
+    map3
+      (fun op (rs1, rd) op2 -> I.Mem { op; rs1; op2; rd })
+      (oneofl mem_ops) (pair reg reg) operand
+  in
+  let sethi = map2 (fun imm22 rd -> I.Sethi_i { imm22; rd }) (int_bound 0x3F_FFFF) reg in
+  let branch =
+    map2
+      (fun op disp22 -> I.Branch_i { op; disp22 })
+      (oneofl branch_ops)
+      (int_range (-0x20_0000) 0x1F_FFFF)
+  in
+  let call = map (fun disp30 -> I.Call_i { disp30 }) (int_range (-0x2000_0000) 0x1FFF_FFFF) in
+  frequency [ (3, alu); (2, mem); (1, sethi); (2, branch); (1, call) ]
+
+let prop_encode_decode_identity =
+  QCheck2.Test.make ~name:"decode (encode i) = i" ~count:500 ~print:I.instr_to_string
+    gen_instr (fun i ->
+      let w = Encode.encode i in
+      w land Bitops.mask32 = w && Encode.decode w = Some i)
+
+let prop_print_parse_identity =
+  QCheck2.Test.make ~name:"parse (print i) = i" ~count:300 ~print:I.instr_to_string
+    gen_instr (fun i ->
+      match i with
+      | I.Alu { op = I.Jmpl; _ } -> true (* printed form is not parser syntax *)
+      | _ ->
+          let prog = Parser.parse_lines [ I.instr_to_string i ] in
+          Array.length prog.A.instrs = 1 && prog.A.instrs.(0) = i)
+
+(* Directed encode failures: out-of-range fields must be rejected, not
+   silently truncated. *)
+let test_encode_rejects_out_of_range () =
+  let bad =
+    [ I.Alu { op = I.Add; rs1 = 0; op2 = I.Imm 4096; rd = 1 };
+      I.Alu { op = I.Add; rs1 = 0; op2 = I.Imm (-4097); rd = 1 };
+      I.Sethi_i { imm22 = 0x40_0000; rd = 1 };
+      I.Branch_i { op = I.Ba; disp22 = 0x20_0000 };
+      I.Call_i { disp30 = 0x2000_0000 } ]
+  in
+  List.iter
+    (fun i ->
+      match Encode.encode i with
+      | exception Invalid_argument _ -> ()
+      | w -> Alcotest.failf "accepted %s as 0x%x" (I.instr_to_string i) w)
+    bad
+
+(* And a decode failure: a word outside the subset yields None. *)
+let test_decode_rejects_invalid () =
+  Alcotest.(check bool) "all-ones word invalid" true (Encode.decode 0xFFFF_FFFF = None)
+
+let suite =
+  ( "roundtrip",
+    [ Alcotest.test_case "encode rejects out-of-range" `Quick
+        test_encode_rejects_out_of_range;
+      Alcotest.test_case "decode rejects invalid" `Quick test_decode_rejects_invalid ]
+    @ List.map QCheck_alcotest.to_alcotest
+        [ prop_encode_decode_identity; prop_print_parse_identity ] )
