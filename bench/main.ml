@@ -7,9 +7,14 @@
      dune exec bench/main.exe                 -- all experiments
      dune exec bench/main.exe -- figure5      -- one experiment
      dune exec bench/main.exe -- micro        -- Bechamel suite
+     dune exec bench/main.exe -- static       -- figure-5 static on/off A-B
    The RICV_SAMPLES environment variable scales campaign sample sizes
-   (default 250); RICV_TRIM=0 disables trimmed campaign execution
-   (identical results, full simulation cost). *)
+   (default 250); RICV_TRIM=0 disables trimmed campaign execution and
+   RICV_STATIC=0 disables netlist static analysis (identical results
+   either way, full simulation cost).  The [static] selector runs
+   figure 5 twice — static pruning+collapsing on, then off — checks
+   the rendered tables are byte-identical and emits a
+   BENCH_static.json line with both wall clocks. *)
 
 module Experiments = Correlation.Experiments
 module Context = Correlation.Context
@@ -56,10 +61,11 @@ let run_experiments ?csv_dir ids =
   let st = Context.trim_stats ctx in
   if st.Context.injections > 0 then
     Format.printf
-      "@.trim totals: %d injections, %d prefiltered (%.1f%%), %d early-exited@."
+      "@.trim totals: %d injections, %d prefiltered (%.1f%%), %d cone-pruned, \
+       %d collapsed, %d early-exited@."
       st.Context.injections st.Context.skipped
       (100. *. float_of_int st.Context.skipped /. float_of_int st.Context.injections)
-      st.Context.early_exits;
+      st.Context.pruned st.Context.collapsed st.Context.early_exits;
   let wall =
     List.fold_left (fun acc id -> acc +. Obs.span_total obs ("experiment." ^ id)) 0. ids
   in
@@ -69,11 +75,67 @@ let run_experiments ?csv_dir ids =
           [ ("injections_total", Obs.Json.Int st.Context.injections);
             ("prefiltered", Obs.Json.Int st.Context.skipped);
             ("early_exited", Obs.Json.Int st.Context.early_exits);
+            ("cone_pruned", Obs.Json.Int st.Context.pruned);
+            ("collapsed", Obs.Json.Int st.Context.collapsed);
             ("rtl_cycles", Obs.Json.Int (Obs.counter obs "rtl.cycles"));
             ("cycles_saved", Obs.Json.Int (Obs.counter obs "cycles.saved"));
             ("wall_seconds", Obs.Json.Float wall) ]));
   Obs.flush obs;
   close_sink ()
+
+(* ---- static analysis A/B: figure 5 with cone pruning + fault
+   collapsing on vs. off, same samples and seed.  The rendered tables
+   must be byte-identical (the static passes are exact); the emitted
+   BENCH_static.json line records both wall clocks and how many
+   injections each mechanism classified. ---- *)
+
+let render_tables tables =
+  let buf = Buffer.create 4096 in
+  let fmt = Format.formatter_of_buffer buf in
+  List.iter (Report.Table.render fmt) tables;
+  Format.pp_print_flush fmt ();
+  Buffer.contents buf
+
+let run_static () =
+  let run ~static =
+    let ctx = Context.create ~static ~obs:(Obs.create ()) () in
+    let t0 = Unix.gettimeofday () in
+    let tables = Experiments.run ctx "figure5" in
+    let wall = Unix.gettimeofday () -. t0 in
+    (tables, wall, Context.trim_stats ctx, Context.samples ctx)
+  in
+  Format.printf "figure 5, static analysis on:@.@.";
+  let tables_on, wall_on, st_on, samples = run ~static:true in
+  print_tables tables_on;
+  Format.printf "  [%.1fs]@.@.figure 5, static analysis off:@.@." wall_on;
+  let tables_off, wall_off, st_off, _ = run ~static:false in
+  print_tables tables_off;
+  Format.printf "  [%.1fs]@." wall_off;
+  let identical = render_tables tables_on = render_tables tables_off in
+  let open Obs.Json in
+  Format.printf "@.BENCH_static.json: %s@."
+    (to_string
+       (Obj
+          [ ("experiment", Str "figure5");
+            ("samples", Int samples);
+            ( "static",
+              Obj
+                [ ("wall_seconds", Float wall_on);
+                  ("injections", Int st_on.Context.injections);
+                  ("prefiltered", Int st_on.Context.skipped);
+                  ("pruned", Int st_on.Context.pruned);
+                  ("collapsed", Int st_on.Context.collapsed) ] );
+            ( "full",
+              Obj
+                [ ("wall_seconds", Float wall_off);
+                  ("injections", Int st_off.Context.injections);
+                  ("prefiltered", Int st_off.Context.skipped) ] );
+            ("speedup", Float (if wall_on > 0. then wall_off /. wall_on else 1.));
+            ("tables_identical", Bool identical) ]));
+  if not identical then begin
+    prerr_endline "static/full figure-5 tables differ";
+    exit 1
+  end
 
 (* ---- Bechamel microbenchmarks: one per table/figure, measuring the
    dominant engine primitive behind that experiment. ---- *)
@@ -151,10 +213,11 @@ let () =
   match args with
   | [] -> run_experiments ?csv_dir Experiments.all_ids
   | [ "micro" ] -> run_micro ()
+  | [ "static" ] -> run_static ()
   | ids when List.for_all (fun id -> List.mem id Experiments.all_ids) ids ->
       run_experiments ?csv_dir ids
   | _ ->
       prerr_endline
-        ("usage: main.exe [csv] [micro | " ^ String.concat " | " Experiments.all_ids
-       ^ " ...]");
+        ("usage: main.exe [csv] [micro | static | "
+        ^ String.concat " | " Experiments.all_ids ^ " ...]");
       exit 2

@@ -212,12 +212,19 @@ let campaign_cmd =
            ~doc:"Disable trimmed execution (activation prefilter and checkpointed \
                  early exit).  Results are identical; only the runtime changes.")
   in
-  let run name iterations dataset target samples domains no_trim trace metrics =
+  let no_static_arg =
+    Arg.(value & flag & info [ "no-static" ]
+           ~doc:"Disable netlist static analysis (cone-of-influence pruning and \
+                 structural fault collapsing).  Results are identical; only the \
+                 runtime changes.")
+  in
+  let run name iterations dataset target samples domains no_trim no_static trace metrics =
     let prog = or_fail (build_workload name iterations dataset) in
     let config =
       { Fault_injection.Campaign.default_config with
         Fault_injection.Campaign.sample_size = Some samples;
-        trim = not no_trim }
+        trim = not no_trim;
+        static = not no_static }
     in
     let obs, finish_obs = make_obs ~trace ~metrics in
     let t0 = Unix.gettimeofday () in
@@ -249,26 +256,69 @@ let campaign_cmd =
           s.Fault_injection.Campaign.traps s.Fault_injection.Campaign.hangs
           s.Fault_injection.Campaign.max_latency)
       summaries;
-    let injections, skipped, early =
+    let injections, skipped, early, pruned, collapsed =
       List.fold_left
-        (fun (i, k, e) (_, s) ->
+        (fun (i, k, e, p, c) (_, s) ->
           ( i + s.Fault_injection.Campaign.injections,
             k + s.Fault_injection.Campaign.skipped,
-            e + s.Fault_injection.Campaign.early_exits ))
-        (0, 0, 0) summaries
+            e + s.Fault_injection.Campaign.early_exits,
+            p + s.Fault_injection.Campaign.pruned,
+            c + s.Fault_injection.Campaign.collapsed ))
+        (0, 0, 0, 0, 0) summaries
     in
     Printf.printf
-      "%d injections in %.1fs: %d prefiltered (%.1f%%), %d early-exited%s\n"
+      "%d injections in %.1fs: %d prefiltered (%.1f%%), %d cone-pruned, %d collapsed, \
+       %d early-exited%s%s\n"
       injections elapsed skipped
       (if injections = 0 then 0. else 100. *. float_of_int skipped /. float_of_int injections)
-      early
-      (if config.Fault_injection.Campaign.trim then "" else "  [trimming disabled]");
+      pruned collapsed early
+      (if config.Fault_injection.Campaign.trim then "" else "  [trimming disabled]")
+      (if config.Fault_injection.Campaign.static then "" else "  [static analysis disabled]");
     finish_obs ()
   in
   Cmd.v
     (Cmd.info "campaign" ~doc:"Run a fault-injection campaign on the RTL model.")
     Term.(const run $ workload_arg $ iterations_arg $ dataset_arg $ target_arg
-          $ samples_arg $ domains_arg $ no_trim_arg $ trace_arg $ metrics_arg)
+          $ samples_arg $ domains_arg $ no_trim_arg $ no_static_arg $ trace_arg
+          $ metrics_arg)
+
+(* ---- lint ---- *)
+
+let lint_cmd =
+  let json_arg =
+    Arg.(value & flag & info [ "json" ]
+           ~doc:"Print the report as one compact JSON object instead of text.")
+  in
+  let gate_level_arg =
+    Arg.(value & flag & info [ "gate-level" ]
+           ~doc:"Lint the variant with the gate-level ripple-carry adder \
+                 (finer injection granularity, deeper combinational paths).")
+  in
+  let depth_arg =
+    Arg.(value & opt int 32 & info [ "depth-limit" ] ~docv:"N"
+           ~doc:"Combinational-depth threshold for the comb-depth rule.")
+  in
+  let run json gate_level depth_limit =
+    let params =
+      { Leon3.Core.default_params with Leon3.Core.gate_level_adder = gate_level }
+    in
+    let core = Leon3.Core.build ~params () in
+    let report =
+      Analysis.Lint.run
+        ~observed:(Leon3.Core.observation_points core)
+        ~driven:(Leon3.Core.environment_inputs core)
+        ~depth_limit core.Leon3.Core.circuit
+    in
+    if json then print_endline (Analysis.Lint.to_json report)
+    else Analysis.Lint.pp Format.std_formatter report;
+    if Analysis.Lint.errors report > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Statically lint the Leon3 netlist (dead/unobservable nodes, undriven \
+             inputs, constant combs, width truncation, depth outliers).  Exits \
+             non-zero on any error-severity finding.")
+    Term.(const run $ json_arg $ gate_level_arg $ depth_arg)
 
 (* ---- experiment ---- *)
 
@@ -306,4 +356,4 @@ let () =
     (Cmd.eval
        (Cmd.group ~default info
           [ list_cmd; run_iss_cmd; run_rtl_cmd; disasm_cmd; asm_cmd; campaign_cmd;
-            experiment_cmd ]))
+            experiment_cmd; lint_cmd ]))

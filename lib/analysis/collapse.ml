@@ -1,0 +1,107 @@
+module C = Rtl.Circuit
+
+type t = { map : (C.fault_site * C.fault_model, C.fault_site * C.fault_model) Hashtbl.t }
+
+let sa = function 0 -> C.Stuck_at_0 | _ -> C.Stuck_at_1
+
+(* All probing writes into one scratch array indexed by node id; the
+   evaluator only reads its dependency slots, so stale entries from
+   earlier nodes are harmless. *)
+
+let analyse_unary c g map scratch ~keep ~max_probe_bits o d =
+  let wo = C.signal_width c o and wd = C.signal_width c d in
+  if wo = wd && wo <= max_probe_bits && (not (keep d)) && Graph.fanout g d = 1 then begin
+    let mask = (1 lsl wo) - 1 in
+    let idd = (d :> int) in
+    let is_fwd = ref true and is_inv = ref true in
+    let x = ref 0 in
+    while (!is_fwd || !is_inv) && !x <= mask do
+      scratch.(idd) <- !x;
+      let r = C.probe_comb c o scratch land mask in
+      if r <> !x then is_fwd := false;
+      if r <> lnot !x land mask then is_inv := false;
+      incr x
+    done;
+    if !is_fwd then
+      for b = 0 to wo - 1 do
+        List.iter
+          (fun m -> Hashtbl.replace map (C.Node (d, b), m) (C.Node (o, b), m))
+          [ C.Stuck_at_0; C.Stuck_at_1; C.Open_line ]
+      done
+    else if !is_inv then
+      for b = 0 to wo - 1 do
+        Hashtbl.replace map (C.Node (d, b), C.Stuck_at_0) (C.Node (o, b), C.Stuck_at_1);
+        Hashtbl.replace map (C.Node (d, b), C.Stuck_at_1) (C.Node (o, b), C.Stuck_at_0);
+        Hashtbl.replace map (C.Node (d, b), C.Open_line) (C.Node (o, b), C.Open_line)
+      done
+  end
+
+let analyse_controlling c g map scratch ~keep ~max_probe_bits o dd =
+  let dd = Array.of_list dd in
+  let widths = Array.map (C.signal_width c) dd in
+  let total_bits = Array.fold_left ( + ) 0 widths in
+  if total_bits <= max_probe_bits then begin
+    let nd = Array.length dd in
+    (* seen.(i).(b).(v): bitmask of output values observed over the
+       full truth table restricted to dep [i] bit [b] = [v].  A mask
+       of exactly {0} or {1} is a controlling-value proof. *)
+    let seen = Array.init nd (fun i -> Array.make_matrix widths.(i) 2 0) in
+    for assignment = 0 to (1 lsl total_bits) - 1 do
+      let off = ref 0 in
+      for i = 0 to nd - 1 do
+        scratch.((dd.(i) :> int)) <- (assignment lsr !off) land ((1 lsl widths.(i)) - 1);
+        off := !off + widths.(i)
+      done;
+      let r = C.probe_comb c o scratch land 1 in
+      let off = ref 0 in
+      for i = 0 to nd - 1 do
+        let v = (assignment lsr !off) land ((1 lsl widths.(i)) - 1) in
+        for b = 0 to widths.(i) - 1 do
+          let bitv = (v lsr b) land 1 in
+          seen.(i).(b).(bitv) <- seen.(i).(b).(bitv) lor (1 lsl r)
+        done;
+        off := !off + widths.(i)
+      done
+    done;
+    Array.iteri
+      (fun i d ->
+        if (not (keep d)) && Graph.fanout g d = 1 then
+          for b = 0 to widths.(i) - 1 do
+            for forced = 0 to 1 do
+              match seen.(i).(b).(forced) with
+              | 1 -> Hashtbl.replace map (C.Node (d, b), sa forced) (C.Node (o, 0), C.Stuck_at_0)
+              | 2 -> Hashtbl.replace map (C.Node (d, b), sa forced) (C.Node (o, 0), C.Stuck_at_1)
+              | _ -> ()
+            done
+          done)
+      dd
+  end
+
+let build ?(max_probe_bits = 12) g ~keep =
+  let c = Graph.circuit g in
+  let scratch = Array.make (Graph.signal_count g) 0 in
+  let map = Hashtbl.create 256 in
+  Array.iter
+    (fun o ->
+      match C.node_view c o with
+      | C.V_comb deps when C.read_port_memory c o = None -> (
+          (* An evaluator that raises on some probe input proves
+             nothing; skip the node rather than crash the pass. *)
+          try
+            let dd = List.sort_uniq compare (Array.to_list deps) in
+            (match dd with
+            | [ d ] -> analyse_unary c g map scratch ~keep ~max_probe_bits o d
+            | [] | _ :: _ :: _ -> ());
+            if C.signal_width c o = 1 && dd <> [] then
+              analyse_controlling c g map scratch ~keep ~max_probe_bits o dd
+          with _ -> ())
+      | C.V_comb _ | C.V_input | C.V_const _ | C.V_register _ -> ())
+    (Graph.signal_handles g);
+  { map }
+
+let rec resolve t site model =
+  match Hashtbl.find_opt t.map (site, model) with
+  | Some (site', model') -> resolve t site' model'
+  | None -> (site, model)
+
+let mapped t = Hashtbl.length t.map

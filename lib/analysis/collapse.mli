@@ -1,0 +1,53 @@
+(** Structural fault collapsing.
+
+    Classic stuck-at collapsing adapted to the word-level netlist: a
+    permanent fault on a fan-out-free node is observationally
+    equivalent to a fault on its single reader whenever the reader's
+    evaluator provably forwards (or complements, or is controlled by)
+    the faulted bit.  The equivalences are established by {e exhaustive
+    probing} of the reader's evaluator — evaluators are pure functions
+    of their dependency values, so a complete truth table is a proof,
+    not a heuristic — which keeps campaign summaries byte-identical
+    when only class representatives are simulated.
+
+    Three rules, each requiring the source node to be fan-out-free and
+    not an observation point:
+
+    - {b forward}: the reader is an identity buffer of equal width —
+      stuck-at-0/1 and open-line faults map to the same bit of the
+      reader, same model;
+    - {b complement}: the reader is a bitwise inverter — stuck-at
+      polarities swap, open-line maps to open-line (the frozen input
+      bit pins the output to its own previous value);
+    - {b controlling value}: the reader has a 1-bit output and forcing
+      one source bit to [c] fixes the output at [k] for {e every}
+      combination of the remaining input bits — stuck-at-[c] on the
+      source bit maps to stuck-at-[k] on the output (AND/OR-style
+      gates, the bread and butter of gate-level collapsing).
+
+    [Bit_flip] faults are never collapsed: an enable-hold register
+    downstream can re-latch a flipped value and diverge from the
+    equivalent-looking fault on the reader.  Chains resolve
+    transitively (reader ids strictly increase, so resolution
+    terminates). *)
+
+module C = Rtl.Circuit
+
+type t
+
+val build : ?max_probe_bits:int -> Graph.t -> keep:(C.signal -> bool) -> t
+(** Scan every combinational node and record the fault equivalences
+    its evaluator proves.  [keep] marks signals that must never be
+    collapsed {e away} (observation points: a fault there is read
+    directly by the environment).  [max_probe_bits] (default 12) caps
+    the truth-table size per node at [2^max_probe_bits] evaluations;
+    wider nodes are simply not collapsed — the pass trades coverage
+    for exactness, never the reverse. *)
+
+val resolve : t -> C.fault_site -> C.fault_model -> C.fault_site * C.fault_model
+(** Follow the equivalence chain to its representative.  Returns the
+    argument unchanged for unmapped sites, [Cell] sites and
+    [Bit_flip]. *)
+
+val mapped : t -> int
+(** Number of (site, model) pairs with a recorded equivalence. *)

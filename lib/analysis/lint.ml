@@ -1,0 +1,163 @@
+module C = Rtl.Circuit
+
+type severity = Error | Warning | Info
+
+type finding = { rule : string; severity : severity; subject : string; detail : string }
+
+type report = {
+  findings : finding list;
+  signals : int;
+  memories : int;
+  edges : int;
+  max_depth : int;
+  cone_size : int option;
+}
+
+let severity_name = function Error -> "error" | Warning -> "warning" | Info -> "info"
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+let run ?observed ?driven ?(max_probe_bits = 12) ?(depth_limit = 32) circuit =
+  let g = Graph.build circuit in
+  let nsigs = Graph.signal_count g in
+  let handles = Graph.signal_handles g in
+  let cone = Option.map (Graph.backward_cone g) observed in
+  let member l =
+    let a = Array.make nsigs false in
+    List.iter (fun s -> a.((s : C.signal :> int)) <- true) l;
+    a
+  in
+  let observed_set = member (Option.value observed ~default:[]) in
+  let driven_set = Option.map member driven in
+  let findings = ref [] in
+  let report id rule severity detail =
+    let subject = C.signal_name circuit handles.(id) in
+    findings := (severity_rank severity, id, { rule; severity; subject; detail }) :: !findings
+  in
+  let scratch = Array.make nsigs 0 in
+  (* Constant propagation in creation order: comb dependencies always
+     predate the node, so one sweep reaches the fixpoint. *)
+  let constv = Array.make nsigs None in
+  Array.iteri
+    (fun id s ->
+      let in_cone = match cone with Some c -> Graph.cone_signal c s | None -> true in
+      (match C.node_view circuit s with
+      | C.V_input -> (
+          match driven_set with
+          | Some d when (not d.(id)) && in_cone ->
+              report id "undriven-input" Error
+                "input is never driven by the environment but reaches the observation \
+                 boundary"
+          | Some _ | None -> ())
+      | C.V_const v -> constv.(id) <- Some v
+      | C.V_comb deps when C.read_port_memory circuit s = None -> (
+          let w = C.signal_width circuit s in
+          let mask = (1 lsl w) - 1 in
+          let dd = List.sort_uniq compare (Array.to_list deps) in
+          (* constant-comb: all transitive sources are constants *)
+          let dep_consts =
+            List.map (fun d -> constv.((d : C.signal :> int))) dd
+          in
+          if List.for_all Option.is_some dep_consts then begin
+            try
+              List.iter
+                (fun d ->
+                  scratch.((d : C.signal :> int)) <-
+                    Option.get constv.((d : C.signal :> int)))
+                dd;
+              let v = C.probe_comb circuit s scratch land mask in
+              constv.(id) <- Some v;
+              report id "constant-comb" Warning (Printf.sprintf "always %d" v)
+            with _ -> ()
+          end;
+          (* width-truncation: probe the {all-zeros, all-ones} corner
+             combinations for bits above the declared width *)
+          let ndd = List.length dd in
+          if ndd >= 1 && ndd <= max 1 (max_probe_bits / 2) then begin
+            try
+              let dd_arr = Array.of_list dd in
+              let truncated = ref None in
+              for combo = 0 to (1 lsl ndd) - 1 do
+                Array.iteri
+                  (fun i d ->
+                    let wd = C.signal_width circuit d in
+                    scratch.((d : C.signal :> int)) <-
+                      (if (combo lsr i) land 1 = 0 then 0 else (1 lsl wd) - 1))
+                  dd_arr;
+                let r = C.probe_comb circuit s scratch in
+                if r land lnot mask <> 0 && !truncated = None then truncated := Some r
+              done;
+              match !truncated with
+              | Some r ->
+                  report id "width-truncation" Info
+                    (Printf.sprintf "evaluator returned %#x, truncated to %d bits" r w)
+              | None -> ()
+            with _ -> ()
+          end;
+          (* comb-depth: settle-chain outliers *)
+          let lvl = Graph.level g s in
+          if lvl > depth_limit then
+            report id "comb-depth" Info
+              (Printf.sprintf "combinational level %d exceeds limit %d" lvl depth_limit)
+          )
+      | C.V_comb _ | C.V_register _ -> ());
+      (* dead / unobservable apply to every node kind *)
+      if not observed_set.(id) then
+        if Graph.succs g (Graph.Sig s) = [] then
+          report id "dead-node" Warning "no reader and not an observation point"
+        else if not in_cone then
+          report id "unobservable-node" Warning
+            "no structural path to any observation point (faults here are silent)")
+    handles;
+  let ordered =
+    List.map
+      (fun (_, _, f) -> f)
+      (List.sort compare (List.rev !findings))
+  in
+  { findings = ordered;
+    signals = nsigs;
+    memories = Graph.memory_count g;
+    edges = Graph.edge_count g;
+    max_depth = Graph.max_level g;
+    cone_size = Option.map Graph.cone_size cone }
+
+let count sev r = List.length (List.filter (fun f -> f.severity = sev) r.findings)
+
+let errors r = count Error r
+
+let to_json r =
+  let open Obs.Json in
+  to_string
+    (Obj
+       [ ("signals", Int r.signals);
+         ("memories", Int r.memories);
+         ("edges", Int r.edges);
+         ("max_depth", Int r.max_depth);
+         ("cone_size", match r.cone_size with Some n -> Int n | None -> Null);
+         ("errors", Int (count Error r));
+         ("warnings", Int (count Warning r));
+         ("infos", Int (count Info r));
+         ("findings",
+          List
+            (List.map
+               (fun f ->
+                 Obj
+                   [ ("rule", Str f.rule);
+                     ("severity", Str (severity_name f.severity));
+                     ("subject", Str f.subject);
+                     ("detail", Str f.detail) ])
+               r.findings)) ])
+
+let pp fmt r =
+  List.iter
+    (fun f ->
+      Format.fprintf fmt "%s: %s: %s — %s@." (severity_name f.severity) f.rule f.subject
+        f.detail)
+    r.findings;
+  Format.fprintf fmt "%d signals, %d memories, %d edges, max depth %d%s@."
+    r.signals r.memories r.edges r.max_depth
+    (match r.cone_size with
+    | Some n -> Printf.sprintf ", cone %d" n
+    | None -> "");
+  Format.fprintf fmt "%d errors, %d warnings, %d infos@." (count Error r)
+    (count Warning r) (count Info r)

@@ -1,0 +1,69 @@
+(** Netlist lint: structural diagnostics over an elaborated circuit.
+
+    Rules and severities (the CI gate fails on [Error] only):
+
+    - [undriven-input] ({e Error}): an input the environment does not
+      drive but that can reach the observation boundary — it would
+      read as a constant 0 forever.  Active only when [driven] is
+      supplied.
+    - [dead-node] ({e Warning}): a node nothing reads and nothing
+      observes; it burns simulation work and injection budget for no
+      behaviour.
+    - [unobservable-node] ({e Warning}): a node with readers but no
+      structural path to any observation point — faults there are
+      silent by construction (the cone pruner skips them).  Active
+      only when [observed] is supplied.
+    - [constant-comb] ({e Warning}): a combinational node whose
+      transitive sources are all constants; it settles to the same
+      value every cycle and could be folded.
+    - [width-truncation] ({e Info}): an evaluator that returns bits
+      above the node's declared width on some probed input — the
+      kernel masks them, which is often intended (carry-out of a
+      behavioural adder) but worth surfacing.
+    - [comb-depth] ({e Info}): a node whose combinational level
+      exceeds [depth_limit] — a long settle chain, e.g. a gate-level
+      ripple-carry path. *)
+
+module C = Rtl.Circuit
+
+type severity = Error | Warning | Info
+
+type finding = {
+  rule : string;
+  severity : severity;
+  subject : string;  (** hierarchical node name *)
+  detail : string;
+}
+
+type report = {
+  findings : finding list;  (** ordered by severity, then node id *)
+  signals : int;
+  memories : int;
+  edges : int;
+  max_depth : int;
+  cone_size : int option;  (** [None] when [observed] was not given *)
+}
+
+val run :
+  ?observed:C.signal list ->
+  ?driven:C.signal list ->
+  ?max_probe_bits:int ->
+  ?depth_limit:int ->
+  C.t ->
+  report
+(** Lint an elaborated circuit.  [observed] enables the cone-based
+    rules, [driven] the undriven-input rule; [max_probe_bits]
+    (default 12) bounds the per-node probing of the constant and
+    truncation rules, [depth_limit] (default 32, above the behavioural
+    Leon3's deepest chain but below the gate-level ripple-carry one)
+    sets the [comb-depth] threshold. *)
+
+val errors : report -> int
+
+val severity_name : severity -> string
+
+val to_json : report -> string
+(** One compact JSON object: totals plus the findings array. *)
+
+val pp : Format.formatter -> report -> unit
+(** Human-readable listing, one finding per line, totals last. *)

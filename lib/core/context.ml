@@ -1,13 +1,20 @@
 module Campaign = Fault_injection.Campaign
 module Injection = Fault_injection.Injection
 
-type trim_stats = { injections : int; skipped : int; early_exits : int }
+type trim_stats = {
+  injections : int;
+  skipped : int;
+  early_exits : int;
+  pruned : int;
+  collapsed : int;
+}
 
 type t = {
   sys : Leon3.System.t;
   samples_ : int;
   seed : int;
   trim_ : bool;
+  static_ : bool;
   obs_ : Obs.t;
   campaigns :
     (string * string * string, (Rtl.Circuit.fault_model * Campaign.summary) list)
@@ -25,9 +32,15 @@ let default_trim () =
   | Some ("0" | "false" | "no" | "off") -> false
   | Some _ | None -> true
 
-let create ?samples ?(seed = 7) ?trim ?obs () =
+let default_static () =
+  match Sys.getenv_opt "RICV_STATIC" with
+  | Some ("0" | "false" | "no" | "off") -> false
+  | Some _ | None -> true
+
+let create ?samples ?(seed = 7) ?trim ?static ?obs () =
   let samples_ = match samples with Some n -> n | None -> default_samples () in
   let trim_ = match trim with Some b -> b | None -> default_trim () in
+  let static_ = match static with Some b -> b | None -> default_static () in
   (* The context always aggregates (counters replace the old bespoke
      trim_stats plumbing); pass a sink-equipped collector to also
      stream JSONL trace events. *)
@@ -36,6 +49,7 @@ let create ?samples ?(seed = 7) ?trim ?obs () =
     samples_;
     seed;
     trim_;
+    static_;
     obs_;
     campaigns = Hashtbl.create 64;
     goldens = Hashtbl.create 64 }
@@ -44,12 +58,16 @@ let samples t = t.samples_
 
 let trim t = t.trim_
 
+let static t = t.static_
+
 let obs t = t.obs_
 
 let trim_stats t =
   { injections = Obs.counter t.obs_ "injections";
     skipped = Obs.counter t.obs_ "prefiltered";
-    early_exits = Obs.counter t.obs_ "early_exits" }
+    early_exits = Obs.counter t.obs_ "early_exits";
+    pruned = Obs.counter t.obs_ "static.pruned";
+    collapsed = Obs.counter t.obs_ "static.collapsed" }
 
 let system t = t.sys
 
@@ -78,7 +96,8 @@ let campaign t ~key ?(models = Campaign.default_config.Campaign.models) prog tar
           Campaign.models;
           sample_size = Some t.samples_;
           seed = t.seed;
-          trim = t.trim_ }
+          trim = t.trim_;
+          static = t.static_ }
       in
       let summaries, _ = Campaign.run ~config ~obs:t.obs_ t.sys prog target in
       Hashtbl.add t.campaigns memo_key summaries;

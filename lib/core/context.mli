@@ -8,24 +8,35 @@ module Injection = Fault_injection.Injection
 
 type t
 
-type trim_stats = { injections : int; skipped : int; early_exits : int }
+type trim_stats = {
+  injections : int;
+  skipped : int;  (** dynamic activation prefilter *)
+  early_exits : int;  (** convergence early exits *)
+  pruned : int;  (** cone-of-influence static pruning *)
+  collapsed : int;  (** collapse-class verdict replication *)
+}
 (** Running totals over every campaign this context has executed
     (memoised hits are not double-counted); a projection of the
     context's telemetry counters. *)
 
-val create : ?samples:int -> ?seed:int -> ?trim:bool -> ?obs:Obs.t -> unit -> t
+val create :
+  ?samples:int -> ?seed:int -> ?trim:bool -> ?static:bool -> ?obs:Obs.t -> unit -> t
 (** [samples] is the per-(workload, block) injection sample size
     (default 250; the [RICV_SAMPLES] environment variable, when set,
     overrides the default).  [trim] enables trimmed campaign execution
     (default true; set [RICV_TRIM=0] to disable without code changes —
-    results are identical either way, only the time changes).  [obs]
-    is the telemetry collector every campaign reports into; the
-    default is a fresh in-memory aggregator (pass one built with a
-    sink to stream JSONL trace events). *)
+    results are identical either way, only the time changes).
+    [static] likewise enables netlist static analysis (cone pruning +
+    fault collapsing; default true, [RICV_STATIC=0] to disable — also
+    result-identical).  [obs] is the telemetry collector every
+    campaign reports into; the default is a fresh in-memory aggregator
+    (pass one built with a sink to stream JSONL trace events). *)
 
 val samples : t -> int
 
 val trim : t -> bool
+
+val static : t -> bool
 
 val obs : t -> Obs.t
 (** The context's collector: per-phase span totals, injection/outcome

@@ -71,7 +71,12 @@ type failure_kind = Wrong_write of int | Missing_writes of int | Trap of int | H
 
 type outcome = Silent | Failure of failure_kind
 
-type sim_status = Simulated | Prefiltered | Converged of int
+type sim_status =
+  | Simulated
+  | Prefiltered
+  | Converged of int
+  | Pruned
+  | Collapsed of string
 
 type run_result = {
   site_name : string;
@@ -113,6 +118,18 @@ let record_run obs golden ~dt ~start_cycle r =
       Obs.incr obs "simulated";
       Obs.add_time obs "simulate" dt;
       Obs.incr obs ~by:start_cycle "cycles.saved"
+  | Pruned ->
+      Obs.incr obs "static.pruned";
+      Obs.incr obs ~by:golden.cycles "cycles.saved"
+  | Collapsed _ ->
+      Obs.incr obs "static.collapsed";
+      Obs.incr obs ~by:golden.cycles "cycles.saved"
+
+(* Statically classified injections (cone-pruned or replicated from a
+   collapse-class leader) never touch the simulator; they still count
+   as injections with a full verdict. *)
+let record_static obs golden r =
+  if Obs.enabled obs then record_run obs golden ~dt:0. ~start_cycle:0 r
 
 let run_one ?(obs = Obs.null) sys prog golden ?(inject_cycle = 0) ?duration
     ?(hang_factor = 4) ?(compare_reads = false) (site : Injection.site) model =
@@ -231,6 +248,8 @@ type summary = {
   mean_latency : float;
   skipped : int;
   early_exits : int;
+  pruned : int;
+  collapsed : int;
 }
 
 let summarize results =
@@ -265,7 +284,16 @@ let summarize results =
          /. float_of_int (List.length latencies));
     skipped = count (fun r -> r.sim = Prefiltered);
     early_exits =
-      count (fun r -> match r.sim with Converged _ -> true | Simulated | Prefiltered -> false) }
+      count (fun r ->
+          match r.sim with
+          | Converged _ -> true
+          | Simulated | Prefiltered | Pruned | Collapsed _ -> false);
+    pruned = count (fun r -> r.sim = Pruned);
+    collapsed =
+      count (fun r ->
+          match r.sim with
+          | Collapsed _ -> true
+          | Simulated | Prefiltered | Pruned | Converged _ -> false) }
 
 type config = {
   models : C.fault_model list;
@@ -277,6 +305,7 @@ type config = {
   seed : int;
   trim : bool;
   checkpoint_every : int option;
+  static : bool;
 }
 
 let default_config =
@@ -288,7 +317,62 @@ let default_config =
     compare_reads = false;
     seed = 7;
     trim = true;
-    checkpoint_every = None }
+    checkpoint_every = None;
+    static = true }
+
+(* Static analysis of the netlist, shared by every injection of a
+   campaign: the observation cone decides which sites are silent by
+   construction, the collapse table which (site, model) pairs share a
+   verdict with a representative fault. *)
+type static_info = { cone : Analysis.Graph.cone; collapse : Analysis.Collapse.t }
+
+let build_static ?(obs = Obs.null) core =
+  Obs.span obs "static_analysis" @@ fun () ->
+  let g = Analysis.Graph.build core.Leon3.Core.circuit in
+  let obs_points = Leon3.Core.observation_points core in
+  let keep =
+    let set = Array.make (Analysis.Graph.signal_count g) false in
+    List.iter (fun s -> set.((s : C.signal :> int)) <- true) obs_points;
+    fun s -> set.((s : C.signal :> int))
+  in
+  { cone = Analysis.Graph.backward_cone g obs_points;
+    collapse = Analysis.Collapse.build g ~keep }
+
+(* Per-injection classification.  Order matters for byte-identical
+   summaries: the dynamic prefilter is consulted first (so [skipped]
+   is identical with static analysis on or off), then the cone, then
+   the collapse table. *)
+type plan =
+  | P_direct
+  | P_pruned
+  | P_class of (C.fault_site * C.fault_model)
+
+let classify static golden (site : Injection.site) model =
+  let prefiltered =
+    match golden.coverage with
+    | Some cov -> C.never_activates cov site.Injection.fault_site model
+    | None -> false
+  in
+  if prefiltered then P_direct
+  else
+    match static with
+    | None -> P_direct
+    | Some st ->
+        if not (Analysis.Graph.cone_site st.cone site.Injection.fault_site) then P_pruned
+        else
+          let rsite, rmodel =
+            Analysis.Collapse.resolve st.collapse site.Injection.fault_site model
+          in
+          if rsite = site.Injection.fault_site && rmodel = model then P_direct
+          else P_class (rsite, rmodel)
+
+let pruned_result ~inject_cycle (site : Injection.site) model =
+  { site_name = site.Injection.site_name; model; outcome = Silent; detect_cycle = None;
+    inject_cycle; sim = Pruned }
+
+let follower_result ~inject_cycle (site : Injection.site) model lead =
+  { site_name = site.Injection.site_name; model; outcome = lead.outcome;
+    detect_cycle = lead.detect_cycle; inject_cycle; sim = Collapsed lead.site_name }
 
 (* Golden-run options for a campaign: value coverage powers the
    permanent-fault prefilter (useless for bit-flips, which always
@@ -325,6 +409,15 @@ let run ?(config = default_config) ?(obs = Obs.null) ?on_progress sys prog targe
     golden_run ~obs ~coverage ?checkpoint_every sys prog ~max_cycles:5_000_000
   in
   let sample = sample_sites ~obs ~config core target in
+  let static = if config.static then Some (build_static ~obs core) else None in
+  (* A collapse-class leader simulates the representative fault with
+     the prefilter bypassed: the class member reached simulation, so
+     its equivalent representative must be simulated too — otherwise
+     [skipped] would drift from the static-off campaign. *)
+  let golden_lead = { golden with coverage = None } in
+  let leaders : (C.fault_site * C.fault_model, run_result) Hashtbl.t =
+    Hashtbl.create 64
+  in
   let total = Array.length sample * List.length config.models in
   let done_ = ref 0 in
   let per_model =
@@ -333,11 +426,39 @@ let run ?(config = default_config) ?(obs = Obs.null) ?on_progress sys prog targe
         let results =
           Array.to_list
             (Array.map
-               (fun site ->
+               (fun (site : Injection.site) ->
                  let r =
-                   run_one ~obs sys prog golden ~inject_cycle:config.inject_cycle
-                     ~hang_factor:config.hang_factor
-                     ~compare_reads:config.compare_reads site model
+                   match classify static golden site model with
+                   | P_direct ->
+                       run_one ~obs sys prog golden ~inject_cycle:config.inject_cycle
+                         ~hang_factor:config.hang_factor
+                         ~compare_reads:config.compare_reads site model
+                   | P_pruned ->
+                       let r =
+                         pruned_result ~inject_cycle:config.inject_cycle site model
+                       in
+                       record_static obs golden r;
+                       r
+                   | P_class ((rsite, rmodel) as key) -> (
+                       match Hashtbl.find_opt leaders key with
+                       | Some lead ->
+                           let r =
+                             follower_result ~inject_cycle:config.inject_cycle site
+                               model lead
+                           in
+                           record_static obs golden r;
+                           r
+                       | None ->
+                           let rep = { site with Injection.fault_site = rsite } in
+                           let r0 =
+                             run_one ~obs sys prog golden_lead
+                               ~inject_cycle:config.inject_cycle
+                               ~hang_factor:config.hang_factor
+                               ~compare_reads:config.compare_reads rep rmodel
+                           in
+                           let r = { r0 with model } in
+                           Hashtbl.add leaders key r;
+                           r)
                  in
                  incr done_;
                  (match on_progress with
@@ -372,14 +493,42 @@ let run_parallel ?(config = default_config) ?(obs = Obs.null) ?(domains = 4)
     golden_run ~obs ~coverage ?checkpoint_every scratch prog ~max_cycles:5_000_000
   in
   let sample = sample_sites ~obs ~config (Leon3.System.core scratch) target in
+  let static =
+    if config.static then Some (build_static ~obs (Leon3.System.core scratch)) else None
+  in
+  let golden_lead = { golden with coverage = None } in
   let tasks =
     Array.concat
       (List.map (fun model -> Array.map (fun site -> (model, site)) sample) config.models)
   in
   let n = Array.length tasks in
+  (* Deterministic pre-classification: leaders are chosen by task
+     order exactly as the sequential engine does, so workers can skip
+     collapse followers and the post-join fill replicates the same
+     results regardless of domain count. *)
+  let plans =
+    let class_leader = Hashtbl.create 64 in
+    Array.mapi
+      (fun i (model, site) ->
+        match classify static golden site model with
+        | P_direct -> `Direct
+        | P_pruned -> `Pruned
+        | P_class ((rsite, rmodel) as key) -> (
+            match Hashtbl.find_opt class_leader key with
+            | Some j -> `Follow j
+            | None ->
+                Hashtbl.add class_leader key i;
+                `Lead ({ site with Injection.fault_site = rsite }, rmodel)))
+      tasks
+  in
   let results = Array.make n None in
   let next = Atomic.make 0 in
   let completed = Atomic.make 0 in
+  let progress () =
+    match on_progress with
+    | Some f -> f ~done_:(Atomic.fetch_and_add completed 1 + 1) ~total:n
+    | None -> ()
+  in
   (* Every worker (the scratch domain included) aggregates into a
      private fork, so the hot path never contends; the forks merge
      into [obs] in spawn order at join, which keeps totals
@@ -390,14 +539,28 @@ let run_parallel ?(config = default_config) ?(obs = Obs.null) ?(domains = 4)
       let idx = Atomic.fetch_and_add next 1 in
       if idx < n then begin
         let model, site = tasks.(idx) in
-        results.(idx) <-
-          Some
-            (run_one ~obs:fork sys prog golden ~inject_cycle:config.inject_cycle
-               ~hang_factor:config.hang_factor ~compare_reads:config.compare_reads site
-               model);
-        (match on_progress with
-        | Some f -> f ~done_:(Atomic.fetch_and_add completed 1 + 1) ~total:n
-        | None -> ());
+        (match plans.(idx) with
+        | `Follow _ -> ()  (* replicated from its leader after the join *)
+        | `Pruned ->
+            let r = pruned_result ~inject_cycle:config.inject_cycle site model in
+            record_static fork golden r;
+            results.(idx) <- Some r;
+            progress ()
+        | `Direct ->
+            results.(idx) <-
+              Some
+                (run_one ~obs:fork sys prog golden ~inject_cycle:config.inject_cycle
+                   ~hang_factor:config.hang_factor ~compare_reads:config.compare_reads
+                   site model);
+            progress ()
+        | `Lead (rep, rmodel) ->
+            let r0 =
+              run_one ~obs:fork sys prog golden_lead ~inject_cycle:config.inject_cycle
+                ~hang_factor:config.hang_factor ~compare_reads:config.compare_reads rep
+                rmodel
+            in
+            results.(idx) <- Some { r0 with model };
+            progress ());
         go ()
       end
     in
@@ -412,6 +575,24 @@ let run_parallel ?(config = default_config) ?(obs = Obs.null) ?(domains = 4)
   worker scratch forks.(0);
   List.iter Domain.join spawned;
   Array.iter (fun fork -> Obs.merge ~into:obs fork) forks;
+  (* Collapse followers copy their leader's verdict; leaders always
+     precede followers in task order, so their results exist. *)
+  Array.iteri
+    (fun i plan ->
+      match plan with
+      | `Follow j ->
+          let lead =
+            match results.(j) with
+            | Some r -> r
+            | None -> failwith "run_parallel: missing leader result"
+          in
+          let model, site = tasks.(i) in
+          let r = follower_result ~inject_cycle:config.inject_cycle site model lead in
+          record_static obs golden r;
+          results.(i) <- Some r;
+          progress ()
+      | `Direct | `Pruned | `Lead _ -> ())
+    plans;
   Leon3.System.set_obs scratch Obs.null;
   let all =
     Array.to_list

@@ -80,6 +80,12 @@ type sim_status =
   | Converged of int
       (** simulated until state equality with the golden checkpoint at
           this cycle proved the rest *)
+  | Pruned
+      (** outside the backward cone of the observation points —
+          statically silent, no simulation *)
+  | Collapsed of string
+      (** structurally equivalent to the named leader site's fault;
+          verdict replicated from its run, no simulation *)
 
 type run_result = {
   site_name : string;
@@ -124,6 +130,8 @@ type summary = {
   mean_latency : float;
   skipped : int;  (** injections classified by the prefilter, unsimulated *)
   early_exits : int;  (** simulated runs cut short by checkpoint convergence *)
+  pruned : int;  (** injections outside the observation cone, unsimulated *)
+  collapsed : int;  (** injections replicated from a collapse-class leader *)
 }
 
 val summarize : run_result list -> summary
@@ -141,12 +149,28 @@ type config = {
           [false] forces every injection through a full simulation *)
   checkpoint_every : int option;
       (** golden checkpoint interval in cycles; [None] = default *)
+  static : bool;
+      (** netlist static analysis: cone-of-influence pruning and
+          structural fault collapsing ({!Analysis}); verdicts are
+          byte-identical with it on or off — classification order puts
+          the dynamic prefilter first, so even [skipped] matches *)
 }
 
 val default_config : config
 (** Stuck-at-0/1 + open-line, 400-site sample, cells included,
     injection at cycle 0, watchdog 4x, writes-only compare, seed 7,
-    trimming on. *)
+    trimming and static analysis on. *)
+
+type static_info = {
+  cone : Analysis.Graph.cone;  (** backward cone of the observation points *)
+  collapse : Analysis.Collapse.t;  (** structural fault equivalences *)
+}
+
+val build_static : ?obs:Obs.t -> Leon3.Core.t -> static_info
+(** The per-campaign static analysis (also usable standalone): graph
+    extraction, observation cone from {!Leon3.Core.observation_points}
+    and the collapse table keeping those points un-collapsible.
+    Recorded under an [Obs] span named ["static_analysis"]. *)
 
 val run :
   ?config:config ->

@@ -31,13 +31,26 @@ let extra_prefixes : (string * Units.t) list =
     ("iu.ra.", Units.Regfile);
     ("iu.ex.", Units.Adder) ]
 
+(* All registered scope prefixes, most specific (longest) first, so a
+   nested scope like "iu.ex.adder.gates." attributes to the adder and
+   not to the EX catch-all. *)
+let prefix_table : (string * Units.t) list =
+  List.sort
+    (fun (a, _) (b, _) -> compare (String.length b) (String.length a))
+    (List.map (fun u -> (prefix_of_unit u, u)) Units.all @ extra_prefixes)
+
 let unit_of_site_name name =
-  let matches prefix = String.starts_with ~prefix name in
-  let specific = List.find_opt (fun u -> matches (prefix_of_unit u)) Units.all in
-  match specific with
-  | Some u -> Some u
-  | None ->
-      Option.map snd (List.find_opt (fun (p, _) -> matches p) extra_prefixes)
+  (* Normalise "scope.sig[4]" and "mem[word][bit]" to the dotted scope
+     path, so a site named exactly like a registered scope (a memory
+     cell, say "iu.regfile.regs[5][31]") still attributes. *)
+  let stem =
+    match String.index_opt name '[' with
+    | Some i -> String.sub name 0 i
+    | None -> name
+  in
+  let path = stem ^ "." in
+  Option.map snd
+    (List.find_opt (fun (p, _) -> String.starts_with ~prefix:p path) prefix_table)
 
 let signal_sites (core : Leon3.Core.t) ~prefix =
   List.map

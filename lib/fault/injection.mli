@@ -22,8 +22,15 @@ type target =
 val prefix_of_unit : Sparc.Units.t -> string
 (** Hierarchical prefix of a functional unit in the Leon3 netlist. *)
 
+val prefix_table : (string * Sparc.Units.t) list
+(** Every registered scope prefix with its owning unit, longest
+    first — the table {!unit_of_site_name} matches against. *)
+
 val unit_of_site_name : string -> Sparc.Units.t option
-(** Reverse mapping used to attribute a site to its unit. *)
+(** Attribute a site to its unit by longest registered prefix.  Robust
+    to nested scopes ("iu.ex.adder.gates.c17[0]" is the adder's) and
+    to names that {e are} a registered scope (memory cells such as
+    "iu.regfile.regs[5][31]"). *)
 
 val signal_sites : Leon3.Core.t -> prefix:string -> site list
 

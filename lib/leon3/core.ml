@@ -232,9 +232,11 @@ let build ?(params = default_params) () =
                     C.comb3 c "carry" 1 ra_op1 b_eff cin (fun a b ci ->
                         Util.bit1 (a + b + ci > 0xFFFF_FFFF)) )
                 else
-                  (* Ripple-carry gate network: a propagate xor, a sum
-                     xor and a majority carry per bit — every gate
-                     output is its own injection node. *)
+                  (* Ripple-carry gate network: a propagate xor and a
+                     sum xor per bit, with the majority carry realised
+                     as NAND-NAND two-level logic the way standard
+                     cells implement AND-OR — every gate output is its
+                     own injection node. *)
                   C.scoped c "gates" (fun () ->
                       let carry = ref cin in
                       let sum_bits =
@@ -247,11 +249,18 @@ let build ?(params = default_params) () =
                               C.comb2 c (Printf.sprintf "s%d" i) 1 p !carry
                                 (fun pv cv -> pv lxor cv)
                             in
+                            (* generate and propagate NAND terms *)
+                            let ng =
+                              C.comb2 c (Printf.sprintf "ng%d" i) 1 ra_op1 b_eff
+                                (fun a b -> 1 - ((a lsr i) land (b lsr i) land 1))
+                            in
+                            let np =
+                              C.comb2 c (Printf.sprintf "np%d" i) 1 p !carry
+                                (fun pv cv -> 1 - (pv land cv))
+                            in
                             let cout =
-                              C.comb4 c (Printf.sprintf "c%d" i) 1 ra_op1 b_eff !carry p
-                                (fun a b cv pv ->
-                                  let ai = (a lsr i) land 1 and bi = (b lsr i) land 1 in
-                                  (ai land bi) lor (cv land pv))
+                              C.comb2 c (Printf.sprintf "c%d" i) 1 ng np
+                                (fun x y -> 1 - (x land y))
                             in
                             carry := cout;
                             s)
@@ -564,3 +573,20 @@ let build ?(params = default_params) () =
   C.elaborate c;
   { circuit = c; nwindows = nw; state; pc; ir; halted; trap_code; instret; icc; cwp;
     icache; dcache; regfile }
+
+(* The off-core failure boundary: exactly the signals the simulation
+   loop reads each cycle — the bus request/command/payload of both
+   cache ports (System.drive_port), the sequencer's halt flag and trap
+   code (run loop), and the retired-instruction counter (accounting).
+   The bus_ready/bus_rdata responses the environment drives back are a
+   deterministic function of this history and the memory image, so a
+   fault with no structural path to any of these signals cannot
+   perturb the observable run. *)
+let observation_points t =
+  let cache (p : Cache_block.ports) =
+    [ p.bus_req; p.bus_we; p.bus_addr; p.bus_wdata; p.bus_size ]
+  in
+  cache t.icache @ cache t.dcache @ [ t.halted; t.trap_code; t.instret ]
+
+let environment_inputs t =
+  [ t.icache.bus_ready; t.icache.bus_rdata; t.dcache.bus_ready; t.dcache.bus_rdata ]

@@ -73,3 +73,16 @@ val build : ?params:params -> unit -> t
 val regfile_slot : nwindows:int -> cwp:int -> int -> int
 (** Physical register-file index of architectural register [r] in
     window [cwp]; shared with tests to cross-check the ISS mapping. *)
+
+val observation_points : t -> C.signal list
+(** The off-core failure boundary: every signal the simulation
+    environment reads — bus request/command/payload of both cache
+    ports, [halted], [trap_code] and [instret].  A fault with no
+    structural path to any of these is provably silent (the
+    environment's [bus_ready]/[bus_rdata] responses are a function of
+    this history plus the memory image). *)
+
+val environment_inputs : t -> C.signal list
+(** The inputs the environment drives: [bus_ready]/[bus_rdata] of both
+    cache ports.  These are the only externally driven nodes, which is
+    what the lint pass checks with its undriven-input rule. *)

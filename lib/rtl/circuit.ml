@@ -56,6 +56,7 @@ type t = {
   mutable building : node list;  (* reversed during construction *)
   mutable scopes : string list;
   mutable mems : mem_info list;  (* reversed *)
+  mutable rports : (int * int) list;  (* read-port node id -> memory id *)
   mutable node_cnt : int;
   mutable mem_cnt : int;
   (* elaboration products *)
@@ -74,7 +75,7 @@ type t = {
 }
 
 let create c_name =
-  { c_name; building = []; scopes = []; mems = []; node_cnt = 0; mem_cnt = 0;
+  { c_name; building = []; scopes = []; mems = []; rports = []; node_cnt = 0; mem_cnt = 0;
     nodes = [||]; mem_arr = [||]; values = [||]; masks = [||]; order = [||]; evals = [||];
     reg_ids = [||]; reg_next = [||]; elaborated = false; cyc = 0; fault = None;
     recording = None }
@@ -162,9 +163,13 @@ let read_port t nm m addr =
   let info = mem_info t m in
   let data = info.data in
   let words = info.words in
-  combn t nm info.m_width [| addr |] (fun vs ->
-      let a = vs.(0) in
-      if a < words then data.(a) else 0)
+  let id =
+    combn t nm info.m_width [| addr |] (fun vs ->
+        let a = vs.(0) in
+        if a < words then data.(a) else 0)
+  in
+  t.rports <- (id, m) :: t.rports;
+  id
 
 let write_port t m ~we ~addr ~data =
   let info = mem_info t m in
@@ -557,3 +562,37 @@ let injection_bits t ~prefix =
         done)
     (all_nodes t);
   !sites
+
+(* Structural views *)
+
+type node_view =
+  | V_input
+  | V_const of int
+  | V_comb of signal array
+  | V_register of { d : signal; en : signal option }
+
+let node_view t s =
+  check_elab t;
+  match t.nodes.(s).kind with
+  | Input -> V_input
+  | Const v -> V_const v
+  | Comb { deps; _ } -> V_comb (Array.copy deps)
+  | Register { d; en; _ } -> V_register { d; en = (if en >= 0 then Some en else None) }
+
+let read_port_memory t s =
+  check_elab t;
+  List.assoc_opt s t.rports
+
+let write_ports t m =
+  check_elab t;
+  (* the builder prepends, so the stored list is reversed *)
+  List.rev_map
+    (fun { wp_we; wp_addr; wp_data } -> (wp_we, wp_addr, wp_data))
+    t.mem_arr.(m).write_ports
+
+let probe_comb t s args =
+  check_elab t;
+  if List.mem_assoc s t.rports then invalid_arg "Circuit.probe_comb: read port";
+  match t.nodes.(s).kind with
+  | Comb { eval; _ } -> eval args
+  | Input | Const _ | Register _ -> invalid_arg "Circuit.probe_comb: not combinational"

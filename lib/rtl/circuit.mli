@@ -22,8 +22,15 @@
     precomputed schedule. *)
 
 type t
-type signal
-type memory
+
+type signal = private int
+(** Node handle.  The representation is exposed read-only ([:> int])
+    so analysis passes can index dense per-node arrays; handles are
+    the 0-based creation order, which is also why they are portable
+    across circuits built by the same deterministic construction. *)
+
+type memory = private int
+(** Memory handle; same creation-order representation as {!signal}. *)
 
 exception Combinational_cycle of string
 (** Raised by {!elaborate}; the payload names a node on the cycle. *)
@@ -215,3 +222,43 @@ val injection_bits : t -> prefix:string -> (fault_site * string) list
 (** Every (node, bit) site whose hierarchical name starts with
     [prefix]; the string is ["name[bit]"].  Memory cells are not
     included (enumerate them explicitly if wanted). *)
+
+(** {2 Structural views (static analysis)}
+
+    The functions below expose the elaborated netlist as data — node
+    kinds with their dependencies, register data/enable inputs, and
+    both directions of every memory port — so an external pass can
+    rebuild the exact dependency graph the simulator executes.  All of
+    them require an elaborated circuit ({!Not_elaborated} otherwise). *)
+
+type node_view =
+  | V_input
+  | V_const of int
+  | V_comb of signal array
+      (** positional dependencies, exactly the values the evaluator
+          reads (a read port additionally reads its memory — see
+          {!read_port_memory}) *)
+  | V_register of { d : signal; en : signal option }
+
+val node_view : t -> signal -> node_view
+
+val read_port_memory : t -> signal -> memory option
+(** [Some m] when the node is a read port of memory [m].  Read-port
+    evaluators close over the memory content, so this edge is {e not}
+    in their [V_comb] dependency array — graph builders must add it. *)
+
+val write_ports : t -> memory -> (signal * signal * signal) list
+(** The [(we, addr, data)] triples of a memory's write ports, in
+    creation order. *)
+
+val probe_comb : t -> signal -> int array -> int
+(** [probe_comb c s values] applies node [s]'s combinational evaluator
+    to [values] (indexed by [(signal :> int)]; only the node's
+    dependency slots are read) and returns the {e unmasked} result —
+    callers see any bits a width-truncating function would drop.  The
+    simulator state is not touched.  Rejects read ports (their result
+    depends on memory content, not just [values]) and non-comb nodes
+    with [Invalid_argument].  Every other evaluator is a pure function
+    of its dependency values, which is what makes exhaustive probing
+    (truth tables for fault collapsing, constant detection for lint)
+    exact. *)

@@ -38,17 +38,46 @@ let test_pools_nonempty () =
   let iu_sig = Injection.sites ~include_cells:false core Injection.Iu in
   check_bool "cells add sites" true (List.length iu > List.length iu_sig)
 
-let test_unit_pools_disjoint_prefixes () =
-  let core = Leon3.System.core (Lazy.force shared_sys) in
-  List.iter
-    (fun u ->
-      let sites = Injection.sites core (Injection.Unit_of u) in
-      List.iter
-        (fun s ->
-          check_bool "attributed to its own unit" true
-            (Injection.unit_of_site_name s.Injection.site_name = Some u))
-        sites)
-    [ Sparc.Units.Adder; Sparc.Units.Shifter; Sparc.Units.Multiplier; Sparc.Units.Divider ]
+let test_unit_attribution_roundtrip () =
+  (* Every enumerated site must attribute back to the unit whose pool
+     it came from, for every unit — the prefix table and the site
+     enumeration share one source of truth. *)
+  let roundtrip core =
+    List.iter
+      (fun u ->
+        let sites = Injection.sites core (Injection.Unit_of u) in
+        check_bool (Sparc.Units.name u ^ " pool non-empty") true (sites <> []);
+        List.iter
+          (fun s ->
+            match Injection.unit_of_site_name s.Injection.site_name with
+            | Some u' when u' = u -> ()
+            | Some u' ->
+                Alcotest.failf "%s attributed to %s, expected %s"
+                  s.Injection.site_name (Sparc.Units.name u') (Sparc.Units.name u)
+            | None -> Alcotest.failf "%s attributed to no unit" s.Injection.site_name)
+          sites)
+      Sparc.Units.all
+  in
+  roundtrip (Leon3.System.core (Lazy.force shared_sys));
+  (* the gate-level elaboration adds iu.ex.adder.gates.* sites, which
+     must still attribute to the adder *)
+  let gate_core =
+    Leon3.Core.build
+      ~params:{ Leon3.Core.default_params with Leon3.Core.gate_level_adder = true }
+      ()
+  in
+  roundtrip gate_core;
+  let gate_sites = Injection.sites gate_core (Injection.Unit_of Sparc.Units.Adder) in
+  check_bool "gate network enumerated" true
+    (List.exists
+       (fun s -> String.starts_with ~prefix:"iu.ex.adder.gates." s.Injection.site_name)
+       gate_sites);
+  (* memory cells attribute through their array suffixes *)
+  check_bool "regfile cell" true
+    (Injection.unit_of_site_name "iu.regfile.regs[5][31]" = Some Sparc.Units.Regfile);
+  (* names outside every registered prefix attribute to nothing *)
+  check_bool "unknown prefix" true (Injection.unit_of_site_name "zz.mystery[0]" = None);
+  check_bool "empty name" true (Injection.unit_of_site_name "" = None)
 
 let test_pool_sizes_cover_everything () =
   let core = Leon3.System.core (Lazy.force shared_sys) in
@@ -456,10 +485,111 @@ let test_transient_trim_equivalence () =
   check_bool "some runs early-exit on convergence" true (s_t.Campaign.early_exits > 0);
   check_int "untrimmed never exits early" 0 s_u.Campaign.early_exits
 
+(* ---- static netlist analysis: pruning + collapsing ---- *)
+
+let full_summary (s : Campaign.summary) =
+  (core_summary s, s.Campaign.skipped, s.Campaign.early_exits)
+
+let test_static_matches_full_on_figure5_workloads () =
+  (* The acceptance property of the static passes: on every figure-5
+     workload, campaign results with cone pruning + collapsing on are
+     byte-identical (verdict for verdict, summary for summary — the
+     skipped count included) to full simulation. *)
+  let sys = Lazy.force shared_sys in
+  let base =
+    { Campaign.default_config with
+      Campaign.models = [ C.Stuck_at_0; C.Stuck_at_1; C.Open_line ];
+      sample_size = Some 10 }
+  in
+  List.iter
+    (fun e ->
+      let prog = e.Workloads.Suite.build ~iterations:1 ~dataset:0 in
+      let wl = e.Workloads.Suite.name in
+      let sum_s, res_s =
+        Campaign.run ~config:{ base with Campaign.static = true } sys prog Injection.Iu
+      in
+      let sum_f, res_f =
+        Campaign.run ~config:{ base with Campaign.static = false } sys prog Injection.Iu
+      in
+      check_int (wl ^ ": result count") (List.length res_f) (List.length res_s);
+      List.iter2
+        (fun rs rf ->
+          check_bool (wl ^ ": verdict " ^ rs.Campaign.site_name) true
+            (verdict rs = verdict rf))
+        res_s res_f;
+      List.iter2
+        (fun (m, ss) (m', sf) ->
+          check_bool (wl ^ ": model order") true (m = m');
+          check_bool (wl ^ ": summaries identical") true
+            (full_summary ss = full_summary sf);
+          (* full simulation never classifies statically *)
+          check_int (wl ^ ": full has no pruned") 0 sf.Campaign.pruned;
+          check_int (wl ^ ": full has no collapsed") 0 sf.Campaign.collapsed)
+        sum_s sum_f)
+    Workloads.Suite.table1_set
+
+let test_gate_level_campaign_collapses () =
+  (* On the gate-level adder network the collapser must actually take
+     over work: some sampled faults simulate only a class
+     representative, and the verdicts still match full simulation. *)
+  let params = { Leon3.Core.default_params with Leon3.Core.gate_level_adder = true } in
+  let sys = Leon3.System.create ~params () in
+  let prog = Lazy.force small_prog in
+  let base =
+    { Campaign.default_config with
+      Campaign.models = [ C.Stuck_at_0; C.Stuck_at_1 ];
+      sample_size = Some 60 }
+  in
+  let sum_s, res_s =
+    Campaign.run ~config:{ base with Campaign.static = true } sys prog
+      (Injection.Unit_of Sparc.Units.Adder)
+  in
+  let sum_f, res_f =
+    Campaign.run ~config:{ base with Campaign.static = false } sys prog
+      (Injection.Unit_of Sparc.Units.Adder)
+  in
+  List.iter2
+    (fun rs rf ->
+      check_bool ("verdict " ^ rs.Campaign.site_name) true (verdict rs = verdict rf))
+    res_s res_f;
+  List.iter2
+    (fun (_, ss) (_, sf) ->
+      check_bool "summaries identical" true (full_summary ss = full_summary sf))
+    sum_s sum_f;
+  let collapsed = List.fold_left (fun a (_, s) -> a + s.Campaign.collapsed) 0 sum_s in
+  check_bool
+    (Printf.sprintf "collapsing fired (%d)" collapsed)
+    true (collapsed > 0);
+  (* a follower result names its class representative *)
+  check_bool "followers reference their leader" true
+    (List.exists
+       (fun r -> match r.Campaign.sim with Campaign.Collapsed _ -> true | _ -> false)
+       res_s)
+
+let test_cone_pruned_faults_are_silent () =
+  (* Sites the cone analysis prunes are reported as their own class
+     and are always Silent with no latency. *)
+  let sys = Lazy.force shared_sys in
+  let prog = Lazy.force small_prog in
+  let config =
+    { Campaign.default_config with
+      Campaign.models = [ C.Stuck_at_0; C.Stuck_at_1; C.Open_line ];
+      sample_size = Some 300 }
+  in
+  let _, results = Campaign.run ~config sys prog Injection.Iu in
+  let pruned =
+    List.filter (fun r -> r.Campaign.sim = Campaign.Pruned) results
+  in
+  List.iter
+    (fun r ->
+      check_bool ("pruned is silent: " ^ r.Campaign.site_name) true
+        (r.Campaign.outcome = Campaign.Silent && r.Campaign.detect_cycle = None))
+    pruned
+
 let suite =
   ( "fault_injection",
     [ Alcotest.test_case "pools non-empty" `Quick test_pools_nonempty;
-      Alcotest.test_case "unit attribution" `Quick test_unit_pools_disjoint_prefixes;
+      Alcotest.test_case "unit attribution" `Quick test_unit_attribution_roundtrip;
       Alcotest.test_case "pool sizes" `Quick test_pool_sizes_cover_everything;
       Alcotest.test_case "golden run" `Quick test_golden_run;
       Alcotest.test_case "pc fault fails" `Quick test_fault_on_pc_fails;
@@ -478,4 +608,9 @@ let suite =
       Alcotest.test_case "domains 1 = domains 4" `Slow test_parallel_domain_count_irrelevant;
       Alcotest.test_case "parallel progress reporting" `Slow test_parallel_progress_reporting;
       Alcotest.test_case "obs counters domain-invariant" `Slow test_obs_counters_domain_invariant;
-      Alcotest.test_case "transient trim equivalence" `Slow test_transient_trim_equivalence ] )
+      Alcotest.test_case "transient trim equivalence" `Slow test_transient_trim_equivalence;
+      Alcotest.test_case "static = full on figure-5 workloads" `Slow
+        test_static_matches_full_on_figure5_workloads;
+      Alcotest.test_case "gate-level collapsing" `Slow test_gate_level_campaign_collapses;
+      Alcotest.test_case "cone-pruned faults silent" `Slow
+        test_cone_pruned_faults_are_silent ] )

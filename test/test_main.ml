@@ -9,6 +9,7 @@ let () =
       Test_roundtrip.suite;
       Test_iss.suite;
       Test_rtl.suite;
+      Test_analysis.suite;
       Test_leon3.suite;
       Test_differential.suite;
       Test_fault.suite;

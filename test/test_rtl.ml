@@ -282,6 +282,93 @@ let test_vcd_dump () =
   check_bool "has value changes" true (contains "b10 ");
   check_bool "has timestamps" true (contains "#5")
 
+(* Split a dump into (declaration lines, body lines) and map each
+   declared variable name to its VCD identifier code. *)
+let vcd_parse content =
+  let lines = String.split_on_char '\n' content in
+  let rec split hdr = function
+    | [] -> (List.rev hdr, [])
+    | l :: rest when String.starts_with ~prefix:"$enddefinitions" l ->
+        (List.rev (l :: hdr), rest)
+    | l :: rest -> split (l :: hdr) rest
+  in
+  let hdr, body = split [] lines in
+  let vars =
+    List.filter_map
+      (fun l ->
+        match String.split_on_char ' ' l with
+        | [ "$var"; "wire"; _w; code; name; "$end" ] -> Some (name, code)
+        | _ -> None)
+      hdr
+  in
+  (vars, body)
+
+let vcd_of_run c ~cycles =
+  let path = Filename.temp_file "dump" ".vcd" in
+  Rtl.Vcd.trace_run ~path c ~cycles ~step:(fun () ->
+      C.clock c;
+      C.settle c);
+  let content = In_channel.with_open_text path In_channel.input_all in
+  Sys.remove path;
+  content
+
+let test_vcd_header_declares_all_signals () =
+  let c, en, _ = build_counter () in
+  C.set_input c en 1;
+  C.settle c;
+  let vars, _ = vcd_parse (vcd_of_run c ~cycles:1) in
+  (* counter has en(1), count(2), next(2); every one declared exactly
+     once with a distinct identifier code *)
+  check_int "three vars" 3 (List.length vars);
+  List.iter
+    (fun name -> check_bool name true (List.mem_assoc name vars))
+    [ "en"; "count"; "next" ];
+  let codes = List.map snd vars in
+  check_int "codes distinct" (List.length codes)
+    (List.length (List.sort_uniq compare codes))
+
+let test_vcd_only_changed_emitted () =
+  let c, en, _ = build_counter () in
+  C.set_input c en 1;
+  C.settle c;
+  let vars, body = vcd_parse (vcd_of_run c ~cycles:4) in
+  let emissions name =
+    let code = List.assoc name vars in
+    List.length
+      (List.filter
+         (fun l ->
+           l = "1" ^ code || l = "0" ^ code
+           || String.length l > String.length code + 1
+              && String.ends_with ~suffix:(" " ^ code) l)
+         body)
+  in
+  (* [en] is constant: emitted once, at the initial sample.  [count]
+     increments every cycle: initial sample + 4 steps. *)
+  check_int "constant signal emitted once" 1 (emissions "en");
+  check_int "changing signal emitted per cycle" 5 (emissions "count");
+  check_int "derived next tracks count" 5 (emissions "next")
+
+let test_vcd_prefix_filtering () =
+  let c = C.create "scoped" in
+  let x = C.scoped c "top" (fun () -> C.scoped c "alu" (fun () -> C.input c "x" 4)) in
+  let y = C.scoped c "top" (fun () -> C.scoped c "lsu" (fun () -> C.input c "y" 4)) in
+  C.elaborate c;
+  C.reset c;
+  C.set_input c x 1;
+  C.set_input c y 2;
+  C.settle c;
+  let path = Filename.temp_file "scoped" ".vcd" in
+  Rtl.Vcd.trace_run ~path ~prefix:"top.alu" c ~cycles:1 ~step:(fun () ->
+      C.clock c;
+      C.settle c);
+  let content = In_channel.with_open_text path In_channel.input_all in
+  Sys.remove path;
+  let vars, _ = vcd_parse content in
+  check_int "only the alu scope" 1 (List.length vars);
+  (* dots become underscores in the flattened declaration *)
+  check_bool "flattened name" true (List.mem_assoc "top_alu_x" vars);
+  check_bool "other scope excluded" false (List.mem_assoc "top_lsu_y" vars)
+
 (* ---- snapshots and value coverage (trimmed execution support) ---- *)
 
 let test_snapshot_restore_roundtrip () =
@@ -408,6 +495,9 @@ let suite =
       Alcotest.test_case "cell faults" `Quick test_cell_fault;
       Alcotest.test_case "introspection" `Quick test_introspection;
       Alcotest.test_case "vcd dump" `Quick test_vcd_dump;
+      Alcotest.test_case "vcd header" `Quick test_vcd_header_declares_all_signals;
+      Alcotest.test_case "vcd only-changed" `Quick test_vcd_only_changed_emitted;
+      Alcotest.test_case "vcd prefix filter" `Quick test_vcd_prefix_filtering;
       Alcotest.test_case "snapshot roundtrip" `Quick test_snapshot_restore_roundtrip;
       Alcotest.test_case "snapshot covers memories" `Quick test_snapshot_covers_memories;
       Alcotest.test_case "coverage prefilter" `Quick test_coverage_prefilter;
