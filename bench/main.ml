@@ -8,13 +8,17 @@
      dune exec bench/main.exe -- figure5      -- one experiment
      dune exec bench/main.exe -- micro        -- Bechamel suite
      dune exec bench/main.exe -- static       -- figure-5 static on/off A-B
+     dune exec bench/main.exe -- event        -- figure-5 differential on/off A-B
    The RICV_SAMPLES environment variable scales campaign sample sizes
-   (default 250); RICV_TRIM=0 disables trimmed campaign execution and
-   RICV_STATIC=0 disables netlist static analysis (identical results
+   (default 250); RICV_TRIM=0 disables trimmed campaign execution,
+   RICV_STATIC=0 disables netlist static analysis and RICV_EVENT=0
+   disables event-driven differential simulation (identical results
    either way, full simulation cost).  The [static] selector runs
    figure 5 twice — static pruning+collapsing on, then off — checks
    the rendered tables are byte-identical and emits a
-   BENCH_static.json line with both wall clocks. *)
+   BENCH_static.json line with both wall clocks; [event] does the same
+   A/B for the differential engine and emits BENCH_event.json with
+   both wall clocks and the faulty-run comb-evaluation ratio. *)
 
 module Experiments = Correlation.Experiments
 module Context = Correlation.Context
@@ -137,6 +141,52 @@ let run_static () =
     exit 1
   end
 
+(* ---- differential simulation A/B: figure 5 with the event-driven
+   engine on vs. off, same samples and seed.  The rendered tables must
+   be byte-identical (the replay is exact); BENCH_event.json records
+   both wall clocks and the faulty-run comb-evaluation ratio
+   (diff.nodes_evaluated / diff.golden_evaluated). ---- *)
+
+let run_event () =
+  let run ~event =
+    let obs = Obs.create () in
+    let ctx = Context.create ~event ~obs () in
+    let t0 = Unix.gettimeofday () in
+    let tables = Experiments.run ctx "figure5" in
+    let wall = Unix.gettimeofday () -. t0 in
+    (tables, wall, obs, Context.samples ctx)
+  in
+  Format.printf "figure 5, differential simulation on:@.@.";
+  let tables_on, wall_on, obs_on, samples = run ~event:true in
+  print_tables tables_on;
+  Format.printf "  [%.1fs]@.@.figure 5, differential simulation off:@.@." wall_on;
+  let tables_off, wall_off, _, _ = run ~event:false in
+  print_tables tables_off;
+  Format.printf "  [%.1fs]@." wall_off;
+  let identical = render_tables tables_on = render_tables tables_off in
+  let evaluated = Obs.counter obs_on "diff.nodes_evaluated" in
+  let dense = Obs.counter obs_on "diff.golden_evaluated" in
+  let ratio = if dense > 0 then float_of_int evaluated /. float_of_int dense else 0. in
+  let open Obs.Json in
+  Format.printf "@.BENCH_event.json: %s@."
+    (to_string
+       (Obj
+          [ ("experiment", Str "figure5");
+            ("samples", Int samples);
+            ( "event",
+              Obj
+                [ ("wall_seconds", Float wall_on);
+                  ("nodes_evaluated", Int evaluated);
+                  ("golden_evaluated", Int dense);
+                  ("eval_ratio", Float ratio) ] );
+            ("full", Obj [ ("wall_seconds", Float wall_off) ]);
+            ("speedup", Float (if wall_on > 0. then wall_off /. wall_on else 1.));
+            ("tables_identical", Bool identical) ]));
+  if not identical then begin
+    prerr_endline "event/full figure-5 tables differ";
+    exit 1
+  end
+
 (* ---- Bechamel microbenchmarks: one per table/figure, measuring the
    dominant engine primitive behind that experiment. ---- *)
 
@@ -214,10 +264,11 @@ let () =
   | [] -> run_experiments ?csv_dir Experiments.all_ids
   | [ "micro" ] -> run_micro ()
   | [ "static" ] -> run_static ()
+  | [ "event" ] -> run_event ()
   | ids when List.for_all (fun id -> List.mem id Experiments.all_ids) ids ->
       run_experiments ?csv_dir ids
   | _ ->
       prerr_endline
-        ("usage: main.exe [csv] [micro | static | "
+        ("usage: main.exe [csv] [micro | static | event | "
         ^ String.concat " | " Experiments.all_ids ^ " ...]");
       exit 2

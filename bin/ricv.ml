@@ -218,13 +218,21 @@ let campaign_cmd =
                  structural fault collapsing).  Results are identical; only the \
                  runtime changes.")
   in
-  let run name iterations dataset target samples domains no_trim no_static trace metrics =
+  let no_event_arg =
+    Arg.(value & flag & info [ "no-event" ]
+           ~doc:"Disable event-driven differential simulation (faulty runs replaying \
+                 the golden trace and re-evaluating only the dirty fanout cone).  \
+                 Results are identical; only the runtime changes.")
+  in
+  let run name iterations dataset target samples domains no_trim no_static no_event
+      trace metrics =
     let prog = or_fail (build_workload name iterations dataset) in
     let config =
       { Fault_injection.Campaign.default_config with
         Fault_injection.Campaign.sample_size = Some samples;
         trim = not no_trim;
-        static = not no_static }
+        static = not no_static;
+        event = not no_event }
     in
     let obs, finish_obs = make_obs ~trace ~metrics in
     let t0 = Unix.gettimeofday () in
@@ -268,19 +276,21 @@ let campaign_cmd =
     in
     Printf.printf
       "%d injections in %.1fs: %d prefiltered (%.1f%%), %d cone-pruned, %d collapsed, \
-       %d early-exited%s%s\n"
+       %d early-exited%s%s%s\n"
       injections elapsed skipped
       (if injections = 0 then 0. else 100. *. float_of_int skipped /. float_of_int injections)
       pruned collapsed early
       (if config.Fault_injection.Campaign.trim then "" else "  [trimming disabled]")
-      (if config.Fault_injection.Campaign.static then "" else "  [static analysis disabled]");
+      (if config.Fault_injection.Campaign.static then "" else "  [static analysis disabled]")
+      (if config.Fault_injection.Campaign.event then ""
+       else "  [differential simulation disabled]");
     finish_obs ()
   in
   Cmd.v
     (Cmd.info "campaign" ~doc:"Run a fault-injection campaign on the RTL model.")
     Term.(const run $ workload_arg $ iterations_arg $ dataset_arg $ target_arg
-          $ samples_arg $ domains_arg $ no_trim_arg $ no_static_arg $ trace_arg
-          $ metrics_arg)
+          $ samples_arg $ domains_arg $ no_trim_arg $ no_static_arg $ no_event_arg
+          $ trace_arg $ metrics_arg)
 
 (* ---- lint ---- *)
 

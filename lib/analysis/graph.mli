@@ -83,3 +83,12 @@ val cone_site : cone -> C.fault_site -> bool
 
 val cone_size : cone -> int
 (** Vertices inside the cone (signals + memories). *)
+
+(** {2 Differential replay schedule} *)
+
+val replay_plan : t -> C.replay_plan
+(** Project the graph into the levelized schedule
+    {!Rtl.Circuit.replay_start} evaluates dirty cones with:
+    per-node combinational fanout ([Comb_dep] sinks, deduplicated),
+    combinational levels, and each memory's read-port nodes.  Valid
+    for any circuit built by the same deterministic construction. *)

@@ -15,6 +15,7 @@ type t = {
   seed : int;
   trim_ : bool;
   static_ : bool;
+  event_ : bool;
   obs_ : Obs.t;
   campaigns :
     (string * string * string, (Rtl.Circuit.fault_model * Campaign.summary) list)
@@ -37,10 +38,16 @@ let default_static () =
   | Some ("0" | "false" | "no" | "off") -> false
   | Some _ | None -> true
 
-let create ?samples ?(seed = 7) ?trim ?static ?obs () =
+let default_event () =
+  match Sys.getenv_opt "RICV_EVENT" with
+  | Some ("0" | "false" | "no" | "off") -> false
+  | Some _ | None -> true
+
+let create ?samples ?(seed = 7) ?trim ?static ?event ?obs () =
   let samples_ = match samples with Some n -> n | None -> default_samples () in
   let trim_ = match trim with Some b -> b | None -> default_trim () in
   let static_ = match static with Some b -> b | None -> default_static () in
+  let event_ = match event with Some b -> b | None -> default_event () in
   (* The context always aggregates (counters replace the old bespoke
      trim_stats plumbing); pass a sink-equipped collector to also
      stream JSONL trace events. *)
@@ -50,6 +57,7 @@ let create ?samples ?(seed = 7) ?trim ?static ?obs () =
     seed;
     trim_;
     static_;
+    event_;
     obs_;
     campaigns = Hashtbl.create 64;
     goldens = Hashtbl.create 64 }
@@ -59,6 +67,8 @@ let samples t = t.samples_
 let trim t = t.trim_
 
 let static t = t.static_
+
+let event t = t.event_
 
 let obs t = t.obs_
 
@@ -97,7 +107,8 @@ let campaign t ~key ?(models = Campaign.default_config.Campaign.models) prog tar
           sample_size = Some t.samples_;
           seed = t.seed;
           trim = t.trim_;
-          static = t.static_ }
+          static = t.static_;
+          event = t.event_ }
       in
       let summaries, _ = Campaign.run ~config ~obs:t.obs_ t.sys prog target in
       Hashtbl.add t.campaigns memo_key summaries;

@@ -20,7 +20,14 @@ type trim_stats = {
     context's telemetry counters. *)
 
 val create :
-  ?samples:int -> ?seed:int -> ?trim:bool -> ?static:bool -> ?obs:Obs.t -> unit -> t
+  ?samples:int ->
+  ?seed:int ->
+  ?trim:bool ->
+  ?static:bool ->
+  ?event:bool ->
+  ?obs:Obs.t ->
+  unit ->
+  t
 (** [samples] is the per-(workload, block) injection sample size
     (default 250; the [RICV_SAMPLES] environment variable, when set,
     overrides the default).  [trim] enables trimmed campaign execution
@@ -28,15 +35,20 @@ val create :
     results are identical either way, only the time changes).
     [static] likewise enables netlist static analysis (cone pruning +
     fault collapsing; default true, [RICV_STATIC=0] to disable — also
-    result-identical).  [obs] is the telemetry collector every
-    campaign reports into; the default is a fresh in-memory aggregator
-    (pass one built with a sink to stream JSONL trace events). *)
+    result-identical).  [event] enables event-driven differential
+    simulation of the faulty runs against the golden trace (default
+    true, [RICV_EVENT=0] to disable — also result-identical).  [obs]
+    is the telemetry collector every campaign reports into; the
+    default is a fresh in-memory aggregator (pass one built with a
+    sink to stream JSONL trace events). *)
 
 val samples : t -> int
 
 val trim : t -> bool
 
 val static : t -> bool
+
+val event : t -> bool
 
 val obs : t -> Obs.t
 (** The context's collector: per-phase span totals, injection/outcome

@@ -9,6 +9,7 @@ type golden = {
   stop : Leon3.System.stop_reason;
   coverage : C.coverage option;
   checkpoints : Leon3.System.checkpoint array;
+  trace : C.trace option;
 }
 
 (* Checkpoint-memory budget: when a golden run outgrows it, every
@@ -18,12 +19,15 @@ let checkpoint_budget = 96
 
 let default_checkpoint_interval = 512
 
-let golden_run ?(obs = Obs.null) ?(coverage = false) ?checkpoint_every sys prog
-    ~max_cycles =
+let golden_run ?(obs = Obs.null) ?(coverage = false) ?(trace = false) ?checkpoint_every
+    sys prog ~max_cycles =
   Obs.span obs "golden" @@ fun () ->
   let circuit = (Leon3.System.core sys).Leon3.Core.circuit in
   C.clear_fault circuit;
   if coverage then C.coverage_start circuit;
+  (* armed before [load] so the cycle-0 settled state (and its
+     keyframe) is part of the trace — replays can start from reset *)
+  if trace then C.trace_start circuit;
   Leon3.System.load sys prog;
   let checkpoints = ref [] in
   (* newest first *)
@@ -53,6 +57,7 @@ let golden_run ?(obs = Obs.null) ?(coverage = false) ?checkpoint_every sys prog
         go ()
   in
   let cov = if coverage then Some (C.coverage_stop circuit) else None in
+  let tr = if trace then Some (C.trace_stop circuit) else None in
   (match stop with
   | Leon3.System.Exited _ -> ()
   | Leon3.System.Trapped code ->
@@ -65,7 +70,8 @@ let golden_run ?(obs = Obs.null) ?(coverage = false) ?checkpoint_every sys prog
     instructions = Leon3.System.instructions sys;
     stop;
     coverage = cov;
-    checkpoints = Array.of_list (List.rev !checkpoints) }
+    checkpoints = Array.of_list (List.rev !checkpoints);
+    trace = tr }
 
 type failure_kind = Wrong_write of int | Missing_writes of int | Trap of int | Hang
 
@@ -131,7 +137,7 @@ let record_run obs golden ~dt ~start_cycle r =
 let record_static obs golden r =
   if Obs.enabled obs then record_run obs golden ~dt:0. ~start_cycle:0 r
 
-let run_one ?(obs = Obs.null) sys prog golden ?(inject_cycle = 0) ?duration
+let run_one ?(obs = Obs.null) ?plan sys prog golden ?(inject_cycle = 0) ?duration
     ?(hang_factor = 4) ?(compare_reads = false) (site : Injection.site) model =
   let t_start = if Obs.enabled obs then Obs.now obs else 0. in
   let start_cycle = ref 0 in
@@ -174,6 +180,28 @@ let run_one ?(obs = Obs.null) sys prog golden ?(inject_cycle = 0) ?duration
         matched := ck_progress ck
     | None -> Leon3.System.load sys prog);
     start_cycle := Leon3.System.cycles sys;
+    (* Differential replay: the state just positioned is a state the
+       golden run passed through, so the dirty set starts empty and
+       every settle from here is O(divergence) instead of O(n). *)
+    let replaying =
+      match (plan, golden.trace) with
+      | Some pl, Some tr ->
+          C.replay_start circuit pl tr;
+          true
+      | (Some _ | None), _ -> false
+    in
+    let replay_epilogue () =
+      if replaying then begin
+        let st = C.replay_stop circuit in
+        if Obs.enabled obs then begin
+          Obs.incr obs ~by:st.C.rs_evals "diff.nodes_evaluated";
+          Obs.incr obs ~by:st.C.rs_dense_evals "diff.golden_evaluated";
+          Obs.observe obs "diff.dirty_peak" (float_of_int st.C.rs_dirty_peak);
+          Obs.observe obs "diff.divergence_cycles"
+            (float_of_int st.C.rs_divergence_cycles)
+        end
+      end
+    in
     C.inject circuit ~from_cycle:inject_cycle ?duration site.Injection.fault_site model;
     let mismatch_cycle = ref None in
     let on_event ev =
@@ -220,6 +248,7 @@ let run_one ?(obs = Obs.null) sys prog golden ?(inject_cycle = 0) ?duration
       from_boundary 0
     in
     C.clear_fault circuit;
+    replay_epilogue ();
     match !converged with
     | Some cyc -> finish (mk Silent None (Converged cyc))
     | None ->
@@ -306,6 +335,7 @@ type config = {
   trim : bool;
   checkpoint_every : int option;
   static : bool;
+  event : bool;
 }
 
 let default_config =
@@ -318,7 +348,8 @@ let default_config =
     seed = 7;
     trim = true;
     checkpoint_every = None;
-    static = true }
+    static = true;
+    event = true }
 
 (* Static analysis of the netlist, shared by every injection of a
    campaign: the observation cone decides which sites are silent by
@@ -326,9 +357,11 @@ let default_config =
    verdict with a representative fault. *)
 type static_info = { cone : Analysis.Graph.cone; collapse : Analysis.Collapse.t }
 
-let build_static ?(obs = Obs.null) core =
+let build_static ?(obs = Obs.null) ?graph core =
   Obs.span obs "static_analysis" @@ fun () ->
-  let g = Analysis.Graph.build core.Leon3.Core.circuit in
+  let g =
+    match graph with Some g -> g | None -> Analysis.Graph.build core.Leon3.Core.circuit
+  in
   let obs_points = Leon3.Core.observation_points core in
   let keep =
     let set = Array.make (Analysis.Graph.signal_count g) false in
@@ -406,10 +439,24 @@ let run ?(config = default_config) ?(obs = Obs.null) ?on_progress sys prog targe
   let core = Leon3.System.core sys in
   let coverage, checkpoint_every = golden_options config ~bounded_faults:false in
   let golden =
-    golden_run ~obs ~coverage ?checkpoint_every sys prog ~max_cycles:5_000_000
+    golden_run ~obs ~coverage ~trace:config.event ?checkpoint_every sys prog
+      ~max_cycles:5_000_000
   in
   let sample = sample_sites ~obs ~config core target in
-  let static = if config.static then Some (build_static ~obs core) else None in
+  (* one graph extraction feeds both static passes and the replay plan *)
+  let graph =
+    if config.static || config.event then
+      Some (Analysis.Graph.build core.Leon3.Core.circuit)
+    else None
+  in
+  let static =
+    if config.static then Some (build_static ~obs ?graph core) else None
+  in
+  let plan =
+    match graph with
+    | Some g when config.event -> Some (Analysis.Graph.replay_plan g)
+    | Some _ | None -> None
+  in
   (* A collapse-class leader simulates the representative fault with
      the prefilter bypassed: the class member reached simulation, so
      its equivalent representative must be simulated too — otherwise
@@ -430,7 +477,8 @@ let run ?(config = default_config) ?(obs = Obs.null) ?on_progress sys prog targe
                  let r =
                    match classify static golden site model with
                    | P_direct ->
-                       run_one ~obs sys prog golden ~inject_cycle:config.inject_cycle
+                       run_one ~obs ?plan sys prog golden
+                         ~inject_cycle:config.inject_cycle
                          ~hang_factor:config.hang_factor
                          ~compare_reads:config.compare_reads site model
                    | P_pruned ->
@@ -451,7 +499,7 @@ let run ?(config = default_config) ?(obs = Obs.null) ?on_progress sys prog targe
                        | None ->
                            let rep = { site with Injection.fault_site = rsite } in
                            let r0 =
-                             run_one ~obs sys prog golden_lead
+                             run_one ~obs ?plan sys prog golden_lead
                                ~inject_cycle:config.inject_cycle
                                ~hang_factor:config.hang_factor
                                ~compare_reads:config.compare_reads rep rmodel
@@ -490,11 +538,25 @@ let run_parallel ?(config = default_config) ?(obs = Obs.null) ?(domains = 4)
   Leon3.System.set_obs scratch obs;
   let coverage, checkpoint_every = golden_options config ~bounded_faults:false in
   let golden =
-    golden_run ~obs ~coverage ?checkpoint_every scratch prog ~max_cycles:5_000_000
+    golden_run ~obs ~coverage ~trace:config.event ?checkpoint_every scratch prog
+      ~max_cycles:5_000_000
   in
   let sample = sample_sites ~obs ~config (Leon3.System.core scratch) target in
+  (* graph, plan and trace are immutable after construction, so all
+     domains share them read-only *)
+  let graph =
+    if config.static || config.event then
+      Some (Analysis.Graph.build (Leon3.System.core scratch).Leon3.Core.circuit)
+    else None
+  in
   let static =
-    if config.static then Some (build_static ~obs (Leon3.System.core scratch)) else None
+    if config.static then Some (build_static ~obs ?graph (Leon3.System.core scratch))
+    else None
+  in
+  let plan =
+    match graph with
+    | Some g when config.event -> Some (Analysis.Graph.replay_plan g)
+    | Some _ | None -> None
   in
   let golden_lead = { golden with coverage = None } in
   let tasks =
@@ -549,15 +611,15 @@ let run_parallel ?(config = default_config) ?(obs = Obs.null) ?(domains = 4)
         | `Direct ->
             results.(idx) <-
               Some
-                (run_one ~obs:fork sys prog golden ~inject_cycle:config.inject_cycle
-                   ~hang_factor:config.hang_factor ~compare_reads:config.compare_reads
-                   site model);
+                (run_one ~obs:fork ?plan sys prog golden
+                   ~inject_cycle:config.inject_cycle ~hang_factor:config.hang_factor
+                   ~compare_reads:config.compare_reads site model);
             progress ()
         | `Lead (rep, rmodel) ->
             let r0 =
-              run_one ~obs:fork sys prog golden_lead ~inject_cycle:config.inject_cycle
-                ~hang_factor:config.hang_factor ~compare_reads:config.compare_reads rep
-                rmodel
+              run_one ~obs:fork ?plan sys prog golden_lead
+                ~inject_cycle:config.inject_cycle ~hang_factor:config.hang_factor
+                ~compare_reads:config.compare_reads rep rmodel
             in
             results.(idx) <- Some { r0 with model };
             progress ());
@@ -616,15 +678,22 @@ let run_parallel ?(config = default_config) ?(obs = Obs.null) ?(domains = 4)
    resumes from the checkpoint before its instant and stops at the
    first checkpoint where its state has re-converged with the golden
    run. *)
-let run_transient ?(sample = 400) ?(seed = 7) ?(trim = true) ?checkpoint_every
-    ?(obs = Obs.null) sys prog target =
+let run_transient ?(sample = 400) ?(seed = 7) ?(trim = true) ?(event = true)
+    ?checkpoint_every ?(obs = Obs.null) sys prog target =
   Leon3.System.set_obs sys obs;
   let core = Leon3.System.core sys in
   let checkpoint_every =
     if trim then Some (Option.value checkpoint_every ~default:default_checkpoint_interval)
     else None
   in
-  let golden = golden_run ~obs ?checkpoint_every sys prog ~max_cycles:5_000_000 in
+  let golden =
+    golden_run ~obs ~trace:event ?checkpoint_every sys prog ~max_cycles:5_000_000
+  in
+  let plan =
+    if event then
+      Some (Analysis.Graph.replay_plan (Analysis.Graph.build core.Leon3.Core.circuit))
+    else None
+  in
   let chosen =
     Obs.span obs "site_sampling" @@ fun () ->
     let pool = Array.of_list (Injection.sites core target) in
@@ -640,7 +709,7 @@ let run_transient ?(sample = 400) ?(seed = 7) ?(trim = true) ?checkpoint_every
     Array.to_list
       (Array.map
          (fun (site, inject_cycle) ->
-           run_one ~obs sys prog golden ~inject_cycle ~duration:1 site C.Bit_flip)
+           run_one ~obs ?plan sys prog golden ~inject_cycle ~duration:1 site C.Bit_flip)
          chosen)
   in
   Leon3.System.set_obs sys Obs.null;

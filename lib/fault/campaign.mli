@@ -49,11 +49,15 @@ type golden = {
   checkpoints : Leon3.System.checkpoint array;
       (** golden state at increasing cycles, when captured — powers
           checkpointed starts and early exits *)
+  trace : C.trace option;
+      (** delta-compressed per-cycle value trace, when recorded —
+          powers differential replay of the faulty runs *)
 }
 
 val golden_run :
   ?obs:Obs.t ->
   ?coverage:bool ->
+  ?trace:bool ->
   ?checkpoint_every:int ->
   Leon3.System.t ->
   Sparc.Asm.program ->
@@ -61,10 +65,12 @@ val golden_run :
   golden
 (** Run fault-free and capture the reference behaviour.  [coverage]
     (default false) records per-bit value coverage for the activation
-    prefilter; [checkpoint_every] captures a state checkpoint at that
-    cycle interval (the set is thinned to a bounded count on long
-    runs).  Raises [Failure] if the golden run itself traps or hits
-    the cycle limit (the workload is broken, not the hardware). *)
+    prefilter; [trace] (default false) records the per-cycle value
+    trace for differential replay; [checkpoint_every] captures a state
+    checkpoint at that cycle interval (the set is thinned to a bounded
+    count on long runs).  Raises [Failure] if the golden run itself
+    traps or hits the cycle limit (the workload is broken, not the
+    hardware). *)
 
 type failure_kind =
   | Wrong_write of int  (** index of the first divergent write *)
@@ -99,6 +105,7 @@ type run_result = {
 
 val run_one :
   ?obs:Obs.t ->
+  ?plan:C.replay_plan ->
   Leon3.System.t ->
   Sparc.Asm.program ->
   golden ->
@@ -116,7 +123,14 @@ val run_one :
     extends the lockstep comparison to read addresses (default false,
     the paper compares writes only).  Trimming follows what [golden]
     carries: coverage enables the prefilter, checkpoints enable
-    resumed starts and (for bounded faults) convergence early-exit. *)
+    resumed starts and (for bounded faults) convergence early-exit.
+    When [plan] is given {e and} [golden] carries a trace, the run
+    executes in differential replay — only the fanout cone of nodes
+    diverging from golden is re-evaluated each cycle, and convergence
+    checks are O(dirty); verdicts are identical either way.  Replay
+    statistics land on [obs] as [diff.nodes_evaluated] /
+    [diff.golden_evaluated] counters and [diff.dirty_peak] /
+    [diff.divergence_cycles] histograms. *)
 
 type summary = {
   injections : int;
@@ -154,22 +168,31 @@ type config = {
           structural fault collapsing ({!Analysis}); verdicts are
           byte-identical with it on or off — classification order puts
           the dynamic prefilter first, so even [skipped] matches *)
+  event : bool;
+      (** event-driven differential simulation: the golden run records
+          a value trace and every simulated fault replays against it,
+          re-evaluating only the dirty fanout cone (classification
+          order: prefilter → cone prune → collapse → differential
+          simulate).  Exact — verdicts, summaries and latencies are
+          byte-identical with it on or off *)
 }
 
 val default_config : config
 (** Stuck-at-0/1 + open-line, 400-site sample, cells included,
     injection at cycle 0, watchdog 4x, writes-only compare, seed 7,
-    trimming and static analysis on. *)
+    trimming, static analysis and differential simulation on. *)
 
 type static_info = {
   cone : Analysis.Graph.cone;  (** backward cone of the observation points *)
   collapse : Analysis.Collapse.t;  (** structural fault equivalences *)
 }
 
-val build_static : ?obs:Obs.t -> Leon3.Core.t -> static_info
+val build_static : ?obs:Obs.t -> ?graph:Analysis.Graph.t -> Leon3.Core.t -> static_info
 (** The per-campaign static analysis (also usable standalone): graph
     extraction, observation cone from {!Leon3.Core.observation_points}
     and the collapse table keeping those points un-collapsible.
+    [graph] reuses an already-extracted dependency graph (the campaign
+    shares one extraction between this and the replay plan).
     Recorded under an [Obs] span named ["static_analysis"]. *)
 
 val run :
@@ -209,6 +232,7 @@ val run_transient :
   ?sample:int ->
   ?seed:int ->
   ?trim:bool ->
+  ?event:bool ->
   ?checkpoint_every:int ->
   ?obs:Obs.t ->
   Leon3.System.t ->
@@ -219,4 +243,8 @@ val run_transient :
     one-cycle bit inversions at uniformly random instants, one instant
     per sampled site.  With [trim] (default true) each run starts at
     the last golden checkpoint before its instant and early-exits on
-    state re-convergence; verdicts are unchanged. *)
+    state re-convergence; with [event] (default true) each run replays
+    differentially against the golden trace — for a 1-cycle upset the
+    dirty set typically collapses to empty within a few cycles, which
+    is also what makes the convergence check O(dirty).  Verdicts are
+    unchanged by either. *)

@@ -84,7 +84,12 @@ val restore_checkpoint : t -> checkpoint -> unit
 val matches_checkpoint : t -> checkpoint -> bool
 (** Exact state equality between the live system and a checkpoint:
     cycle counter, bus drivers, every circuit node and memory word.
-    For a deterministic circuit this implies identical futures. *)
+    For a deterministic circuit this implies identical futures.  When
+    the circuit is in differential replay ({!Rtl.Circuit.replay_start})
+    the circuit-state comparison is the O(dirty) convergence check
+    instead of the O(n) sweep — sound only when the checkpoint was
+    taken from the same golden run the armed trace records, which is
+    how the campaign engine uses it. *)
 
 val checkpoint_cycle : checkpoint -> int
 val checkpoint_events : checkpoint -> int

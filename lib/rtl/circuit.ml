@@ -27,7 +27,8 @@ type mem_info = {
   words : int;
   m_width : int;
   data : int array;
-  mutable write_ports : write_port_info list;
+  mutable write_ports : write_port_info list;  (* reversed during construction *)
+  mutable wp_arr : write_port_info array;  (* frozen at elaboration, creation order *)
 }
 
 type fault = {
@@ -51,11 +52,133 @@ type coverage = {
   cov_cell_seen1 : int array array;
 }
 
+(* Growable array: the construction-side store (so [connect] and
+   [mem_info] are O(1) instead of List.nth over a reversed list) and
+   the delta buffers of the golden value trace. *)
+module Vec = struct
+  type 'a t = { mutable a : 'a array; mutable n : int; dummy : 'a }
+
+  let create dummy = { a = Array.make 16 dummy; n = 0; dummy }
+
+  let length v = v.n
+
+  let get v i = v.a.(i)
+
+  let set v i x = v.a.(i) <- x
+
+  let push v x =
+    if v.n = Array.length v.a then begin
+      let a' = Array.make (2 * v.n) v.dummy in
+      Array.blit v.a 0 a' 0 v.n;
+      v.a <- a'
+    end;
+    v.a.(v.n) <- x;
+    v.n <- v.n + 1
+
+  let clear v = v.n <- 0
+
+  let to_array v = Array.sub v.a 0 v.n
+end
+
+(* --- golden value trace (differential simulation) --- *)
+
+(* A trace is the golden run's complete per-cycle settled state,
+   delta-compressed: for every cycle the set of nodes whose value
+   changed (packed [(id << 32) | value]), periodic full keyframes so a
+   replay can position at any cycle, and the stream of memory writes
+   (packed [(mem << 52) | (word << 32) | value]) bucketed by the cycle
+   from which they are visible. *)
+type trace = {
+  tr_len : int;  (* settled cycles recorded: 0 .. tr_len-1 *)
+  tr_delta : int array;
+  tr_dend : int array;  (* per cycle: end offset of its delta run *)
+  tr_keys : (int * int array) array;  (* (cycle, full values), ascending *)
+  tr_wmem : int array;
+  tr_wend : int array;  (* per cycle: writes visible by that cycle (cumulative) *)
+  tr_evals : int;  (* comb evaluations performed while recording *)
+}
+
+type trace_builder = {
+  tb_prev : int array;
+  tb_delta : int Vec.t;
+  tb_dend : int Vec.t;
+  mutable tb_upto : int;  (* highest cycle recorded, -1 before the first settle *)
+  mutable tb_keys : (int * int array) list;  (* newest first *)
+  tb_wmem : int Vec.t;
+  tb_wbucket : int Vec.t;  (* visibility cycle per write, nondecreasing *)
+  mutable tb_evals : int;
+}
+
+let key_every = 1024
+
+let pack_delta id v = (id lsl 32) lor v
+
+let delta_id p = p lsr 32
+
+let delta_val p = p land 0xFFFFFFFF
+
+let pack_write m idx v = (m lsl 52) lor (idx lsl 32) lor v
+
+let write_mem p = p lsr 52
+
+let write_idx p = (p lsr 32) land 0xFFFFF
+
+let write_val p = p land 0xFFFFFFFF
+
+(* --- differential replay (event-driven faulty simulation) --- *)
+
+(* The levelized evaluation schedule a replay needs: per-node
+   combinational fanout (deduplicated comb sink ids), per-node comb
+   level, and each memory's read-port nodes.  Built from the elaborated
+   netlist by [Analysis.Graph.replay_plan] (the same edge extraction
+   that powers cone pruning); the circuit only validates shapes. *)
+type replay_plan = {
+  rp_fanout : int array array;
+  rp_level : int array;
+  rp_max_level : int;
+  rp_mem_readers : int array array;
+}
+
+type replay_stats = {
+  rs_evals : int;  (* comb evaluations the differential engine performed *)
+  rs_dense_evals : int;  (* evaluations a full per-cycle sweep would have performed *)
+  rs_dirty_peak : int;  (* largest dirty-node count at any settled state *)
+  rs_divergence_cycles : int;  (* settled states with a non-empty dirty set / mem diff *)
+}
+
+type replay = {
+  rp : replay_plan;
+  tr : trace;
+  g_values : int array;  (* golden settled values at the current cycle *)
+  g_mem : int array array;  (* golden memory contents at the current cycle *)
+  dirty : bool array;  (* node differs from golden *)
+  mutable ndirty : int;
+  mdiff : (int, unit) Hashtbl.t array;  (* per memory: differing word indexes *)
+  mutable nmdiff : int;
+  mutable dcomb : int Vec.t;  (* comb nodes dirty after the last settle *)
+  mutable dnext : int Vec.t;  (* scratch, swapped with [dcomb] per settle *)
+  dsrc : int Vec.t;  (* dirty registers, rebuilt at every clock *)
+  input_ids : int array;
+  buckets : int Vec.t array;  (* worklist, one bucket per comb level *)
+  wl_stamp : int array;  (* membership stamp per node *)
+  mutable stamp : int;
+  mutable exhausted : bool;  (* ran past the end of the golden trace *)
+  mutable evals : int;
+  mutable dense : int;
+  mutable dirty_peak : int;
+  mutable div_cycles : int;
+}
+
+let dummy_node = { nm = ""; width = 1; kind = Input }
+
+let dummy_mem =
+  { m_name = ""; words = 0; m_width = 1; data = [||]; write_ports = []; wp_arr = [||] }
+
 type t = {
   c_name : string;
-  mutable building : node list;  (* reversed during construction *)
+  building : node Vec.t;
   mutable scopes : string list;
-  mutable mems : mem_info list;  (* reversed *)
+  mems : mem_info Vec.t;
   mutable rports : (int * int) list;  (* read-port node id -> memory id *)
   mutable node_cnt : int;
   mutable mem_cnt : int;
@@ -66,19 +189,25 @@ type t = {
   mutable masks : int array;
   mutable order : int array;  (* comb schedule *)
   mutable evals : (int array -> int) array;  (* parallel to order *)
+  mutable eval_by_id : (int array -> int) array;  (* indexed by node id *)
   mutable reg_ids : int array;
   mutable reg_next : int array;
+  mutable input_ids : int array;
+  mutable by_name : (string, int) Hashtbl.t;
   mutable elaborated : bool;
   mutable cyc : int;
   mutable fault : fault option;
   mutable recording : coverage option;
+  mutable tracing : trace_builder option;
+  mutable replay : replay option;
 }
 
 let create c_name =
-  { c_name; building = []; scopes = []; mems = []; rports = []; node_cnt = 0; mem_cnt = 0;
-    nodes = [||]; mem_arr = [||]; values = [||]; masks = [||]; order = [||]; evals = [||];
-    reg_ids = [||]; reg_next = [||]; elaborated = false; cyc = 0; fault = None;
-    recording = None }
+  { c_name; building = Vec.create dummy_node; scopes = []; mems = Vec.create dummy_mem;
+    rports = []; node_cnt = 0; mem_cnt = 0; nodes = [||]; mem_arr = [||]; values = [||];
+    masks = [||]; order = [||]; evals = [||]; eval_by_id = [||]; reg_ids = [||];
+    reg_next = [||]; input_ids = [||]; by_name = Hashtbl.create 16; elaborated = false;
+    cyc = 0; fault = None; recording = None; tracing = None; replay = None }
 
 let name t = t.c_name
 
@@ -99,7 +228,7 @@ let add_node t nm width kind =
   if t.elaborated then raise Already_elaborated;
   if width < 1 || width > 32 then invalid_arg "Circuit: width must be 1..32";
   let id = t.node_cnt in
-  t.building <- { nm = full_name t nm; width; kind } :: t.building;
+  Vec.push t.building { nm = full_name t nm; width; kind };
   t.node_cnt <- t.node_cnt + 1;
   id
 
@@ -138,7 +267,7 @@ let reg t nm ~width ?(init = 0) () =
   add_node t nm width (Register { init; d = -1; en = -1 })
 
 let connect t r ?en ~d () =
-  let node = List.nth t.building (t.node_cnt - 1 - r) in
+  let node = Vec.get t.building r in
   match node.kind with
   | Register info ->
       if info.d >= 0 then invalid_arg ("Circuit.connect: already connected: " ^ node.nm);
@@ -149,15 +278,15 @@ let connect t r ?en ~d () =
 
 let memory t nm ~words ~width =
   if t.elaborated then raise Already_elaborated;
+  if words < 1 || words > 1 lsl 20 then invalid_arg "Circuit.memory: words must be 1..2^20";
   let id = t.mem_cnt in
-  t.mems <-
+  Vec.push t.mems
     { m_name = full_name t nm; words; m_width = width; data = Array.make words 0;
-      write_ports = [] }
-    :: t.mems;
+      write_ports = []; wp_arr = [||] };
   t.mem_cnt <- t.mem_cnt + 1;
   id
 
-let mem_info t m = if t.elaborated then t.mem_arr.(m) else List.nth t.mems (t.mem_cnt - 1 - m)
+let mem_info t m = if t.elaborated then t.mem_arr.(m) else Vec.get t.mems m
 
 let read_port t nm m addr =
   let info = mem_info t m in
@@ -179,7 +308,7 @@ let write_port t m ~we ~addr ~data =
 
 let elaborate t =
   if t.elaborated then raise Already_elaborated;
-  let nodes = Array.of_list (List.rev t.building) in
+  let nodes = Vec.to_array t.building in
   let n = Array.length nodes in
   let masks = Array.map (fun nd -> (1 lsl nd.width) - 1) nodes in
   (* check registers are connected *)
@@ -220,7 +349,12 @@ let elaborate t =
          (Seq.init n Fun.id))
   in
   t.nodes <- nodes;
-  t.mem_arr <- Array.of_list (List.rev t.mems);
+  t.mem_arr <- Vec.to_array t.mems;
+  (* freeze write ports into creation-order arrays: the per-cycle
+     commit loop must not re-reverse a list per memory *)
+  Array.iter
+    (fun info -> info.wp_arr <- Array.of_list (List.rev info.write_ports))
+    t.mem_arr;
   t.values <- Array.make n 0;
   t.masks <- masks;
   t.order <- Array.of_list (List.rev !order);
@@ -231,8 +365,24 @@ let elaborate t =
         | Comb { eval; _ } -> eval
         | Input | Const _ | Register _ -> assert false)
       t.order;
+  t.eval_by_id <-
+    Array.map
+      (fun nd ->
+        match nd.kind with Comb { eval; _ } -> eval | Input | Const _ | Register _ -> (fun _ -> 0))
+      nodes;
   t.reg_ids <- reg_ids;
   t.reg_next <- Array.make (Array.length reg_ids) 0;
+  t.input_ids <-
+    Array.of_seq
+      (Seq.filter_map
+         (fun id ->
+           match nodes.(id).kind with
+           | Input -> Some id
+           | Register _ | Const _ | Comb _ -> None)
+         (Seq.init n Fun.id));
+  let by_name = Hashtbl.create (2 * n) in
+  Array.iteri (fun id nd -> if not (Hashtbl.mem by_name nd.nm) then Hashtbl.add by_name nd.nm id) nodes;
+  t.by_name <- by_name;
   t.elaborated <- true
 
 let check_elab t = if not t.elaborated then raise Not_elaborated
@@ -288,6 +438,7 @@ let never_activates cov site model =
 
 let reset t =
   check_elab t;
+  if t.replay <> None then invalid_arg "Circuit.reset: replay armed";
   Array.iteri
     (fun id nd ->
       t.values.(id) <-
@@ -311,12 +462,37 @@ let reset t =
         t.mem_arr
   | None -> ()
 
+(* --- replay bookkeeping helpers --- *)
+
+let set_dirty r id d =
+  if r.dirty.(id) <> d then begin
+    r.dirty.(id) <- d;
+    r.ndirty <- r.ndirty + (if d then 1 else -1)
+  end
+
+let mark_mem_diff t r m idx =
+  let differs = t.mem_arr.(m).data.(idx) <> r.g_mem.(m).(idx) in
+  let h = r.mdiff.(m) in
+  if differs then begin
+    if not (Hashtbl.mem h idx) then begin
+      Hashtbl.add h idx ();
+      r.nmdiff <- r.nmdiff + 1
+    end
+  end
+  else if Hashtbl.mem h idx then begin
+    Hashtbl.remove h idx;
+    r.nmdiff <- r.nmdiff - 1
+  end
+
 let set_input t s v =
   check_elab t;
   (match t.nodes.(s).kind with
   | Input -> ()
   | Const _ | Comb _ | Register _ -> invalid_arg "Circuit.set_input: not an input");
-  t.values.(s) <- v land t.masks.(s)
+  t.values.(s) <- v land t.masks.(s);
+  match t.replay with
+  | Some r when not r.exhausted -> set_dirty r s (t.values.(s) <> r.g_values.(s))
+  | Some _ | None -> ()
 
 (* --- fault machinery --- *)
 
@@ -344,6 +520,19 @@ let apply_node_fault t id v =
       transform_bit f ~bit v
   | Some _ | None -> v
 
+(* The single mutation path for memory content: faulty-side replay
+   accounting and the golden trace's write stream both hook here. *)
+let commit_cell t m idx v =
+  t.mem_arr.(m).data.(idx) <- v;
+  (match t.replay with
+  | Some r when not r.exhausted -> mark_mem_diff t r m idx
+  | Some _ | None -> ());
+  match t.tracing with
+  | Some tb ->
+      Vec.push tb.tb_wmem (pack_write m idx v);
+      Vec.push tb.tb_wbucket (t.cyc + 1)
+  | None -> ()
+
 let write_cell t m idx v =
   let info = t.mem_arr.(m) in
   let v =
@@ -362,7 +551,7 @@ let write_cell t m idx v =
   in
   let mask = (1 lsl info.m_width) - 1 in
   let v = v land mask in
-  info.data.(idx) <- v;
+  commit_cell t m idx v;
   match t.recording with
   | Some cov -> record_cell cov m idx ~mask v
   | None -> ()
@@ -375,12 +564,12 @@ let refresh_cell_fault t =
       let info = t.mem_arr.(m) in
       if idx < info.words then
         match f.model with
-        | Stuck_at_0 -> info.data.(idx) <- Bitops.clear_bit bit info.data.(idx)
-        | Stuck_at_1 -> info.data.(idx) <- Bitops.set_bit bit info.data.(idx)
+        | Stuck_at_0 -> commit_cell t m idx (Bitops.clear_bit bit info.data.(idx))
+        | Stuck_at_1 -> commit_cell t m idx (Bitops.set_bit bit info.data.(idx))
         | Bit_flip ->
             (* single-event upset: invert the cell content exactly once *)
             if f.frozen = None then begin
-              info.data.(idx) <- info.data.(idx) lxor (1 lsl bit);
+              commit_cell t m idx (info.data.(idx) lxor (1 lsl bit));
               f.frozen <- Some 1
             end
         | Open_line -> ())
@@ -397,10 +586,84 @@ let fault_model_name = function
   | Open_line -> "open-line"
   | Bit_flip -> "bit-flip"
 
+(* --- golden trace recording --- *)
+
+let trace_start t =
+  check_elab t;
+  if t.replay <> None then invalid_arg "Circuit.trace_start: replay armed";
+  t.tracing <-
+    Some
+      { tb_prev = Array.copy t.values;
+        tb_delta = Vec.create 0;
+        tb_dend = Vec.create 0;
+        tb_upto = -1;
+        tb_keys = [];
+        tb_wmem = Vec.create 0;
+        tb_wbucket = Vec.create 0;
+        tb_evals = 0 }
+
+let trace_record t tb =
+  tb.tb_evals <- tb.tb_evals + Array.length t.order;
+  let c = t.cyc in
+  if c < tb.tb_upto then
+    invalid_arg "Circuit.trace: cycle counter went backwards while recording";
+  if c > tb.tb_upto then begin
+    for _ = tb.tb_upto + 1 to c do
+      Vec.push tb.tb_dend (Vec.length tb.tb_delta)
+    done;
+    tb.tb_upto <- c
+  end;
+  let values = t.values and prev = tb.tb_prev in
+  for id = 0 to Array.length values - 1 do
+    let v = Array.unsafe_get values id in
+    if v <> Array.unsafe_get prev id then begin
+      Vec.push tb.tb_delta (pack_delta id v);
+      Array.unsafe_set prev id v
+    end
+  done;
+  Vec.set tb.tb_dend c (Vec.length tb.tb_delta);
+  if c mod key_every = 0 then
+    match tb.tb_keys with
+    | (kc, _) :: rest when kc = c -> tb.tb_keys <- (c, Array.copy values) :: rest
+    | _ -> tb.tb_keys <- (c, Array.copy values) :: tb.tb_keys
+
+let trace_stop t =
+  check_elab t;
+  match t.tracing with
+  | None -> invalid_arg "Circuit.trace_stop: not recording"
+  | Some tb ->
+      t.tracing <- None;
+      let len = tb.tb_upto + 1 in
+      (* writes arrive in nondecreasing visibility order; cumulative
+         counts per cycle make "all writes visible by c" one slice *)
+      let nw = Vec.length tb.tb_wmem in
+      let visible = ref 0 in
+      while !visible < nw && Vec.get tb.tb_wbucket !visible < len do
+        incr visible
+      done;
+      let wend = Array.make len 0 in
+      let j = ref 0 in
+      for c = 0 to len - 1 do
+        while !j < !visible && Vec.get tb.tb_wbucket !j <= c do
+          incr j
+        done;
+        wend.(c) <- !j
+      done;
+      { tr_len = len;
+        tr_delta = Vec.to_array tb.tb_delta;
+        tr_dend = Vec.to_array tb.tb_dend;
+        tr_keys = Array.of_list (List.rev tb.tb_keys);
+        tr_wmem = Array.sub (Vec.to_array tb.tb_wmem) 0 !visible;
+        tr_wend = wend;
+        tr_evals = tb.tb_evals }
+
+let trace_cycles tr = tr.tr_len
+
+let trace_evals tr = tr.tr_evals
+
 (* --- simulation --- *)
 
-let settle t =
-  check_elab t;
+let dense_settle t =
   refresh_cell_fault t;
   (* A fault on a source node (input/const/register) is applied to its
      stored value before combinational propagation. *)
@@ -434,10 +697,97 @@ let settle t =
       let v = (Array.unsafe_get evals k) values land Array.unsafe_get masks id in
       Array.unsafe_set values id (if id = fnode then apply_node_fault t id v else v)
     done;
+  (match t.tracing with Some tb -> trace_record t tb | None -> ());
   match t.recording with Some cov -> record_nodes t cov | None -> ()
 
-let clock t =
+(* Differential settle: re-evaluate only the fanout cone of nodes that
+   differ from the golden trace; every clean node already holds its
+   golden value (installed when the shadow advanced at [clock]). *)
+let replay_settle t r =
+  r.dense <- r.dense + Array.length t.order;
+  refresh_cell_fault t;
+  (* source-node fault, exactly as in [dense_settle] — plus residual
+     dirt: a faulted const keeps its last transformed value after the
+     window closes, so it must keep seeding while it differs *)
+  let fsrc = ref (-1) in
+  let fnode = ref (-1) in
+  (match t.fault with
+  | Some ({ site = Node (s, bit); _ } as f) -> (
+      match t.nodes.(s).kind with
+      | Comb _ -> if fault_active t f then fnode := s
+      | Input | Const _ | Register _ ->
+          fsrc := s;
+          if fault_active t f then t.values.(s) <- transform_bit f ~bit t.values.(s))
+  | Some { site = Cell _; _ } | None -> ());
+  if !fsrc >= 0 then set_dirty r !fsrc (t.values.(!fsrc) <> r.g_values.(!fsrc));
+  (* seed the levelized worklist *)
+  r.stamp <- r.stamp + 1;
+  let stamp = r.stamp in
+  for l = 0 to r.rp.rp_max_level do
+    Vec.clear r.buckets.(l)
+  done;
+  let push_node id =
+    if r.wl_stamp.(id) <> stamp then begin
+      r.wl_stamp.(id) <- stamp;
+      Vec.push r.buckets.(r.rp.rp_level.(id)) id
+    end
+  in
+  let push_fanout id = Array.iter push_node r.rp.rp_fanout.(id) in
+  for i = 0 to Vec.length r.dcomb - 1 do
+    push_node (Vec.get r.dcomb i)
+  done;
+  for i = 0 to Vec.length r.dsrc - 1 do
+    let id = Vec.get r.dsrc i in
+    if r.dirty.(id) then push_fanout id
+  done;
+  Array.iter (fun id -> if r.dirty.(id) then push_fanout id) r.input_ids;
+  if !fsrc >= 0 && r.dirty.(!fsrc) then push_fanout !fsrc;
+  if !fnode >= 0 then push_node !fnode;
+  Array.iteri
+    (fun m h -> if Hashtbl.length h > 0 then Array.iter push_node r.rp.rp_mem_readers.(m))
+    r.mdiff;
+  (* evaluate the affected cone in level order: an evaluation can only
+     push strictly deeper nodes, so each bucket is complete on arrival *)
+  Vec.clear r.dnext;
+  let values = t.values and g = r.g_values and masks = t.masks in
+  let nev = ref 0 in
+  for l = 1 to r.rp.rp_max_level do
+    let b = r.buckets.(l) in
+    for i = 0 to Vec.length b - 1 do
+      let id = Vec.get b i in
+      let v0 = t.eval_by_id.(id) values land masks.(id) in
+      let v = if id = !fnode then apply_node_fault t id v0 else v0 in
+      incr nev;
+      values.(id) <- v;
+      let d = v <> g.(id) in
+      set_dirty r id d;
+      if d then begin
+        Vec.push r.dnext id;
+        push_fanout id
+      end
+    done
+  done;
+  r.evals <- r.evals + !nev;
+  let tmp = r.dcomb in
+  r.dcomb <- r.dnext;
+  r.dnext <- tmp;
+  if r.ndirty > r.dirty_peak then r.dirty_peak <- r.ndirty;
+  if r.ndirty > 0 || r.nmdiff > 0 then r.div_cycles <- r.div_cycles + 1
+
+let settle t =
   check_elab t;
+  match t.replay with
+  | Some r when not r.exhausted -> replay_settle t r
+  | Some r ->
+      (* past the end of the golden trace (watchdog territory): the
+         dense sweep is exactly what a full engine would do, so both
+         counters advance together *)
+      r.evals <- r.evals + Array.length t.order;
+      r.dense <- r.dense + Array.length t.order;
+      dense_settle t
+  | None -> dense_settle t
+
+let clock_core t =
   let values = t.values in
   (* Phase 1: sample every register input and write port. *)
   Array.iteri
@@ -451,17 +801,60 @@ let clock t =
     t.reg_ids;
   Array.iteri
     (fun m info ->
-      List.iter
-        (fun { wp_we; wp_addr; wp_data } ->
-          if values.(wp_we) <> 0 then begin
-            let idx = values.(wp_addr) in
-            if idx < info.words then write_cell t m idx values.(wp_data)
-          end)
-        (List.rev info.write_ports))
+      let wps = info.wp_arr in
+      for i = 0 to Array.length wps - 1 do
+        let { wp_we; wp_addr; wp_data } = wps.(i) in
+        if values.(wp_we) <> 0 then begin
+          let idx = values.(wp_addr) in
+          if idx < info.words then write_cell t m idx values.(wp_data)
+        end
+      done)
     t.mem_arr;
   (* Phase 2: commit. *)
   Array.iteri (fun k id -> values.(id) <- t.reg_next.(k)) t.reg_ids;
   t.cyc <- t.cyc + 1
+
+(* Advance the golden shadow to the new cycle: apply the value delta,
+   re-derive register dirtiness against it, install golden values into
+   every clean node, and commit the golden memory writes. *)
+let advance_shadow t r =
+  let c = t.cyc in
+  if c >= r.tr.tr_len then r.exhausted <- true
+  else begin
+    let dend = r.tr.tr_dend and delta = r.tr.tr_delta in
+    let d0 = if c = 0 then 0 else dend.(c - 1) in
+    for i = d0 to dend.(c) - 1 do
+      let p = Array.unsafe_get delta i in
+      r.g_values.(delta_id p) <- delta_val p
+    done;
+    Vec.clear r.dsrc;
+    Array.iter
+      (fun id ->
+        let d = t.values.(id) <> r.g_values.(id) in
+        set_dirty r id d;
+        if d then Vec.push r.dsrc id)
+      t.reg_ids;
+    (* non-dirty nodes take their golden values for free *)
+    for i = d0 to dend.(c) - 1 do
+      let p = Array.unsafe_get delta i in
+      let id = delta_id p in
+      if not r.dirty.(id) then t.values.(id) <- delta_val p
+    done;
+    let w0 = if c = 0 then 0 else r.tr.tr_wend.(c - 1) in
+    for i = w0 to r.tr.tr_wend.(c) - 1 do
+      let p = r.tr.tr_wmem.(i) in
+      let m = write_mem p and idx = write_idx p in
+      r.g_mem.(m).(idx) <- write_val p;
+      mark_mem_diff t r m idx
+    done
+  end
+
+let clock t =
+  check_elab t;
+  clock_core t;
+  match t.replay with
+  | Some r when not r.exhausted -> advance_shadow t r
+  | Some _ | None -> ()
 
 let value t s =
   check_elab t;
@@ -479,6 +872,106 @@ let mem_write t m idx v =
   let info = t.mem_arr.(m) in
   if idx < info.words then write_cell t m idx v
 
+(* --- differential replay control --- *)
+
+let replay_start t plan tr =
+  check_elab t;
+  if t.replay <> None then invalid_arg "Circuit.replay_start: already replaying";
+  if t.tracing <> None then invalid_arg "Circuit.replay_start: recording a trace";
+  let n = Array.length t.values in
+  if
+    Array.length plan.rp_fanout <> n
+    || Array.length plan.rp_level <> n
+    || Array.length plan.rp_mem_readers <> Array.length t.mem_arr
+  then invalid_arg "Circuit.replay_start: plan does not match this circuit";
+  let c = t.cyc in
+  let exhausted = c >= tr.tr_len in
+  let g_values = Array.make n 0 in
+  let g_mem = Array.map (fun m -> Array.make m.words 0) t.mem_arr in
+  if not exhausted then begin
+    (* position the node shadow: nearest keyframe at or before [c] *)
+    let kc = ref (-1) and kv = ref [||] in
+    Array.iter (fun (key_c, vals) -> if key_c <= c && key_c > !kc then begin kc := key_c; kv := vals end) tr.tr_keys;
+    if !kc < 0 then invalid_arg "Circuit.replay_start: trace has no keyframe before this cycle";
+    Array.blit !kv 0 g_values 0 n;
+    for cc = !kc + 1 to c do
+      let d0 = if cc = 0 then 0 else tr.tr_dend.(cc - 1) in
+      for i = d0 to tr.tr_dend.(cc) - 1 do
+        let p = tr.tr_delta.(i) in
+        g_values.(delta_id p) <- delta_val p
+      done
+    done;
+    (* memory shadow: every golden write visible by [c] *)
+    for i = 0 to tr.tr_wend.(c) - 1 do
+      let p = tr.tr_wmem.(i) in
+      g_mem.(write_mem p).(write_idx p) <- write_val p
+    done
+  end;
+  let max_level = plan.rp_max_level in
+  let r =
+    { rp = plan;
+      tr;
+      g_values;
+      g_mem;
+      dirty = Array.make n false;
+      ndirty = 0;
+      mdiff = Array.map (fun _ -> Hashtbl.create 8) t.mem_arr;
+      nmdiff = 0;
+      dcomb = Vec.create 0;
+      dnext = Vec.create 0;
+      dsrc = Vec.create 0;
+      input_ids = t.input_ids;
+      buckets = Array.init (max_level + 1) (fun _ -> Vec.create 0);
+      wl_stamp = Array.make n 0;
+      stamp = 0;
+      exhausted;
+      evals = 0;
+      dense = 0;
+      dirty_peak = 0;
+      div_cycles = 0 }
+  in
+  if not exhausted then begin
+    (* initial dirtiness — empty when resumed from a golden state *)
+    Array.iteri
+      (fun id v ->
+        if v <> g_values.(id) then begin
+          r.dirty.(id) <- true;
+          r.ndirty <- r.ndirty + 1;
+          match t.nodes.(id).kind with
+          | Comb _ -> Vec.push r.dcomb id
+          | Register _ -> Vec.push r.dsrc id
+          | Input | Const _ -> ()
+        end)
+      t.values;
+    Array.iteri
+      (fun m info ->
+        for idx = 0 to info.words - 1 do
+          if info.data.(idx) <> g_mem.(m).(idx) then begin
+            Hashtbl.add r.mdiff.(m) idx ();
+            r.nmdiff <- r.nmdiff + 1
+          end
+        done)
+      t.mem_arr
+  end;
+  t.replay <- Some r
+
+let replay_stop t =
+  match t.replay with
+  | None -> invalid_arg "Circuit.replay_stop: not replaying"
+  | Some r ->
+      t.replay <- None;
+      { rs_evals = r.evals;
+        rs_dense_evals = r.dense;
+        rs_dirty_peak = r.dirty_peak;
+        rs_divergence_cycles = r.div_cycles }
+
+let replay_active t = t.replay <> None
+
+let replay_converged t =
+  match t.replay with
+  | Some r when not r.exhausted -> Some (r.ndirty = 0 && r.nmdiff = 0)
+  | Some _ | None -> None
+
 (* --- state snapshots (campaign checkpointing) --- *)
 
 type snapshot = {
@@ -495,6 +988,7 @@ let snapshot t =
 
 let restore t snap =
   check_elab t;
+  if t.replay <> None then invalid_arg "Circuit.restore: replay armed";
   Array.blit snap.snap_values 0 t.values 0 (Array.length t.values);
   Array.iteri
     (fun m info -> Array.blit snap.snap_mems.(m) 0 info.data 0 info.words)
@@ -528,13 +1022,13 @@ let state_hash t =
 
 (* --- introspection --- *)
 
-let all_nodes t = if t.elaborated then t.nodes else Array.of_list (List.rev t.building)
+let all_nodes t = if t.elaborated then t.nodes else Vec.to_array t.building
 
 let signals t =
   Array.to_list (Array.mapi (fun id nd -> (nd.nm, id, nd.width)) (all_nodes t))
 
 let memories t =
-  let arr = if t.elaborated then t.mem_arr else Array.of_list (List.rev t.mems) in
+  let arr = if t.elaborated then t.mem_arr else Vec.to_array t.mems in
   Array.to_list (Array.mapi (fun m info -> (info.m_name, m, info.words, info.m_width)) arr)
 
 let signal_width t s = (all_nodes t).(s).width
@@ -542,15 +1036,17 @@ let signal_width t s = (all_nodes t).(s).width
 let signal_name t s = (all_nodes t).(s).nm
 
 let find_signal t nm =
-  let nodes = all_nodes t in
-  let rec go id =
-    if id >= Array.length nodes then None
-    else if nodes.(id).nm = nm then Some id
-    else go (id + 1)
-  in
-  go 0
+  if t.elaborated then Hashtbl.find_opt t.by_name nm
+  else
+    (* pre-elaboration fallback: first match in creation order *)
+    let rec go id =
+      if id >= t.node_cnt then None
+      else if (Vec.get t.building id).nm = nm then Some id
+      else go (id + 1)
+    in
+    go 0
 
-let node_count t = Array.length (all_nodes t)
+let node_count t = if t.elaborated then Array.length t.nodes else t.node_cnt
 
 let injection_bits t ~prefix =
   let sites = ref [] in
@@ -585,10 +1081,10 @@ let read_port_memory t s =
 
 let write_ports t m =
   check_elab t;
-  (* the builder prepends, so the stored list is reversed *)
-  List.rev_map
-    (fun { wp_we; wp_addr; wp_data } -> (wp_we, wp_addr, wp_data))
-    t.mem_arr.(m).write_ports
+  Array.to_list
+    (Array.map
+       (fun { wp_we; wp_addr; wp_data } -> (wp_we, wp_addr, wp_data))
+       t.mem_arr.(m).wp_arr)
 
 let probe_comb t s args =
   check_elab t;

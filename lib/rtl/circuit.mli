@@ -203,6 +203,86 @@ val never_activates : coverage -> fault_site -> fault_model -> bool
     never seen 0, open-line on a bit that never toggled.  [Bit_flip]
     always activates. *)
 
+(** {2 Golden value traces (differential simulation)}
+
+    A golden run can additionally record its complete per-cycle settled
+    state as a {e trace}: per-cycle value deltas (only nodes that
+    changed), periodic full keyframes, and the stream of memory writes.
+    A faulty run on the same netlist then {e replays} against the trace
+    in differential mode — only the fanout cone of {e dirty} nodes
+    (nodes whose value differs from golden) is re-evaluated each cycle,
+    clean nodes take their golden values for free, and memories track a
+    sparse diff map.  An empty dirty set plus an empty memory diff is
+    exact re-convergence with the golden run, making the campaign's
+    convergence check O(dirty) instead of O(n). *)
+
+type trace
+(** Delta-compressed golden value trace.  Immutable once built; safe to
+    share read-only across parallel campaign domains. *)
+
+val trace_start : t -> unit
+(** Begin recording a trace of every subsequent settled state.  Adds
+    one compare sweep per {!settle} (same order of cost as coverage
+    recording); enable it only for the golden run.  Fails if a replay
+    is armed. *)
+
+val trace_stop : t -> trace
+(** Stop recording and freeze the trace. *)
+
+val trace_cycles : trace -> int
+(** Number of settled cycles recorded (cycles [0 .. n-1]). *)
+
+val trace_evals : trace -> int
+(** Combinational evaluations performed while the trace was recorded
+    (the golden run's dense-sweep cost, for reporting). *)
+
+type replay_plan = {
+  rp_fanout : int array array;
+      (** per node: deduplicated combinational sink ids *)
+  rp_level : int array;  (** per node: combinational level (sources = 0) *)
+  rp_max_level : int;
+  rp_mem_readers : int array array;  (** per memory: its read-port node ids *)
+}
+(** The levelized schedule a replay evaluates dirty cones with.  Built
+    once per netlist from the elaborated circuit by
+    [Analysis.Graph.replay_plan] (the same edge extraction that powers
+    cone pruning); {!replay_start} only validates its shape. *)
+
+val replay_start : t -> replay_plan -> trace -> unit
+(** Switch the circuit into differential replay against [trace], from
+    the current cycle onwards.  The current state should be a state the
+    trace's golden run actually passed through (a restored golden
+    checkpoint or a fresh golden [load]) — any residual difference is
+    picked up as initial dirt, but golden-identical positioning is what
+    makes the dirty set start empty.  While a replay is armed,
+    {!reset} and {!restore} are rejected.  Past the end of the trace
+    (watchdog territory: the faulty run outlives the golden program)
+    the engine falls back to dense sweeps and {!replay_converged}
+    reports [None]. *)
+
+val replay_active : t -> bool
+
+val replay_converged : t -> bool option
+(** [Some true] iff the faulty state is {e exactly} the golden state at
+    the current cycle — empty dirty set and empty memory diff — which
+    is sound only against checkpoints taken from the same golden run
+    the armed trace records.  [None] when no replay is armed or the
+    trace is exhausted (callers must fall back to {!state_equal}). *)
+
+type replay_stats = {
+  rs_evals : int;
+      (** comb evaluations the differential engine actually performed *)
+  rs_dense_evals : int;
+      (** evaluations a full per-cycle sweep would have performed over
+          the same cycles — the denominator of the saving ratio *)
+  rs_dirty_peak : int;  (** largest dirty-node count at any settle *)
+  rs_divergence_cycles : int;
+      (** settled states at which the run differed from golden *)
+}
+
+val replay_stop : t -> replay_stats
+(** Disarm the replay and return its accumulated statistics. *)
+
 (** {2 Introspection} *)
 
 val signals : t -> (string * signal * int) list
