@@ -9,6 +9,7 @@
      dune exec bench/main.exe -- micro        -- Bechamel suite
      dune exec bench/main.exe -- static       -- figure-5 static on/off A-B
      dune exec bench/main.exe -- event        -- figure-5 differential on/off A-B
+     dune exec bench/main.exe -- journal      -- direct vs resume vs 4-shard-merge A/B
    The RICV_SAMPLES environment variable scales campaign sample sizes
    (default 250); RICV_TRIM=0 disables trimmed campaign execution,
    RICV_STATIC=0 disables netlist static analysis and RICV_EVENT=0
@@ -187,6 +188,114 @@ let run_event () =
     exit 1
   end
 
+(* ---- journal A/B: one campaign three ways — direct, killed-and-
+   resumed, and 4-shard-merged — asserting all three verdict tables
+   are byte-identical and emitting BENCH_journal.json with the wall
+   clocks.  This is the durability counterpart of the paper's cost
+   table: a 25,478-hour campaign is only realistic if partial work
+   survives pre-emption and distributes over machines. ---- *)
+
+let run_journal () =
+  let module FC = Fault_injection.Campaign in
+  let module FJ = Fault_injection.Journal in
+  let samples =
+    match Sys.getenv_opt "RICV_SAMPLES" with
+    | Some s -> (
+        match int_of_string_opt s with Some n when n > 0 -> n | Some _ | None -> 250)
+    | None -> 250
+  in
+  let entry = Workloads.Suite.find "rspeed" in
+  let prog = entry.Workloads.Suite.build ~iterations:1 ~dataset:0 in
+  let target = Fault_injection.Injection.Iu in
+  let config shard = { FC.default_config with FC.sample_size = Some samples; shard } in
+  let sys = Leon3.System.create () in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let tmp () =
+    let p = Filename.temp_file "ricv_bench_journal" ".jsonl" in
+    Sys.remove p;
+    p
+  in
+  Format.printf "journal A/B: rspeed, %d sites, target iu@." samples;
+  let (_, results0), wall_direct = time (fun () -> FC.run ~config:(config (1, 1)) sys prog target) in
+  Format.printf "direct:         %d verdicts in %.1fs@." (List.length results0) wall_direct;
+  (* kill-and-resume: journal a full run, truncate it to half the
+     verdicts plus a torn tail, resume from the stub *)
+  let jpath = tmp () in
+  let shard_paths = List.init 4 (fun _ -> tmp ()) in
+  Fun.protect ~finally:(fun () ->
+      List.iter (fun p -> if Sys.file_exists p then Sys.remove p) (jpath :: shard_paths))
+  @@ fun () ->
+  ignore (FC.run ~config:(config (1, 1)) ~journal:jpath sys prog target);
+  let lines = In_channel.with_open_text jpath In_channel.input_lines in
+  let keep = 1 + (List.length results0 / 2) in
+  let oc = open_out jpath in
+  List.iteri (fun i l -> if i < keep then (output_string oc l; output_char oc '\n')) lines;
+  output_string oc {|{"type":"verdict","i":0,"site":"torn|};
+  close_out oc;
+  let obs = Obs.create () in
+  let (_, resumed), wall_resume =
+    time (fun () -> FC.run ~config:(config (1, 1)) ~obs ~journal:jpath ~resume:true sys prog target)
+  in
+  let replayed = Obs.counter obs "journal.replayed" in
+  let resume_identical = resumed = results0 in
+  Format.printf "kill-and-resume: %d replayed + %d resimulated in %.1fs (%s)@." replayed
+    (List.length resumed - replayed) wall_resume
+    (if resume_identical then "identical" else "DIFFERS");
+  (* 4 shards, journaled, merged *)
+  let wall_shards =
+    List.fold_left ( +. ) 0.
+      (List.mapi
+         (fun k path ->
+           let _, wall =
+             time (fun () -> FC.run ~config:(config (k + 1, 4)) ~journal:path sys prog target)
+           in
+           wall)
+         shard_paths)
+  in
+  let loaded =
+    List.map
+      (fun p ->
+        match FJ.load p with
+        | Ok j -> j
+        | Error m -> prerr_endline m; exit 1)
+      shard_paths
+  in
+  let merged =
+    match FJ.merge loaded with
+    | Ok (_, merged) -> merged
+    | Error m -> prerr_endline m; exit 1
+  in
+  let merge_identical = merged = results0 in
+  Format.printf "4-shard merge:  %d verdicts in %.1fs total (%s)@." (List.length merged)
+    wall_shards
+    (if merge_identical then "identical" else "DIFFERS");
+  let open Obs.Json in
+  Format.printf "@.BENCH_journal.json: %s@."
+    (to_string
+       (Obj
+          [ ("workload", Str "rspeed");
+            ("samples", Int samples);
+            ("verdicts", Int (List.length results0));
+            ("direct", Obj [ ("wall_seconds", Float wall_direct) ]);
+            ( "resume",
+              Obj
+                [ ("wall_seconds", Float wall_resume);
+                  ("replayed", Int replayed);
+                  ("identical", Bool resume_identical) ] );
+            ( "shards",
+              Obj
+                [ ("count", Int 4);
+                  ("wall_seconds_total", Float wall_shards);
+                  ("identical", Bool merge_identical) ] ) ]));
+  if not (resume_identical && merge_identical) then begin
+    prerr_endline "journaled/sharded verdict tables differ from the direct run";
+    exit 1
+  end
+
 (* ---- Bechamel microbenchmarks: one per table/figure, measuring the
    dominant engine primitive behind that experiment. ---- *)
 
@@ -265,10 +374,11 @@ let () =
   | [ "micro" ] -> run_micro ()
   | [ "static" ] -> run_static ()
   | [ "event" ] -> run_event ()
+  | [ "journal" ] -> run_journal ()
   | ids when List.for_all (fun id -> List.mem id Experiments.all_ids) ids ->
       run_experiments ?csv_dir ids
   | _ ->
       prerr_endline
-        ("usage: main.exe [csv] [micro | static | event | "
+        ("usage: main.exe [csv] [micro | static | event | journal | "
         ^ String.concat " | " Experiments.all_ids ^ " ...]");
       exit 2

@@ -12,17 +12,46 @@ let build_workload name iterations dataset =
       Ok (e.Workloads.Suite.build ~iterations ~dataset)
   | None -> Error (`Msg (Printf.sprintf "unknown workload %S (try `ricv list`)" name))
 
+(* Plain [Arg.int] accepts 0 and negatives, which the engines turn
+   into confusing failures ("0/0 injections", a divide, an empty
+   sample); reject them at the command line instead. *)
+let positive_int what =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n > 0 -> Ok n
+    | Some n -> Error (`Msg (Printf.sprintf "%s must be positive (got %d)" what n))
+    | None -> Error (`Msg (Printf.sprintf "invalid %s %S: expected a positive integer" what s))
+  in
+  Arg.conv ~docv:"N" (parse, Format.pp_print_int)
+
 let workload_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD" ~doc:"Workload name.")
 
 let iterations_arg =
-  Arg.(value & opt (some int) None & info [ "iterations"; "i" ] ~docv:"N"
-         ~doc:"Kernel iterations (default: the workload's own).")
+  Arg.(value & opt (some (positive_int "iteration count")) None
+         & info [ "iterations"; "i" ] ~docv:"N"
+             ~doc:"Kernel iterations (default: the workload's own).")
 
 let dataset_arg =
   Arg.(value & opt int 0 & info [ "dataset"; "d" ] ~docv:"D" ~doc:"Input dataset index.")
 
 let or_fail = function Ok v -> v | Error (`Msg m) -> prerr_endline m; exit 1
+
+let shard_conv =
+  let parse s =
+    let fail () =
+      Error (`Msg (Printf.sprintf "invalid shard %S: expected I/N with 1 <= I <= N" s))
+    in
+    match String.index_opt s '/' with
+    | None -> fail ()
+    | Some k -> (
+        let i = String.sub s 0 k in
+        let n = String.sub s (k + 1) (String.length s - k - 1) in
+        match (int_of_string_opt i, int_of_string_opt n) with
+        | Some i, Some n when n >= 1 && i >= 1 && i <= n -> Ok (i, n)
+        | Some _, Some _ | _ -> fail ())
+  in
+  Arg.conv ~docv:"I/N" (parse, fun fmt (i, n) -> Format.fprintf fmt "%d/%d" i n)
 
 (* ---- telemetry plumbing (shared by campaign/experiment) ---- *)
 
@@ -191,6 +220,22 @@ let asm_cmd =
 
 (* ---- campaign ---- *)
 
+(* Shared by `campaign` and `merge`, so a sharded-and-merged campaign
+   prints line for line what the direct run prints. *)
+let print_model_summaries summaries =
+  List.iter
+    (fun (model, s) ->
+      Printf.printf
+        "%-11s Pf=%5.1f%%  (%d/%d: wrong-writes %d, missing %d, traps %d, hangs %d)  \
+         max latency %d cycles\n"
+        (Rtl.Circuit.fault_model_name model)
+        (Fault_injection.Campaign.pf_percent s)
+        s.Fault_injection.Campaign.failures s.Fault_injection.Campaign.injections
+        s.Fault_injection.Campaign.wrong_writes s.Fault_injection.Campaign.missing_writes
+        s.Fault_injection.Campaign.traps s.Fault_injection.Campaign.hangs
+        s.Fault_injection.Campaign.max_latency)
+    summaries
+
 let campaign_cmd =
   let target_conv =
     Arg.enum [ ("iu", Fault_injection.Injection.Iu); ("cmem", Fault_injection.Injection.Cmem) ]
@@ -200,12 +245,29 @@ let campaign_cmd =
            & info [ "target"; "t" ] ~docv:"BLOCK" ~doc:"Injection block: iu or cmem.")
   in
   let samples_arg =
-    Arg.(value & opt int 250 & info [ "samples"; "s" ] ~docv:"N"
+    Arg.(value & opt (positive_int "sample size") 250 & info [ "samples"; "s" ] ~docv:"N"
            ~doc:"Number of injection sites to sample.")
   in
   let domains_arg =
-    Arg.(value & opt int 1 & info [ "domains"; "j" ] ~docv:"N"
-           ~doc:"Shard the campaign over N OCaml domains.")
+    Arg.(value & opt (positive_int "domain count") 1 & info [ "domains"; "j" ] ~docv:"N"
+           ~doc:"Parallelise the campaign over N OCaml domains.")
+  in
+  let shard_arg =
+    Arg.(value & opt shard_conv (1, 1) & info [ "shard" ] ~docv:"I/N"
+           ~doc:"Execute only shard $(docv) of the campaign (1-based).  Shards of \
+                 the same seeded campaign are disjoint and covering; journal each \
+                 one and combine with `ricv merge`.")
+  in
+  let journal_arg =
+    Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"FILE"
+           ~doc:"Append every classified verdict to a crash-safe JSONL journal at \
+                 $(docv), bound to the campaign fingerprint.")
+  in
+  let resume_arg =
+    Arg.(value & flag & info [ "resume" ]
+           ~doc:"Replay the verdicts already in --journal instead of re-simulating \
+                 them, then continue.  A journal from a different campaign \
+                 (workload, config, seed, netlist or shard mismatch) is rejected.")
   in
   let no_trim_arg =
     Arg.(value & flag & info [ "no-trim" ]
@@ -224,15 +286,20 @@ let campaign_cmd =
                  the golden trace and re-evaluating only the dirty fanout cone).  \
                  Results are identical; only the runtime changes.")
   in
-  let run name iterations dataset target samples domains no_trim no_static no_event
-      trace metrics =
+  let run name iterations dataset target samples domains shard journal resume no_trim
+      no_static no_event trace metrics =
     let prog = or_fail (build_workload name iterations dataset) in
+    if resume && journal = None then begin
+      prerr_endline "ricv: --resume requires --journal";
+      exit 1
+    end;
     let config =
       { Fault_injection.Campaign.default_config with
         Fault_injection.Campaign.sample_size = Some samples;
         trim = not no_trim;
         static = not no_static;
-        event = not no_event }
+        event = not no_event;
+        shard }
     in
     let obs, finish_obs = make_obs ~trace ~metrics in
     let t0 = Unix.gettimeofday () in
@@ -241,29 +308,23 @@ let campaign_cmd =
         Printf.eprintf "\r%d/%d injections...%!" done_ total
     in
     let summaries, _ =
-      Obs.span obs "campaign" (fun () ->
-          if domains > 1 then
-            Fault_injection.Campaign.run_parallel ~config ~obs ~domains ~on_progress
-              (fun () -> Leon3.System.create ())
-              prog target
-          else
-            Fault_injection.Campaign.run ~config ~obs ~on_progress
-              (Leon3.System.create ()) prog target)
+      try
+        Obs.span obs "campaign" (fun () ->
+            if domains > 1 then
+              Fault_injection.Campaign.run_parallel ~config ~obs ~domains ~on_progress
+                ?journal ~resume
+                (fun () -> Leon3.System.create ())
+                prog target
+            else
+              Fault_injection.Campaign.run ~config ~obs ~on_progress ?journal ~resume
+                (Leon3.System.create ()) prog target)
+      with Fault_injection.Journal.Rejected msg ->
+        Printf.eprintf "\nricv: journal rejected: %s\n" msg;
+        exit 1
     in
     let elapsed = Unix.gettimeofday () -. t0 in
     prerr_newline ();
-    List.iter
-      (fun (model, s) ->
-        Printf.printf
-          "%-11s Pf=%5.1f%%  (%d/%d: wrong-writes %d, missing %d, traps %d, hangs %d)  \
-           max latency %d cycles\n"
-          (Rtl.Circuit.fault_model_name model)
-          (Fault_injection.Campaign.pf_percent s)
-          s.Fault_injection.Campaign.failures s.Fault_injection.Campaign.injections
-          s.Fault_injection.Campaign.wrong_writes s.Fault_injection.Campaign.missing_writes
-          s.Fault_injection.Campaign.traps s.Fault_injection.Campaign.hangs
-          s.Fault_injection.Campaign.max_latency)
-      summaries;
+    print_model_summaries summaries;
     let injections, skipped, early, pruned, collapsed =
       List.fold_left
         (fun (i, k, e, p, c) (_, s) ->
@@ -276,10 +337,19 @@ let campaign_cmd =
     in
     Printf.printf
       "%d injections in %.1fs: %d prefiltered (%.1f%%), %d cone-pruned, %d collapsed, \
-       %d early-exited%s%s%s\n"
+       %d early-exited%s%s%s%s%s\n"
       injections elapsed skipped
       (if injections = 0 then 0. else 100. *. float_of_int skipped /. float_of_int injections)
       pruned collapsed early
+      (match shard with
+      | 1, 1 -> ""
+      | i, n -> Printf.sprintf "  [shard %d/%d]" i n)
+      (match (journal, resume) with
+      | Some path, false -> Printf.sprintf "  [journal %s]" path
+      | Some path, true when Obs.enabled obs ->
+          Printf.sprintf "  [journal %s, %d replayed]" path (Obs.counter obs "journal.replayed")
+      | Some path, true -> Printf.sprintf "  [journal %s, resumed]" path
+      | None, _ -> "")
       (if config.Fault_injection.Campaign.trim then "" else "  [trimming disabled]")
       (if config.Fault_injection.Campaign.static then "" else "  [static analysis disabled]")
       (if config.Fault_injection.Campaign.event then ""
@@ -289,8 +359,66 @@ let campaign_cmd =
   Cmd.v
     (Cmd.info "campaign" ~doc:"Run a fault-injection campaign on the RTL model.")
     Term.(const run $ workload_arg $ iterations_arg $ dataset_arg $ target_arg
-          $ samples_arg $ domains_arg $ no_trim_arg $ no_static_arg $ no_event_arg
-          $ trace_arg $ metrics_arg)
+          $ samples_arg $ domains_arg $ shard_arg $ journal_arg $ resume_arg
+          $ no_trim_arg $ no_static_arg $ no_event_arg $ trace_arg $ metrics_arg)
+
+(* ---- merge ---- *)
+
+let merge_cmd =
+  let journals_arg =
+    Arg.(non_empty & pos_all file []
+           & info [] ~docv:"JOURNAL" ~doc:"Shard journal files (one per shard).")
+  in
+  let run paths =
+    let loaded =
+      List.map
+        (fun path ->
+          match Fault_injection.Journal.load path with
+          | Ok j -> j
+          | Error msg ->
+              Printf.eprintf "ricv: %s\n" msg;
+              exit 1)
+        paths
+    in
+    match Fault_injection.Journal.merge loaded with
+    | Error msg ->
+        Printf.eprintf "ricv: merge rejected: %s\n" msg;
+        exit 1
+    | Ok (fp, results) ->
+        let models =
+          List.map
+            (fun name ->
+              match Fault_injection.Journal.model_of_name name with
+              | Some m -> m
+              | None ->
+                  Printf.eprintf "ricv: unknown fault model %S in journal header\n" name;
+                  exit 1)
+            fp.Fault_injection.Journal.models
+        in
+        let summaries =
+          List.map
+            (fun model ->
+              ( model,
+                Fault_injection.Campaign.summarize
+                  (List.filter
+                     (fun r -> r.Fault_injection.Journal.model = model)
+                     results) ))
+            models
+        in
+        print_model_summaries summaries;
+        Printf.printf "merged %d shard%s: %d verdicts (workload %s, target %s, seed %d)\n"
+          (List.length paths)
+          (if List.length paths = 1 then "" else "s")
+          (List.length results) fp.Fault_injection.Journal.workload
+          fp.Fault_injection.Journal.target fp.Fault_injection.Journal.seed
+  in
+  Cmd.v
+    (Cmd.info "merge"
+       ~doc:"Merge the shard journals of one campaign (see `campaign --shard`) and \
+             print the combined per-model summaries — identical to the unsharded \
+             run's.  Journals from different campaigns, overlapping shards or \
+             incomplete shard sets are rejected with a non-zero exit.")
+    Term.(const run $ journals_arg)
 
 (* ---- lint ---- *)
 
@@ -366,4 +494,4 @@ let () =
     (Cmd.eval
        (Cmd.group ~default info
           [ list_cmd; run_iss_cmd; run_rtl_cmd; disasm_cmd; asm_cmd; campaign_cmd;
-            experiment_cmd; lint_cmd ]))
+            merge_cmd; experiment_cmd; lint_cmd ]))

@@ -87,11 +87,7 @@ let clock_mhz = 50
 
 let us_of_cycles cycles = float_of_int cycles /. float_of_int clock_mhz
 
-let target_key = function
-  | Injection.Iu -> "iu"
-  | Injection.Cmem -> "cmem"
-  | Injection.Unit_of u -> "unit:" ^ Sparc.Units.name u
-  | Injection.Prefix p -> "prefix:" ^ p
+let target_key = Injection.target_name
 
 let models_key models =
   String.concat "+" (List.map Rtl.Circuit.fault_model_name models)

@@ -73,18 +73,24 @@ let golden_run ?(obs = Obs.null) ?(coverage = false) ?(trace = false) ?checkpoin
     checkpoints = Array.of_list (List.rev !checkpoints);
     trace = tr }
 
-type failure_kind = Wrong_write of int | Missing_writes of int | Trap of int | Hang
+(* The verdict vocabulary is owned by {!Journal} (which serialises it);
+   re-exported here under its historical names. *)
+type failure_kind = Journal.failure_kind =
+  | Wrong_write of int
+  | Missing_writes of int
+  | Trap of int
+  | Hang
 
-type outcome = Silent | Failure of failure_kind
+type outcome = Journal.outcome = Silent | Failure of failure_kind
 
-type sim_status =
+type sim_status = Journal.sim_status =
   | Simulated
   | Prefiltered
   | Converged of int
   | Pruned
   | Collapsed of string
 
-type run_result = {
+type run_result = Journal.run_result = {
   site_name : string;
   model : C.fault_model;
   outcome : outcome;
@@ -336,6 +342,7 @@ type config = {
   checkpoint_every : int option;
   static : bool;
   event : bool;
+  shard : int * int;
 }
 
 let default_config =
@@ -349,7 +356,8 @@ let default_config =
     trim = true;
     checkpoint_every = None;
     static = true;
-    event = true }
+    event = true;
+    shard = (1, 1) }
 
 (* Static analysis of the netlist, shared by every injection of a
    campaign: the observation cone decides which sites are silent by
@@ -434,93 +442,242 @@ let sample_sites ~obs ~config core target =
   | Some k when k < Array.length pool -> Stats.Rng.sample_without_replacement rng k pool
   | Some _ | None -> pool
 
-let run ?(config = default_config) ?(obs = Obs.null) ?on_progress sys prog target =
-  Leon3.System.set_obs sys obs;
+(* ---- sharding, fingerprints and journal plumbing ----
+
+   A campaign is a fixed global task list: model-major over the full
+   sampled site array, exactly the sequential engine's historical
+   order.  Shard I/N executes the sites whose sample index is
+   congruent to I-1 mod N — same seed therefore gives disjoint,
+   covering shards — and a journal records each finished verdict under
+   its global site index, so kill/resume and shard/merge both
+   reassemble the unsharded run byte-identically. *)
+
+let validate_shard config =
+  let i, n = config.shard in
+  if n < 1 || i < 1 || i > n then
+    invalid_arg (Printf.sprintf "Campaign: shard index out of range: %d/%d" i n);
+  (i, n)
+
+let fingerprint ~config prog target sample =
+  { Journal.workload = prog.Sparc.Asm.name;
+    prog_hash = Journal.hash_program prog;
+    netlist_hash =
+      Journal.hash_names (Array.map (fun s -> s.Injection.site_name) sample);
+    target = Injection.target_name target;
+    models = List.map C.fault_model_name config.models;
+    sample_size = config.sample_size;
+    include_cells = config.include_cells;
+    inject_cycle = config.inject_cycle;
+    hang_factor = config.hang_factor;
+    compare_reads = config.compare_reads;
+    seed = config.seed;
+    total_sites = Array.length sample;
+    shard = config.shard }
+
+(* Returns the (optional) writer, a replay lookup keyed by
+   (model, global site index), and an idempotent close. *)
+let open_journal ~journal ~resume fp =
+  match journal with
+  | None -> (None, (fun _ ~index:_ -> None), fun () -> ())
+  | Some path ->
+      let w, entries =
+        if resume then
+          match Journal.open_resume path fp with
+          | Ok (w, entries) -> (w, entries)
+          | Error msg -> raise (Journal.Rejected msg)
+        else (Journal.create path fp, [])
+      in
+      let tbl = Hashtbl.create ((2 * List.length entries) + 1) in
+      List.iter
+        (fun e ->
+          Hashtbl.replace tbl (e.Journal.result.model, e.Journal.index) e.Journal.result)
+        entries;
+      ( Some w,
+        (fun model ~index -> Hashtbl.find_opt tbl (model, index)),
+        fun () -> Journal.close w )
+
+let replay_check ~index (site : Injection.site) r =
+  if r.site_name <> site.Injection.site_name then
+    raise
+      (Journal.Rejected
+         (Printf.sprintf "journal verdict at site %d names %S, campaign expects %S"
+            index r.site_name site.Injection.site_name))
+
+let build_tasks config sample =
+  Array.concat
+    (List.map (fun model -> Array.map (fun site -> (model, site)) sample) config.models)
+
+(* Per-task classification with globally chosen collapse leaders:
+   leaders are the first class member in global task order exactly as
+   the sequential engine always chose them, so the assignment is
+   identical for every shard and every domain count. *)
+type task_plan =
+  | T_direct
+  | T_pruned
+  | T_lead of Injection.site * C.fault_model
+  | T_follow of int  (* global task index of the class leader *)
+
+(* Everything that only exists to classify and simulate: built lazily
+   so a resume whose journal already covers the whole shard skips the
+   golden run and the static analysis entirely. *)
+type machinery = {
+  m_golden : golden;
+  m_golden_lead : golden;
+      (* prefilter bypassed for collapse-class leaders: the member
+         reached simulation, so its representative must simulate too *)
+  m_plan : C.replay_plan option;
+  m_plans : task_plan array;
+}
+
+let build_machinery ~obs ~config sys prog tasks =
   let core = Leon3.System.core sys in
   let coverage, checkpoint_every = golden_options config ~bounded_faults:false in
   let golden =
     golden_run ~obs ~coverage ~trace:config.event ?checkpoint_every sys prog
       ~max_cycles:5_000_000
   in
-  let sample = sample_sites ~obs ~config core target in
   (* one graph extraction feeds both static passes and the replay plan *)
   let graph =
     if config.static || config.event then
       Some (Analysis.Graph.build core.Leon3.Core.circuit)
     else None
   in
-  let static =
-    if config.static then Some (build_static ~obs ?graph core) else None
-  in
+  let static = if config.static then Some (build_static ~obs ?graph core) else None in
   let plan =
     match graph with
     | Some g when config.event -> Some (Analysis.Graph.replay_plan g)
     | Some _ | None -> None
   in
-  (* A collapse-class leader simulates the representative fault with
-     the prefilter bypassed: the class member reached simulation, so
-     its equivalent representative must be simulated too — otherwise
-     [skipped] would drift from the static-off campaign. *)
-  let golden_lead = { golden with coverage = None } in
-  let leaders : (C.fault_site * C.fault_model, run_result) Hashtbl.t =
-    Hashtbl.create 64
+  let plans =
+    let class_leader = Hashtbl.create 64 in
+    Array.mapi
+      (fun i (model, site) ->
+        match classify static golden site model with
+        | P_direct -> T_direct
+        | P_pruned -> T_pruned
+        | P_class ((rsite, rmodel) as key) -> (
+            match Hashtbl.find_opt class_leader key with
+            | Some j -> T_follow j
+            | None ->
+                Hashtbl.add class_leader key i;
+                T_lead ({ site with Injection.fault_site = rsite }, rmodel)))
+      tasks
   in
-  let total = Array.length sample * List.length config.models in
+  { m_golden = golden;
+    m_golden_lead = { golden with coverage = None };
+    m_plan = plan;
+    m_plans = plans }
+
+let simulate_lead ~obs ~config m sys prog tasks j =
+  match m.m_plans.(j) with
+  | T_lead (rep, rmodel) ->
+      let model, _ = tasks.(j) in
+      let r0 =
+        run_one ~obs ?plan:m.m_plan sys prog m.m_golden_lead
+          ~inject_cycle:config.inject_cycle ~hang_factor:config.hang_factor
+          ~compare_reads:config.compare_reads rep rmodel
+      in
+      { r0 with model }
+  | T_direct | T_pruned | T_follow _ ->
+      failwith "Campaign: collapse leader reclassified (internal error)"
+
+let shard_summaries config all =
+  List.map
+    (fun model -> (model, summarize (List.filter (fun r -> r.model = model) all)))
+    config.models
+
+let collect_results tasks exec_ids results =
+  Array.to_list
+    (Array.map
+       (fun ti ->
+         match results.(ti) with
+         | Some r -> r
+         | None ->
+             let model, site = tasks.(ti) in
+             failwith
+               (Printf.sprintf "Campaign: missing result for task %d (site %s, model %s)"
+                  ti site.Injection.site_name (C.fault_model_name model)))
+       exec_ids)
+
+let run ?(config = default_config) ?(obs = Obs.null) ?on_progress ?journal
+    ?(resume = false) sys prog target =
+  let shard_i, shard_n = validate_shard config in
+  Leon3.System.set_obs sys obs;
+  let core = Leon3.System.core sys in
+  let sample = sample_sites ~obs ~config core target in
+  let fp = fingerprint ~config prog target sample in
+  let writer, lookup, close_journal = open_journal ~journal ~resume fp in
+  Fun.protect ~finally:close_journal @@ fun () ->
+  let nsites = Array.length sample in
+  let tasks = build_tasks config sample in
+  let exec_ids =
+    let ids = ref [] in
+    Array.iteri
+      (fun ti _ -> if ti mod nsites mod shard_n = shard_i - 1 then ids := ti :: !ids)
+      tasks;
+    Array.of_list (List.rev !ids)
+  in
+  let machinery = lazy (build_machinery ~obs ~config sys prog tasks) in
+  let results = Array.make (Array.length tasks) None in
+  let orphans = Hashtbl.create 8 in
+  let total = Array.length exec_ids in
   let done_ = ref 0 in
-  let per_model =
-    List.map
-      (fun model ->
-        let results =
-          Array.to_list
-            (Array.map
-               (fun (site : Injection.site) ->
-                 let r =
-                   match classify static golden site model with
-                   | P_direct ->
-                       run_one ~obs ?plan sys prog golden
-                         ~inject_cycle:config.inject_cycle
-                         ~hang_factor:config.hang_factor
-                         ~compare_reads:config.compare_reads site model
-                   | P_pruned ->
-                       let r =
-                         pruned_result ~inject_cycle:config.inject_cycle site model
-                       in
-                       record_static obs golden r;
-                       r
-                   | P_class ((rsite, rmodel) as key) -> (
-                       match Hashtbl.find_opt leaders key with
-                       | Some lead ->
-                           let r =
-                             follower_result ~inject_cycle:config.inject_cycle site
-                               model lead
-                           in
-                           record_static obs golden r;
-                           r
-                       | None ->
-                           let rep = { site with Injection.fault_site = rsite } in
-                           let r0 =
-                             run_one ~obs ?plan sys prog golden_lead
-                               ~inject_cycle:config.inject_cycle
-                               ~hang_factor:config.hang_factor
-                               ~compare_reads:config.compare_reads rep rmodel
-                           in
-                           let r = { r0 with model } in
-                           Hashtbl.add leaders key r;
-                           r)
-                 in
-                 incr done_;
-                 (match on_progress with
-                 | Some f -> f ~done_:!done_ ~total
-                 | None -> ());
-                 r)
-               sample)
-        in
-        (model, summarize results, results))
-      config.models
+  let progress () =
+    incr done_;
+    match on_progress with Some f -> f ~done_:!done_ ~total | None -> ()
   in
+  Array.iter
+    (fun ti ->
+      let model, site = tasks.(ti) in
+      let index = ti mod nsites in
+      let r =
+        match lookup model ~index with
+        | Some r ->
+            replay_check ~index site r;
+            Obs.incr obs "journal.replayed";
+            r
+        | None ->
+            let m = Lazy.force machinery in
+            let r =
+              match m.m_plans.(ti) with
+              | T_direct ->
+                  run_one ~obs ?plan:m.m_plan sys prog m.m_golden
+                    ~inject_cycle:config.inject_cycle ~hang_factor:config.hang_factor
+                    ~compare_reads:config.compare_reads site model
+              | T_pruned ->
+                  let r = pruned_result ~inject_cycle:config.inject_cycle site model in
+                  record_static obs m.m_golden r;
+                  r
+              | T_lead _ -> simulate_lead ~obs ~config m sys prog tasks ti
+              | T_follow j ->
+                  let lead =
+                    match results.(j) with
+                    | Some lead -> lead
+                    | None -> (
+                        (* the leader's member belongs to another shard:
+                           simulate its representative once, locally *)
+                        match Hashtbl.find_opt orphans j with
+                        | Some lead -> lead
+                        | None ->
+                            let lead = simulate_lead ~obs ~config m sys prog tasks j in
+                            Hashtbl.add orphans j lead;
+                            lead)
+                  in
+                  let r =
+                    follower_result ~inject_cycle:config.inject_cycle site model lead
+                  in
+                  record_static obs m.m_golden r;
+                  r
+            in
+            (match writer with Some w -> Journal.append w ~index r | None -> ());
+            r
+      in
+      results.(ti) <- Some r;
+      progress ())
+    exec_ids;
   Leon3.System.set_obs sys Obs.null;
-  ( List.map (fun (model, summary, _) -> (model, summary)) per_model,
-    List.concat_map (fun (_, _, results) -> results) per_model )
+  let all = collect_results tasks exec_ids results in
+  (shard_summaries config all, all)
 
 let pf_percent s = 100. *. s.pf
 
@@ -533,142 +690,167 @@ let pf_percent s = 100. *. s.pf
    fixed up front, so results are identical to the sequential
    engine's. *)
 let run_parallel ?(config = default_config) ?(obs = Obs.null) ?(domains = 4)
-    ?on_progress sys_factory prog target =
+    ?on_progress ?journal ?(resume = false) sys_factory prog target =
+  let shard_i, shard_n = validate_shard config in
+  let domains = max 1 domains in
   let scratch = sys_factory () in
   Leon3.System.set_obs scratch obs;
-  let coverage, checkpoint_every = golden_options config ~bounded_faults:false in
-  let golden =
-    golden_run ~obs ~coverage ~trace:config.event ?checkpoint_every scratch prog
-      ~max_cycles:5_000_000
-  in
   let sample = sample_sites ~obs ~config (Leon3.System.core scratch) target in
-  (* graph, plan and trace are immutable after construction, so all
-     domains share them read-only *)
-  let graph =
-    if config.static || config.event then
-      Some (Analysis.Graph.build (Leon3.System.core scratch).Leon3.Core.circuit)
-    else None
+  let fp = fingerprint ~config prog target sample in
+  let writer, lookup, close_journal = open_journal ~journal ~resume fp in
+  Fun.protect ~finally:close_journal @@ fun () ->
+  let nsites = Array.length sample in
+  let tasks = build_tasks config sample in
+  let exec_ids =
+    let ids = ref [] in
+    Array.iteri
+      (fun ti _ -> if ti mod nsites mod shard_n = shard_i - 1 then ids := ti :: !ids)
+      tasks;
+    Array.of_list (List.rev !ids)
   in
-  let static =
-    if config.static then Some (build_static ~obs ?graph (Leon3.System.core scratch))
-    else None
-  in
-  let plan =
-    match graph with
-    | Some g when config.event -> Some (Analysis.Graph.replay_plan g)
-    | Some _ | None -> None
-  in
-  let golden_lead = { golden with coverage = None } in
-  let tasks =
-    Array.concat
-      (List.map (fun model -> Array.map (fun site -> (model, site)) sample) config.models)
-  in
-  let n = Array.length tasks in
-  (* Deterministic pre-classification: leaders are chosen by task
-     order exactly as the sequential engine does, so workers can skip
-     collapse followers and the post-join fill replicates the same
-     results regardless of domain count. *)
-  let plans =
-    let class_leader = Hashtbl.create 64 in
-    Array.mapi
-      (fun i (model, site) ->
-        match classify static golden site model with
-        | P_direct -> `Direct
-        | P_pruned -> `Pruned
-        | P_class ((rsite, rmodel) as key) -> (
-            match Hashtbl.find_opt class_leader key with
-            | Some j -> `Follow j
-            | None ->
-                Hashtbl.add class_leader key i;
-                `Lead ({ site with Injection.fault_site = rsite }, rmodel)))
-      tasks
-  in
-  let results = Array.make n None in
-  let next = Atomic.make 0 in
+  let results = Array.make (Array.length tasks) None in
+  let total = Array.length exec_ids in
   let completed = Atomic.make 0 in
   let progress () =
     match on_progress with
-    | Some f -> f ~done_:(Atomic.fetch_and_add completed 1 + 1) ~total:n
+    | Some f -> f ~done_:(Atomic.fetch_and_add completed 1 + 1) ~total
     | None -> ()
   in
-  (* Every worker (the scratch domain included) aggregates into a
-     private fork, so the hot path never contends; the forks merge
-     into [obs] in spawn order at join, which keeps totals
-     deterministic for any domain count. *)
-  let worker sys fork =
-    Leon3.System.set_obs sys fork;
-    let rec go () =
-      let idx = Atomic.fetch_and_add next 1 in
-      if idx < n then begin
-        let model, site = tasks.(idx) in
-        (match plans.(idx) with
-        | `Follow _ -> ()  (* replicated from its leader after the join *)
-        | `Pruned ->
-            let r = pruned_result ~inject_cycle:config.inject_cycle site model in
-            record_static fork golden r;
-            results.(idx) <- Some r;
-            progress ()
-        | `Direct ->
-            results.(idx) <-
-              Some
-                (run_one ~obs:fork ?plan sys prog golden
-                   ~inject_cycle:config.inject_cycle ~hang_factor:config.hang_factor
-                   ~compare_reads:config.compare_reads site model);
-            progress ()
-        | `Lead (rep, rmodel) ->
-            let r0 =
-              run_one ~obs:fork ?plan sys prog golden_lead
-                ~inject_cycle:config.inject_cycle ~hang_factor:config.hang_factor
-                ~compare_reads:config.compare_reads rep rmodel
-            in
-            results.(idx) <- Some { r0 with model };
-            progress ());
-        go ()
-      end
-    in
-    go ()
+  let journal_append ~index r =
+    match writer with Some w -> Journal.append w ~index r | None -> ()
   in
-  let domains = max 1 domains in
-  let forks = Array.init domains (fun _ -> Obs.fork obs) in
-  let spawned =
-    List.init (domains - 1) (fun i ->
-        Domain.spawn (fun () -> worker (sys_factory ()) forks.(i + 1)))
-  in
-  worker scratch forks.(0);
-  List.iter Domain.join spawned;
-  Array.iter (fun fork -> Obs.merge ~into:obs fork) forks;
-  (* Collapse followers copy their leader's verdict; leaders always
-     precede followers in task order, so their results exist. *)
-  Array.iteri
-    (fun i plan ->
-      match plan with
-      | `Follow j ->
-          let lead =
-            match results.(j) with
-            | Some r -> r
-            | None -> failwith "run_parallel: missing leader result"
-          in
-          let model, site = tasks.(i) in
-          let r = follower_result ~inject_cycle:config.inject_cycle site model lead in
-          record_static obs golden r;
-          results.(i) <- Some r;
+  (* Journaled verdicts replay before any domain spawns, so their
+     result slots are read-only by the time workers run. *)
+  Array.iter
+    (fun ti ->
+      let model, site = tasks.(ti) in
+      let index = ti mod nsites in
+      match lookup model ~index with
+      | Some r ->
+          replay_check ~index site r;
+          Obs.incr obs "journal.replayed";
+          results.(ti) <- Some r;
           progress ()
-      | `Direct | `Pruned | `Lead _ -> ())
-    plans;
+      | None -> ())
+    exec_ids;
+  let needs_sim = Array.exists (fun ti -> results.(ti) = None) exec_ids in
+  (if needs_sim then begin
+     (* graph, plan and trace are immutable after construction, so all
+        domains share them read-only *)
+     let m = build_machinery ~obs ~config scratch prog tasks in
+     let todo =
+       Array.of_list
+         (List.filter
+            (fun ti ->
+              results.(ti) = None
+              && match m.m_plans.(ti) with T_follow _ -> false | _ -> true)
+            (Array.to_list exec_ids))
+     in
+     let next = Atomic.make 0 in
+     let aborted = Atomic.make false in
+     let errors = Array.make domains None in
+     let process sys fork ti =
+       let model, site = tasks.(ti) in
+       let r =
+         match m.m_plans.(ti) with
+         | T_pruned ->
+             let r = pruned_result ~inject_cycle:config.inject_cycle site model in
+             record_static fork m.m_golden r;
+             r
+         | T_direct ->
+             run_one ~obs:fork ?plan:m.m_plan sys prog m.m_golden
+               ~inject_cycle:config.inject_cycle ~hang_factor:config.hang_factor
+               ~compare_reads:config.compare_reads site model
+         | T_lead _ -> simulate_lead ~obs:fork ~config m sys prog tasks ti
+         | T_follow _ -> assert false (* filtered out of [todo] *)
+       in
+       journal_append ~index:(ti mod nsites) r;
+       results.(ti) <- Some r;
+       progress ()
+     in
+     (* Every worker (the scratch domain included) aggregates into a
+        private fork, so the hot path never contends; the forks merge
+        into [obs] in spawn order at join, which keeps totals
+        deterministic for any domain count.  A worker that raises
+        records the exception and flips [aborted] so its peers stop at
+        the next task boundary instead of burning through the queue. *)
+     let worker wi sys fork =
+       Leon3.System.set_obs sys fork;
+       let rec go () =
+         if not (Atomic.get aborted) then begin
+           let k = Atomic.fetch_and_add next 1 in
+           if k < Array.length todo then begin
+             process sys fork todo.(k);
+             go ()
+           end
+         end
+       in
+       try go ()
+       with e ->
+         errors.(wi) <- Some (e, Printexc.get_raw_backtrace ());
+         Atomic.set aborted true
+     in
+     let forks = Array.init domains (fun _ -> Obs.fork obs) in
+     let spawned =
+       List.init (domains - 1) (fun i ->
+           Domain.spawn (fun () -> worker (i + 1) (sys_factory ()) forks.(i + 1)))
+     in
+     worker 0 scratch forks.(0);
+     List.iter Domain.join spawned;
+     Array.iter (fun fork -> Obs.merge ~into:obs fork) forks;
+     (* A failed worker re-raises its original exception, with its
+        backtrace, after every domain has joined and its fork has been
+        merged — nothing is masked behind a missing-result failure, and
+        every verdict classified before the abort is already
+        journaled. *)
+     Array.iter
+       (function
+         | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+         | None -> ())
+       errors;
+     (* Collapse followers copy their leader's verdict; leaders always
+        precede followers in task order, so in-shard leaders are
+        already filled, and a leader whose member sits in another
+        shard is simulated once here, on the scratch system. *)
+     Leon3.System.set_obs scratch obs;
+     let orphans = Hashtbl.create 8 in
+     Array.iter
+       (fun ti ->
+         match m.m_plans.(ti) with
+         | T_follow j when results.(ti) = None ->
+             let lead =
+               match results.(j) with
+               | Some lead -> lead
+               | None -> (
+                   match Hashtbl.find_opt orphans j with
+                   | Some lead -> lead
+                   | None ->
+                       (match m.m_plans.(j) with
+                       | T_lead _ -> ()
+                       | T_direct | T_pruned | T_follow _ ->
+                           let lmodel, lsite = tasks.(j) in
+                           failwith
+                             (Printf.sprintf
+                                "run_parallel: missing leader result for task %d \
+                                 (site %s, model %s)"
+                                j lsite.Injection.site_name
+                                (C.fault_model_name lmodel)));
+                       let lead = simulate_lead ~obs ~config m scratch prog tasks j in
+                       Hashtbl.add orphans j lead;
+                       lead)
+             in
+             let model, site = tasks.(ti) in
+             let r = follower_result ~inject_cycle:config.inject_cycle site model lead in
+             record_static obs m.m_golden r;
+             journal_append ~index:(ti mod nsites) r;
+             results.(ti) <- Some r;
+             progress ()
+         | T_follow _ | T_direct | T_pruned | T_lead _ -> ())
+       exec_ids
+   end);
   Leon3.System.set_obs scratch Obs.null;
-  let all =
-    Array.to_list
-      (Array.map
-         (function Some r -> r | None -> failwith "run_parallel: missing result")
-         results)
-  in
-  let summaries =
-    List.map
-      (fun model ->
-        (model, summarize (List.filter (fun r -> r.model = model) all)))
-      config.models
-  in
-  (summaries, all)
+  let all = collect_results tasks exec_ids results in
+  (shard_summaries config all, all)
 
 (* Transient study (the paper's stated future work): single-event
    upsets — one-cycle bit inversions at uniformly random instants of

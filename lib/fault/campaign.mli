@@ -72,15 +72,19 @@ val golden_run :
     traps or hits the cycle limit (the workload is broken, not the
     hardware). *)
 
-type failure_kind =
+(** Verdict types live in {!Journal} (the persistence layer cannot
+    depend on this module); they are re-exported here so existing
+    [Campaign.Silent]-style code keeps compiling. *)
+
+type failure_kind = Journal.failure_kind =
   | Wrong_write of int  (** index of the first divergent write *)
   | Missing_writes of int  (** clean exit but only this many writes matched *)
   | Trap of int  (** core trapped; payload is the trap code *)
   | Hang  (** watchdog: cycle budget exhausted *)
 
-type outcome = Silent | Failure of failure_kind
+type outcome = Journal.outcome = Silent | Failure of failure_kind
 
-type sim_status =
+type sim_status = Journal.sim_status =
   | Simulated  (** the faulty run was executed (possibly from a checkpoint) *)
   | Prefiltered  (** provably never activates; no simulation at all *)
   | Converged of int
@@ -93,7 +97,7 @@ type sim_status =
       (** structurally equivalent to the named leader site's fault;
           verdict replicated from its run, no simulation *)
 
-type run_result = {
+type run_result = Journal.run_result = {
   site_name : string;
   model : C.fault_model;
   outcome : outcome;
@@ -175,12 +179,32 @@ type config = {
           order: prefilter → cone prune → collapse → differential
           simulate).  Exact — verdicts, summaries and latencies are
           byte-identical with it on or off *)
+  shard : int * int;
+      (** [(i, n)]: execute only the sites whose sample index is
+          congruent to [i-1 mod n] (1-based, default [(1, 1)] = all).
+          Shards of the same seeded campaign are disjoint and
+          covering, and — because collapse leaders are chosen over the
+          global task list — the union of the [n] shards' verdicts is
+          byte-identical to the unsharded run's.  Out-of-range values
+          raise [Invalid_argument]. *)
 }
 
 val default_config : config
 (** Stuck-at-0/1 + open-line, 400-site sample, cells included,
     injection at cycle 0, watchdog 4x, writes-only compare, seed 7,
-    trimming, static analysis and differential simulation on. *)
+    trimming, static analysis and differential simulation on, shard
+    1/1. *)
+
+val fingerprint :
+  config:config ->
+  Sparc.Asm.program ->
+  Injection.target ->
+  Injection.site array ->
+  Journal.fingerprint
+(** The identity a journal is bound to: workload + program hash,
+    sampled-site-name hash (which pins netlist, target, seed, sample
+    size and cell inclusion), the classification-relevant config flags
+    and the shard.  Exposed for merge tooling and tests. *)
 
 type static_info = {
   cone : Analysis.Graph.cone;  (** backward cone of the observation points *)
@@ -199,13 +223,26 @@ val run :
   ?config:config ->
   ?obs:Obs.t ->
   ?on_progress:(done_:int -> total:int -> unit) ->
+  ?journal:string ->
+  ?resume:bool ->
   Leon3.System.t ->
   Sparc.Asm.program ->
   Injection.target ->
   (C.fault_model * summary) list * run_result list
 (** Full campaign for one workload and one target block: golden run,
-    site sampling, every model over the same sampled sites.  Returns
-    per-model summaries plus every individual result. *)
+    site sampling, every model over the same sampled sites (restricted
+    to [config.shard]).  Returns per-model summaries plus every
+    individual result, in model-major task order.
+
+    [journal] appends every classified verdict to a crash-safe JSONL
+    file ({!Journal}), fsync'd in batches, headed by the campaign
+    fingerprint.  With [resume] (requires [journal]) an existing
+    journal is validated against the fingerprint — mismatch raises
+    {!Journal.Rejected} — and its verdicts are replayed byte-identically
+    into the results instead of being re-simulated (counted on [obs] as
+    [journal.replayed]); only the remainder is executed and appended.
+    If every verdict is already journaled, the golden run and static
+    analysis are skipped entirely. *)
 
 val pf_percent : summary -> float
 (** [100 * pf], as the paper's figures report. *)
@@ -215,6 +252,8 @@ val run_parallel :
   ?obs:Obs.t ->
   ?domains:int ->
   ?on_progress:(done_:int -> total:int -> unit) ->
+  ?journal:string ->
+  ?resume:bool ->
   (unit -> Leon3.System.t) ->
   Sparc.Asm.program ->
   Injection.target ->
@@ -222,11 +261,16 @@ val run_parallel :
 (** Like {!run}, sharded over [domains] OCaml domains (default 4).
     The factory is called once per domain to build a private RTL
     system; golden coverage and checkpoints are shared read-only, and
-    results are bit-identical to the sequential engine's.
-    [on_progress] is invoked after every completed injection with an
-    atomically increasing [done_] (callers must tolerate concurrent
-    invocation from worker domains); the final call reports
-    [done_ = total], the same total {!run} reports. *)
+    results are bit-identical to the sequential engine's — including
+    under [config.shard], [journal] and [resume], which behave exactly
+    as in {!run}.  [on_progress] is invoked after every completed
+    injection with an atomically increasing [done_] (callers must
+    tolerate concurrent invocation from worker domains); the final
+    call reports [done_ = total], the shard's task count.  A worker
+    domain that raises aborts its peers at the next task boundary and,
+    after every domain has joined and its telemetry fork merged, the
+    original exception is re-raised with the worker's backtrace;
+    verdicts classified before the abort are already journaled. *)
 
 val run_transient :
   ?sample:int ->

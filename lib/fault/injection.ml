@@ -5,6 +5,12 @@ type site = { fault_site : C.fault_site; site_name : string }
 
 type target = Iu | Cmem | Unit_of of Units.t | Prefix of string
 
+let target_name = function
+  | Iu -> "iu"
+  | Cmem -> "cmem"
+  | Unit_of u -> "unit:" ^ Units.name u
+  | Prefix p -> "prefix:" ^ p
+
 let prefix_of_unit : Units.t -> string = function
   | Fetch -> "iu.fe."
   | Decode -> "iu.de."

@@ -19,6 +19,10 @@ type target =
   | Unit_of of Sparc.Units.t  (** a single functional unit's nodes *)
   | Prefix of string  (** raw hierarchical prefix, signals only *)
 
+val target_name : target -> string
+(** Stable textual key for a target ("iu", "cmem", "unit:<name>",
+    "prefix:<p>") — used in campaign fingerprints and memo keys. *)
+
 val prefix_of_unit : Sparc.Units.t -> string
 (** Hierarchical prefix of a functional unit in the Leon3 netlist. *)
 

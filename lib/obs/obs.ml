@@ -230,6 +230,16 @@ module Json = struct
   let member key = function
     | Obj fields -> List.assoc_opt key fields
     | Null | Bool _ | Int _ | Float _ | Str _ | List _ -> None
+
+  (* Shape accessors for consumers of parsed values (trace validation,
+     the campaign journal): total, no coercions. *)
+  let to_int = function Int i -> Some i | _ -> None
+
+  let to_str = function Str s -> Some s | _ -> None
+
+  let to_bool = function Bool b -> Some b | _ -> None
+
+  let to_list = function List xs -> Some xs | _ -> None
 end
 
 type hist = { count : int; sum : float; min : float; max : float }

@@ -38,6 +38,15 @@ module Json : sig
 
   val member : string -> t -> t option
   (** Field lookup in an [Obj]; [None] otherwise. *)
+
+  val to_int : t -> int option
+  (** [Some i] exactly for [Int i] — no coercion from [Float]. *)
+
+  val to_str : t -> string option
+
+  val to_bool : t -> bool option
+
+  val to_list : t -> t list option
 end
 
 (** {1 Collectors} *)

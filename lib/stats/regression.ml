@@ -23,17 +23,20 @@ let linear points =
         acc +. (e *. e))
       0. points
   in
-  let r_squared = if ss_tot < 1e-12 then 1. else 1. -. (ss_res /. ss_tot) in
+  (* A constant y has no variance to explain: the fit predicts it
+     trivially, which is 0% explanatory power, not 100%. *)
+  let r_squared = if ss_tot < 1e-12 then 0. else 1. -. (ss_res /. ss_tot) in
   { slope; intercept; r_squared; n }
 
 let log_fit points =
+  (* Non-positive x has no logarithm: drop those points rather than
+     poisoning the fit with -inf/nan.  Fewer than two usable points is
+     still the caller's error. *)
   let log_points =
-    List.map
-      (fun (x, y) ->
-        if x <= 0. then invalid_arg "Regression.log_fit: x must be positive";
-        (log x, y))
-      points
+    List.filter_map (fun (x, y) -> if x > 0. then Some (log x, y) else None) points
   in
+  if List.length log_points < 2 then
+    invalid_arg "Regression.log_fit: x must be positive";
   linear log_points
 
 let predict fit x = (fit.slope *. x) +. fit.intercept

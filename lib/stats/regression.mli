@@ -11,11 +11,14 @@ type fit = {
 val linear : (float * float) list -> fit
 (** [linear points] fits [y = slope * x + intercept] by ordinary least
     squares.  Raises [Invalid_argument] with fewer than two distinct
-    x-values. *)
+    x-values.  A degenerate fit (constant [y], no variance to explain)
+    reports [r_squared = 0.], not [1.]. *)
 
 val log_fit : (float * float) list -> fit
-(** [log_fit points] fits [y = slope * ln x + intercept]; every [x] must
-    be positive. *)
+(** [log_fit points] fits [y = slope * ln x + intercept].  Points with
+    non-positive [x] are dropped before fitting; raises
+    [Invalid_argument] when fewer than two positive-[x] points
+    remain. *)
 
 val predict : fit -> float -> float
 (** [predict fit x] evaluates a {!linear} fit at [x]. *)

@@ -17,8 +17,13 @@ let percentile xs p =
   let n = Array.length xs in
   if n = 0 then invalid_arg "Summary.percentile: empty sample";
   if p < 0. || p > 100. then invalid_arg "Summary.percentile: p out of range";
+  if Array.exists Float.is_nan xs then
+    invalid_arg "Summary.percentile: NaN in sample";
   let sorted = Array.copy xs in
-  Array.sort compare sorted;
+  (* Float.compare, not polymorphic compare: the latter is both slower
+     and orders boxed floats through an unspecified total order on
+     NaN. *)
+  Array.sort Float.compare sorted;
   let rank = p /. 100. *. float_of_int (n - 1) in
   let lo = int_of_float (floor rank) in
   let hi = int_of_float (ceil rank) in

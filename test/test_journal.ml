@@ -1,0 +1,331 @@
+(* Tests for the persistent campaign journal: round-trip, crash
+   resume, fingerprint binding and shard merging. *)
+
+module A = Sparc.Asm
+module I = Sparc.Isa
+module C = Rtl.Circuit
+module Campaign = Fault_injection.Campaign
+module Injection = Fault_injection.Injection
+module Journal = Fault_injection.Journal
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let shared_sys = lazy (Leon3.System.create ())
+
+let small_prog =
+  lazy
+    (let b = A.create ~name:"small" () in
+     A.prologue b;
+     A.mov b (Imm 0) I.o0;
+     A.mov b (Imm 0) I.o1;
+     A.label b "loop";
+     A.op3 b I.Add I.o0 (Reg I.o1) I.o0;
+     A.op3 b I.Add I.o1 (Imm 1) I.o1;
+     A.cmp b I.o1 (Imm 8);
+     A.branch b I.Bne "loop";
+     A.set32 b Sparc.Layout.result_base I.o2;
+     A.st b I.St I.o0 I.o2 (Imm 0);
+     A.halt b I.o0;
+     A.assemble b)
+
+let temp_journal () =
+  let path = Filename.temp_file "ricv_journal" ".jsonl" in
+  Sys.remove path;
+  path
+
+let with_journal f =
+  let path = temp_journal () in
+  Fun.protect ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () -> f path)
+
+let config ?(shard = (1, 1)) ?(models = [ C.Stuck_at_1; C.Open_line ]) () =
+  { Campaign.default_config with Campaign.models; sample_size = Some 30; shard }
+
+(* Verdicts must survive the journal byte-identically: every field,
+   the sim status included. *)
+let full_verdict (r : Campaign.run_result) =
+  (r.Campaign.site_name, r.Campaign.model, r.Campaign.outcome, r.Campaign.detect_cycle,
+   r.Campaign.inject_cycle, r.Campaign.sim)
+
+let sample_fingerprint ?(shard = (1, 1)) () =
+  { Journal.workload = "unit-test";
+    prog_hash = 0x1234;
+    netlist_hash = 0x5678;
+    target = "iu";
+    models = [ "stuck-at-1"; "open-line" ];
+    sample_size = Some 30;
+    include_cells = true;
+    inject_cycle = 0;
+    hang_factor = 4;
+    compare_reads = false;
+    seed = 7;
+    total_sites = 30;
+    shard }
+
+(* ---- record round-trip ---- *)
+
+let test_roundtrip () =
+  with_journal @@ fun path ->
+  let fp = sample_fingerprint () in
+  let mk site_name model outcome detect_cycle sim =
+    { Journal.site_name; model; outcome; detect_cycle; inject_cycle = 0; sim }
+  in
+  (* one verdict per outcome/sim constructor *)
+  let results =
+    [ (0, mk "a[0]" C.Stuck_at_1 Journal.Silent None Journal.Simulated);
+      (1, mk "b[1]" C.Open_line (Journal.Failure (Journal.Wrong_write 3)) (Some 41)
+           Journal.Prefiltered);
+      (2, mk "c[2]" C.Stuck_at_0 (Journal.Failure (Journal.Missing_writes 2)) None
+           (Journal.Converged 512));
+      (3, mk "d[3]" C.Bit_flip (Journal.Failure (Journal.Trap 9)) (Some 5) Journal.Pruned);
+      (4, mk "e[4]" C.Stuck_at_1 (Journal.Failure Journal.Hang) (Some 999)
+           (Journal.Collapsed "leader[7]")) ]
+  in
+  let w = Journal.create ~fsync_every:2 path fp in
+  List.iter (fun (index, r) -> Journal.append w ~index r) results;
+  Journal.close w;
+  Journal.close w;
+  (* idempotent *)
+  match Journal.load path with
+  | Error msg -> Alcotest.fail msg
+  | Ok (fp', entries) ->
+      check_bool "fingerprint round-trips" true (Journal.full_mismatch fp fp' = None);
+      check_int "entry count" (List.length results) (List.length entries);
+      List.iter2
+        (fun (index, r) e ->
+          check_int "index" index e.Journal.index;
+          check_bool ("verdict " ^ r.Journal.site_name) true
+            (full_verdict e.Journal.result = full_verdict r))
+        results entries
+
+let test_torn_tail_dropped () =
+  with_journal @@ fun path ->
+  let fp = sample_fingerprint () in
+  let w = Journal.create path fp in
+  Journal.append w ~index:0
+    { Journal.site_name = "a[0]"; model = C.Stuck_at_1; outcome = Journal.Silent;
+      detect_cycle = None; inject_cycle = 0; sim = Journal.Simulated };
+  Journal.close w;
+  (* crash mid-append: an unterminated, truncated record at the tail *)
+  let oc = open_out_gen [ Open_append ] 0o644 path in
+  output_string oc {|{"type":"verdict","i":1,"site":"b[|};
+  close_out oc;
+  (match Journal.load path with
+  | Error msg -> Alcotest.fail msg
+  | Ok (_, entries) -> check_int "torn tail dropped" 1 (List.length entries));
+  (* the same garbage in the middle of the file is corruption, not a crash *)
+  let oc = open_out_gen [ Open_append ] 0o644 path in
+  output_string oc "\n{\"type\":\"verdict\",\"i\":2}\n";
+  close_out oc;
+  check_bool "garbage mid-file rejected" true
+    (match Journal.load path with Ok _ -> false | Error _ -> true)
+
+let test_fingerprint_mismatch () =
+  with_journal @@ fun path ->
+  let fp = sample_fingerprint () in
+  let w = Journal.create path fp in
+  Journal.close w;
+  let stale = { fp with Journal.seed = 8 } in
+  (match Journal.open_resume path stale with
+  | Ok _ -> Alcotest.fail "stale journal accepted"
+  | Error msg ->
+      check_bool ("mismatch names the field: " ^ msg) true
+        (String.length msg > 0
+        &&
+        let lower = String.lowercase_ascii msg in
+        let has needle =
+          let nl = String.length needle and ll = String.length lower in
+          let rec go i = i + nl <= ll && (String.sub lower i nl = needle || go (i + 1)) in
+          go 0
+        in
+        has "seed"));
+  (* shard spec is part of the resume identity *)
+  let other_shard = { fp with Journal.shard = (2, 4) } in
+  check_bool "shard mismatch rejected" true
+    (match Journal.open_resume path other_shard with Ok _ -> false | Error _ -> true);
+  (* but not of the merge identity *)
+  check_bool "base identity ignores shard" true
+    (Journal.base_mismatch fp other_shard = None)
+
+(* ---- campaign integration ---- *)
+
+let direct_run ?shard ?journal ?(resume = false) ?obs () =
+  let sys = Lazy.force shared_sys in
+  Campaign.run ~config:(config ?shard ()) ?obs ?journal ~resume sys
+    (Lazy.force small_prog) Injection.Iu
+
+let test_campaign_journal_resume () =
+  let summaries0, results0 = direct_run () in
+  with_journal @@ fun path ->
+  (* full journaled run, then truncate to simulate a kill: header,
+     half the verdicts, and a torn tail *)
+  let _ = direct_run ~journal:path () in
+  let lines = In_channel.with_open_text path In_channel.input_lines in
+  check_int "journal holds every verdict" (1 + List.length results0) (List.length lines);
+  let keep = 1 + (List.length results0 / 2) in
+  let oc = open_out path in
+  List.iteri (fun i l -> if i < keep then (output_string oc l; output_char oc '\n')) lines;
+  output_string oc {|{"type":"verdict","i":99,"site":"torn|};
+  close_out oc;
+  let obs = Obs.create () in
+  let summaries1, results1 = direct_run ~journal:path ~resume:true ~obs () in
+  check_int "replayed the surviving verdicts" (keep - 1)
+    (Obs.counter obs "journal.replayed");
+  check_int "result count" (List.length results0) (List.length results1);
+  List.iter2
+    (fun r0 r1 ->
+      check_bool ("verdict " ^ r0.Campaign.site_name) true
+        (full_verdict r0 = full_verdict r1))
+    results0 results1;
+  List.iter2
+    (fun (m0, s0) (m1, s1) ->
+      check_bool "model order" true (m0 = m1);
+      check_bool "summaries identical" true (s0 = s1))
+    summaries0 summaries1;
+  (* the resumed journal is complete: resuming again replays everything
+     and never builds the golden run *)
+  let obs2 = Obs.create () in
+  let _, results2 = direct_run ~journal:path ~resume:true ~obs:obs2 () in
+  check_int "everything replayed" (List.length results0)
+    (Obs.counter obs2 "journal.replayed");
+  check_int "no golden run on a complete journal" 0 (Obs.span_count obs2 "golden");
+  List.iter2
+    (fun r0 r2 -> check_bool "stable" true (full_verdict r0 = full_verdict r2))
+    results0 results2
+
+let test_campaign_rejects_stale_journal () =
+  with_journal @@ fun path ->
+  let _ = direct_run ~journal:path () in
+  (* same journal, different workload: must refuse to resume *)
+  let b = A.create ~name:"other" () in
+  A.prologue b;
+  A.mov b (Imm 3) I.o0;
+  A.set32 b Sparc.Layout.result_base I.o2;
+  A.st b I.St I.o0 I.o2 (Imm 0);
+  A.halt b I.o0;
+  let other = A.assemble b in
+  let sys = Lazy.force shared_sys in
+  check_bool "stale journal raises Rejected" true
+    (match Campaign.run ~config:(config ()) ~journal:path ~resume:true sys other Injection.Iu with
+    | _ -> false
+    | exception Journal.Rejected _ -> true);
+  (* without --resume an existing journal is simply overwritten *)
+  let summaries, _ = Campaign.run ~config:(config ()) ~journal:path sys other Injection.Iu in
+  check_bool "fresh run overwrites" true (summaries <> [])
+
+let test_shard_merge_equals_direct () =
+  let _, results0 = direct_run () in
+  let summaries0, _ = direct_run () in
+  let n = 4 in
+  let journals =
+    List.init n (fun k ->
+        let path = temp_journal () in
+        let _ = direct_run ~shard:(k + 1, n) ~journal:path () in
+        path)
+  in
+  Fun.protect ~finally:(fun () -> List.iter Sys.remove journals) @@ fun () ->
+  let loaded =
+    List.map
+      (fun p -> match Journal.load p with Ok j -> j | Error m -> Alcotest.fail m)
+      journals
+  in
+  (* shards are disjoint and covering *)
+  let sizes = List.map (fun (_, es) -> List.length es) loaded in
+  check_int "shard verdicts cover the campaign" (List.length results0)
+    (List.fold_left ( + ) 0 sizes);
+  match Journal.merge loaded with
+  | Error msg -> Alcotest.fail msg
+  | Ok (fp, merged) ->
+      check_bool "merged fingerprint is unsharded" true (fp.Journal.shard = (1, 1));
+      check_int "merged count" (List.length results0) (List.length merged);
+      (* byte-identical to the direct run, order included *)
+      List.iter2
+        (fun r0 rm ->
+          check_bool ("merged verdict " ^ r0.Campaign.site_name) true
+            (full_verdict r0 = full_verdict rm))
+        results0 merged;
+      let models = List.filter_map Journal.model_of_name fp.Journal.models in
+      check_int "models survive the header" 2 (List.length models);
+      List.iter2
+        (fun (m0, s0) m ->
+          check_bool "model order" true (m0 = m);
+          let s =
+            Campaign.summarize (List.filter (fun r -> r.Journal.model = m) merged)
+          in
+          check_bool "merged summary equals direct" true (s = s0))
+        summaries0 models;
+      (* merging a duplicated shard or an incomplete set is rejected *)
+      let shard1 = List.nth loaded 0 in
+      check_bool "duplicate shard rejected" true
+        (match Journal.merge [ shard1; shard1 ] with Ok _ -> false | Error _ -> true);
+      check_bool "incomplete set rejected" true
+        (match Journal.merge [ shard1 ] with Ok _ -> false | Error _ -> true)
+
+let test_sharded_parallel_engine () =
+  (* the parallel engine, sharded and journaled, produces the same
+     shard journal as the sequential engine *)
+  with_journal @@ fun seq_path ->
+  with_journal @@ fun par_path ->
+  let _, seq = direct_run ~shard:(2, 3) ~journal:seq_path () in
+  let _, par =
+    Campaign.run_parallel ~config:(config ~shard:(2, 3) ()) ~domains:3 ~journal:par_path
+      (fun () -> Leon3.System.create ())
+      (Lazy.force small_prog) Injection.Iu
+  in
+  check_int "result count" (List.length seq) (List.length par);
+  List.iter2
+    (fun a b -> check_bool "verdicts equal" true (full_verdict a = full_verdict b))
+    seq par;
+  match (Journal.load seq_path, Journal.load par_path) with
+  | Ok (fa, ea), Ok (fb, eb) ->
+      check_bool "fingerprints equal" true (Journal.full_mismatch fa fb = None);
+      check_int "journal sizes equal" (List.length ea) (List.length eb);
+      let key e = (e.Journal.index, full_verdict e.Journal.result) in
+      check_bool "journal contents equal" true
+        (List.sort compare (List.map key ea) = List.sort compare (List.map key eb))
+  | Error m, _ | _, Error m -> Alcotest.fail m
+
+let test_invalid_shard_rejected () =
+  let sys = Lazy.force shared_sys in
+  let prog = Lazy.force small_prog in
+  List.iter
+    (fun shard ->
+      check_bool
+        (Printf.sprintf "shard %d/%d rejected" (fst shard) (snd shard))
+        true
+        (match Campaign.run ~config:(config ~shard ()) sys prog Injection.Iu with
+        | _ -> false
+        | exception Invalid_argument _ -> true))
+    [ (0, 4); (5, 4); (1, 0); (-1, 2) ]
+
+let test_parallel_exception_propagates () =
+  (* a worker's exception must surface as itself, not as a
+     missing-result failure *)
+  let prog = Lazy.force small_prog in
+  let hits = Atomic.make 0 in
+  check_bool "original exception re-raised" true
+    (match
+       Campaign.run_parallel ~config:(config ())
+         ~domains:2
+         ~on_progress:(fun ~done_:_ ~total:_ ->
+           if Atomic.fetch_and_add hits 1 = 3 then raise Exit)
+         (fun () -> Leon3.System.create ())
+         prog Injection.Iu
+     with
+    | _ -> false
+    | exception Exit -> true
+    | exception _ -> false)
+
+let suite =
+  ( "journal",
+    [ Alcotest.test_case "record round-trip" `Quick test_roundtrip;
+      Alcotest.test_case "torn tail dropped" `Quick test_torn_tail_dropped;
+      Alcotest.test_case "fingerprint mismatch" `Quick test_fingerprint_mismatch;
+      Alcotest.test_case "kill and resume" `Slow test_campaign_journal_resume;
+      Alcotest.test_case "stale journal rejected" `Slow test_campaign_rejects_stale_journal;
+      Alcotest.test_case "shard merge = direct" `Slow test_shard_merge_equals_direct;
+      Alcotest.test_case "sharded parallel engine" `Slow test_sharded_parallel_engine;
+      Alcotest.test_case "invalid shard rejected" `Quick test_invalid_shard_rejected;
+      Alcotest.test_case "worker exception propagates" `Slow
+        test_parallel_exception_propagates ] )

@@ -13,6 +13,7 @@ let () =
       Test_leon3.suite;
       Test_differential.suite;
       Test_fault.suite;
+      Test_journal.suite;
       Test_event.suite;
       Test_workloads.suite;
       Test_diversity.suite;

@@ -67,6 +67,25 @@ let test_regression_errors () =
   Alcotest.check_raises "log of non-positive" (Invalid_argument "Regression.log_fit: x must be positive")
     (fun () -> ignore (Stats.Regression.log_fit [ (0., 1.); (1., 2.) ]))
 
+let test_degenerate_r2 () =
+  (* Constant y: nothing to explain, so the fit must not claim a
+     perfect R² (it used to report 1.). *)
+  let fit = Stats.Regression.linear [ (0., 5.); (1., 5.); (2., 5.) ] in
+  check_float "slope" 0. fit.Stats.Regression.slope;
+  check_float "intercept" 5. fit.Stats.Regression.intercept;
+  check_float "degenerate r2 is 0" 0. fit.Stats.Regression.r_squared
+
+let test_log_fit_filters_nonpositive () =
+  (* Non-positive x carries no log-domain information; the fit must
+     equal the one over the positive points alone. *)
+  let positive = List.map (fun x -> (x, (3. *. log x) +. 2.)) [ 1.; 2.; 5.; 10. ] in
+  let noisy = (0., 99.) :: (-3., -7.) :: positive in
+  let fit = Stats.Regression.log_fit noisy in
+  let clean = Stats.Regression.log_fit positive in
+  check_int "n counts only positive x" clean.Stats.Regression.n fit.Stats.Regression.n;
+  check_float "slope" clean.Stats.Regression.slope fit.Stats.Regression.slope;
+  check_float "intercept" clean.Stats.Regression.intercept fit.Stats.Regression.intercept
+
 let test_pearson () =
   let r = Stats.Regression.pearson [ (1., 2.); (2., 4.); (3., 6.) ] in
   check_float "perfect correlation" 1. r;
@@ -87,6 +106,14 @@ let test_percentile () =
   check_float "p0" 1. (Stats.Summary.percentile xs 0.);
   check_float "p100" 5. (Stats.Summary.percentile xs 100.);
   check_float "interpolated" 1.4 (Stats.Summary.percentile xs 10.)
+
+let test_percentile_nan () =
+  (* NaN has no rank: polymorphic compare used to sort it arbitrarily
+     and return garbage quantiles; now the sample is rejected. *)
+  Alcotest.check_raises "NaN rejected" (Invalid_argument "Summary.percentile: NaN in sample")
+    (fun () -> ignore (Stats.Summary.percentile [| 1.; Float.nan; 3. |] 50.));
+  (* negative zero must not confuse the ordering *)
+  check_float "signed zeros" 0. (Stats.Summary.percentile [| 0.; -0.; 0. |] 50.)
 
 let test_ratio () =
   check_float "guarded zero" 0. (Stats.Summary.ratio ~num:3 ~den:0);
@@ -122,9 +149,12 @@ let suite =
       Alcotest.test_case "linear regression" `Quick test_linear_regression;
       Alcotest.test_case "log fit" `Quick test_log_fit;
       Alcotest.test_case "regression errors" `Quick test_regression_errors;
+      Alcotest.test_case "degenerate r2" `Quick test_degenerate_r2;
+      Alcotest.test_case "log fit filters" `Quick test_log_fit_filters_nonpositive;
       Alcotest.test_case "pearson" `Quick test_pearson;
       Alcotest.test_case "summary" `Quick test_summary;
       Alcotest.test_case "percentile" `Quick test_percentile;
+      Alcotest.test_case "percentile nan" `Quick test_percentile_nan;
       Alcotest.test_case "ratio" `Quick test_ratio ]
     @ List.map QCheck_alcotest.to_alcotest
         [ prop_fit_recovers_line; prop_shuffle_preserves_multiset ] )
