@@ -10,6 +10,7 @@
      dune exec bench/main.exe -- static       -- figure-5 static on/off A-B
      dune exec bench/main.exe -- event        -- figure-5 differential on/off A-B
      dune exec bench/main.exe -- journal      -- direct vs resume vs 4-shard-merge A/B
+     dune exec bench/main.exe -- batch        -- figure-5 bit-parallel batching on/off A-B
    The RICV_SAMPLES environment variable scales campaign sample sizes
    (default 250); RICV_TRIM=0 disables trimmed campaign execution,
    RICV_STATIC=0 disables netlist static analysis and RICV_EVENT=0
@@ -185,6 +186,61 @@ let run_event () =
             ("tables_identical", Bool identical) ]));
   if not identical then begin
     prerr_endline "event/full figure-5 tables differ";
+    exit 1
+  end
+
+(* ---- batch A/B: figure 5 with bit-parallel fault batching on vs.
+   off, same samples and seed.  The batch engine packs the golden
+   machine and up to 63 faulty machines into bit-lanes of one native
+   int per netlist node and settles them change-driven against the
+   golden trace; verdicts are byte-identical to the scalar engine by
+   construction, and the rendered tables are asserted to be.
+   BENCH_batch.json records both wall clocks, the pass/lane/ejection
+   counts and the mean lane occupancy. ---- *)
+
+let run_batch () =
+  let run ~batch =
+    let obs = Obs.create () in
+    let ctx = Context.create ~batch ~obs () in
+    let t0 = Unix.gettimeofday () in
+    let tables = Experiments.run ctx "figure5" in
+    let wall = Unix.gettimeofday () -. t0 in
+    (tables, wall, obs, Context.samples ctx)
+  in
+  Format.printf "figure 5, bit-parallel batching on:@.@.";
+  let tables_on, wall_on, obs_on, samples = run ~batch:true in
+  print_tables tables_on;
+  Format.printf "  [%.1fs]@.@.figure 5, bit-parallel batching off:@.@." wall_on;
+  let tables_off, wall_off, _, _ = run ~batch:false in
+  print_tables tables_off;
+  Format.printf "  [%.1fs]@." wall_off;
+  let identical = render_tables tables_on = render_tables tables_off in
+  let passes = Obs.counter obs_on "batch.passes" in
+  let lanes = Obs.counter obs_on "batch.lanes" in
+  let ejected = Obs.counter obs_on "batch.ejected" in
+  let occupancy =
+    match Obs.histogram obs_on "batch.occupancy" with
+    | Some h when h.Obs.count > 0 -> h.Obs.sum /. float_of_int h.Obs.count
+    | Some _ | None -> 0.
+  in
+  let open Obs.Json in
+  Format.printf "@.BENCH_batch.json: %s@."
+    (to_string
+       (Obj
+          [ ("experiment", Str "figure5");
+            ("samples", Int samples);
+            ( "batch",
+              Obj
+                [ ("wall_seconds", Float wall_on);
+                  ("passes", Int passes);
+                  ("lanes", Int lanes);
+                  ("ejected", Int ejected);
+                  ("mean_occupancy", Float occupancy) ] );
+            ("scalar", Obj [ ("wall_seconds", Float wall_off) ]);
+            ("speedup", Float (if wall_on > 0. then wall_off /. wall_on else 1.));
+            ("tables_identical", Bool identical) ]));
+  if not identical then begin
+    prerr_endline "batch/scalar figure-5 tables differ";
     exit 1
   end
 
@@ -375,10 +431,11 @@ let () =
   | [ "static" ] -> run_static ()
   | [ "event" ] -> run_event ()
   | [ "journal" ] -> run_journal ()
+  | [ "batch" ] -> run_batch ()
   | ids when List.for_all (fun id -> List.mem id Experiments.all_ids) ids ->
       run_experiments ?csv_dir ids
   | _ ->
       prerr_endline
-        ("usage: main.exe [csv] [micro | static | event | journal | "
+        ("usage: main.exe [csv] [micro | static | event | journal | batch | "
         ^ String.concat " | " Experiments.all_ids ^ " ...]");
       exit 2

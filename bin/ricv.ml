@@ -286,8 +286,15 @@ let campaign_cmd =
                  the golden trace and re-evaluating only the dirty fanout cone).  \
                  Results are identical; only the runtime changes.")
   in
+  let no_batch_arg =
+    Arg.(value & flag & info [ "no-batch" ]
+           ~env:(Cmd.Env.info "RICV_NO_BATCH")
+           ~doc:"Disable bit-parallel fault batching (up to 63 faulty machines \
+                 advancing as bit-lanes of one circuit per pass).  Results are \
+                 identical; only the runtime changes.")
+  in
   let run name iterations dataset target samples domains shard journal resume no_trim
-      no_static no_event trace metrics =
+      no_static no_event no_batch trace metrics =
     let prog = or_fail (build_workload name iterations dataset) in
     if resume && journal = None then begin
       prerr_endline "ricv: --resume requires --journal";
@@ -299,6 +306,11 @@ let campaign_cmd =
         trim = not no_trim;
         static = not no_static;
         event = not no_event;
+        batch =
+          (not no_batch)
+          && (match Sys.getenv_opt "RICV_BATCH" with
+             | Some ("0" | "false" | "no" | "off") -> false
+             | Some _ | None -> true);
         shard }
     in
     let obs, finish_obs = make_obs ~trace ~metrics in
@@ -337,7 +349,7 @@ let campaign_cmd =
     in
     Printf.printf
       "%d injections in %.1fs: %d prefiltered (%.1f%%), %d cone-pruned, %d collapsed, \
-       %d early-exited%s%s%s%s%s\n"
+       %d early-exited%s%s%s%s%s%s\n"
       injections elapsed skipped
       (if injections = 0 then 0. else 100. *. float_of_int skipped /. float_of_int injections)
       pruned collapsed early
@@ -353,14 +365,17 @@ let campaign_cmd =
       (if config.Fault_injection.Campaign.trim then "" else "  [trimming disabled]")
       (if config.Fault_injection.Campaign.static then "" else "  [static analysis disabled]")
       (if config.Fault_injection.Campaign.event then ""
-       else "  [differential simulation disabled]");
+       else "  [differential simulation disabled]")
+      (if config.Fault_injection.Campaign.batch then ""
+       else "  [bit-parallel batching disabled]");
     finish_obs ()
   in
   Cmd.v
     (Cmd.info "campaign" ~doc:"Run a fault-injection campaign on the RTL model.")
     Term.(const run $ workload_arg $ iterations_arg $ dataset_arg $ target_arg
           $ samples_arg $ domains_arg $ shard_arg $ journal_arg $ resume_arg
-          $ no_trim_arg $ no_static_arg $ no_event_arg $ trace_arg $ metrics_arg)
+          $ no_trim_arg $ no_static_arg $ no_event_arg $ no_batch_arg $ trace_arg
+          $ metrics_arg)
 
 (* ---- merge ---- *)
 

@@ -1,0 +1,309 @@
+module C = Rtl.Circuit
+module System = Leon3.System
+module Core = Leon3.Core
+module Cache_block = Leon3.Cache_block
+module Memory = Sparc.Memory
+module Layout = Sparc.Layout
+module Bus_event = Sparc.Bus_event
+
+type spec = {
+  site : C.fault_site;
+  model : C.fault_model;
+  from_cycle : int;
+  duration : int option;
+}
+
+type result = {
+  stop : System.stop_reason;
+  matched : int;
+  stop_cycle : int;
+  mismatch_cycle : int option;
+  events : Bus_event.t list;
+}
+
+type outcome = Done of result | Ejected
+
+(* Per-lane off-core state.  The main-memory image is the golden base
+   plus a sparse word-addressed overlay; bus-port drivers mirror
+   [System.drive_port]'s countdown/ready machine per lane. *)
+type lane = {
+  idx : int;
+  cd : int array;  (* countdown per port: [|iport; dport|] *)
+  rdy : bool array;  (* ready_out per port *)
+  mem : (int, int) Hashtbl.t;  (* aligned word addr -> lane's word *)
+  mutable matched : int;
+  mutable mismatch : int option;
+  mutable stopped : System.stop_reason option;
+  mutable abort : bool;
+  mutable events_rev : Bus_event.t list;
+  mutable finished : bool;
+  mutable pw : int;  (* this cycle's pending dport write: word addr, -1 none *)
+  mutable pwv : int;  (* ... and the lane's merged word value *)
+  mutable sv : int;  (* preserve scratch around a golden base write *)
+  mutable sv_set : bool;
+  mutable in_ir : int;  (* next-cycle bus inputs: iport/dport ready/rdata *)
+  mutable in_ird : int;
+  mutable in_dr : int;
+  mutable in_drd : int;
+}
+
+let mk_lane idx =
+  { idx;
+    cd = [| -1; -1 |];
+    rdy = [| false; false |];
+    mem = Hashtbl.create 16;
+    matched = 0;
+    mismatch = None;
+    stopped = None;
+    abort = false;
+    events_rev = [];
+    finished = false;
+    pw = -1;
+    pwv = 0;
+    sv = 0;
+    sv_set = false;
+    in_ir = 0;
+    in_ird = 0;
+    in_dr = 0;
+    in_drd = 0 }
+
+(* Lane view of a main-memory word ([wa] pre-aligned). *)
+let lv_load base ln wa =
+  match Hashtbl.find_opt ln.mem wa with
+  | Some v -> v
+  | None -> Memory.load_word base wa
+
+(* Set a lane's word, healing the overlay when it re-converges with the
+   (current) base image. *)
+let lv_set base ln wa v =
+  if Memory.load_word base wa = v then Hashtbl.remove ln.mem wa
+  else Hashtbl.replace ln.mem wa v
+
+let size_of_code = function 0 -> Bus_event.Byte | 1 -> Bus_event.Half | _ -> Bus_event.Word
+
+let run ~sys ~prog ~trace ~reference ~max_cycles specs =
+  let n = Array.length specs in
+  if n > C.max_lanes then invalid_arg "Batch.run: more specs than lanes";
+  let core = System.core sys in
+  let circuit = core.Core.circuit in
+  let ic = core.Core.icache and dc = core.Core.dcache in
+  let latency = System.mem_latency sys in
+  let nref = Array.length reference in
+  System.load sys prog;
+  let base = System.memory sys in
+  C.batch_start circuit trace;
+  Array.iteri
+    (fun i sp ->
+      C.batch_arm circuit i ~from_cycle:sp.from_cycle ?duration:sp.duration sp.site
+        sp.model)
+    specs;
+  let lanes = Array.init n mk_lane in
+  let outcomes = Array.make n Ejected in
+  let live = ref n in
+  let record ln ev =
+    ln.events_rev <- ev :: ln.events_rev;
+    if Bus_event.is_write ev then
+      if ln.matched < nref && Bus_event.equal ev reference.(ln.matched) then
+        ln.matched <- ln.matched + 1
+      else begin
+        (match ln.mismatch with
+        | None -> ln.mismatch <- Some (C.cycle circuit)
+        | Some _ -> ());
+        ln.abort <- true
+      end
+  in
+  let finish ln stop =
+    outcomes.(ln.idx) <-
+      Done
+        { stop;
+          matched = ln.matched;
+          stop_cycle = C.cycle circuit;
+          mismatch_cycle = ln.mismatch;
+          events = List.rev ln.events_rev };
+    C.batch_retire circuit ln.idx;
+    ln.finished <- true;
+    decr live
+  in
+  let eject ln =
+    (* outcome stays Ejected *)
+    C.batch_retire circuit ln.idx;
+    ln.finished <- true;
+    decr live
+  in
+  (* One bus-port driver step for one lane, against the lane's settled
+     view of the request signals; mirrors [System.drive_port].  Writes
+     are not applied here — the merged word is parked in [ln.pw]/[pwv]
+     (computed from the lane's pre-write view) and committed after the
+     golden base write so the preserve step can see who writes what. *)
+  let drive_lane ln pi =
+    let ports = if pi = 0 then ic else dc in
+    let read_only = pi = 0 in
+    let get s = C.batch_value circuit s ln.idx in
+    if ln.rdy.(pi) then begin
+      ln.rdy.(pi) <- false;
+      ln.cd.(pi) <- -1;
+      (0, 0)
+    end
+    else if get ports.Cache_block.bus_req = 0 then begin
+      ln.cd.(pi) <- -1;
+      (0, 0)
+    end
+    else begin
+      if ln.cd.(pi) < 0 then ln.cd.(pi) <- latency;
+      ln.cd.(pi) <- ln.cd.(pi) - 1;
+      if ln.cd.(pi) > 0 then (0, 0)
+      else begin
+        let addr = get ports.Cache_block.bus_addr in
+        let we = get ports.Cache_block.bus_we in
+        ln.rdy.(pi) <- true;
+        if we <> 0 && not read_only then begin
+          let size = size_of_code (get ports.Cache_block.bus_size) in
+          let value = get ports.Cache_block.bus_wdata in
+          record ln (Bus_event.Write { addr; size; value });
+          if Layout.is_exit_store addr then ln.stopped <- Some (System.Exited value)
+          else begin
+            (* Merge into the lane's current word now (read-modify-write
+               against the pre-write view), apply after the golden
+               commit.  Misaligned addresses truncate like the scalar
+               memory controller. *)
+            let a = addr land 0xFFFF_FFFF in
+            let wa = a land lnot 3 in
+            let old = lv_load base ln wa in
+            let wv =
+              match size with
+              | Bus_event.Byte ->
+                  let sh = 8 * (3 - (a land 3)) in
+                  (old land lnot (0xFF lsl sh)) lor ((value land 0xFF) lsl sh)
+              | Bus_event.Half ->
+                  let a = a land lnot 1 in
+                  let sh = 8 * (2 - (a land 2)) in
+                  (old land lnot (0xFFFF lsl sh)) lor ((value land 0xFFFF) lsl sh)
+              | Bus_event.Word -> value
+            in
+            ln.pw <- wa;
+            ln.pwv <- wv land 0xFFFF_FFFF
+          end;
+          (1, 0)
+        end
+        else begin
+          let word = lv_load base ln ((addr land 0xFFFF_FFFF) land lnot 3) in
+          if not read_only then record ln (Bus_event.Read { addr; size = Bus_event.Word });
+          (1, word)
+        end
+      end
+    end
+  in
+  (* The golden machine's data-port driver, replicated so base-memory
+     writes land on the same cycles the golden run produced them.  The
+     golden request signals are the circuit's own settled values; the
+     (ready, rdata) answers are not needed — golden inputs arrive via
+     the trace deltas. *)
+  let g_cd = ref (-1) and g_rdy = ref false in
+  let golden_drive () =
+    if !g_rdy then begin
+      g_rdy := false;
+      g_cd := -1
+    end
+    else if C.value circuit dc.Cache_block.bus_req = 0 then g_cd := -1
+    else begin
+      if !g_cd < 0 then g_cd := latency;
+      decr g_cd;
+      if !g_cd <= 0 then begin
+        g_rdy := true;
+        let we = C.value circuit dc.Cache_block.bus_we in
+        if we <> 0 then begin
+          let addr = C.value circuit dc.Cache_block.bus_addr in
+          if not (Layout.is_exit_store addr) then begin
+            let size = size_of_code (C.value circuit dc.Cache_block.bus_size) in
+            let value = C.value circuit dc.Cache_block.bus_wdata in
+            let wa = (addr land 0xFFFF_FFFF) land lnot 3 in
+            (* Preserve each live lane's view of the word the golden
+               write is about to change — except lanes overwriting that
+               same word themselves this cycle. *)
+            Array.iter
+              (fun ln ->
+                if (not ln.finished) && ln.pw <> wa then begin
+                  ln.sv <- lv_load base ln wa;
+                  ln.sv_set <- true
+                end
+                else ln.sv_set <- false)
+              lanes;
+            (match size with
+            | Bus_event.Byte -> Memory.store_byte base addr value
+            | Bus_event.Half -> Memory.store_half base (addr land lnot 1) value
+            | Bus_event.Word -> Memory.store_word base (addr land lnot 3) value);
+            Array.iter
+              (fun ln -> if ln.sv_set then lv_set base ln wa ln.sv)
+              lanes
+          end
+        end
+      end
+    end
+  in
+  let step () =
+    (* Port drives read the settled cycle; lane writes are parked. *)
+    Array.iter
+      (fun ln ->
+        if not ln.finished then begin
+          ln.pw <- -1;
+          let ir, ird = drive_lane ln 0 in
+          let dr, drd = drive_lane ln 1 in
+          ln.in_ir <- ir;
+          ln.in_ird <- ird;
+          ln.in_dr <- dr;
+          ln.in_drd <- drd
+        end)
+      lanes;
+    golden_drive ();
+    Array.iter
+      (fun ln -> if (not ln.finished) && ln.pw >= 0 then lv_set base ln ln.pw ln.pwv)
+      lanes;
+    C.batch_clock circuit;
+    if C.batch_exhausted circuit then
+      (* Past the trace the lane views are no longer advanced, but a
+         stop latched during this cycle's drive is already a verdict
+         (and the cycle counter did advance, so stop cycles match the
+         scalar run); only genuinely unresolved lanes go back to the
+         scalar engine. *)
+      Array.iter
+        (fun ln ->
+          if not ln.finished then
+            match ln.stopped with
+            | Some r -> finish ln r
+            | None -> if ln.abort then finish ln System.Aborted else eject ln)
+        lanes
+    else begin
+      Array.iter
+        (fun ln ->
+          if not ln.finished then begin
+            C.batch_set_input circuit ic.Cache_block.bus_ready ln.idx ln.in_ir;
+            C.batch_set_input circuit ic.Cache_block.bus_rdata ln.idx ln.in_ird;
+            C.batch_set_input circuit dc.Cache_block.bus_ready ln.idx ln.in_dr;
+            C.batch_set_input circuit dc.Cache_block.bus_rdata ln.idx ln.in_drd
+          end)
+        lanes;
+      C.batch_settle circuit
+    end
+  in
+  let rec loop () =
+    (* Terminal checks in the scalar run loop's order. *)
+    Array.iter
+      (fun ln ->
+        if not ln.finished then
+          match ln.stopped with
+          | Some r -> finish ln r
+          | None ->
+              if ln.abort then finish ln System.Aborted
+              else if C.batch_value circuit core.Core.halted ln.idx <> 0 then
+                finish ln
+                  (System.Trapped (C.batch_value circuit core.Core.trap_code ln.idx))
+              else if C.cycle circuit >= max_cycles then finish ln System.Cycle_limit)
+      lanes;
+    if !live > 0 then begin
+      step ();
+      loop ()
+    end
+  in
+  loop ();
+  let stats = C.batch_stop circuit in
+  (outcomes, stats)

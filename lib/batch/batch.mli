@@ -1,0 +1,52 @@
+(** Bit-parallel fault batching at the system level (PPSFP).
+
+    [run] packs up to {!Rtl.Circuit.max_lanes} single-fault machines
+    into the lanes of one {!Leon3.System} circuit and advances them all
+    against one golden trace: the golden machine's values come straight
+    from the trace deltas, each lane pays only for its divergence cone,
+    and the off-core world (bus drivers, main memory) is replicated per
+    lane as cheap sparse overlays above the golden image.
+
+    Verdict-relevant behaviour — write streams, stop reasons, stop and
+    mismatch cycles — is identical to running each fault through
+    {!Leon3.System.run} on its own machine.  Lanes whose run outlives
+    the golden trace (hang candidates) are {e ejected}: the caller must
+    re-run those few faults on the scalar engine. *)
+
+module C = Rtl.Circuit
+
+type spec = {
+  site : C.fault_site;
+  model : C.fault_model;
+  from_cycle : int;
+  duration : int option;  (** [None] = permanent *)
+}
+
+type result = {
+  stop : Leon3.System.stop_reason;
+  matched : int;  (** reference writes matched before the first mismatch *)
+  stop_cycle : int;
+  mismatch_cycle : int option;
+  events : Sparc.Bus_event.t list;  (** data-side bus events, in order *)
+}
+
+type outcome =
+  | Done of result
+  | Ejected
+      (** still running when the golden trace ended — re-run scalar *)
+
+val run :
+  sys:Leon3.System.t ->
+  prog:Sparc.Asm.program ->
+  trace:C.trace ->
+  reference:Sparc.Bus_event.t array ->
+  max_cycles:int ->
+  spec array ->
+  outcome array * C.batch_stats
+(** [run ~sys ~prog ~trace ~reference ~max_cycles specs] loads [prog]
+    (fresh golden image at cycle 0 — the state [trace] was recorded
+    from), arms one lane per spec and advances the batch until every
+    lane retires or the trace is exhausted.  [reference] is the golden
+    run's {e write} stream, compared in order against each lane's
+    writes exactly as the scalar comparator does (a read is recorded
+    but never compared).  At most [C.max_lanes] specs. *)

@@ -16,6 +16,7 @@ type t = {
   trim_ : bool;
   static_ : bool;
   event_ : bool;
+  batch_ : bool;
   obs_ : Obs.t;
   campaigns :
     (string * string * string, (Rtl.Circuit.fault_model * Campaign.summary) list)
@@ -43,11 +44,17 @@ let default_event () =
   | Some ("0" | "false" | "no" | "off") -> false
   | Some _ | None -> true
 
-let create ?samples ?(seed = 7) ?trim ?static ?event ?obs () =
+let default_batch () =
+  match Sys.getenv_opt "RICV_BATCH" with
+  | Some ("0" | "false" | "no" | "off") -> false
+  | Some _ | None -> true
+
+let create ?samples ?(seed = 7) ?trim ?static ?event ?batch ?obs () =
   let samples_ = match samples with Some n -> n | None -> default_samples () in
   let trim_ = match trim with Some b -> b | None -> default_trim () in
   let static_ = match static with Some b -> b | None -> default_static () in
   let event_ = match event with Some b -> b | None -> default_event () in
+  let batch_ = match batch with Some b -> b | None -> default_batch () in
   (* The context always aggregates (counters replace the old bespoke
      trim_stats plumbing); pass a sink-equipped collector to also
      stream JSONL trace events. *)
@@ -58,6 +65,7 @@ let create ?samples ?(seed = 7) ?trim ?static ?event ?obs () =
     trim_;
     static_;
     event_;
+    batch_;
     obs_;
     campaigns = Hashtbl.create 64;
     goldens = Hashtbl.create 64 }
@@ -69,6 +77,8 @@ let trim t = t.trim_
 let static t = t.static_
 
 let event t = t.event_
+
+let batch t = t.batch_
 
 let obs t = t.obs_
 
@@ -104,7 +114,8 @@ let campaign t ~key ?(models = Campaign.default_config.Campaign.models) prog tar
           seed = t.seed;
           trim = t.trim_;
           static = t.static_;
-          event = t.event_ }
+          event = t.event_;
+          batch = t.batch_ }
       in
       let summaries, _ = Campaign.run ~config ~obs:t.obs_ t.sys prog target in
       Hashtbl.add t.campaigns memo_key summaries;

@@ -25,6 +25,7 @@ val create :
   ?trim:bool ->
   ?static:bool ->
   ?event:bool ->
+  ?batch:bool ->
   ?obs:Obs.t ->
   unit ->
   t
@@ -37,7 +38,11 @@ val create :
     fault collapsing; default true, [RICV_STATIC=0] to disable — also
     result-identical).  [event] enables event-driven differential
     simulation of the faulty runs against the golden trace (default
-    true, [RICV_EVENT=0] to disable — also result-identical).  [obs]
+    true, [RICV_EVENT=0] to disable — also result-identical).
+    [batch] enables bit-parallel fault batching, packing up to 63
+    faulty machines into the bit-lanes of one circuit per pass
+    (default true, [RICV_BATCH=0] to disable — also
+    result-identical).  [obs]
     is the telemetry collector every campaign reports into; the
     default is a fresh in-memory aggregator (pass one built with a
     sink to stream JSONL trace events). *)
@@ -49,6 +54,8 @@ val trim : t -> bool
 val static : t -> bool
 
 val event : t -> bool
+
+val batch : t -> bool
 
 val obs : t -> Obs.t
 (** The context's collector: per-phase span totals, injection/outcome

@@ -143,8 +143,8 @@ let record_run obs golden ~dt ~start_cycle r =
 let record_static obs golden r =
   if Obs.enabled obs then record_run obs golden ~dt:0. ~start_cycle:0 r
 
-let run_one ?(obs = Obs.null) ?plan sys prog golden ?(inject_cycle = 0) ?duration
-    ?(hang_factor = 4) ?(compare_reads = false) (site : Injection.site) model =
+let run_one ?(obs = Obs.null) ?plan ?detect_loops sys prog golden ?(inject_cycle = 0)
+    ?duration ?(hang_factor = 4) ?(compare_reads = false) (site : Injection.site) model =
   let t_start = if Obs.enabled obs then Obs.now obs else 0. in
   let start_cycle = ref 0 in
   let circuit = (Leon3.System.core sys).Leon3.Core.circuit in
@@ -234,13 +234,16 @@ let run_one ?(obs = Obs.null) ?plan sys prog golden ?(inject_cycle = 0) ?duratio
     let stop =
       let n = Array.length golden.checkpoints in
       let rec from_boundary i =
-        if i >= n then Leon3.System.run ~on_event sys ~max_cycles
+        if i >= n then Leon3.System.run ~on_event ?detect_loops sys ~max_cycles
         else begin
           let ck = golden.checkpoints.(i) in
           let bc = Leon3.System.checkpoint_cycle ck in
           if bc < expiry || bc <= Leon3.System.cycles sys then from_boundary (i + 1)
           else
-            match Leon3.System.run_segment ~on_event sys ~until_cycle:bc ~max_cycles with
+            match
+              Leon3.System.run_segment ~on_event ?detect_loops sys ~until_cycle:bc
+                ~max_cycles
+            with
             | Some r -> r
             | None ->
                 if !matched = ck_progress ck && Leon3.System.matches_checkpoint sys ck
@@ -342,6 +345,7 @@ type config = {
   checkpoint_every : int option;
   static : bool;
   event : bool;
+  batch : bool;
   shard : int * int;
 }
 
@@ -357,6 +361,7 @@ let default_config =
     checkpoint_every = None;
     static = true;
     event = true;
+    batch = true;
     shard = (1, 1) }
 
 (* Static analysis of the netlist, shared by every injection of a
@@ -533,20 +538,18 @@ let build_machinery ~obs ~config sys prog tasks =
   let core = Leon3.System.core sys in
   let coverage, checkpoint_every = golden_options config ~bounded_faults:false in
   let golden =
-    golden_run ~obs ~coverage ~trace:config.event ?checkpoint_every sys prog
-      ~max_cycles:5_000_000
+    golden_run ~obs ~coverage
+      ~trace:(config.event || config.batch)
+      ?checkpoint_every sys prog ~max_cycles:5_000_000
   in
-  (* one graph extraction feeds both static passes and the replay plan *)
   let graph =
-    if config.static || config.event then
-      Some (Analysis.Graph.build core.Leon3.Core.circuit)
-    else None
+    if config.static then Some (Analysis.Graph.build core.Leon3.Core.circuit) else None
   in
   let static = if config.static then Some (build_static ~obs ?graph core) else None in
+  (* the kernel lowers the levelized schedule at elaboration; no graph
+     extraction is needed just to replay *)
   let plan =
-    match graph with
-    | Some g when config.event -> Some (Analysis.Graph.replay_plan g)
-    | Some _ | None -> None
+    if config.event then Some (C.compiled_plan core.Leon3.Core.circuit) else None
   in
   let plans =
     let class_leader = Hashtbl.create 64 in
@@ -568,18 +571,134 @@ let build_machinery ~obs ~config sys prog tasks =
     m_plan = plan;
     m_plans = plans }
 
-let simulate_lead ~obs ~config m sys prog tasks j =
+let simulate_lead ~obs ~config ?detect_loops m sys prog tasks j =
   match m.m_plans.(j) with
   | T_lead (rep, rmodel) ->
       let model, _ = tasks.(j) in
       let r0 =
-        run_one ~obs ?plan:m.m_plan sys prog m.m_golden_lead
+        run_one ~obs ?plan:m.m_plan ?detect_loops sys prog m.m_golden_lead
           ~inject_cycle:config.inject_cycle ~hang_factor:config.hang_factor
           ~compare_reads:config.compare_reads rep rmodel
       in
       { r0 with model }
   | T_direct | T_pruned | T_follow _ ->
       failwith "Campaign: collapse leader reclassified (internal error)"
+
+(* ---- bit-parallel batching (PPSFP) ----
+
+   A batchable task is a direct or collapse-leader simulation of a
+   permanent fault that survived the activation prefilter: up to
+   [C.max_lanes] of them advance against the golden trace in one
+   bitwise pass, with verdicts identical to [run_one]'s.  Lanes the
+   trace cannot decide (watchdog candidates outliving the golden run)
+   are ejected and decided on the scalar engine. *)
+
+let task_prefiltered m tasks ti =
+  let model, site = tasks.(ti) in
+  match m.m_golden.coverage with
+  | Some cov -> C.never_activates cov site.Injection.fault_site model
+  | None -> false
+
+let batchable ~config m tasks ti =
+  config.batch
+  && (not config.compare_reads)
+  && m.m_golden.trace <> None
+  &&
+  match m.m_plans.(ti) with
+  | T_direct -> not (task_prefiltered m tasks ti)
+  | T_lead _ -> true
+  | T_pruned | T_follow _ -> false
+
+let chunk_list k l =
+  let rec take n acc = function
+    | x :: tl when n > 0 -> take (n - 1) (x :: acc) tl
+    | tl -> (List.rev acc, tl)
+  in
+  let rec go = function
+    | [] -> []
+    | l ->
+        let c, rest = take k [] l in
+        c :: go rest
+  in
+  go l
+
+(* Simulate one chunk of batchable tasks (≤ [C.max_lanes]) in a single
+   bit-parallel pass; returns verdicts aligned with [tis]. *)
+let run_batch_chunk ~obs ~config m sys prog tasks tis =
+  let t_start = if Obs.enabled obs then Obs.now obs else 0. in
+  let golden = m.m_golden in
+  let trace = Option.get golden.trace in
+  let max_cycles = (config.hang_factor * golden.cycles) + 2000 in
+  let specs =
+    Array.map
+      (fun ti ->
+        let model, site = tasks.(ti) in
+        let fsite, fmodel =
+          match m.m_plans.(ti) with
+          | T_lead (rep, rmodel) -> (rep.Injection.fault_site, rmodel)
+          | T_direct -> (site.Injection.fault_site, model)
+          | T_pruned | T_follow _ -> assert false
+        in
+        { Batch.site = fsite; model = fmodel; from_cycle = config.inject_cycle;
+          duration = None })
+      tis
+  in
+  let outcomes, stats =
+    Batch.run ~sys ~prog ~trace ~reference:golden.writes ~max_cycles specs
+  in
+  let n = Array.length tis in
+  let dt =
+    if Obs.enabled obs then (Obs.now obs -. t_start) /. float_of_int (max 1 n) else 0.
+  in
+  if Obs.enabled obs then begin
+    Obs.incr obs "batch.passes";
+    Obs.incr obs ~by:n "batch.lanes";
+    Obs.observe obs "batch.occupancy" (float_of_int n);
+    (* the replay counters CI and the bench track: lane evaluations
+       actually performed vs what dense per-lane sweeps would cost *)
+    Obs.incr obs ~by:stats.C.bs_evals "diff.nodes_evaluated";
+    Obs.incr obs ~by:stats.C.bs_dense_evals "diff.golden_evaluated"
+  end;
+  Array.mapi
+    (fun k ti ->
+      let model, site = tasks.(ti) in
+      match outcomes.(k) with
+      | Batch.Done br ->
+          Obs.incr obs "batch.lanes_retired";
+          let outcome, detect_cycle =
+            match br.Batch.stop with
+            | Leon3.System.Aborted ->
+                (Failure (Wrong_write br.Batch.matched), br.Batch.mismatch_cycle)
+            | Leon3.System.Trapped code ->
+                (Failure (Trap code), Some br.Batch.stop_cycle)
+            | Leon3.System.Cycle_limit -> (Failure Hang, Some max_cycles)
+            | Leon3.System.Exited _ ->
+                if br.Batch.matched = Array.length golden.writes then (Silent, None)
+                else
+                  (Failure (Missing_writes br.Batch.matched), Some br.Batch.stop_cycle)
+          in
+          let r =
+            { site_name = site.Injection.site_name; model; outcome; detect_cycle;
+              inject_cycle = config.inject_cycle; sim = Simulated }
+          in
+          if Obs.enabled obs then record_run obs golden ~dt ~start_cycle:0 r;
+          r
+      | Batch.Ejected -> (
+          Obs.incr obs "batch.ejected";
+          match m.m_plans.(ti) with
+          | T_direct ->
+              (* ejected lanes are overwhelmingly watchdog candidates:
+                 rerun them scalar with hang-loop detection armed, and
+                 without the replay plan — a lane that outlived the
+                 trace is densely diverged, where plain simulation is
+                 cheaper than differential replay *)
+              run_one ~obs ~detect_loops:true sys prog m.m_golden
+                ~inject_cycle:config.inject_cycle ~hang_factor:config.hang_factor
+                ~compare_reads:config.compare_reads site model
+          | T_lead _ ->
+              simulate_lead ~obs ~config ~detect_loops:true m sys prog tasks ti
+          | T_pruned | T_follow _ -> assert false))
+    tis
 
 let shard_summaries config all =
   List.map
@@ -619,6 +738,29 @@ let run ?(config = default_config) ?(obs = Obs.null) ?on_progress ?journal
   in
   let machinery = lazy (build_machinery ~obs ~config sys prog tasks) in
   let results = Array.make (Array.length tasks) None in
+  (* Bit-parallel pre-pass: the batchable remainder of the shard runs
+     in ≤ max_lanes-wide PPSFP passes up front; the walk below emits
+     (and journals) the stashed verdicts in its usual order, so
+     journal layout and result order are unchanged. *)
+  let batch_stash = Hashtbl.create 64 in
+  (if config.batch then begin
+     let pending =
+       List.filter
+         (fun ti ->
+           let model, _ = tasks.(ti) in
+           lookup model ~index:(ti mod nsites) = None)
+         (Array.to_list exec_ids)
+     in
+     if pending <> [] then begin
+       let m = Lazy.force machinery in
+       List.iter
+         (fun chunk ->
+           let tis = Array.of_list chunk in
+           let rs = run_batch_chunk ~obs ~config m sys prog tasks tis in
+           Array.iteri (fun k r -> Hashtbl.replace batch_stash tis.(k) r) rs)
+         (chunk_list C.max_lanes (List.filter (batchable ~config m tasks) pending))
+     end
+   end);
   let orphans = Hashtbl.create 8 in
   let total = Array.length exec_ids in
   let done_ = ref 0 in
@@ -639,6 +781,9 @@ let run ?(config = default_config) ?(obs = Obs.null) ?on_progress ?journal
         | None ->
             let m = Lazy.force machinery in
             let r =
+              match Hashtbl.find_opt batch_stash ti with
+              | Some r -> r
+              | None -> (
               match m.m_plans.(ti) with
               | T_direct ->
                   run_one ~obs ?plan:m.m_plan sys prog m.m_golden
@@ -667,7 +812,7 @@ let run ?(config = default_config) ?(obs = Obs.null) ?on_progress ?journal
                     follower_result ~inject_cycle:config.inject_cycle site model lead
                   in
                   record_static obs m.m_golden r;
-                  r
+                  r)
             in
             (match writer with Some w -> Journal.append w ~index r | None -> ());
             r
@@ -739,12 +884,22 @@ let run_parallel ?(config = default_config) ?(obs = Obs.null) ?(domains = 4)
         domains share them read-only *)
      let m = build_machinery ~obs ~config scratch prog tasks in
      let todo =
+       List.filter
+         (fun ti ->
+           results.(ti) = None
+           && match m.m_plans.(ti) with T_follow _ -> false | _ -> true)
+         (Array.to_list exec_ids)
+     in
+     (* Work units: batchable tasks fold into ≤ max_lanes-wide PPSFP
+        passes, the rest stay single-task; one unit is one queue
+        claim, so a whole batch runs on one domain's system. *)
+     let units =
+       let batched, scalar = List.partition (batchable ~config m tasks) todo in
        Array.of_list
-         (List.filter
-            (fun ti ->
-              results.(ti) = None
-              && match m.m_plans.(ti) with T_follow _ -> false | _ -> true)
-            (Array.to_list exec_ids))
+         (List.map
+            (fun c -> `Batch (Array.of_list c))
+            (chunk_list C.max_lanes batched)
+         @ List.map (fun ti -> `One ti) scalar)
      in
      let next = Atomic.make 0 in
      let aborted = Atomic.make false in
@@ -768,6 +923,18 @@ let run_parallel ?(config = default_config) ?(obs = Obs.null) ?(domains = 4)
        results.(ti) <- Some r;
        progress ()
      in
+     let process_unit sys fork = function
+       | `One ti -> process sys fork ti
+       | `Batch tis ->
+           let rs = run_batch_chunk ~obs:fork ~config m sys prog tasks tis in
+           Array.iteri
+             (fun k r ->
+               let ti = tis.(k) in
+               journal_append ~index:(ti mod nsites) r;
+               results.(ti) <- Some r;
+               progress ())
+             rs
+     in
      (* Every worker (the scratch domain included) aggregates into a
         private fork, so the hot path never contends; the forks merge
         into [obs] in spawn order at join, which keeps totals
@@ -779,8 +946,8 @@ let run_parallel ?(config = default_config) ?(obs = Obs.null) ?(domains = 4)
        let rec go () =
          if not (Atomic.get aborted) then begin
            let k = Atomic.fetch_and_add next 1 in
-           if k < Array.length todo then begin
-             process sys fork todo.(k);
+           if k < Array.length units then begin
+             process_unit sys fork units.(k);
              go ()
            end
          end

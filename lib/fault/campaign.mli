@@ -110,6 +110,7 @@ type run_result = Journal.run_result = {
 val run_one :
   ?obs:Obs.t ->
   ?plan:C.replay_plan ->
+  ?detect_loops:bool ->
   Leon3.System.t ->
   Sparc.Asm.program ->
   golden ->
@@ -131,7 +132,11 @@ val run_one :
     When [plan] is given {e and} [golden] carries a trace, the run
     executes in differential replay — only the fanout cone of nodes
     diverging from golden is re-evaluated each cycle, and convergence
-    checks are O(dirty); verdicts are identical either way.  Replay
+    checks are O(dirty); verdicts are identical either way.
+    [detect_loops] (default false) arms {!Leon3.System.run}'s
+    hang-loop detection, which short-circuits watchdog runs whose
+    state provably became periodic; the batch engine enables it for
+    ejected lanes.  Replay
     statistics land on [obs] as [diff.nodes_evaluated] /
     [diff.golden_evaluated] counters and [diff.dirty_peak] /
     [diff.divergence_cycles] histograms. *)
@@ -179,6 +184,14 @@ type config = {
           order: prefilter → cone prune → collapse → differential
           simulate).  Exact — verdicts, summaries and latencies are
           byte-identical with it on or off *)
+  batch : bool;
+      (** bit-parallel fault batching (PPSFP): permanent-fault
+          injections that survive prefilter, cone prune and collapse
+          run up to {!Rtl.Circuit.max_lanes} at a time as bit-lanes of
+          one machine, against the golden trace.  Exact — verdicts,
+          summaries and latencies are byte-identical with it on or
+          off; lanes the trace cannot decide (hang candidates) fall
+          back to the scalar engine automatically *)
   shard : int * int;
       (** [(i, n)]: execute only the sites whose sample index is
           congruent to [i-1 mod n] (1-based, default [(1, 1)] = all).
@@ -192,8 +205,8 @@ type config = {
 val default_config : config
 (** Stuck-at-0/1 + open-line, 400-site sample, cells included,
     injection at cycle 0, watchdog 4x, writes-only compare, seed 7,
-    trimming, static analysis and differential simulation on, shard
-    1/1. *)
+    trimming, static analysis, differential simulation and
+    bit-parallel batching on, shard 1/1. *)
 
 val fingerprint :
   config:config ->

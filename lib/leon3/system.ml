@@ -45,6 +45,8 @@ let create ?params ?(mem_latency = 1) () =
 
 let core t = t.core
 
+let mem_latency t = t.mem_latency
+
 let set_obs t obs = t.obs <- obs
 
 let obs t = t.obs
@@ -147,9 +149,54 @@ let step t = step_with t None
    reaches [until_cycle]; terminal conditions return [Some reason] and
    latch as before.  The pause point is between steps, i.e. at a
    settled state — exactly the point {!checkpoint} captures, so a
-   paused run can be compared against golden checkpoints. *)
-let run_segment_raw ?on_event t ~until_cycle ~max_cycles =
+   paused run can be compared against golden checkpoints.
+
+   [detect_loops] arms hang-loop detection: a run that is going to
+   exhaust its cycle budget almost always spins in a short state loop
+   (the core wedged, or bouncing between a handful of stall states).
+   We keep one snapshot of the machine state, refreshed on a doubling
+   schedule, and compare the live state against it every 4th cycle.
+   A match with no bus WRITE recorded in between is a proof of
+   periodicity: main memory only changes through writes, reads are
+   pure (a spin-wait hang keeps reading, so requiring an event-free
+   window would miss it), the port drivers are part of the compared
+   state, and an armed permanent fault is a pure function of the
+   circuit state — so the machine will replay the same write-free
+   window forever and can never exit, trap or write again.  The early
+   [Cycle_limit] is therefore exactly the verdict a full run to
+   [max_cycles] would return.  Caveat: [on_event] must be insensitive
+   to reads (the campaign only arms [detect_loops] with its
+   write-only lockstep comparison) — a read-comparing observer
+   consumes its reference stream, which is not part of the compared
+   state.  (Snapshots land on 4-aligned cycles, so for a loop of
+   period [p] some compare cycle is congruent to the snapshot cycle
+   within 4p steps.) *)
+let run_segment_raw ?on_event ?(detect_loops = false) t ~until_cycle ~max_cycles =
   let c = circuit t in
+  let snap = ref None in
+  let next_snap = ref 256 in
+  let loop_check () =
+    let cyc = C.cycle c in
+    cyc land 3 = 0
+    &&
+    let hit =
+      match !snap with
+      | Some (s, scyc, wr, icd, iro, dcd, dro) ->
+          cyc > scyc && t.n_writes = wr && t.iport.countdown = icd
+          && t.iport.ready_out = iro && t.dport.countdown = dcd
+          && t.dport.ready_out = dro && C.same_state c s
+      | None -> false
+    in
+
+    if (not hit) && cyc >= !next_snap then begin
+      snap :=
+        Some
+          ( C.snapshot c, cyc, t.n_writes, t.iport.countdown, t.iport.ready_out,
+            t.dport.countdown, t.dport.ready_out );
+      next_snap := cyc * 2
+    end;
+    hit
+  in
   let rec go () =
     match t.stopped with
     | Some r -> Some r
@@ -163,7 +210,7 @@ let run_segment_raw ?on_event t ~until_cycle ~max_cycles =
           t.stopped <- Some r;
           Some r
         end
-        else if C.cycle c >= max_cycles then begin
+        else if C.cycle c >= max_cycles || (detect_loops && loop_check ()) then begin
           t.stopped <- Some Cycle_limit;
           Some Cycle_limit
         end
@@ -175,19 +222,20 @@ let run_segment_raw ?on_event t ~until_cycle ~max_cycles =
   in
   go ()
 
-let run_segment ?on_event t ~until_cycle ~max_cycles =
-  if not (Obs.enabled t.obs) then run_segment_raw ?on_event t ~until_cycle ~max_cycles
+let run_segment ?on_event ?detect_loops t ~until_cycle ~max_cycles =
+  if not (Obs.enabled t.obs) then
+    run_segment_raw ?on_event ?detect_loops t ~until_cycle ~max_cycles
   else begin
     let c = circuit t in
     let c0 = C.cycle c and i0 = C.value c t.core.Core.instret in
-    let r = run_segment_raw ?on_event t ~until_cycle ~max_cycles in
+    let r = run_segment_raw ?on_event ?detect_loops t ~until_cycle ~max_cycles in
     Obs.incr t.obs ~by:(C.cycle c - c0) "rtl.cycles";
     Obs.incr t.obs ~by:(C.value c t.core.Core.instret - i0) "rtl.instructions";
     r
   end
 
-let run ?on_event t ~max_cycles =
-  match run_segment ?on_event t ~until_cycle:max_int ~max_cycles with
+let run ?on_event ?detect_loops t ~max_cycles =
+  match run_segment ?on_event ?detect_loops t ~until_cycle:max_int ~max_cycles with
   | Some r -> r
   | None -> assert false (* until_cycle = max_int never pauses first *)
 

@@ -26,6 +26,10 @@ val create : ?params:Core.params -> ?mem_latency:int -> unit -> t
 
 val core : t -> Core.t
 
+val mem_latency : t -> int
+(** The bus latency the system was built with (cycles between request
+    and acknowledgement). *)
+
 val set_obs : t -> Obs.t -> unit
 (** Attach a telemetry collector: every {!run}/{!run_segment} call
     then adds the cycles and instructions it simulated to the
@@ -41,14 +45,23 @@ val load : t -> Asm.program -> unit
 val step : t -> unit
 (** Advance one clock cycle (drive bus responses, clock, settle). *)
 
-val run : ?on_event:(Bus_event.t -> bool) -> t -> max_cycles:int -> stop_reason
+val run :
+  ?on_event:(Bus_event.t -> bool) -> ?detect_loops:bool -> t -> max_cycles:int ->
+  stop_reason
 (** Step until the program exits, the core traps, [max_cycles] clocks
     have elapsed, or [on_event] returns [false] for a bus event
-    (events are delivered in order, writes and reads alike). *)
+    (events are delivered in order, writes and reads alike).
+    [detect_loops] (default false) arms hang-loop detection: when the
+    machine provably re-enters an earlier state with no bus event in
+    between, the run returns [Cycle_limit] immediately — the exact
+    verdict a full run to [max_cycles] would produce, at a fraction of
+    the cost.  Intended for runs already suspected to hang (e.g. lanes
+    the bit-parallel batch engine ejects); the default path is
+    untouched. *)
 
 val run_segment :
-  ?on_event:(Bus_event.t -> bool) -> t -> until_cycle:int -> max_cycles:int ->
-  stop_reason option
+  ?on_event:(Bus_event.t -> bool) -> ?detect_loops:bool -> t -> until_cycle:int ->
+  max_cycles:int -> stop_reason option
 (** Like {!run} but pauses once the cycle counter reaches
     [until_cycle], returning [None]; the run can then be inspected
     (e.g. compared against a golden {!checkpoint}) and resumed with

@@ -77,6 +77,11 @@ module Vec = struct
 
   let clear v = v.n <- 0
 
+  (* Remove element [i] by swapping the last element into its place. *)
+  let swap_pop v i =
+    v.n <- v.n - 1;
+    v.a.(i) <- v.a.(v.n)
+
   let to_array v = Array.sub v.a 0 v.n
 end
 
@@ -174,6 +179,85 @@ let dummy_node = { nm = ""; width = 1; kind = Input }
 let dummy_mem =
   { m_name = ""; words = 0; m_width = 1; data = [||]; write_ports = []; wp_arr = [||] }
 
+(* --- bit-parallel fault batching (PPSFP) --- *)
+
+(* One native int per node packs up to 63 faulty machines: bit [l] of
+   [bt_diff.(id)] says lane [l]'s value of node [id] differs from the
+   golden machine (whose values live in [t.values], advanced from the
+   golden trace).  Lane values are stored densely at
+   [(id lsl lane_shift) lor l] and are only meaningful where the diff
+   bit is set, so a batch settle propagates "needs evaluation" lane
+   sets with bitwise ORs and every clean (node, lane) pair costs
+   nothing. *)
+
+let lane_shift = 6
+
+let max_lanes = 63  (* a native int keeps 63 usable bits: the golden
+                       machine is implicit, lanes 0..62 are faulty *)
+
+type batch_stats = {
+  bs_evals : int;  (* per-lane comb evaluations performed *)
+  bs_dense_evals : int;  (* evaluations [lanes] dense sweeps would have cost *)
+}
+
+(* Sparse per-memory lane overlay: a cell has an entry only while some
+   lane's content differs from the golden (base) content. *)
+type batch = {
+  bt_tr : trace;
+  mutable bt_active : int;  (* mask of live lanes *)
+  bt_diff : int array;  (* per node: diverged-lane mask *)
+  bt_lane : int array;  (* (id lsl lane_shift) lor lane -> lane value *)
+  bt_faults : fault option array;  (* per lane *)
+  bt_fnode : int array;  (* per lane: faulted node id (Node sites), -1 *)
+  bt_fsrc : bool array;  (* per lane: faulted node is a source (non-comb) *)
+  bt_ov : int array array;  (* per memory: lane values, [(idx lsl lane_shift) lor l] *)
+  bt_ovl : int array array;  (* per memory: per-cell diverged-lane mask *)
+  bt_mem_lanes : int array;  (* per memory: lanes with >= 1 overlay entry *)
+  bt_mem_cnt : int array array;  (* per memory, per lane: entry count *)
+  bt_cellf : int array;  (* per memory: lanes with an armed cell fault *)
+  bt_buckets : int Vec.t array;  (* worklist, one bucket per comb level *)
+  bt_pend : int array;  (* per node: lanes awaiting evaluation this settle *)
+  bt_wl_stamp : int array;
+  mutable bt_stamp : int;
+  bt_stamped : int Vec.t;
+      (* nodes whose effective value moved since the last settle: trace
+         deltas, clock-committed lane registers and lane input changes.
+         This is the entire seed set — a divergence cone none of whose
+         members moved contributes nothing to the next settle. *)
+  bt_mem_dirty : int array;
+      (* per memory: lanes whose view of some cell moved since the last
+         settle (overlay set/drop, golden base write, forced cell
+         fault) — the only lanes whose read ports must re-derive when
+         their address input is quiet *)
+  bt_views : int array;  (* write-commit scratch, per lane *)
+  bt_regnext : int array;  (* (k lsl lane_shift) lor lane *)
+  bt_regpend : int array;  (* per register slot: lanes sampled this clock *)
+  bt_ov_ids : int array;  (* eval scratch: overridden dependency ids *)
+  bt_ov_vals : int array;  (* eval scratch: saved golden values *)
+  bt_sc_fire : int array;  (* write-commit scratch, per lane *)
+  bt_sc_idx : int array;
+  bt_sc_val : int array;
+  bt_nstamp : int array;
+      (* per node: cycle of the last effective-value change (a golden
+         trace delta, or a lane value / diff-bit change).  A pending
+         node none of whose dependencies carry the current cycle's
+         stamp would recompute exactly what it computed last settle, so
+         the evaluator skips it — the change-driven pruning that makes
+         a quiescent divergence cone cost nothing per cycle. *)
+  bt_fsite : int array;
+      (* per node: lanes with a combinational fault site here — exempt
+         from stamp skipping (the fault window opens and closes on the
+         cycle counter, not on any dependency) *)
+  bt_regof : int array array;
+      (* per node: register slots watching it as q, d or enable *)
+  bt_regset : int Vec.t;  (* slots with any divergence on q/d/en *)
+  bt_regmem : bool array;  (* per slot: member of [bt_regset] *)
+  bt_regactive : int Vec.t;  (* slots sampled by this clock's phase 1 *)
+  mutable bt_exhausted : bool;  (* ran past the end of the golden trace *)
+  mutable bt_evals : int;
+  mutable bt_dense : int;
+}
+
 type t = {
   c_name : string;
   building : node Vec.t;
@@ -190,9 +274,15 @@ type t = {
   mutable order : int array;  (* comb schedule *)
   mutable evals : (int array -> int) array;  (* parallel to order *)
   mutable eval_by_id : (int array -> int) array;  (* indexed by node id *)
+  mutable deps_by_id : int array array;  (* comb dependencies, [||] otherwise *)
+  mutable rport_of : int array;  (* node id -> memory id for read ports, -1 *)
+  mutable max_deps : int;
   mutable reg_ids : int array;
   mutable reg_next : int array;
+  mutable reg_d : int array;  (* parallel to reg_ids: data input id *)
+  mutable reg_en : int array;  (* parallel to reg_ids: enable id or -1 *)
   mutable input_ids : int array;
+  mutable compiled : replay_plan option;  (* levelized schedule, per elaboration *)
   mutable by_name : (string, int) Hashtbl.t;
   mutable elaborated : bool;
   mutable cyc : int;
@@ -200,14 +290,17 @@ type t = {
   mutable recording : coverage option;
   mutable tracing : trace_builder option;
   mutable replay : replay option;
+  mutable batch : batch option;
 }
 
 let create c_name =
   { c_name; building = Vec.create dummy_node; scopes = []; mems = Vec.create dummy_mem;
     rports = []; node_cnt = 0; mem_cnt = 0; nodes = [||]; mem_arr = [||]; values = [||];
-    masks = [||]; order = [||]; evals = [||]; eval_by_id = [||]; reg_ids = [||];
-    reg_next = [||]; input_ids = [||]; by_name = Hashtbl.create 16; elaborated = false;
-    cyc = 0; fault = None; recording = None; tracing = None; replay = None }
+    masks = [||]; order = [||]; evals = [||]; eval_by_id = [||]; deps_by_id = [||];
+    rport_of = [||]; max_deps = 0; reg_ids = [||]; reg_next = [||]; reg_d = [||];
+    reg_en = [||]; input_ids = [||]; compiled = None; by_name = Hashtbl.create 16;
+    elaborated = false; cyc = 0; fault = None; recording = None; tracing = None;
+    replay = None; batch = None }
 
 let name t = t.c_name
 
@@ -372,6 +465,20 @@ let elaborate t =
       nodes;
   t.reg_ids <- reg_ids;
   t.reg_next <- Array.make (Array.length reg_ids) 0;
+  t.reg_d <-
+    Array.map
+      (fun id ->
+        match nodes.(id).kind with
+        | Register { d; _ } -> d
+        | Input | Const _ | Comb _ -> assert false)
+      reg_ids;
+  t.reg_en <-
+    Array.map
+      (fun id ->
+        match nodes.(id).kind with
+        | Register { en; _ } -> en
+        | Input | Const _ | Comb _ -> assert false)
+      reg_ids;
   t.input_ids <-
     Array.of_seq
       (Seq.filter_map
@@ -383,6 +490,48 @@ let elaborate t =
   let by_name = Hashtbl.create (2 * n) in
   Array.iteri (fun id nd -> if not (Hashtbl.mem by_name nd.nm) then Hashtbl.add by_name nd.nm id) nodes;
   t.by_name <- by_name;
+  (* Compiled levelized evaluator: lower the netlist once, at
+     elaboration, into the dense per-node arrays every event-driven or
+     batched settle wants — positional dependency arrays, read-port
+     memory ids, deduplicated combinational fanout, comb levels and
+     per-memory reader lists.  [compiled_plan] exposes the result in
+     the same shape (and with the same field semantics) as
+     [Analysis.Graph.replay_plan], so campaigns no longer rebuild the
+     dependency graph just to replay. *)
+  t.deps_by_id <-
+    Array.map
+      (fun nd ->
+        match nd.kind with Comb { deps; _ } -> deps | Input | Const _ | Register _ -> [||])
+      nodes;
+  t.max_deps <-
+    Array.fold_left (fun acc deps -> max acc (Array.length deps)) 1 t.deps_by_id;
+  t.rport_of <- Array.make n (-1);
+  List.iter (fun (id, m) -> t.rport_of.(id) <- m) t.rports;
+  let sinks = Array.make n [] in
+  Array.iteri
+    (fun id deps -> Array.iter (fun d -> sinks.(d) <- id :: sinks.(d)) deps)
+    t.deps_by_id;
+  let fanout = Array.map (fun l -> Array.of_list (List.sort_uniq compare l)) sinks in
+  let levels = Array.make n 0 in
+  let max_level = ref 0 in
+  Array.iteri
+    (fun id deps ->
+      match nodes.(id).kind with
+      | Comb _ ->
+          let deepest = Array.fold_left (fun acc d -> max acc levels.(d)) 0 deps in
+          levels.(id) <- deepest + 1;
+          if levels.(id) > !max_level then max_level := levels.(id)
+      | Input | Const _ | Register _ -> ())
+    t.deps_by_id;
+  let readers = Array.make (Array.length t.mem_arr) [] in
+  List.iter (fun (id, m) -> readers.(m) <- id :: readers.(m)) t.rports;
+  t.compiled <-
+    Some
+      { rp_fanout = fanout;
+        rp_level = levels;
+        rp_max_level = !max_level;
+        rp_mem_readers =
+          Array.map (fun l -> Array.of_list (List.sort_uniq compare l)) readers };
   t.elaborated <- true
 
 let check_elab t = if not t.elaborated then raise Not_elaborated
@@ -439,6 +588,7 @@ let never_activates cov site model =
 let reset t =
   check_elab t;
   if t.replay <> None then invalid_arg "Circuit.reset: replay armed";
+  if t.batch <> None then invalid_arg "Circuit.reset: batch armed";
   Array.iteri
     (fun id nd ->
       t.values.(id) <-
@@ -486,6 +636,7 @@ let mark_mem_diff t r m idx =
 
 let set_input t s v =
   check_elab t;
+  if t.batch <> None then invalid_arg "Circuit.set_input: batch armed";
   (match t.nodes.(s).kind with
   | Input -> ()
   | Const _ | Comb _ | Register _ -> invalid_arg "Circuit.set_input: not an input");
@@ -576,6 +727,7 @@ let refresh_cell_fault t =
   | Some _ | None -> ()
 
 let inject t ?(from_cycle = 0) ?duration site model =
+  if t.batch <> None then invalid_arg "Circuit.inject: batch armed (use batch_arm)";
   t.fault <- Some { site; model; from_cycle; duration; frozen = None }
 
 let clear_fault t = t.fault <- None
@@ -591,6 +743,7 @@ let fault_model_name = function
 let trace_start t =
   check_elab t;
   if t.replay <> None then invalid_arg "Circuit.trace_start: replay armed";
+  if t.batch <> None then invalid_arg "Circuit.trace_start: batch armed";
   t.tracing <-
     Some
       { tb_prev = Array.copy t.values;
@@ -776,6 +929,7 @@ let replay_settle t r =
 
 let settle t =
   check_elab t;
+  if t.batch <> None then invalid_arg "Circuit.settle: batch armed (use batch_settle)";
   match t.replay with
   | Some r when not r.exhausted -> replay_settle t r
   | Some r ->
@@ -789,15 +943,15 @@ let settle t =
 
 let clock_core t =
   let values = t.values in
-  (* Phase 1: sample every register input and write port. *)
+  (* Phase 1: sample every register input and write port (data/enable
+     ids were lowered into flat arrays at elaboration, so the per-cycle
+     sweep has no per-node tag dispatch). *)
   Array.iteri
     (fun k id ->
-      match t.nodes.(id).kind with
-      | Register { d; en; _ } ->
-          t.reg_next.(k) <-
-            (if en >= 0 && values.(en) = 0 then values.(id)
-             else values.(d) land t.masks.(id))
-      | Input | Const _ | Comb _ -> assert false)
+      let en = t.reg_en.(k) in
+      t.reg_next.(k) <-
+        (if en >= 0 && values.(en) = 0 then values.(id)
+         else values.(t.reg_d.(k)) land t.masks.(id)))
     t.reg_ids;
   Array.iteri
     (fun m info ->
@@ -851,6 +1005,7 @@ let advance_shadow t r =
 
 let clock t =
   check_elab t;
+  if t.batch <> None then invalid_arg "Circuit.clock: batch armed (use batch_clock)";
   clock_core t;
   match t.replay with
   | Some r when not r.exhausted -> advance_shadow t r
@@ -869,6 +1024,7 @@ let mem_read t m idx =
 
 let mem_write t m idx v =
   check_elab t;
+  if t.batch <> None then invalid_arg "Circuit.mem_write: batch armed";
   let info = t.mem_arr.(m) in
   if idx < info.words then write_cell t m idx v
 
@@ -878,6 +1034,7 @@ let replay_start t plan tr =
   check_elab t;
   if t.replay <> None then invalid_arg "Circuit.replay_start: already replaying";
   if t.tracing <> None then invalid_arg "Circuit.replay_start: recording a trace";
+  if t.batch <> None then invalid_arg "Circuit.replay_start: batch armed";
   let n = Array.length t.values in
   if
     Array.length plan.rp_fanout <> n
@@ -972,6 +1129,573 @@ let replay_converged t =
   | Some r when not r.exhausted -> Some (r.ndirty = 0 && r.nmdiff = 0)
   | Some _ | None -> None
 
+let compiled_plan t =
+  check_elab t;
+  match t.compiled with Some p -> p | None -> raise Not_elaborated
+
+(* --- bit-parallel batch control --- *)
+
+let lane_popcount m =
+  let rec go acc m = if m = 0 then acc else go (acc + 1) (m land (m - 1)) in
+  go 0 m
+
+(* Call [f] on every set lane index of [lanes], lowest first.  Lane
+   masks are up to 63 bits, so [Bitops] (32-bit) helpers do not apply. *)
+let iter_lanes lanes f =
+  let m = ref lanes in
+  let l = ref 0 in
+  while !m <> 0 do
+    if !m land 0xFF = 0 then begin
+      m := !m lsr 8;
+      l := !l + 8
+    end
+    else begin
+      if !m land 1 <> 0 then f !l;
+      m := !m lsr 1;
+      incr l
+    end
+  done
+
+let get_batch t op =
+  match t.batch with
+  | Some bt -> bt
+  | None -> invalid_arg ("Circuit." ^ op ^ ": no batch armed")
+
+let lane_view t bt id l =
+  if bt.bt_diff.(id) land (1 lsl l) <> 0 then bt.bt_lane.((id lsl lane_shift) lor l)
+  else t.values.(id)
+
+let set_lane t bt id l v =
+  let bit = 1 lsl l in
+  let d0 = bt.bt_diff.(id) in
+  let old = if d0 land bit <> 0 then bt.bt_lane.((id lsl lane_shift) lor l) else t.values.(id) in
+  if v = t.values.(id) then bt.bt_diff.(id) <- d0 land lnot bit
+  else begin
+    bt.bt_diff.(id) <- d0 lor bit;
+    bt.bt_lane.((id lsl lane_shift) lor l) <- v;
+    if d0 = 0 then begin
+      (* first divergence on this node: wake the register slots that
+         sample it, so the clock's phase 1 starts visiting them *)
+      let ws = bt.bt_regof.(id) in
+      for i = 0 to Array.length ws - 1 do
+        let k = Array.unsafe_get ws i in
+        if not bt.bt_regmem.(k) then begin
+          bt.bt_regmem.(k) <- true;
+          Vec.push bt.bt_regset k
+        end
+      done
+    end
+  end;
+  let changed = old <> v in
+  if changed then begin
+    bt.bt_nstamp.(id) <- t.cyc;
+    Vec.push bt.bt_stamped id
+  end;
+  changed
+
+(* Lane [l]'s view of memory cell [(m, idx)]: its overlay entry while
+   the content diverges from the golden (base) array, the base content
+   otherwise. *)
+let ov_get t bt m idx l =
+  if Array.unsafe_get bt.bt_ovl.(m) idx land (1 lsl l) <> 0 then
+    Array.unsafe_get bt.bt_ov.(m) ((idx lsl lane_shift) lor l)
+  else Array.unsafe_get t.mem_arr.(m).data idx
+
+let ov_drop_bit bt m idx l =
+  bt.bt_mem_dirty.(m) <- bt.bt_mem_dirty.(m) lor (1 lsl l);
+  bt.bt_ovl.(m).(idx) <- bt.bt_ovl.(m).(idx) land lnot (1 lsl l);
+  let c = bt.bt_mem_cnt.(m).(l) - 1 in
+  bt.bt_mem_cnt.(m).(l) <- c;
+  if c = 0 then bt.bt_mem_lanes.(m) <- bt.bt_mem_lanes.(m) land lnot (1 lsl l)
+
+let ov_set t bt m idx l v =
+  let lm = bt.bt_ovl.(m).(idx) in
+  if v = t.mem_arr.(m).data.(idx) then begin
+    if lm land (1 lsl l) <> 0 then ov_drop_bit bt m idx l
+  end
+  else begin
+    if lm land (1 lsl l) = 0 then begin
+      bt.bt_ovl.(m).(idx) <- lm lor (1 lsl l);
+      bt.bt_mem_cnt.(m).(l) <- bt.bt_mem_cnt.(m).(l) + 1;
+      bt.bt_mem_lanes.(m) <- bt.bt_mem_lanes.(m) lor (1 lsl l);
+      bt.bt_mem_dirty.(m) <- bt.bt_mem_dirty.(m) lor (1 lsl l)
+    end
+    else if bt.bt_ov.(m).((idx lsl lane_shift) lor l) <> v then
+      bt.bt_mem_dirty.(m) <- bt.bt_mem_dirty.(m) lor (1 lsl l);
+    bt.bt_ov.(m).((idx lsl lane_shift) lor l) <- v
+  end
+
+let batch_start t tr =
+  check_elab t;
+  if t.batch <> None then invalid_arg "Circuit.batch_start: already batching";
+  if t.replay <> None then invalid_arg "Circuit.batch_start: replay armed";
+  if t.tracing <> None then invalid_arg "Circuit.batch_start: recording a trace";
+  if t.fault <> None then invalid_arg "Circuit.batch_start: scalar fault armed";
+  if t.cyc <> 0 then invalid_arg "Circuit.batch_start: not at cycle 0";
+  if tr.tr_len = 0 then invalid_arg "Circuit.batch_start: empty trace";
+  let rp = match t.compiled with Some p -> p | None -> raise Not_elaborated in
+  let n = Array.length t.values in
+  let nmems = Array.length t.mem_arr in
+  let nregs = Array.length t.reg_ids in
+  let regof =
+    let ls = Array.make n [] in
+    let watch id k = if id >= 0 then ls.(id) <- k :: ls.(id) in
+    for k = 0 to nregs - 1 do
+      watch t.reg_ids.(k) k;
+      watch t.reg_d.(k) k;
+      watch t.reg_en.(k) k
+    done;
+    let empty = [||] in
+    Array.map (function [] -> empty | l -> Array.of_list l) ls
+  in
+  t.batch <-
+    Some
+      { bt_tr = tr;
+        bt_active = 0;
+        bt_diff = Array.make n 0;
+        bt_lane = Array.make (n lsl lane_shift) 0;
+        bt_faults = Array.make max_lanes None;
+        bt_fnode = Array.make max_lanes (-1);
+        bt_fsrc = Array.make max_lanes false;
+        bt_ov =
+          Array.init nmems (fun m -> Array.make (t.mem_arr.(m).words lsl lane_shift) 0);
+        bt_ovl = Array.init nmems (fun m -> Array.make t.mem_arr.(m).words 0);
+        bt_mem_lanes = Array.make nmems 0;
+        bt_mem_cnt = Array.init nmems (fun _ -> Array.make max_lanes 0);
+        bt_cellf = Array.make nmems 0;
+        bt_buckets = Array.init (rp.rp_max_level + 1) (fun _ -> Vec.create 0);
+        bt_pend = Array.make n 0;
+        bt_wl_stamp = Array.make n 0;
+        bt_stamp = 0;
+        bt_stamped = Vec.create 0;
+        bt_mem_dirty = Array.make nmems 0;
+        bt_views = Array.make max_lanes 0;
+        bt_regnext = Array.make (max nregs 1 lsl lane_shift) 0;
+        bt_regpend = Array.make (max nregs 1) 0;
+        bt_ov_ids = Array.make t.max_deps 0;
+        bt_ov_vals = Array.make t.max_deps 0;
+        bt_sc_fire = Array.make max_lanes 0;
+        bt_sc_idx = Array.make max_lanes 0;
+        bt_sc_val = Array.make max_lanes 0;
+        bt_nstamp = Array.make n 0;
+        bt_fsite = Array.make n 0;
+        bt_regof = regof;
+        bt_regset = Vec.create 0;
+        bt_regmem = Array.make (max nregs 1) false;
+        bt_regactive = Vec.create 0;
+        bt_exhausted = false;
+        bt_evals = 0;
+        bt_dense = 0 }
+
+let batch_arm t lane ?(from_cycle = 0) ?duration site model =
+  let bt = get_batch t "batch_arm" in
+  if lane < 0 || lane >= max_lanes then invalid_arg "Circuit.batch_arm: bad lane";
+  if bt.bt_active land (1 lsl lane) <> 0 then invalid_arg "Circuit.batch_arm: lane in use";
+  bt.bt_faults.(lane) <- Some { site; model; from_cycle; duration; frozen = None };
+  bt.bt_active <- bt.bt_active lor (1 lsl lane);
+  match site with
+  | Node (s, _) ->
+      bt.bt_fnode.(lane) <- s;
+      let src =
+        match t.nodes.(s).kind with
+        | Comb _ -> false
+        | Input | Const _ | Register _ -> true
+      in
+      bt.bt_fsrc.(lane) <- src;
+      if not src then bt.bt_fsite.(s) <- bt.bt_fsite.(s) lor (1 lsl lane)
+  | Cell (m, _, _) ->
+      bt.bt_fnode.(lane) <- -1;
+      bt.bt_fsrc.(lane) <- false;
+      bt.bt_cellf.(m) <- bt.bt_cellf.(m) lor (1 lsl lane)
+
+let batch_retire t lane =
+  let bt = get_batch t "batch_retire" in
+  let bit = 1 lsl lane in
+  if bt.bt_active land bit = 0 then invalid_arg "Circuit.batch_retire: lane not active";
+  bt.bt_active <- bt.bt_active land lnot bit;
+  bt.bt_faults.(lane) <- None;
+  (if bt.bt_fnode.(lane) >= 0 && not bt.bt_fsrc.(lane) then
+     let s = bt.bt_fnode.(lane) in
+     bt.bt_fsite.(s) <- bt.bt_fsite.(s) land lnot bit);
+  bt.bt_fnode.(lane) <- -1;
+  bt.bt_fsrc.(lane) <- false;
+  let diff = bt.bt_diff in
+  for id = 0 to Array.length diff - 1 do
+    diff.(id) <- diff.(id) land lnot bit
+  done;
+  Array.iteri
+    (fun m _ ->
+      bt.bt_cellf.(m) <- bt.bt_cellf.(m) land lnot bit;
+      if bt.bt_mem_cnt.(m).(lane) > 0 then begin
+        let ovl = bt.bt_ovl.(m) in
+        for idx = 0 to Array.length ovl - 1 do
+          if ovl.(idx) land bit <> 0 then ov_drop_bit bt m idx lane
+        done
+      end)
+    t.mem_arr
+
+let batch_set_input t s lane v =
+  let bt = get_batch t "batch_set_input" in
+  (match t.nodes.(s).kind with
+  | Input -> ()
+  | Const _ | Comb _ | Register _ -> invalid_arg "Circuit.batch_set_input: not an input");
+  ignore (set_lane t bt s lane (v land t.masks.(s)))
+
+let batch_value t s lane =
+  let bt = get_batch t "batch_value" in
+  lane_view t bt s lane
+
+let batch_mem_read t m idx lane =
+  let bt = get_batch t "batch_mem_read" in
+  if idx < t.mem_arr.(m).words then ov_get t bt m idx lane else 0
+
+let batch_settle t =
+  check_elab t;
+  let bt = get_batch t "batch_settle" in
+  let rp = match t.compiled with Some p -> p | None -> assert false in
+  let active = bt.bt_active in
+  if active <> 0 then begin
+    bt.bt_dense <- bt.bt_dense + (lane_popcount active * Array.length t.order);
+    (* forced cell faults, per lane (mirrors [refresh_cell_fault]) *)
+    iter_lanes active (fun l ->
+        match bt.bt_faults.(l) with
+        | Some ({ site = Cell (m, idx, bit); _ } as f) when fault_active t f ->
+            if idx < t.mem_arr.(m).words then begin
+              match f.model with
+              | Stuck_at_0 -> ov_set t bt m idx l (Bitops.clear_bit bit (ov_get t bt m idx l))
+              | Stuck_at_1 -> ov_set t bt m idx l (Bitops.set_bit bit (ov_get t bt m idx l))
+              | Bit_flip ->
+                  if f.frozen = None then begin
+                    ov_set t bt m idx l (ov_get t bt m idx l lxor (1 lsl bit));
+                    f.frozen <- Some 1
+                  end
+              | Open_line -> ()
+            end
+        | Some _ | None -> ());
+    (* transform faulted sources before seeding: the resulting value
+       changes (divergence, toggle or heal) land in [bt_stamped] and
+       seed the sweep exactly like any other change *)
+    iter_lanes active (fun l ->
+        match bt.bt_faults.(l) with
+        | Some ({ site = Node (s, bit); _ } as f) when bt.bt_fsrc.(l) ->
+            if fault_active t f then
+              ignore (set_lane t bt s l (transform_bit f ~bit (lane_view t bt s l)))
+        | Some _ | None -> ());
+    (* seed the levelized worklist with per-node lane masks *)
+    bt.bt_stamp <- bt.bt_stamp + 1;
+    let stamp = bt.bt_stamp in
+    for l = 0 to rp.rp_max_level do
+      Vec.clear bt.bt_buckets.(l)
+    done;
+    let push_node id lanes =
+      if lanes <> 0 then begin
+        if bt.bt_wl_stamp.(id) <> stamp then begin
+          bt.bt_wl_stamp.(id) <- stamp;
+          bt.bt_pend.(id) <- 0;
+          Vec.push bt.bt_buckets.(rp.rp_level.(id)) id
+        end;
+        bt.bt_pend.(id) <- bt.bt_pend.(id) lor lanes
+      end
+    in
+    let push_fanout id lanes =
+      if lanes <> 0 then Array.iter (fun s -> push_node s lanes) rp.rp_fanout.(id)
+    in
+    let cyc = t.cyc in
+    let nstamp = bt.bt_nstamp in
+    (* Change-driven seeding: between two settles a lane's view of a
+       node can only move through a node in [bt_stamped] (a golden
+       trace delta, a clock-committed lane register, a lane input
+       change) or through memory content, tracked per memory in
+       [bt_mem_dirty].  A divergence cone none of whose members moved
+       seeds nothing and costs nothing this cycle. *)
+    let nseed = Vec.length bt.bt_stamped in
+    for i = 0 to nseed - 1 do
+      let id = Vec.get bt.bt_stamped i in
+      if Array.unsafe_get nstamp id = cyc then push_fanout id active
+    done;
+    (* combinational fault sites evaluate every settle while armed —
+       the injection window tracks the cycle counter, not the inputs,
+       and a closed window heals its residual on the next evaluation *)
+    iter_lanes active (fun l ->
+        match bt.bt_faults.(l) with
+        | Some { site = Node (s, _); _ } when not bt.bt_fsrc.(l) ->
+            push_node s (1 lsl l)
+        | Some _ | None -> ());
+    Array.iteri
+      (fun m _ ->
+        let lanes = (bt.bt_mem_dirty.(m) lor bt.bt_cellf.(m)) land active in
+        if lanes <> 0 then Array.iter (fun id -> push_node id lanes) rp.rp_mem_readers.(m))
+      t.mem_arr;
+    (* evaluate the affected (node, lane) pairs in level order: an
+       evaluation can only push strictly deeper nodes *)
+    let nev = ref 0 in
+    let diff = bt.bt_diff in
+    for lvl = 1 to rp.rp_max_level do
+      let b = bt.bt_buckets.(lvl) in
+      for i = 0 to Vec.length b - 1 do
+        let id = Vec.get b i in
+        let need =
+          let rm = t.rport_of.(id) in
+          if rm >= 0 then begin
+            (* a read port re-derives when its address input moved
+               (golden delta or lane change) or when some lane's view
+               of the array content did; a port with a diverged but
+               quiet address over quiet content is exact as stored *)
+            let dirty = bt.bt_mem_dirty.(rm) lor bt.bt_cellf.(rm) in
+            let addr = t.deps_by_id.(id).(0) in
+            (if Array.unsafe_get nstamp addr = cyc then
+               bt.bt_pend.(id)
+               land (diff.(id) lor diff.(addr) lor bt.bt_mem_lanes.(rm) lor dirty)
+             else bt.bt_pend.(id) land dirty)
+            (* a faulted read port transforms on the cycle counter, not
+               on its inputs: evaluate its lane unconditionally *)
+            lor (bt.bt_pend.(id) land bt.bt_fsite.(id))
+          end
+          else begin
+            (* change-driven pruning: with no dependency stamped this
+               cycle the node would recompute last settle's values;
+               the relevance mask restricts evaluation to lanes that
+               diverge somewhere across the node's cut (clean lanes
+               track the golden trace for free) *)
+            let deps = t.deps_by_id.(id) in
+            let fresh = ref false in
+            let rel = ref (Array.unsafe_get diff id) in
+            for j = 0 to Array.length deps - 1 do
+              let d = Array.unsafe_get deps j in
+              if Array.unsafe_get nstamp d = cyc then fresh := true;
+              rel := !rel lor Array.unsafe_get diff d
+            done;
+            (if !fresh then bt.bt_pend.(id) land !rel else 0)
+            lor (bt.bt_pend.(id) land bt.bt_fsite.(id))
+          end
+        in
+        let need = need land active in
+        if need <> 0 then begin
+          let rm = t.rport_of.(id) in
+          let values = t.values in
+          let deps = t.deps_by_id.(id) in
+          (* group the lanes of one node: deps diverged in any needed
+             lane are saved once, written per lane, restored once *)
+          let nov = ref 0 in
+          if rm < 0 then
+            for i = 0 to Array.length deps - 1 do
+              let d = Array.unsafe_get deps i in
+              if Array.unsafe_get diff d land need <> 0 then begin
+                bt.bt_ov_ids.(!nov) <- d;
+                bt.bt_ov_vals.(!nov) <- Array.unsafe_get values d;
+                incr nov
+              end
+            done;
+          let m = ref need in
+          let l = ref 0 in
+          while !m <> 0 do
+            if !m land 0xFF = 0 then begin
+              m := !m lsr 8;
+              l := !l + 8
+            end
+            else begin
+              (if !m land 1 <> 0 then begin
+                 let l = !l in
+                 let v0 =
+                   if rm >= 0 then begin
+                     let a = lane_view t bt (Array.unsafe_get deps 0) l in
+                     (if a < t.mem_arr.(rm).words then ov_get t bt rm a l else 0)
+                     land t.masks.(id)
+                   end
+                   else begin
+                     let bitl = 1 lsl l in
+                     for j = 0 to !nov - 1 do
+                       let d = Array.unsafe_get bt.bt_ov_ids j in
+                       Array.unsafe_set values d
+                         (if Array.unsafe_get diff d land bitl <> 0 then
+                            Array.unsafe_get bt.bt_lane ((d lsl lane_shift) lor l)
+                          else Array.unsafe_get bt.bt_ov_vals j)
+                     done;
+                     t.eval_by_id.(id) values land t.masks.(id)
+                   end
+                 in
+                 let v =
+                   if bt.bt_fnode.(l) = id && not bt.bt_fsrc.(l) then
+                     match bt.bt_faults.(l) with
+                     | Some ({ site = Node (_, bit); _ } as f) when fault_active t f ->
+                         transform_bit f ~bit v0
+                     | Some _ | None -> v0
+                   else v0
+                 in
+                 incr nev;
+                 if set_lane t bt id l v then push_fanout id (1 lsl l)
+               end);
+              m := !m lsr 1;
+              incr l
+            end
+          done;
+          for j = !nov - 1 downto 0 do
+            Array.unsafe_set values bt.bt_ov_ids.(j) bt.bt_ov_vals.(j)
+          done
+        end
+      done
+    done;
+    bt.bt_evals <- bt.bt_evals + !nev;
+    Array.iteri (fun m _ -> bt.bt_mem_dirty.(m) <- 0) t.mem_arr
+  end
+
+let batch_clock t =
+  check_elab t;
+  let bt = get_batch t "batch_clock" in
+  if bt.bt_exhausted then invalid_arg "Circuit.batch_clock: trace exhausted";
+  let active = bt.bt_active in
+  let values = t.values in
+  (* Phase 1: sample lane register inputs.  Lanes clean on d/en/q
+     follow the golden commit for free via the trace delta.  Only the
+     slots in [bt_regset] — woken by [set_lane] on a node's first
+     divergence — can have work; slots whose divergence has fully
+     healed are pruned on the way. *)
+  Vec.clear bt.bt_regactive;
+  let i = ref 0 in
+  while !i < Vec.length bt.bt_regset do
+    let k = Vec.get bt.bt_regset !i in
+    let id = t.reg_ids.(k) in
+    let d = t.reg_d.(k) and en = t.reg_en.(k) in
+    let union =
+      bt.bt_diff.(id) lor bt.bt_diff.(d) lor if en >= 0 then bt.bt_diff.(en) else 0
+    in
+    if union = 0 then begin
+      bt.bt_regmem.(k) <- false;
+      Vec.swap_pop bt.bt_regset !i
+    end
+    else begin
+      let lanes = union land active in
+      if lanes <> 0 then begin
+        bt.bt_regpend.(k) <- lanes;
+        Vec.push bt.bt_regactive k;
+        iter_lanes lanes (fun l ->
+            bt.bt_regnext.((k lsl lane_shift) lor l) <-
+              (if en >= 0 && lane_view t bt en l = 0 then lane_view t bt id l
+               else lane_view t bt d l land t.masks.(id)))
+      end;
+      incr i
+    end
+  done;
+  (* Phase 2: commit memory writes — the golden action goes to the
+     base arrays, diverged-lane actions go to the overlays, processed
+     in write-port order exactly like [clock_core]. *)
+  Array.iteri
+    (fun m info ->
+      let mask = (1 lsl info.m_width) - 1 in
+      let wps = info.wp_arr in
+      for p = 0 to Array.length wps - 1 do
+        let { wp_we; wp_addr; wp_data } = wps.(p) in
+        let special =
+          (bt.bt_diff.(wp_we) lor bt.bt_diff.(wp_addr) lor bt.bt_diff.(wp_data)
+          lor bt.bt_cellf.(m))
+          land active
+        in
+        (* lane write actions; value transforms (cell faults on the
+           write path) read the pre-write view, like [write_cell] *)
+        let wrl = ref 0 in
+        iter_lanes special (fun l ->
+            bt.bt_sc_fire.(l) <- 0;
+            if lane_view t bt wp_we l <> 0 then begin
+              let idx = lane_view t bt wp_addr l in
+              if idx < info.words then begin
+                let v = lane_view t bt wp_data l in
+                let v =
+                  match bt.bt_faults.(l) with
+                  | Some ({ site = Cell (fm, fidx, bit); _ } as f)
+                    when fm = m && fidx = idx && fault_active t f -> (
+                      match f.model with
+                      | Stuck_at_0 -> Bitops.clear_bit bit v
+                      | Stuck_at_1 -> Bitops.set_bit bit v
+                      | Bit_flip -> v
+                      | Open_line ->
+                          Bitops.update_bit bit
+                            (Bitops.bit bit (ov_get t bt m idx l) <> 0)
+                            v)
+                  | Some _ | None -> v
+                in
+                bt.bt_sc_fire.(l) <- 1;
+                bt.bt_sc_idx.(l) <- idx;
+                bt.bt_sc_val.(l) <- v land mask;
+                wrl := !wrl lor (1 lsl l)
+              end
+            end);
+        if values.(wp_we) <> 0 then begin
+          let gidx = values.(wp_addr) in
+          if gidx < info.words then begin
+            let gv = values.(wp_data) land mask in
+            (* diverged lanes not writing this cell keep their view
+               across the base change; clean lanes wrote [gv] to it
+               themselves, so any stale overlay they held here heals *)
+            let preserve = ref 0 in
+            let views = bt.bt_views in
+            iter_lanes special (fun l ->
+                if not (bt.bt_sc_fire.(l) = 1 && bt.bt_sc_idx.(l) = gidx) then begin
+                  views.(l) <- ov_get t bt m gidx l;
+                  preserve := !preserve lor (1 lsl l)
+                end);
+            (if info.data.(gidx) <> gv then begin
+               (* base content moved: lanes that bypass the golden
+                  read-port value — overlay holders and lanes reading
+                  through a diverged address — must re-derive *)
+               let d = ref bt.bt_mem_lanes.(m) in
+               (match t.compiled with
+               | Some rp ->
+                   Array.iter
+                     (fun rid -> d := !d lor bt.bt_diff.(t.deps_by_id.(rid).(0)))
+                     rp.rp_mem_readers.(m)
+               | None -> ());
+               bt.bt_mem_dirty.(m) <- bt.bt_mem_dirty.(m) lor !d
+             end);
+            info.data.(gidx) <- gv;
+            (let drop = bt.bt_ovl.(m).(gidx) land active land lnot special in
+             if drop <> 0 then iter_lanes drop (fun l -> ov_drop_bit bt m gidx l));
+            iter_lanes !preserve (fun l -> ov_set t bt m gidx l views.(l))
+          end
+        end;
+        iter_lanes !wrl (fun l -> ov_set t bt m bt.bt_sc_idx.(l) l bt.bt_sc_val.(l))
+      done)
+    t.mem_arr;
+  (* Phase 3: advance the golden machine wholesale from the trace *)
+  t.cyc <- t.cyc + 1;
+  let c = t.cyc in
+  if c >= bt.bt_tr.tr_len then bt.bt_exhausted <- true
+  else begin
+    let dend = bt.bt_tr.tr_dend and delta = bt.bt_tr.tr_delta in
+    let nstamp = bt.bt_nstamp in
+    (* the seed set restarts here: stale entries from the settle that
+       just ran describe changes its sweep already propagated *)
+    Vec.clear bt.bt_stamped;
+    for i = dend.(c - 1) to dend.(c) - 1 do
+      let p = Array.unsafe_get delta i in
+      let id = delta_id p in
+      Array.unsafe_set values id (delta_val p);
+      (* a delta is by definition an effective-value change for every
+         lane that is clean on this node *)
+      Array.unsafe_set nstamp id c;
+      Vec.push bt.bt_stamped id
+    done;
+    (* Phase 4: commit sampled lane registers against the new golden *)
+    for i = 0 to Vec.length bt.bt_regactive - 1 do
+      let k = Vec.get bt.bt_regactive i in
+      let id = t.reg_ids.(k) in
+      iter_lanes bt.bt_regpend.(k) (fun l ->
+          ignore (set_lane t bt id l bt.bt_regnext.((k lsl lane_shift) lor l)))
+    done;
+  end
+
+let batch_stop t =
+  match t.batch with
+  | None -> invalid_arg "Circuit.batch_stop: no batch armed"
+  | Some bt ->
+      t.batch <- None;
+      { bs_evals = bt.bt_evals; bs_dense_evals = bt.bt_dense }
+
+let batch_armed t = t.batch <> None
+
+let batch_active t = match t.batch with Some bt -> bt.bt_active | None -> 0
+
+let batch_exhausted t = (get_batch t "batch_exhausted").bt_exhausted
+
 (* --- state snapshots (campaign checkpointing) --- *)
 
 type snapshot = {
@@ -989,6 +1713,7 @@ let snapshot t =
 let restore t snap =
   check_elab t;
   if t.replay <> None then invalid_arg "Circuit.restore: replay armed";
+  if t.batch <> None then invalid_arg "Circuit.restore: batch armed";
   Array.blit snap.snap_values 0 t.values 0 (Array.length t.values);
   Array.iteri
     (fun m info -> Array.blit snap.snap_mems.(m) 0 info.data 0 info.words)
@@ -1002,12 +1727,13 @@ let int_arrays_equal a b =
   let rec go i = i >= n || (Array.unsafe_get a i = Array.unsafe_get b i && go (i + 1)) in
   go 0
 
-let state_equal t snap =
+let same_state t snap =
   check_elab t;
-  t.cyc = snap.snap_cycle
-  && int_arrays_equal t.values snap.snap_values
+  int_arrays_equal t.values snap.snap_values
   && Array.for_all Fun.id
        (Array.mapi (fun m info -> int_arrays_equal info.data snap.snap_mems.(m)) t.mem_arr)
+
+let state_equal t snap = t.cyc = snap.snap_cycle && same_state t snap
 
 let mix h x =
   let h = (h lxor x) * 0x100000001B3 in

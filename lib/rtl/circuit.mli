@@ -150,6 +150,12 @@ val state_equal : t -> snapshot -> bool
     comparing {!state_hash}es: no collision risk, and it short-circuits
     on the first differing word). *)
 
+val same_state : t -> snapshot -> bool
+(** Like {!state_equal} but ignoring the cycle counter: true when the
+    machine has re-entered a state it passed through earlier.  This is
+    what hang-loop detection compares — a state revisited with
+    identical future inputs proves the trajectory is periodic. *)
+
 val state_hash : t -> int
 (** Deterministic hash of the full sequential state; cheap fingerprint
     for logging and cross-checking checkpoints. *)
@@ -282,6 +288,93 @@ type replay_stats = {
 
 val replay_stop : t -> replay_stats
 (** Disarm the replay and return its accumulated statistics. *)
+
+val compiled_plan : t -> replay_plan
+(** The levelized schedule the kernel lowered from the netlist at
+    {!elaborate} — field-for-field identical to what
+    [Analysis.Graph.replay_plan] builds from the structural views, but
+    available without constructing the dependency graph.  Built once
+    per elaboration; do not mutate. *)
+
+(** {2 Bit-parallel fault batching (PPSFP)}
+
+    The batch engine packs up to {!max_lanes} faulty machines next to
+    the golden machine and advances them all against one golden trace:
+    the golden state lives in the circuit's own values (advanced
+    wholesale from the trace deltas, never re-evaluated), and each
+    {e lane} stores only the nodes on which it currently diverges — a
+    per-node 63-bit divergence mask plus a dense lane-value store.  A
+    batch settle propagates lane sets through the levelized schedule
+    with bitwise ORs, so a clean (node, lane) pair costs nothing and a
+    campaign of thousands of mostly-convergent faulty runs becomes
+    dozens of passes.  Memory divergence is tracked per lane with
+    sparse overlays above the golden (base) arrays.
+
+    While a batch is armed the scalar entry points ([reset], [settle],
+    [clock], [set_input], [inject], [restore], [mem_write], trace and
+    replay control) are rejected; use the [batch_*] variants.  The
+    circuit must sit at cycle 0 in the trace's initial settled state
+    when the batch starts (a fresh golden [load]). *)
+
+val max_lanes : int
+(** 63: one native [int] keeps 63 usable lane bits next to the
+    implicit golden machine. *)
+
+type batch_stats = {
+  bs_evals : int;  (** per-lane comb evaluations actually performed *)
+  bs_dense_evals : int;
+      (** evaluations [lanes] independent dense sweeps would have cost
+          over the same cycles *)
+}
+
+val batch_start : t -> trace -> unit
+(** Arm the batch engine against a golden trace.  No lanes are active
+    until {!batch_arm}. *)
+
+val batch_arm :
+  t -> int -> ?from_cycle:int -> ?duration:int -> fault_site -> fault_model -> unit
+(** [batch_arm c lane site model] puts one faulty machine into [lane]
+    (0 .. [max_lanes - 1]); same fault semantics as {!inject}.  The
+    lane starts as an exact copy of the golden machine. *)
+
+val batch_settle : t -> unit
+(** Propagate every active lane's divergence cone (the golden values
+    are already settled, straight from the trace). *)
+
+val batch_clock : t -> unit
+(** Commit registers and memory writes for every active lane, then
+    advance the golden machine one cycle from the trace.  Check
+    {!batch_exhausted} afterwards: past the end of the trace the
+    remaining lanes must be ejected to scalar runs. *)
+
+val batch_value : t -> signal -> int -> int
+(** [batch_value c s lane]: lane's settled view of a node. *)
+
+val batch_set_input : t -> signal -> int -> int -> unit
+(** [batch_set_input c s lane v]: drive an input as seen by one lane
+    (the golden input value arrives via the trace delta). *)
+
+val batch_mem_read : t -> memory -> int -> int -> int
+(** [batch_mem_read c m idx lane]: lane's view of a memory cell. *)
+
+val batch_retire : t -> int -> unit
+(** Drop a lane from the batch (terminal verdict reached): clears its
+    divergence bits and memory overlays so the remaining lanes' settles
+    no longer pay for it. *)
+
+val batch_active : t -> int
+(** Mask of live lanes (0 when no batch is armed). *)
+
+val batch_armed : t -> bool
+
+val batch_exhausted : t -> bool
+(** The golden trace ended while lanes were still live; their batch
+    state is no longer advanced. *)
+
+val batch_stop : t -> batch_stats
+(** Disarm the batch and return its accumulated statistics.  The
+    circuit is left mid-trace (golden values at the current cycle);
+    callers re-[load] before the next use. *)
 
 (** {2 Introspection} *)
 

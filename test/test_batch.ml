@@ -1,0 +1,348 @@
+(* Tests for bit-parallel fault batching (PPSFP): the compiled
+   levelized plan must equal the graph-derived one, a batch of lanes
+   must track independent scalar runs observable-for-observable
+   (write streams, stop reasons, stop and mismatch cycles), and lane
+   arming/retirement must behave per fault model. *)
+
+module A = Sparc.Asm
+module I = Sparc.Isa
+module C = Rtl.Circuit
+module Bus_event = Sparc.Bus_event
+module Campaign = Fault_injection.Campaign
+module Injection = Fault_injection.Injection
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let shared_sys = lazy (Leon3.System.create ())
+
+let circuit sys = (Leon3.System.core sys).Leon3.Core.circuit
+
+let small_prog =
+  lazy
+    (let b = A.create ~name:"small" () in
+     A.prologue b;
+     A.mov b (Imm 0) I.o0;
+     A.mov b (Imm 0) I.o1;
+     A.label b "loop";
+     A.op3 b I.Add I.o0 (Reg I.o1) I.o0;
+     A.op3 b I.Add I.o1 (Imm 1) I.o1;
+     A.cmp b I.o1 (Imm 8);
+     A.branch b I.Bne "loop";
+     A.set32 b Sparc.Layout.result_base I.o2;
+     A.st b I.St I.o0 I.o2 (Imm 0);
+     A.halt b I.o0;
+     A.assemble b)
+
+let golden_setup =
+  lazy
+    (let sys = Lazy.force shared_sys in
+     let prog = Lazy.force small_prog in
+     let golden = Campaign.golden_run ~trace:true sys prog ~max_cycles:100_000 in
+     let trace = Option.get golden.Campaign.trace in
+     let sites =
+       Array.of_list (Injection.sites (Leon3.System.core sys) Injection.Iu)
+     in
+     (golden, trace, sites))
+
+(* ---- the compiled plan is the graph-derived plan ---- *)
+
+let test_compiled_plan_matches_graph () =
+  let sys = Lazy.force shared_sys in
+  let c = circuit sys in
+  let compiled = C.compiled_plan c in
+  let from_graph = Analysis.Graph.replay_plan (Analysis.Graph.build c) in
+  check_int "node count" (Array.length from_graph.C.rp_fanout)
+    (Array.length compiled.C.rp_fanout);
+  check_int "max level" from_graph.C.rp_max_level compiled.C.rp_max_level;
+  check_bool "levels" true (from_graph.C.rp_level = compiled.C.rp_level);
+  check_bool "fanout" true (from_graph.C.rp_fanout = compiled.C.rp_fanout);
+  check_bool "mem readers" true (from_graph.C.rp_mem_readers = compiled.C.rp_mem_readers)
+
+(* ---- batch runs track independent scalar runs ---- *)
+
+(* Everything a verdict can depend on, per run. *)
+type observed = {
+  o_stop : Leon3.System.stop_reason;
+  o_matched : int;
+  o_stop_cycle : int;
+  o_mismatch : int option;
+  o_events : Bus_event.t list;
+}
+
+(* Scalar reference: the untrimmed [run_one] comparator, exposing the
+   raw observables instead of a classified verdict. *)
+let scalar_observe sys prog (golden : Campaign.golden) ~max_cycles
+    (sp : Batch.spec) =
+  let c = circuit sys in
+  Leon3.System.load sys prog;
+  C.inject c ~from_cycle:sp.Batch.from_cycle ?duration:sp.Batch.duration
+    sp.Batch.site sp.Batch.model;
+  let matched = ref 0 and mismatch = ref None in
+  let reference = golden.Campaign.writes in
+  let on_event ev =
+    if not (Bus_event.is_write ev) then true
+    else if
+      !matched < Array.length reference && Bus_event.equal ev reference.(!matched)
+    then begin
+      incr matched;
+      true
+    end
+    else begin
+      mismatch := Some (Leon3.System.cycles sys);
+      false
+    end
+  in
+  let stop = Leon3.System.run ~on_event sys ~max_cycles in
+  C.clear_fault c;
+  { o_stop = stop;
+    o_matched = !matched;
+    o_stop_cycle = Leon3.System.cycles sys;
+    o_mismatch = !mismatch;
+    o_events = Leon3.System.events sys }
+
+let observed_of_result (r : Batch.result) =
+  { o_stop = r.Batch.stop;
+    o_matched = r.Batch.matched;
+    o_stop_cycle = r.Batch.stop_cycle;
+    o_mismatch = r.Batch.mismatch_cycle;
+    o_events = r.Batch.events }
+
+let pp_observed o =
+  Format.asprintf "%a matched=%d stop=%d mismatch=%s events=%d"
+    Leon3.System.pp_stop o.o_stop o.o_matched o.o_stop_cycle
+    (match o.o_mismatch with None -> "-" | Some c -> string_of_int c)
+    (List.length o.o_events)
+
+let batch_vs_scalar specs =
+  let sys = Lazy.force shared_sys in
+  let prog = Lazy.force small_prog in
+  let golden, trace, _ = Lazy.force golden_setup in
+  let max_cycles = (4 * golden.Campaign.cycles) + 2000 in
+  let outcomes, _ =
+    Batch.run ~sys ~prog ~trace ~reference:golden.Campaign.writes ~max_cycles specs
+  in
+  Array.iteri
+    (fun i outcome ->
+      let scalar = scalar_observe sys prog golden ~max_cycles specs.(i) in
+      match outcome with
+      | Batch.Done r ->
+          let b = observed_of_result r in
+          if b <> scalar then
+            Alcotest.failf "lane %d: batch %s <> scalar %s" i (pp_observed b)
+              (pp_observed scalar)
+      | Batch.Ejected ->
+          (* only lanes that outlive the golden trace may be ejected *)
+          check_bool
+            (Printf.sprintf "lane %d ejected but scalar finished in-trace" i)
+            true
+            (scalar.o_stop_cycle >= C.trace_cycles trace - 1))
+    outcomes
+
+let spec ?duration ?(from_cycle = 0) site model =
+  { Batch.site; model; from_cycle; duration }
+
+let test_batch_full_occupancy () =
+  (* One full batch over a mix of sites, models and injection cycles
+     (many silent, some failing, some trapping). *)
+  let golden, _, sites = Lazy.force golden_setup in
+  let models = [| C.Stuck_at_0; C.Stuck_at_1; C.Open_line; C.Bit_flip |] in
+  let specs =
+    Array.init C.max_lanes (fun i ->
+        let site = sites.(i * 131 mod Array.length sites) in
+        let from_cycle =
+          if i mod 3 = 0 then 0 else i * 17 mod (golden.Campaign.cycles + 10)
+        in
+        let duration = if i mod 5 = 4 then Some ((i mod 3) + 1) else None in
+        spec ?duration ~from_cycle site.Injection.fault_site models.(i mod 4))
+  in
+  batch_vs_scalar specs
+
+let test_batch_cell_faults () =
+  let _, _, sites = Lazy.force golden_setup in
+  let cells =
+    Array.of_list
+      (List.filter
+         (fun s ->
+           match s.Injection.fault_site with C.Cell _ -> true | C.Node _ -> false)
+         (Array.to_list sites))
+  in
+  check_bool "cell sites exist" true (Array.length cells > 8);
+  let specs =
+    Array.init
+      (min 16 (Array.length cells))
+      (fun i ->
+        let site = cells.(i * 37 mod Array.length cells) in
+        let model =
+          [| C.Stuck_at_0; C.Stuck_at_1; C.Bit_flip; C.Open_line |].(i mod 4)
+        in
+        spec site.Injection.fault_site model)
+  in
+  batch_vs_scalar specs
+
+(* qcheck: random small batches equal per-lane scalar runs. *)
+let gen_specs =
+  let open QCheck2.Gen in
+  let one =
+    map3
+      (fun si model (pct, duration) -> (si, model, pct, duration))
+      (int_bound 100_000)
+      (oneofl [ C.Stuck_at_0; C.Stuck_at_1; C.Open_line; C.Bit_flip ])
+      (pair (int_bound 99) (oneofl [ None; Some 1; Some 4 ]))
+  in
+  list_size (int_range 1 12) one
+
+let print_specs l =
+  String.concat "; "
+    (List.map
+       (fun (si, model, pct, duration) ->
+         Printf.sprintf "site#%d %s at %d%% dur %s" si (C.fault_model_name model)
+           pct
+           (match duration with None -> "perm" | Some d -> string_of_int d))
+       l)
+
+let prop_batch_matches_scalar =
+  QCheck2.Test.make ~name:"batch lanes = independent scalar runs" ~count:30
+    ~print:print_specs gen_specs (fun l ->
+      let golden, _, sites = Lazy.force golden_setup in
+      let specs =
+        Array.of_list
+          (List.map
+             (fun (si, model, pct, duration) ->
+               let site = sites.(si mod Array.length sites) in
+               spec ?duration
+                 ~from_cycle:(golden.Campaign.cycles * pct / 100)
+                 site.Injection.fault_site model)
+             l)
+      in
+      batch_vs_scalar specs;
+      true)
+
+(* ---- campaign verdicts identical with batching on or off ---- *)
+
+let verdict (r : Campaign.run_result) =
+  (r.Campaign.site_name, r.Campaign.model, r.Campaign.outcome, r.Campaign.detect_cycle,
+   r.Campaign.inject_cycle)
+
+let full_summary (s : Campaign.summary) =
+  ( s.Campaign.injections, s.Campaign.failures, s.Campaign.pf, s.Campaign.wrong_writes,
+    s.Campaign.missing_writes, s.Campaign.traps, s.Campaign.hangs,
+    s.Campaign.max_latency, s.Campaign.mean_latency, s.Campaign.skipped,
+    s.Campaign.early_exits )
+
+let test_batch_campaign_matches_scalar () =
+  let sys = Lazy.force shared_sys in
+  let base =
+    { Campaign.default_config with
+      Campaign.models = [ C.Stuck_at_0; C.Stuck_at_1; C.Open_line ];
+      sample_size = Some 40 }
+  in
+  let obs_on = Obs.create () in
+  List.iter
+    (fun e ->
+      let prog = e.Workloads.Suite.build ~iterations:1 ~dataset:0 in
+      let wl = e.Workloads.Suite.name in
+      let sum_b, res_b =
+        Campaign.run ~config:{ base with Campaign.batch = true } ~obs:obs_on sys prog
+          Injection.Iu
+      in
+      let sum_s, res_s =
+        Campaign.run ~config:{ base with Campaign.batch = false } sys prog Injection.Iu
+      in
+      check_int (wl ^ ": result count") (List.length res_s) (List.length res_b);
+      List.iter2
+        (fun rb rs ->
+          check_bool (wl ^ ": verdict " ^ rb.Campaign.site_name) true
+            (verdict rb = verdict rs))
+        res_b res_s;
+      List.iter2
+        (fun (m, sb) (m', ss) ->
+          check_bool (wl ^ ": model order") true (m = m');
+          check_bool (wl ^ ": summaries identical") true
+            (full_summary sb = full_summary ss))
+        sum_b sum_s)
+    Workloads.Suite.table1_set;
+  check_bool "batch passes happened" true (Obs.counter obs_on "batch.passes" > 0);
+  check_bool "lanes retired in batch" true
+    (Obs.counter obs_on "batch.lanes_retired" > 0)
+
+(* ---- lane arming and early retirement ---- *)
+
+let test_lane_masks_and_retirement () =
+  (* Stuck-at/open-line/bit-flip lanes armed on one node diverge (or
+     not) exactly per model semantics, and retiring a lane clears its
+     divergence without disturbing the others. *)
+  let sys = Lazy.force shared_sys in
+  let prog = Lazy.force small_prog in
+  let _, trace, sites = Lazy.force golden_setup in
+  let c = circuit sys in
+  (* a node the program actually exercises: first IU node site *)
+  let site =
+    (Array.to_list sites
+    |> List.find (fun s ->
+           match s.Injection.fault_site with
+           | C.Node _ -> true
+           | C.Cell _ -> false))
+      .Injection.fault_site
+  in
+  let node, bit = match site with C.Node (s, b) -> (s, b) | C.Cell _ -> assert false in
+  Leon3.System.load sys prog;
+  C.batch_start c trace;
+  check_bool "armed" true (C.batch_armed c);
+  check_int "no lanes yet" 0 (C.batch_active c);
+  C.batch_arm c 0 site C.Stuck_at_0;
+  C.batch_arm c 1 site C.Stuck_at_1;
+  C.batch_arm c 2 site C.Open_line;
+  C.batch_arm c 3 site C.Bit_flip;
+  check_int "four lanes" 0b1111 (C.batch_active c);
+  C.batch_settle c;
+  let g = C.value c node in
+  check_int "stuck-at-0 lane view" (g land lnot (1 lsl bit)) (C.batch_value c node 0);
+  check_int "stuck-at-1 lane view" (g lor (1 lsl bit)) (C.batch_value c node 1);
+  check_int "open-line lane view" (g land lnot (1 lsl bit)) (C.batch_value c node 2);
+  check_int "bit-flip lane view" (g lxor (1 lsl bit)) (C.batch_value c node 3);
+  (* scalar injection agrees on the transformed view *)
+  C.batch_retire c 1;
+  check_int "lane 1 retired" 0b1101 (C.batch_active c);
+  check_int "retired lane reads golden" g (C.batch_value c node 1);
+  check_int "lane 3 untouched by retirement" (g lxor (1 lsl bit))
+    (C.batch_value c node 3);
+  C.batch_retire c 0;
+  C.batch_retire c 2;
+  C.batch_retire c 3;
+  check_int "all retired" 0 (C.batch_active c);
+  let stats = C.batch_stop c in
+  check_bool "disarmed" false (C.batch_armed c);
+  check_bool "some lane evaluations happened" true (stats.C.bs_evals > 0)
+
+let test_scalar_api_rejected_while_armed () =
+  let sys = Lazy.force shared_sys in
+  let prog = Lazy.force small_prog in
+  let _, trace, _ = Lazy.force golden_setup in
+  let c = circuit sys in
+  Leon3.System.load sys prog;
+  C.batch_start c trace;
+  let rejected f = try f (); false with Invalid_argument _ -> true in
+  check_bool "settle rejected" true (rejected (fun () -> C.settle c));
+  check_bool "clock rejected" true (rejected (fun () -> C.clock c));
+  check_bool "reset rejected" true (rejected (fun () -> C.reset c));
+  ignore (C.batch_stop c);
+  (* and the circuit is usable again after batch_stop + reload *)
+  Leon3.System.load sys prog;
+  C.settle c
+
+let suite =
+  ( "batch",
+    [ Alcotest.test_case "compiled plan = graph replay plan" `Quick
+        test_compiled_plan_matches_graph;
+      Alcotest.test_case "full 63-lane batch = scalar runs" `Slow
+        test_batch_full_occupancy;
+      Alcotest.test_case "cell-fault lanes = scalar runs" `Slow
+        test_batch_cell_faults;
+      Alcotest.test_case "batch campaign = scalar campaign (figure 5)" `Slow
+        test_batch_campaign_matches_scalar;
+      Alcotest.test_case "lane masks per model + retirement" `Quick
+        test_lane_masks_and_retirement;
+      Alcotest.test_case "scalar API rejected while armed" `Quick
+        test_scalar_api_rejected_while_armed ]
+    @ List.map QCheck_alcotest.to_alcotest [ prop_batch_matches_scalar ] )

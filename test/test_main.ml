@@ -15,6 +15,7 @@ let () =
       Test_fault.suite;
       Test_journal.suite;
       Test_event.suite;
+      Test_batch.suite;
       Test_workloads.suite;
       Test_diversity.suite;
       Test_report.suite;
