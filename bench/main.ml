@@ -11,6 +11,7 @@
      dune exec bench/main.exe -- event        -- figure-5 differential on/off A-B
      dune exec bench/main.exe -- journal      -- direct vs resume vs 4-shard-merge A/B
      dune exec bench/main.exe -- batch        -- figure-5 bit-parallel batching on/off A-B
+     dune exec bench/main.exe -- iss          -- ISS vs RTL campaign cost ratio
    The RICV_SAMPLES environment variable scales campaign sample sizes
    (default 250); RICV_TRIM=0 disables trimmed campaign execution,
    RICV_STATIC=0 disables netlist static analysis and RICV_EVENT=0
@@ -352,6 +353,115 @@ let run_journal () =
     exit 1
   end
 
+(* ---- ISS vs RTL campaign cost: the paper's 85x argument, measured.
+   Runs the figure-5 suite through both engines at the same sample
+   size — the instruction-grain ISS campaign (reg/mem/op bit flips)
+   and the RTL stuck-at campaign at IU nodes — and emits
+   BENCH_iss.json with per-injection wall clocks and their ratio.
+   The RTL side runs with every acceleration layer on (trim, static,
+   event, batch), so the measured ratio is a conservative floor on
+   the paper's ISS-vs-plain-RTL 85x. ---- *)
+
+let run_iss () =
+  let module FC = Fault_injection.Campaign in
+  let module IC = Fault_injection.Iss_campaign in
+  let samples =
+    match Sys.getenv_opt "RICV_SAMPLES" with
+    | Some s -> (
+        match int_of_string_opt s with Some n when n > 0 -> n | Some _ | None -> 250)
+    | None -> 250
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let sys = Leon3.System.create () in
+  Format.printf "ISS vs RTL campaign cost: figure-5 suite, %d sites per model@.@." samples;
+  let rows =
+    List.map
+      (fun e ->
+        let prog =
+          e.Workloads.Suite.build ~iterations:e.Workloads.Suite.default_iterations
+            ~dataset:0
+        in
+        let obs = Obs.create () in
+        let iss_config = { IC.default_config with IC.samples_per_model = samples } in
+        let (iss_summaries, _), iss_wall =
+          time (fun () -> IC.run ~config:iss_config ~obs prog)
+        in
+        let iss_inj =
+          List.fold_left (fun a (_, s) -> a + s.FC.injections) 0 iss_summaries
+        in
+        let iss_instructions = Obs.counter obs "iss.instructions" in
+        let rtl_config = { FC.default_config with FC.sample_size = Some samples } in
+        let (rtl_summaries, _), rtl_wall =
+          time (fun () ->
+              FC.run ~config:rtl_config ~obs sys prog Fault_injection.Injection.Iu)
+        in
+        let rtl_inj =
+          List.fold_left (fun a (_, s) -> a + s.FC.injections) 0 rtl_summaries
+        in
+        let ratio =
+          if iss_wall > 0. && iss_inj > 0 && rtl_inj > 0 then
+            rtl_wall /. float_of_int rtl_inj /. (iss_wall /. float_of_int iss_inj)
+          else 0.
+        in
+        Format.printf
+          "%-10s iss %5d inj %6.2fs (%5.2f ms/inj)   rtl %5d inj %6.1fs \
+           (%6.1f ms/inj)   ratio %5.1fx@."
+          e.Workloads.Suite.name iss_inj iss_wall
+          (if iss_inj = 0 then 0. else 1000. *. iss_wall /. float_of_int iss_inj)
+          rtl_inj rtl_wall
+          (if rtl_inj = 0 then 0. else 1000. *. rtl_wall /. float_of_int rtl_inj)
+          ratio;
+        (e.Workloads.Suite.name, iss_inj, iss_wall, iss_instructions, rtl_inj, rtl_wall))
+      Workloads.Suite.table1_set
+  in
+  let iss_inj = List.fold_left (fun a (_, i, _, _, _, _) -> a + i) 0 rows in
+  let iss_wall = List.fold_left (fun a (_, _, w, _, _, _) -> a +. w) 0. rows in
+  let iss_instructions = List.fold_left (fun a (_, _, _, n, _, _) -> a + n) 0 rows in
+  let rtl_inj = List.fold_left (fun a (_, _, _, _, i, _) -> a + i) 0 rows in
+  let rtl_wall = List.fold_left (fun a (_, _, _, _, _, w) -> a +. w) 0. rows in
+  let per_injection_ratio =
+    if iss_wall > 0. && iss_inj > 0 && rtl_inj > 0 then
+      rtl_wall /. float_of_int rtl_inj /. (iss_wall /. float_of_int iss_inj)
+    else 0.
+  in
+  Format.printf "@.totals: iss %.2fs / %d inj, rtl %.1fs / %d inj, ratio %.1fx \
+                 (paper: 85x vs plain RTL)@."
+    iss_wall iss_inj rtl_wall rtl_inj per_injection_ratio;
+  let open Obs.Json in
+  Format.printf "@.BENCH_iss.json: %s@."
+    (to_string
+       (Obj
+          [ ("experiment", Str "iss-vs-rtl");
+            ("suite", Str "figure5");
+            ("samples", Int samples);
+            ( "workloads",
+              List
+                (List.map
+                   (fun (name, ii, iw, _, ri, rw) ->
+                     Obj
+                       [ ("name", Str name);
+                         ("iss_injections", Int ii);
+                         ("iss_wall_seconds", Float iw);
+                         ("rtl_injections", Int ri);
+                         ("rtl_wall_seconds", Float rw) ])
+                   rows) );
+            ( "iss",
+              Obj
+                [ ("wall_seconds", Float iss_wall);
+                  ("injections", Int iss_inj);
+                  ("instructions", Int iss_instructions) ] );
+            ("rtl", Obj [ ("wall_seconds", Float rtl_wall); ("injections", Int rtl_inj) ]);
+            ("per_injection_ratio", Float per_injection_ratio);
+            ("paper_ratio", Float 85.);
+            ( "notes",
+              Str
+                "RTL side runs with trim/static/event/batch acceleration on; the \
+                 ratio is a floor on the paper's ISS-vs-plain-RTL 85x" ) ]))
+
 (* ---- Bechamel microbenchmarks: one per table/figure, measuring the
    dominant engine primitive behind that experiment. ---- *)
 
@@ -432,10 +542,11 @@ let () =
   | [ "event" ] -> run_event ()
   | [ "journal" ] -> run_journal ()
   | [ "batch" ] -> run_batch ()
+  | [ "iss" ] -> run_iss ()
   | ids when List.for_all (fun id -> List.mem id Experiments.all_ids) ids ->
       run_experiments ?csv_dir ids
   | _ ->
       prerr_endline
-        ("usage: main.exe [csv] [micro | static | event | journal | batch | "
+        ("usage: main.exe [csv] [micro | static | event | journal | batch | iss | "
         ^ String.concat " | " Experiments.all_ids ^ " ...]");
       exit 2

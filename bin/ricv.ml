@@ -377,6 +377,151 @@ let campaign_cmd =
           $ no_trim_arg $ no_static_arg $ no_event_arg $ no_batch_arg $ trace_arg
           $ metrics_arg)
 
+(* ---- iss-campaign ---- *)
+
+(* Shared by `iss-campaign` and an ISS-aware `merge`; the latency unit
+   differs from the RTL printer — the ISS counts dynamic instructions,
+   not cycles (caches are off in campaign mode). *)
+let print_iss_summaries summaries =
+  List.iter
+    (fun (model, s) ->
+      Printf.printf
+        "%-11s Pf=%5.1f%%  (%d/%d: wrong-writes %d, missing %d, traps %d, hangs %d)  \
+         max latency %d instructions\n"
+        (Fault_injection.Iss_campaign.model_name model)
+        (Fault_injection.Campaign.pf_percent s)
+        s.Fault_injection.Campaign.failures s.Fault_injection.Campaign.injections
+        s.Fault_injection.Campaign.wrong_writes s.Fault_injection.Campaign.missing_writes
+        s.Fault_injection.Campaign.traps s.Fault_injection.Campaign.hangs
+        s.Fault_injection.Campaign.max_latency)
+    summaries
+
+let iss_campaign_cmd =
+  let samples_arg =
+    Arg.(value & opt (positive_int "sample size") 400 & info [ "samples"; "s" ] ~docv:"N"
+           ~doc:"Number of injection sites to sample per fault model.")
+  in
+  let domains_arg =
+    Arg.(value & opt (positive_int "domain count") 1 & info [ "domains"; "j" ] ~docv:"N"
+           ~doc:"Parallelise the campaign over N OCaml domains.")
+  in
+  let shard_arg =
+    Arg.(value & opt shard_conv (1, 1) & info [ "shard" ] ~docv:"I/N"
+           ~doc:"Execute only shard $(docv) of the campaign (1-based).  Shards of \
+                 the same seeded campaign are disjoint and covering; journal each \
+                 one and combine with `ricv merge`.")
+  in
+  let journal_arg =
+    Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"FILE"
+           ~doc:"Append every classified verdict to a crash-safe JSONL journal at \
+                 $(docv), bound to the campaign fingerprint.")
+  in
+  let resume_arg =
+    Arg.(value & flag & info [ "resume" ]
+           ~doc:"Replay the verdicts already in --journal instead of re-simulating \
+                 them, then continue.  A journal from a different campaign \
+                 (workload, config, seed or shard mismatch) is rejected.")
+  in
+  let hang_arg =
+    Arg.(value & opt (positive_int "hang factor") 4 & info [ "hang-factor" ] ~docv:"K"
+           ~doc:"Instruction-budget watchdog: K times the golden run's dynamic \
+                 instruction count.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 7 & info [ "seed" ] ~docv:"S" ~doc:"Site-sampling seed.")
+  in
+  let run name iterations dataset samples domains shard journal resume hang_factor seed
+      trace metrics =
+    let prog = or_fail (build_workload name iterations dataset) in
+    if resume && journal = None then begin
+      prerr_endline "ricv: --resume requires --journal";
+      exit 1
+    end;
+    let config =
+      { Fault_injection.Iss_campaign.default_config with
+        Fault_injection.Iss_campaign.samples_per_model = samples;
+        hang_factor;
+        seed;
+        shard }
+    in
+    let obs, finish_obs = make_obs ~trace ~metrics in
+    let t0 = Unix.gettimeofday () in
+    let on_progress ~done_ ~total =
+      if done_ mod 100 = 0 || done_ = total then
+        Printf.eprintf "\r%d/%d injections...%!" done_ total
+    in
+    let summaries, _ =
+      try
+        Obs.span obs "campaign" (fun () ->
+            if domains > 1 then
+              Fault_injection.Iss_campaign.run_parallel ~config ~obs ~domains
+                ~on_progress ?journal ~resume prog
+            else
+              Fault_injection.Iss_campaign.run ~config ~obs ~on_progress ?journal
+                ~resume prog)
+      with Fault_injection.Journal.Rejected msg ->
+        Printf.eprintf "\nricv: journal rejected: %s\n" msg;
+        exit 1
+    in
+    let elapsed = Unix.gettimeofday () -. t0 in
+    prerr_newline ();
+    print_iss_summaries summaries;
+    let injections =
+      List.fold_left
+        (fun acc (_, s) -> acc + s.Fault_injection.Campaign.injections)
+        0 summaries
+    in
+    Printf.printf "%d ISS injections in %.1fs (latencies in instructions)%s%s\n"
+      injections elapsed
+      (match shard with
+      | 1, 1 -> ""
+      | i, n -> Printf.sprintf "  [shard %d/%d]" i n)
+      (match (journal, resume) with
+      | Some path, false -> Printf.sprintf "  [journal %s]" path
+      | Some path, true when Obs.enabled obs ->
+          Printf.sprintf "  [journal %s, %d replayed]" path (Obs.counter obs "journal.replayed")
+      | Some path, true -> Printf.sprintf "  [journal %s, resumed]" path
+      | None, _ -> "");
+    finish_obs ()
+  in
+  Cmd.v
+    (Cmd.info "iss-campaign"
+       ~doc:"Run an instruction-grain fault-injection campaign on the ISS \
+             (register-file, data-memory and opcode bit flips), with the same \
+             verdict taxonomy, journaling and sharding as `ricv campaign`.")
+    Term.(const run $ workload_arg $ iterations_arg $ dataset_arg $ samples_arg
+          $ domains_arg $ shard_arg $ journal_arg $ resume_arg $ hang_arg $ seed_arg
+          $ trace_arg $ metrics_arg)
+
+(* ---- correlate ---- *)
+
+let correlate_cmd =
+  let samples_arg =
+    Arg.(value & opt (some int) None & info [ "samples"; "s" ] ~docv:"N"
+           ~doc:"Injection sample size per (workload, block) and per ISS model.")
+  in
+  let run samples trace metrics =
+    let obs, finish_obs = make_obs ~trace ~metrics in
+    let ctx =
+      match (trace, metrics) with
+      | None, false -> Correlation.Context.create ?samples ()
+      | _ -> Correlation.Context.create ?samples ~obs ()
+    in
+    List.iter
+      (Report.Table.render Format.std_formatter)
+      (Obs.span obs "experiment.correlate" (fun () ->
+           Correlation.Experiments.run ctx "correlate"));
+    finish_obs ()
+  in
+  Cmd.v
+    (Cmd.info "correlate"
+       ~doc:"Correlate ISS-level campaign predictions against RTL-measured failure \
+             probabilities: Wilson confidence intervals on every Pf, \
+             leave-one-workload-out cross-validated fits, and an explicit fit-break \
+             flag where the measured and predicted intervals are disjoint.  Alias \
+             for `ricv experiment correlate`.")
+    Term.(const run $ samples_arg $ trace_arg $ metrics_arg)
+
 (* ---- merge ---- *)
 
 let merge_cmd =
@@ -400,27 +545,39 @@ let merge_cmd =
         Printf.eprintf "ricv: merge rejected: %s\n" msg;
         exit 1
     | Ok (fp, results) ->
-        let models =
-          List.map
-            (fun name ->
-              match Fault_injection.Journal.model_of_name name with
-              | Some m -> m
-              | None ->
-                  Printf.eprintf "ricv: unknown fault model %S in journal header\n" name;
-                  exit 1)
-            fp.Fault_injection.Journal.models
-        in
-        let summaries =
-          List.map
-            (fun model ->
-              ( model,
-                Fault_injection.Campaign.summarize
-                  (List.filter
-                     (fun r -> r.Fault_injection.Journal.model = model)
-                     results) ))
-            models
-        in
-        print_model_summaries summaries;
+        (* ISS journals record every verdict under the RTL bit-flip
+           model and carry the ISS model class in the site-name prefix;
+           partition them back rather than printing one opaque row. *)
+        if fp.Fault_injection.Journal.target = Fault_injection.Iss_campaign.target_name
+        then
+          print_iss_summaries
+            (List.filter
+               (fun (_, s) -> s.Fault_injection.Campaign.injections > 0)
+               (Fault_injection.Iss_campaign.summaries_by_model
+                  Fault_injection.Iss_campaign.all_models results))
+        else begin
+          let models =
+            List.map
+              (fun name ->
+                match Fault_injection.Journal.model_of_name name with
+                | Some m -> m
+                | None ->
+                    Printf.eprintf "ricv: unknown fault model %S in journal header\n" name;
+                    exit 1)
+              fp.Fault_injection.Journal.models
+          in
+          let summaries =
+            List.map
+              (fun model ->
+                ( model,
+                  Fault_injection.Campaign.summarize
+                    (List.filter
+                       (fun r -> r.Fault_injection.Journal.model = model)
+                       results) ))
+              models
+          in
+          print_model_summaries summaries
+        end;
         Printf.printf "merged %d shard%s: %d verdicts (workload %s, target %s, seed %d)\n"
           (List.length paths)
           (if List.length paths = 1 then "" else "s")
@@ -509,4 +666,4 @@ let () =
     (Cmd.eval
        (Cmd.group ~default info
           [ list_cmd; run_iss_cmd; run_rtl_cmd; disasm_cmd; asm_cmd; campaign_cmd;
-            merge_cmd; experiment_cmd; lint_cmd ]))
+            iss_campaign_cmd; correlate_cmd; merge_cmd; experiment_cmd; lint_cmd ]))

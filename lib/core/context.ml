@@ -1,5 +1,6 @@
 module Campaign = Fault_injection.Campaign
 module Injection = Fault_injection.Injection
+module Iss_campaign = Fault_injection.Iss_campaign
 
 type trim_stats = {
   injections : int;
@@ -22,6 +23,8 @@ type t = {
     (string * string * string, (Rtl.Circuit.fault_model * Campaign.summary) list)
     Hashtbl.t;
   goldens : (string, Campaign.golden) Hashtbl.t;
+  iss_campaigns :
+    (string, (Iss_campaign.model * Campaign.summary) list) Hashtbl.t;
 }
 
 let default_samples () =
@@ -68,7 +71,8 @@ let create ?samples ?(seed = 7) ?trim ?static ?event ?batch ?obs () =
     batch_;
     obs_;
     campaigns = Hashtbl.create 64;
-    goldens = Hashtbl.create 64 }
+    goldens = Hashtbl.create 64;
+    iss_campaigns = Hashtbl.create 64 }
 
 let samples t = t.samples_
 
@@ -119,6 +123,19 @@ let campaign t ~key ?(models = Campaign.default_config.Campaign.models) prog tar
       in
       let summaries, _ = Campaign.run ~config ~obs:t.obs_ t.sys prog target in
       Hashtbl.add t.campaigns memo_key summaries;
+      summaries
+
+let iss_campaign t ~key prog =
+  match Hashtbl.find_opt t.iss_campaigns key with
+  | Some r -> r
+  | None ->
+      let config =
+        { Iss_campaign.default_config with
+          Iss_campaign.samples_per_model = t.samples_;
+          seed = t.seed }
+      in
+      let summaries, _ = Iss_campaign.run ~config ~obs:t.obs_ prog in
+      Hashtbl.add t.iss_campaigns key summaries;
       summaries
 
 let golden t ~key prog =

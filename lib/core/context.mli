@@ -5,6 +5,7 @@
 
 module Campaign = Fault_injection.Campaign
 module Injection = Fault_injection.Injection
+module Iss_campaign = Fault_injection.Iss_campaign
 
 type t
 
@@ -82,6 +83,14 @@ val campaign :
 (** Memoised campaign run.  [key] must uniquely identify the workload
     variant (name, iterations, dataset); results are cached per
     (key, target, models). *)
+
+val iss_campaign :
+  t ->
+  key:string ->
+  Sparc.Asm.program ->
+  (Iss_campaign.model * Campaign.summary) list
+(** Memoised ISS-level campaign ({!Iss_campaign.run}) with the
+    context's sample size (per ISS model) and seed. *)
 
 val golden : t -> key:string -> Sparc.Asm.program -> Campaign.golden
 (** Memoised fault-free RTL run. *)

@@ -224,6 +224,137 @@ let figure7 ctx =
   in
   ({ f7_points = points; f7_fit = fit }, table)
 
+(* ---- Correlate: ISS-predicted vs RTL-measured Pf (extended Fig. 7) ---- *)
+
+type correlate_row = {
+  co_name : string;
+  co_diversity : int;
+  co_iss : Stats.Binomial.interval;  (** ISS-measured Pf, all models pooled *)
+  co_rtl : Stats.Binomial.interval;  (** RTL-measured Pf, SA1 @ IU *)
+  co_pred : Stats.Binomial.interval;  (** LOWO prediction from the ISS fit *)
+  co_fit_break : bool;
+}
+
+type correlate_result = {
+  co_rows : correlate_row list;
+  co_iss_analysis : Diversity.Correlate.analysis;
+      (** RTL Pf against the ISS-measured Pf (linear) *)
+  co_div_analysis : Diversity.Correlate.analysis;
+      (** RTL Pf against ln(diversity) — the hardened figure-7 fit *)
+}
+
+let correlate ctx =
+  let points =
+    List.map
+      (fun e ->
+        let iterations = e.Suite.default_iterations in
+        let prog = prog_of e ~iterations ~dataset:0 in
+        let key = key_of e ~iterations ~dataset:0 in
+        let info = Diversity.Metric.of_program prog in
+        let rtl =
+          List.assoc C.Stuck_at_1
+            (Context.campaign ctx ~key ~models:[ C.Stuck_at_1 ] prog Injection.Iu)
+        in
+        let iss = Context.iss_campaign ctx ~key prog in
+        let iss_k =
+          List.fold_left (fun a (_, s) -> a + s.Campaign.failures) 0 iss
+        in
+        let iss_n =
+          List.fold_left (fun a (_, s) -> a + s.Campaign.injections) 0 iss
+        in
+        (e.Suite.name, info.Diversity.Metric.diversity, iss_k, iss_n, rtl))
+      Suite.all
+  in
+  let rtl_sample ~x (name, _, _, _, (rtl : Campaign.summary)) =
+    { Diversity.Correlate.label = name;
+      x;
+      k = rtl.Campaign.failures;
+      n = rtl.Campaign.injections }
+  in
+  let iss_analysis =
+    Diversity.Correlate.analyze
+      (List.map
+         (fun ((_, _, iss_k, iss_n, _) as p) ->
+           rtl_sample ~x:(float_of_int iss_k /. float_of_int iss_n) p)
+         points)
+  in
+  let div_analysis =
+    Diversity.Correlate.analyze ~log:true
+      (List.map
+         (fun ((_, d, _, _, _) as p) -> rtl_sample ~x:(float_of_int d) p)
+         points)
+  in
+  let iss_ci (_, _, iss_k, iss_n, _) = Stats.Binomial.wilson ~k:iss_k ~n:iss_n () in
+  let rows =
+    List.map2
+      (fun ((name, d, _, _, _) as p) (row : Diversity.Correlate.row) ->
+        { co_name = name;
+          co_diversity = d;
+          co_iss = iss_ci p;
+          co_rtl = row.Diversity.Correlate.measured;
+          co_pred = row.Diversity.Correlate.predicted;
+          co_fit_break = row.Diversity.Correlate.fit_break })
+      points iss_analysis.Diversity.Correlate.rows
+  in
+  let pct (i : Stats.Binomial.interval) =
+    T.cell_ci ~lower:(100. *. i.Stats.Binomial.lower)
+      ~upper:(100. *. i.Stats.Binomial.upper)
+      (100. *. i.Stats.Binomial.p_hat)
+  in
+  let broken_note (a : Diversity.Correlate.analysis) =
+    match a.Diversity.Correlate.broken with
+    | [] -> "fit-break: none (every measured CI overlaps its LOWO prediction CI)"
+    | names -> "fit-break: " ^ String.concat ", " names
+  in
+  let fit_note what (a : Diversity.Correlate.analysis) =
+    Printf.sprintf
+      "%s: slope %.3f, intercept %.3f, in-sample R^2 %.4f; LOWO R^2 %.4f, \
+       held-out RMSE %.4f"
+      what a.Diversity.Correlate.fit.Stats.Regression.slope
+      a.Diversity.Correlate.fit.Stats.Regression.intercept
+      a.Diversity.Correlate.fit.Stats.Regression.r_squared
+      a.Diversity.Correlate.loo_r_squared a.Diversity.Correlate.rmse
+  in
+  let iss_table =
+    T.make
+      ~title:
+        "Correlate: ISS-predicted vs RTL-measured Pf per workload (SA1 @ IU, \
+         95% Wilson CIs)"
+      ~header:
+        [ "workload"; "D"; "ISS Pf (reg+mem+op)"; "RTL Pf (measured)";
+          "LOWO prediction"; "fit-break" ]
+      ~notes:
+        [ fit_note "RTL Pf ~ ISS Pf (linear)" iss_analysis;
+          broken_note iss_analysis;
+          "ISS Pf pools the reg-flip/mem-flip/op-flip campaigns; predictions \
+           are leave-one-workload-out, Wilson-banded at the RTL sample size" ]
+      (List.map
+         (fun r ->
+           [ r.co_name; string_of_int r.co_diversity; pct r.co_iss; pct r.co_rtl;
+             pct r.co_pred; (if r.co_fit_break then "BREAK" else "ok") ])
+         rows)
+  in
+  let div_table =
+    T.make
+      ~title:"Correlate: hardened figure-7 ln(D) fit (LOWO cross-validation)"
+      ~header:
+        [ "workload"; "D"; "RTL Pf (measured)"; "LOWO ln-fit prediction";
+          "fit-break" ]
+      ~notes:
+        [ fit_note "RTL Pf ~ ln(D)" div_analysis;
+          broken_note div_analysis;
+          "paper: Pf = 8.38*ln(x) - 1.91 (in %), in-sample R^2 = 0.9246" ]
+      (List.map2
+         (fun (name, d, _, _, _) (row : Diversity.Correlate.row) ->
+           [ name; string_of_int d;
+             pct row.Diversity.Correlate.measured;
+             pct row.Diversity.Correlate.predicted;
+             (if row.Diversity.Correlate.fit_break then "BREAK" else "ok") ])
+         points div_analysis.Diversity.Correlate.rows)
+  in
+  ({ co_rows = rows; co_iss_analysis = iss_analysis; co_div_analysis = div_analysis },
+   [ iss_table; div_table ])
+
 (* ---- Simulation time ---- *)
 
 type sim_time_result = {
@@ -535,8 +666,8 @@ let ablation_gate_level ctx =
         Printf.sprintf "%.0f ms" (1000. *. gate_dt) ] ]
 
 let all_ids =
-  [ "table1"; "figure3"; "figure4"; "figure5"; "figure6"; "figure7"; "units";
-    "simtime"; "ablation" ]
+  [ "table1"; "figure3"; "figure4"; "figure5"; "figure6"; "figure7"; "correlate";
+    "units"; "simtime"; "ablation" ]
 
 let run ctx = function
   | "table1" ->
@@ -557,6 +688,9 @@ let run ctx = function
   | "figure7" ->
       let _, t = figure7 ctx in
       [ t ]
+  | "correlate" ->
+      let _, ts = correlate ctx in
+      ts
   | "units" ->
       let _, t = units ctx in
       [ t ]

@@ -62,6 +62,32 @@ val figure7 : Context.t -> fig7_result * T.t
 (** Diversity vs Pf (stuck-at-1 @ IU) over the ten workloads plus the
     two excerpt subsets, with the paper's logarithmic fit and R². *)
 
+type correlate_row = {
+  co_name : string;
+  co_diversity : int;
+  co_iss : Stats.Binomial.interval;
+      (** ISS-measured Pf, reg/mem/op campaigns pooled *)
+  co_rtl : Stats.Binomial.interval;  (** RTL-measured Pf, SA1 @ IU *)
+  co_pred : Stats.Binomial.interval;
+      (** leave-one-workload-out prediction from the ISS fit *)
+  co_fit_break : bool;  (** measured and predicted CIs are disjoint *)
+}
+
+type correlate_result = {
+  co_rows : correlate_row list;
+  co_iss_analysis : Diversity.Correlate.analysis;
+      (** RTL Pf against the ISS-measured Pf (linear) *)
+  co_div_analysis : Diversity.Correlate.analysis;
+      (** RTL Pf against ln(diversity) — the hardened figure-7 fit *)
+}
+
+val correlate : Context.t -> correlate_result * T.t list
+(** End-to-end test of the paper's correlation claim: per workload, the
+    cheap ISS campaign's pooled Pf predicts the RTL campaign's measured
+    Pf; both carry Wilson CIs, predictions are leave-one-workload-out,
+    and CI-disjoint residuals raise an explicit fit-break flag.  Two
+    tables: the ISS↔RTL correlation and the hardened ln(D) fit. *)
+
 type unit_row = {
   u_unit : Sparc.Units.t;
   u_alpha : float;  (** area weight from the netlist *)

@@ -1,0 +1,60 @@
+module Binomial = Stats.Binomial
+module Regression = Stats.Regression
+
+type sample = { label : string; x : float; k : int; n : int }
+
+type row = {
+  label : string;
+  x : float;
+  measured : Binomial.interval;
+  predicted : Binomial.interval;
+  residual : float;
+  fit_break : bool;
+}
+
+type analysis = {
+  rows : row list;
+  fit : Regression.fit;
+  loo_r_squared : float;
+  rmse : float;
+  broken : string list;
+}
+
+let analyze ?z ?(log = false) samples =
+  if List.length samples < 3 then
+    invalid_arg "Correlate.analyze: need at least three samples";
+  List.iter
+    (fun (s : sample) ->
+      if s.n <= 0 || s.k < 0 || s.k > s.n then
+        invalid_arg
+          (Printf.sprintf "Correlate.analyze: bad counts for %S (k=%d n=%d)"
+             s.label s.k s.n))
+    samples;
+  let points =
+    List.map (fun (s : sample) -> (s.x, float_of_int s.k /. float_of_int s.n)) samples
+  in
+  let fit = if log then Regression.log_fit points else Regression.linear points in
+  let loo = Regression.leave_one_out ~log points in
+  let rows =
+    List.mapi
+      (fun i (s : sample) ->
+        let measured = Binomial.wilson ?z ~k:s.k ~n:s.n () in
+        (* The prediction comes from the fit excluding this workload
+           (leave-one-out), banded as if it had been observed over the
+           same n — so both intervals carry comparable sampling noise
+           and "disjoint" is an honest residual test, not an artifact
+           of a zero-width prediction. *)
+        let predicted = Binomial.of_rate ?z ~p:loo.Regression.predictions.(i) ~n:s.n () in
+        { label = s.label;
+          x = s.x;
+          measured;
+          predicted;
+          residual = loo.Regression.residuals.(i);
+          fit_break = Binomial.disjoint measured predicted })
+      samples
+  in
+  { rows;
+    fit;
+    loo_r_squared = loo.Regression.r_squared;
+    rmse = loo.Regression.rmse;
+    broken = List.filter_map (fun r -> if r.fit_break then Some r.label else None) rows }

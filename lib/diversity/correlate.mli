@@ -1,0 +1,43 @@
+(** Statistically hardened Pf correlation (extended figure 7).
+
+    The paper fits [Pf = a·ln(D) + b] and reports one in-sample R²; a
+    new workload that breaks the fit would be silently absorbed into
+    the next refit.  This module makes the correlation falsifiable:
+    every measured Pf carries a Wilson confidence interval
+    ({!Stats.Binomial}), every prediction is out-of-sample
+    (leave-one-workload-out, {!Stats.Regression.leave_one_out}), and a
+    workload whose measured and predicted intervals are disjoint trips
+    an explicit fit-break flag instead of just inflating the
+    residuals.  Pure data-in/data-out — the campaign side supplies
+    [(k, n)] failure counts. *)
+
+type sample = {
+  label : string;  (** workload name *)
+  x : float;  (** the regressor (diversity D, or an ISS-predicted Pf) *)
+  k : int;  (** observed failures *)
+  n : int;  (** observed injections *)
+}
+
+type row = {
+  label : string;
+  x : float;
+  measured : Stats.Binomial.interval;  (** Wilson CI on [k/n] *)
+  predicted : Stats.Binomial.interval;
+      (** leave-one-out prediction, Wilson-banded at the same [n] *)
+  residual : float;  (** measured rate minus held-out prediction *)
+  fit_break : bool;  (** the two intervals are disjoint *)
+}
+
+type analysis = {
+  rows : row list;  (** in input order *)
+  fit : Stats.Regression.fit;  (** the all-points fit, for reporting *)
+  loo_r_squared : float;  (** out-of-sample R² (can be negative) *)
+  rmse : float;  (** held-out RMSE *)
+  broken : string list;  (** labels of fit-break rows, in input order *)
+}
+
+val analyze : ?z:float -> ?log:bool -> sample list -> analysis
+(** [analyze samples] runs the full procedure; [log] (default false)
+    fits against [ln x] as figure 7 does, [z] (default 1.96) sets the
+    CI coverage.  Raises [Invalid_argument] with fewer than three
+    samples, on degenerate regressors, or on impossible counts. *)

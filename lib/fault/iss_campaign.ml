@@ -1,0 +1,422 @@
+module Emulator = Iss.Emulator
+module Bus_event = Sparc.Bus_event
+module Asm = Sparc.Asm
+module C = Rtl.Circuit
+
+type failure_kind = Journal.failure_kind =
+  | Wrong_write of int
+  | Missing_writes of int
+  | Trap of int
+  | Hang
+
+type outcome = Journal.outcome = Silent | Failure of failure_kind
+
+type run_result = Journal.run_result = {
+  site_name : string;
+  model : C.fault_model;
+  outcome : outcome;
+  detect_cycle : int option;
+  inject_cycle : int;
+  sim : Journal.sim_status;
+}
+
+type model = Reg_flip | Mem_flip | Op_flip
+
+let all_models = [ Reg_flip; Mem_flip; Op_flip ]
+
+let model_name = function
+  | Reg_flip -> "reg-flip"
+  | Mem_flip -> "mem-flip"
+  | Op_flip -> "op-flip"
+
+let model_of_name = function
+  | "reg-flip" -> Some Reg_flip
+  | "mem-flip" -> Some Mem_flip
+  | "op-flip" -> Some Op_flip
+  | _ -> None
+
+type site = {
+  smodel : model;
+  index : int;  (* dynamic instruction index of the injection *)
+  loc : int;  (* register-file slot / memory word address / unused *)
+  bit : int;
+  site_name : string;
+}
+
+(* The site name carries the ISS model class: the journal layer only
+   knows RTL fault models (every ISS verdict is recorded as a
+   bit-flip), so the name prefix is what partitions a journal's
+   verdicts back into reg/mem/op summaries. *)
+let site_name_of ~model ~index ~loc ~bit =
+  match model with
+  | Reg_flip -> Printf.sprintf "iss.reg[%d.%d]@%d" loc bit index
+  | Mem_flip -> Printf.sprintf "iss.mem[0x%08x.%d]@%d" loc bit index
+  | Op_flip -> Printf.sprintf "iss.op[%d]@%d" bit index
+
+let model_of_site_name name =
+  if String.starts_with ~prefix:"iss.reg[" name then Some Reg_flip
+  else if String.starts_with ~prefix:"iss.mem[" name then Some Mem_flip
+  else if String.starts_with ~prefix:"iss.op[" name then Some Op_flip
+  else None
+
+type config = {
+  models : model list;
+  samples_per_model : int;
+  hang_factor : int;
+  seed : int;
+  shard : int * int;
+}
+
+let default_config =
+  { models = all_models; samples_per_model = 400; hang_factor = 4; seed = 7;
+    shard = (1, 1) }
+
+let target_name = "iss"
+
+(* Campaign runs need functional verdicts only: caches charge cycles
+   without changing results, and read events are never compared, so
+   both are off.  Latencies are therefore reported in {e instructions},
+   not cycles. *)
+let emulator_config =
+  { Emulator.default_config with
+    Emulator.icache = None;
+    dcache = None;
+    record_reads = false }
+
+type golden = {
+  writes : Bus_event.t array;
+  instructions : int;
+  exit_code : int;
+}
+
+let golden_run ?(obs = Obs.null) prog =
+  Obs.span obs "golden" @@ fun () ->
+  let r = Emulator.execute ~config:emulator_config prog in
+  match r.Emulator.stop with
+  | Emulator.Exited code ->
+      Obs.incr obs ~by:r.Emulator.instructions "iss.golden_instructions";
+      { writes = Array.of_list r.Emulator.writes;
+        instructions = r.Emulator.instructions;
+        exit_code = code }
+  | stop ->
+      failwith
+        (Format.asprintf "Iss_campaign: golden run did not exit cleanly: %a"
+           Emulator.pp_stop stop)
+
+(* ---- site sampling ---- *)
+
+(* Memory faults land in the workload's data segments (or, for a
+   data-less workload, the result region): corrupting code words would
+   alias the opcode model through the decode cache, and corrupting
+   untouched address space is trivially silent. *)
+let memory_words prog =
+  let words =
+    List.concat_map
+      (fun (base, data) -> List.init (Array.length data) (fun i -> base + (4 * i)))
+      prog.Asm.data
+  in
+  match words with
+  | [] -> List.init 16 (fun i -> Sparc.Layout.result_base + (4 * i))
+  | ws -> ws
+
+let regfile_slots = 8 + (16 * emulator_config.Emulator.nwindows)
+
+let sample_sites ~config golden prog =
+  if config.samples_per_model < 1 then
+    invalid_arg "Iss_campaign: samples_per_model must be positive";
+  if golden.instructions < 1 then failwith "Iss_campaign: empty golden run";
+  let rng = Stats.Rng.create config.seed in
+  let mem_words = Array.of_list (memory_words prog) in
+  let draw model =
+    let index = Stats.Rng.int rng golden.instructions in
+    let loc, bit =
+      match model with
+      | Reg_flip -> (Stats.Rng.int rng regfile_slots, Stats.Rng.int rng 32)
+      | Mem_flip ->
+          ( mem_words.(Stats.Rng.int rng (Array.length mem_words)),
+            Stats.Rng.int rng 32 )
+      | Op_flip -> (0, Stats.Rng.int rng 32)
+    in
+    { smodel = model; index; loc; bit;
+      site_name = site_name_of ~model ~index ~loc ~bit }
+  in
+  Array.concat
+    (List.map
+       (fun m -> Array.init config.samples_per_model (fun _ -> draw m))
+       config.models)
+
+(* The journal fingerprint: the site-name hash binds the seed, sample
+   size, model list and the golden run's instruction count at once
+   (injection instants are drawn from it), so a stale journal cannot
+   replay against a different campaign.  [models] is the single RTL
+   model every ISS verdict is recorded as; the ISS model class lives in
+   the site names (see {!site_name_of}), which keeps {!Journal.merge}'s
+   (model, site-index) uniqueness valid with a flat task list. *)
+let fingerprint ~config prog (sample : site array) =
+  { Journal.workload = prog.Asm.name;
+    prog_hash = Journal.hash_program prog;
+    netlist_hash = Journal.hash_names (Array.map (fun s -> s.site_name) sample);
+    target = target_name;
+    models = [ C.fault_model_name C.Bit_flip ];
+    sample_size = Some config.samples_per_model;
+    include_cells = false;
+    inject_cycle = 0;
+    hang_factor = config.hang_factor;
+    compare_reads = false;
+    seed = config.seed;
+    total_sites = Array.length sample;
+    shard = config.shard }
+
+(* ---- one faulty run ---- *)
+
+exception Diverged of failure_kind
+
+let trap_code = function
+  | Emulator.Illegal_instruction _ -> Leon3.Core.trap_illegal
+  | Emulator.Misaligned_access _ -> Leon3.Core.trap_misaligned
+  | Emulator.Division_by_zero -> Leon3.Core.trap_div0
+
+let record_run obs ~dt r =
+  Obs.incr obs "injections";
+  Obs.incr obs "iss.injections";
+  Obs.incr obs "simulated";
+  Obs.add_time obs "simulate" dt;
+  (match r.outcome with
+  | Silent -> Obs.incr obs "outcome.silent"
+  | Failure (Wrong_write _) -> Obs.incr obs "outcome.wrong_write"
+  | Failure (Missing_writes _) -> Obs.incr obs "outcome.missing_writes"
+  | Failure (Trap _) -> Obs.incr obs "outcome.trap"
+  | Failure Hang -> Obs.incr obs "outcome.hang");
+  match (r.outcome, r.detect_cycle) with
+  | Failure (Wrong_write _ | Missing_writes _ | Trap _), Some d ->
+      Obs.observe obs "detect_latency" (float_of_int (d - r.inject_cycle))
+  | (Failure _ | Silent), _ -> ()
+
+let run_one ?(obs = Obs.null) prog golden ~hang_factor (site : site) =
+  let t_start = if Obs.enabled obs then Obs.now obs else 0. in
+  let budget = max (golden.instructions + 1) (hang_factor * golden.instructions) in
+  let config = { emulator_config with Emulator.max_instructions = budget } in
+  let t = Emulator.create ~config prog in
+  let matched = ref 0 in
+  let nwrites = Array.length golden.writes in
+  Emulator.set_event_hook t
+    (Some
+       (fun ev ->
+         if Bus_event.is_write ev then
+           if !matched >= nwrites || not (Bus_event.equal ev golden.writes.(!matched))
+           then raise (Diverged (Wrong_write !matched))
+           else incr matched));
+  (* fault-free prefix up to the injection instant *)
+  let rec advance () =
+    if Emulator.instructions t < site.index then
+      match Emulator.step t with
+      | Emulator.Running -> advance ()
+      | Emulator.Stopped _ ->
+          failwith "Iss_campaign: golden prefix stopped before the injection instant"
+  in
+  advance ();
+  (match site.smodel with
+  | Reg_flip -> Emulator.flip_regfile_bit t ~slot:site.loc ~bit:site.bit
+  | Mem_flip -> Emulator.flip_memory_bit t ~addr:site.loc ~bit:site.bit
+  | Op_flip -> Emulator.corrupt_next_fetch t ~bit:site.bit);
+  let outcome, detect_cycle =
+    match Emulator.run t with
+    | exception Diverged f -> (Failure f, Some (Emulator.instructions t))
+    | Emulator.Exited _ ->
+        (* a wrong exit value is caught by the hook: the exit-port
+           store is itself a compared write *)
+        if !matched < nwrites then
+          (Failure (Missing_writes !matched), Some (Emulator.instructions t))
+        else (Silent, None)
+    | Emulator.Trapped tr ->
+        (Failure (Trap (trap_code tr)), Some (Emulator.instructions t))
+    | Emulator.Instruction_limit -> (Failure Hang, None)
+  in
+  Obs.incr obs ~by:(Emulator.instructions t) "iss.instructions";
+  let r =
+    { site_name = site.site_name; model = C.Bit_flip; outcome; detect_cycle;
+      inject_cycle = site.index; sim = Journal.Simulated }
+  in
+  if Obs.enabled obs then record_run obs ~dt:(Obs.now obs -. t_start) r;
+  r
+
+(* ---- campaign engines ---- *)
+
+let summaries_by_model models results =
+  List.map
+    (fun m ->
+      ( m,
+        Campaign.summarize
+          (List.filter
+             (fun (r : run_result) -> model_of_site_name r.site_name = Some m)
+             results) ))
+    models
+
+let validate_shard config =
+  let i, n = config.shard in
+  if n < 1 || i < 1 || i > n then
+    invalid_arg (Printf.sprintf "Iss_campaign: shard index out of range: %d/%d" i n);
+  (i, n)
+
+(* Same journal plumbing as {!Campaign.run}, with the flat task list:
+   the journal index {e is} the site index, and every verdict's model
+   is bit-flip, so the replay lookup is keyed by index alone. *)
+let open_journal ~journal ~resume fp =
+  match journal with
+  | None -> (None, (fun ~index:_ -> None), fun () -> ())
+  | Some path ->
+      let w, entries =
+        if resume then
+          match Journal.open_resume path fp with
+          | Ok (w, entries) -> (w, entries)
+          | Error msg -> raise (Journal.Rejected msg)
+        else (Journal.create path fp, [])
+      in
+      let tbl = Hashtbl.create ((2 * List.length entries) + 1) in
+      List.iter
+        (fun e -> Hashtbl.replace tbl e.Journal.index e.Journal.result)
+        entries;
+      (Some w, (fun ~index -> Hashtbl.find_opt tbl index), fun () -> Journal.close w)
+
+let replay_check ~index (site : site) (r : run_result) =
+  if r.site_name <> site.site_name then
+    raise
+      (Journal.Rejected
+         (Printf.sprintf "journal verdict at site %d names %S, campaign expects %S"
+            index r.site_name site.site_name))
+
+let exec_ids_of ~shard_i ~shard_n sample =
+  let ids = ref [] in
+  Array.iteri
+    (fun ti _ -> if ti mod shard_n = shard_i - 1 then ids := ti :: !ids)
+    sample;
+  Array.of_list (List.rev !ids)
+
+let collect sample results exec_ids =
+  Array.to_list
+    (Array.map
+       (fun ti ->
+         match results.(ti) with
+         | Some r -> r
+         | None ->
+             failwith
+               (Printf.sprintf "Iss_campaign: missing result for site %d (%s)" ti
+                  sample.(ti).site_name))
+       exec_ids)
+
+let run ?(config = default_config) ?(obs = Obs.null) ?on_progress ?journal
+    ?(resume = false) prog =
+  let shard_i, shard_n = validate_shard config in
+  let golden = golden_run ~obs prog in
+  let sample = Obs.span obs "site_sampling" (fun () -> sample_sites ~config golden prog) in
+  let fp = fingerprint ~config prog sample in
+  let writer, lookup, close_journal = open_journal ~journal ~resume fp in
+  Fun.protect ~finally:close_journal @@ fun () ->
+  let exec_ids = exec_ids_of ~shard_i ~shard_n sample in
+  let results = Array.make (Array.length sample) None in
+  let total = Array.length exec_ids in
+  let done_ = ref 0 in
+  let progress () =
+    incr done_;
+    match on_progress with Some f -> f ~done_:!done_ ~total | None -> ()
+  in
+  Array.iter
+    (fun ti ->
+      let site = sample.(ti) in
+      let r =
+        match lookup ~index:ti with
+        | Some r ->
+            replay_check ~index:ti site r;
+            Obs.incr obs "journal.replayed";
+            r
+        | None ->
+            let r = run_one ~obs prog golden ~hang_factor:config.hang_factor site in
+            (match writer with Some w -> Journal.append w ~index:ti r | None -> ());
+            r
+      in
+      results.(ti) <- Some r;
+      progress ())
+    exec_ids;
+  let all = collect sample results exec_ids in
+  (summaries_by_model config.models all, all)
+
+(* Faulty ISS runs are independent and each builds a private emulator,
+   so the parallel engine is a plain atomic work queue; per-domain
+   telemetry forks merge in spawn order, which keeps counter totals
+   identical for any domain count, and verdict order is fixed by the
+   site list, so results are byte-identical to {!run}'s. *)
+let run_parallel ?(config = default_config) ?(obs = Obs.null) ?(domains = 4)
+    ?on_progress ?journal ?(resume = false) prog =
+  let shard_i, shard_n = validate_shard config in
+  let domains = max 1 domains in
+  let golden = golden_run ~obs prog in
+  let sample = Obs.span obs "site_sampling" (fun () -> sample_sites ~config golden prog) in
+  let fp = fingerprint ~config prog sample in
+  let writer, lookup, close_journal = open_journal ~journal ~resume fp in
+  Fun.protect ~finally:close_journal @@ fun () ->
+  let exec_ids = exec_ids_of ~shard_i ~shard_n sample in
+  let results = Array.make (Array.length sample) None in
+  let total = Array.length exec_ids in
+  let completed = Atomic.make 0 in
+  let progress () =
+    match on_progress with
+    | Some f -> f ~done_:(Atomic.fetch_and_add completed 1 + 1) ~total
+    | None -> ()
+  in
+  (* Journaled verdicts replay before any domain spawns, so their
+     result slots are read-only by the time workers run. *)
+  Array.iter
+    (fun ti ->
+      match lookup ~index:ti with
+      | Some r ->
+          replay_check ~index:ti sample.(ti) r;
+          Obs.incr obs "journal.replayed";
+          results.(ti) <- Some r;
+          progress ()
+      | None -> ())
+    exec_ids;
+  let todo =
+    Array.of_list (List.filter (fun ti -> results.(ti) = None) (Array.to_list exec_ids))
+  in
+  (if Array.length todo > 0 then begin
+     let next = Atomic.make 0 in
+     let aborted = Atomic.make false in
+     let errors = Array.make domains None in
+     let worker wi fork =
+       let rec go () =
+         if not (Atomic.get aborted) then begin
+           let k = Atomic.fetch_and_add next 1 in
+           if k < Array.length todo then begin
+             let ti = todo.(k) in
+             let r =
+               run_one ~obs:fork prog golden ~hang_factor:config.hang_factor
+                 sample.(ti)
+             in
+             (match writer with Some w -> Journal.append w ~index:ti r | None -> ());
+             results.(ti) <- Some r;
+             progress ();
+             go ()
+           end
+         end
+       in
+       try go ()
+       with e ->
+         errors.(wi) <- Some (e, Printexc.get_raw_backtrace ());
+         Atomic.set aborted true
+     in
+     let forks = Array.init domains (fun _ -> Obs.fork obs) in
+     let spawned =
+       List.init (domains - 1) (fun i ->
+           Domain.spawn (fun () -> worker (i + 1) forks.(i + 1)))
+     in
+     worker 0 forks.(0);
+     List.iter Domain.join spawned;
+     Array.iter (fun fork -> Obs.merge ~into:obs fork) forks;
+     Array.iter
+       (function
+         | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+         | None -> ())
+       errors
+   end);
+  let all = collect sample results exec_ids in
+  (summaries_by_model config.models all, all)

@@ -63,6 +63,8 @@ type t = {
   icache : Cache.t option;
   dcache : Cache.t option;
   decode_cache : (int, Isa.instr) Hashtbl.t;
+  mutable fetch_xor : int;  (* one-shot XOR mask on the next fetched word *)
+  mutable on_event : (Bus_event.t -> unit) option;
 }
 
 let create ?(config = default_config) prog =
@@ -82,7 +84,9 @@ let create ?(config = default_config) prog =
     events_rev = [];
     icache = Option.map Cache.create config.icache;
     dcache = Option.map Cache.create config.dcache;
-    decode_cache = Hashtbl.create 1024 }
+    decode_cache = Hashtbl.create 1024;
+    fetch_xor = 0;
+    on_event = None }
 
 (* Window mapping: register 8+i (out) of window w lives at slot w*16+i;
    register 16+i (local) at w*16+8+i; register 24+i (in) is the out of
@@ -118,7 +122,30 @@ let cwp t = t.cwp
 let memory t = t.mem
 let events t = List.rev t.events_rev
 
-let record t ev = t.events_rev <- ev :: t.events_rev
+let record t ev =
+  t.events_rev <- ev :: t.events_rev;
+  match t.on_event with Some f -> f ev | None -> ()
+
+let set_event_hook t hook = t.on_event <- hook
+
+(* Architectural register file as one flat slot space: globals first
+   (slot 0 is the hardwired g0 cell — corrupting it is architecturally
+   masked, like flipping a tied-zero net), then the windowed file. *)
+let regfile_slots t = 8 + Array.length t.windowed
+
+let flip_regfile_bit t ~slot ~bit =
+  let mask = 1 lsl bit in
+  if slot < 8 then t.globals.(slot) <- Bitops.of_int (t.globals.(slot) lxor mask)
+  else
+    let i = slot - 8 in
+    t.windowed.(i) <- Bitops.of_int (t.windowed.(i) lxor mask)
+
+let flip_memory_bit t ~addr ~bit =
+  let addr = addr land lnot 3 in
+  let v = Memory.load_word t.mem addr in
+  Memory.store_word t.mem addr (Bitops.of_int (v lxor (1 lsl bit)))
+
+let corrupt_next_fetch t ~bit = t.fetch_xor <- t.fetch_xor lor (1 lsl bit)
 
 let opcode_histogram t =
   List.filter_map
@@ -350,15 +377,25 @@ let fetch_decode t =
   let addr = t.pc_ in
   if addr land 3 <> 0 then raise (Trap (Misaligned_access addr));
   charge_cache t.icache t addr ~write:false;
-  match Hashtbl.find_opt t.decode_cache addr with
-  | Some i -> i
-  | None -> (
-      let w = Memory.load_word t.mem addr in
-      match Encode.decode w with
-      | Some i ->
-          Hashtbl.add t.decode_cache addr i;
-          i
-      | None -> raise (Trap (Illegal_instruction w)))
+  if t.fetch_xor <> 0 then begin
+    (* Corrupted fetch: bypass the decode cache entirely (read and
+       insert), decode the XORed word, and clear the one-shot mask. *)
+    let w = Memory.load_word t.mem addr lxor t.fetch_xor in
+    t.fetch_xor <- 0;
+    match Encode.decode w with
+    | Some i -> i
+    | None -> raise (Trap (Illegal_instruction w))
+  end
+  else
+    match Hashtbl.find_opt t.decode_cache addr with
+    | Some i -> i
+    | None -> (
+        let w = Memory.load_word t.mem addr in
+        match Encode.decode w with
+        | Some i ->
+            Hashtbl.add t.decode_cache addr i;
+            i
+        | None -> raise (Trap (Illegal_instruction w)))
 
 let step t =
   match t.stopped with

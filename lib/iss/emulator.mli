@@ -99,6 +99,37 @@ val unit_accesses : t -> (Units.t * int) list
 val icache_stats : t -> Cache.stats option
 val dcache_stats : t -> Cache.stats option
 
+(** {2 Fault-injection hooks}
+
+    Instruction-grain corruption primitives for ISS-level campaigns
+    ({!Iss_campaign} in [lib/fault]).  They mutate architectural state
+    directly; classification against a golden run is the caller's
+    job. *)
+
+val regfile_slots : t -> int
+(** Size of the flat register-file slot space: 8 globals (slot 0 is
+    the hardwired g0 cell — corrupting it is architecturally masked)
+    followed by the [16 * nwindows] windowed registers. *)
+
+val flip_regfile_bit : t -> slot:int -> bit:int -> unit
+(** Invert one bit of one physical register-file slot. *)
+
+val flip_memory_bit : t -> addr:int -> bit:int -> unit
+(** Invert one bit of the memory word containing [addr] (the address
+    is word-aligned down). *)
+
+val corrupt_next_fetch : t -> bit:int -> unit
+(** XOR the given bit into the {e next} fetched instruction word.  The
+    corrupted word bypasses the decode cache (read and insert) and the
+    mask clears itself after one fetch, so exactly one dynamic
+    instruction is affected. *)
+
+val set_event_hook : t -> (Bus_event.t -> unit) option -> unit
+(** Install a callback invoked synchronously on every recorded bus
+    event — the cheap lockstep-observation channel.  The callback may
+    raise to abort the run; the exception propagates out of
+    {!step}/{!run}. *)
+
 (** {2 One-shot convenience} *)
 
 type result = {

@@ -48,3 +48,6 @@ let to_csv t =
 let cell_float f = Printf.sprintf "%.2f" f
 
 let cell_pct f = Printf.sprintf "%.1f%%" f
+
+let cell_ci ~lower ~upper f =
+  Printf.sprintf "%.1f%% [%.1f, %.1f]" f lower upper

@@ -22,3 +22,7 @@ val cell_float : float -> string
 
 val cell_pct : float -> string
 (** ["12.3%"] from a 0-100 value. *)
+
+val cell_ci : lower:float -> upper:float -> float -> string
+(** ["12.3% [10.1, 14.9]"] — a percentage point estimate with its
+    confidence bounds, all on the 0-100 scale. *)

@@ -1,0 +1,44 @@
+type interval = {
+  p_hat : float;
+  lower : float;
+  upper : float;
+  n : int;
+  k : int;
+  z : float;
+}
+
+let wilson ?(z = 1.96) ~k ~n () =
+  if n <= 0 then invalid_arg "Binomial.wilson: n must be positive";
+  if k < 0 || k > n then invalid_arg "Binomial.wilson: k out of [0, n]";
+  if z <= 0. then invalid_arg "Binomial.wilson: z must be positive";
+  let nf = float_of_int n in
+  let p_hat = float_of_int k /. nf in
+  let z2 = z *. z in
+  let denom = 1. +. (z2 /. nf) in
+  let center = (p_hat +. (z2 /. (2. *. nf))) /. denom in
+  let half =
+    z /. denom
+    *. sqrt (((p_hat *. (1. -. p_hat)) /. nf) +. (z2 /. (4. *. nf *. nf)))
+  in
+  let clamp x = if x < 0. then 0. else if x > 1. then 1. else x in
+  (* At the boundary counts the Wilson bound is exactly the boundary
+     (algebraically center = half there); pin it so k = 0 / k = n
+     intervals are [0, u] / [l, 1] without float residue. *)
+  let lower = if k = 0 then 0. else clamp (center -. half) in
+  let upper = if k = n then 1. else clamp (center +. half) in
+  { p_hat; lower; upper; n; k; z }
+
+let of_rate ?z ~p ~n () =
+  let k = int_of_float (Float.round (p *. float_of_int n)) in
+  let k = if k < 0 then 0 else if k > n then n else k in
+  wilson ?z ~k ~n ()
+
+let disjoint a b = a.upper < b.lower || b.upper < a.lower
+
+let width i = i.upper -. i.lower
+
+let contains i p = i.lower <= p && p <= i.upper
+
+let to_string i =
+  Printf.sprintf "%.4f [%.4f, %.4f] (k=%d n=%d z=%.2f)" i.p_hat i.lower i.upper
+    i.k i.n i.z

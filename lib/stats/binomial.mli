@@ -1,0 +1,37 @@
+(** Binomial proportion confidence intervals (Wilson score).
+
+    Every Pf a campaign reports is an estimate [k/n] from [n] sampled
+    injections; the Wilson score interval puts honest error bars on it.
+    Unlike the normal (Wald) approximation it behaves at the edges the
+    campaigns actually hit — [k = 0] gives a lower bound of exactly 0,
+    [k = n] an upper bound of exactly 1, and tiny [n] still yields a
+    proper (wide) interval instead of a degenerate point. *)
+
+type interval = {
+  p_hat : float;  (** the point estimate [k/n] *)
+  lower : float;
+  upper : float;
+  n : int;
+  k : int;
+  z : float;  (** the critical value the bounds were computed with *)
+}
+
+val wilson : ?z:float -> k:int -> n:int -> unit -> interval
+(** Wilson score interval for [k] successes in [n] trials.  [z]
+    defaults to 1.96 (95% coverage).  Raises [Invalid_argument] when
+    [n <= 0], [k] is outside [0, n], or [z <= 0]. *)
+
+val of_rate : ?z:float -> p:float -> n:int -> unit -> interval
+(** Wilson interval for a rate [p] that would have been observed over
+    [n] trials: [k = round (p * n)], clamped into [0, n].  Used to put
+    a comparable band on a {e predicted} Pf. *)
+
+val disjoint : interval -> interval -> bool
+(** The two intervals share no point — the CI-disjoint residual test
+    behind the fit-break flag. *)
+
+val width : interval -> float
+
+val contains : interval -> float -> bool
+
+val to_string : interval -> string

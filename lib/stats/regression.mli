@@ -28,3 +28,24 @@ val predict_log : fit -> float -> float
 
 val pearson : (float * float) list -> float
 (** [pearson points] is the sample correlation coefficient. *)
+
+(** {2 Cross-validation} *)
+
+type loo = {
+  predictions : float array;
+      (** per-point prediction from the fit {e excluding} that point,
+          in input order *)
+  residuals : float array;  (** [y - prediction], in input order *)
+  r_squared : float;
+      (** out-of-sample R² over the held-out predictions; {e can be
+          negative} when the fit predicts worse than the mean — that is
+          the overfitting signal, and it is not clamped *)
+  rmse : float;  (** root-mean-square held-out residual *)
+}
+
+val leave_one_out : ?log:bool -> (float * float) list -> loo
+(** Leave-one-out cross-validation of {!linear} (or, with [log],
+    {!log_fit}): each point is predicted by the fit over the remaining
+    points.  Raises [Invalid_argument] with fewer than three points, or
+    when any fold is degenerate (propagated from the underlying
+    fit). *)

@@ -92,7 +92,7 @@ let test_sim_time_shape () =
   check_bool "extrapolation positive" true (r.X.st_extrapolated_iss_hours > 0.)
 
 let test_run_dispatch () =
-  check_int "nine ids" 9 (List.length X.all_ids);
+  check_int "ten ids" 10 (List.length X.all_ids);
   (* cheap ones only; campaign-heavy ids are covered above *)
   check_bool "table1 produces one table" true
     (List.length (X.run (Lazy.force ctx) "table1") = 1);

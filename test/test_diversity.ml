@@ -142,6 +142,60 @@ let prop_diversity_le_types =
       && info.M.diversity = List.length hist
       && info.M.memory_instructions <= info.M.instructions)
 
+(* ---- hardened correlation (Correlate) ---- *)
+
+module Cor = Diversity.Correlate
+
+(* Seven workloads exactly on Pf = 0.08 ln(D) + 0.02.  n = 600 keeps
+   the Wilson bands wide enough that the drag one moderate outlier
+   exerts on the other folds' fits stays inside their intervals — only
+   the outlier itself must trip. *)
+let on_curve_samples =
+  List.mapi
+    (fun i d ->
+      let x = float_of_int d in
+      let p = (0.08 *. log x) +. 0.02 in
+      let n = 600 in
+      { Cor.label = Printf.sprintf "w%d" i; x; k = int_of_float (Float.round (p *. float_of_int n)); n })
+    [ 8; 12; 19; 27; 36; 47; 54 ]
+
+let test_correlate_clean_fit () =
+  let a = Cor.analyze ~log:true on_curve_samples in
+  Alcotest.(check bool) "high out-of-sample r2" true (a.Cor.loo_r_squared > 0.99);
+  Alcotest.(check bool) "no fit breaks" true (a.Cor.broken = []);
+  Alcotest.(check int) "one row per sample" (List.length on_curve_samples)
+    (List.length a.Cor.rows);
+  List.iter
+    (fun (r : Cor.row) ->
+      Alcotest.(check bool) ("row ok " ^ r.Cor.label) false r.Cor.fit_break)
+    a.Cor.rows
+
+let test_correlate_planted_outlier_trips_fit_break () =
+  (* plant one workload far off the curve: its measured CI and its
+     held-out prediction CI cannot overlap, so the fit-break flag must
+     name it — and the cross-validated R² must collapse relative to
+     the clean fit *)
+  let outlier = { Cor.label = "planted"; x = 30.; k = 330; n = 600 } in
+  let a = Cor.analyze ~log:true (on_curve_samples @ [ outlier ]) in
+  Alcotest.(check (list string)) "outlier flagged" [ "planted" ] a.Cor.broken;
+  let clean = Cor.analyze ~log:true on_curve_samples in
+  Alcotest.(check bool) "loo r2 collapses" true
+    (a.Cor.loo_r_squared < clean.Cor.loo_r_squared -. 0.2);
+  let row = List.find (fun (r : Cor.row) -> r.Cor.label = "planted") a.Cor.rows in
+  Alcotest.(check bool) "disjoint intervals" true
+    (Stats.Binomial.disjoint row.Cor.measured row.Cor.predicted)
+
+let test_correlate_errors () =
+  Alcotest.(check bool) "needs three samples" true
+    (match Cor.analyze [ List.hd on_curve_samples; List.nth on_curve_samples 1 ] with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  Alcotest.(check bool) "impossible counts rejected" true
+    (match Cor.analyze [ { Cor.label = "bad"; x = 1.; k = 5; n = 2 };
+                         List.hd on_curve_samples; List.nth on_curve_samples 1 ] with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
 let suite =
   ( "diversity",
     [ Alcotest.test_case "histogram counting" `Quick test_of_histogram_counts;
@@ -152,5 +206,9 @@ let suite =
       Alcotest.test_case "score monotonic" `Quick test_predictor_monotonic_in_types;
       Alcotest.test_case "calibration" `Quick test_predictor_calibration;
       Alcotest.test_case "avf bounds" `Quick test_avf_bounds_and_counting;
-      Alcotest.test_case "avf liveness" `Quick test_avf_dead_values_not_counted ]
+      Alcotest.test_case "avf liveness" `Quick test_avf_dead_values_not_counted;
+      Alcotest.test_case "correlate clean fit" `Quick test_correlate_clean_fit;
+      Alcotest.test_case "correlate planted outlier" `Quick
+        test_correlate_planted_outlier_trips_fit_break;
+      Alcotest.test_case "correlate errors" `Quick test_correlate_errors ]
     @ [ QCheck_alcotest.to_alcotest prop_diversity_le_types ] )

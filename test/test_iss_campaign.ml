@@ -1,0 +1,220 @@
+(* Tests for ISS-level fault campaigns: verdict determinism across
+   domain counts and journal resume, shard merging through the shared
+   journal, and the site-name model partition.  The CI seed sweep
+   reruns this suite under several RICV_TEST_SEED values — every
+   property here must hold for any sampling seed. *)
+
+module A = Sparc.Asm
+module I = Sparc.Isa
+module Campaign = Fault_injection.Campaign
+module Journal = Fault_injection.Journal
+module IC = Fault_injection.Iss_campaign
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let seed =
+  match Sys.getenv_opt "RICV_TEST_SEED" with
+  | Some s -> ( match int_of_string_opt s with Some n -> n | None -> 7)
+  | None -> 7
+
+(* Sums 0..7 into a data word and exits with the sum; has a data
+   segment so mem-flip sites land in real workload state. *)
+let small_prog =
+  lazy
+    (let b = A.create ~name:"iss-small" () in
+     A.prologue b;
+     A.mov b (Imm 0) I.o0;
+     A.mov b (Imm 0) I.o1;
+     A.label b "loop";
+     A.op3 b I.Add I.o0 (Reg I.o1) I.o0;
+     A.op3 b I.Add I.o1 (Imm 1) I.o1;
+     A.cmp b I.o1 (Imm 8);
+     A.branch b I.Bne "loop";
+     A.set32 b Sparc.Layout.result_base I.o2;
+     A.st b I.St I.o0 I.o2 (Imm 0);
+     A.halt b I.o0;
+     A.assemble b)
+
+let config ?(samples = 12) ?(shard = (1, 1)) () =
+  { IC.default_config with IC.samples_per_model = samples; seed; shard }
+
+let full_verdict (r : Journal.run_result) =
+  (r.Journal.site_name, r.Journal.model, r.Journal.outcome, r.Journal.detect_cycle,
+   r.Journal.inject_cycle, r.Journal.sim)
+
+let temp_journal () =
+  let path = Filename.temp_file "ricv_iss_journal" ".jsonl" in
+  Sys.remove path;
+  path
+
+let with_journal f =
+  let path = temp_journal () in
+  Fun.protect ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () -> f path)
+
+(* ---- golden run and site sampling ---- *)
+
+let test_golden_run () =
+  let g = IC.golden_run (Lazy.force small_prog) in
+  check_bool "ran" true (g.IC.instructions > 0);
+  check_bool "writes observed" true (Array.length g.IC.writes > 0);
+  check_int "exit code is the sum" 28 g.IC.exit_code
+
+let test_sample_sites_deterministic () =
+  let prog = Lazy.force small_prog in
+  let g = IC.golden_run prog in
+  let sites1 = IC.sample_sites ~config:(config ()) g prog in
+  let sites2 = IC.sample_sites ~config:(config ()) g prog in
+  check_bool "same seed, same sites" true (sites1 = sites2);
+  check_int "model-major, samples per model" (3 * 12) (Array.length sites1);
+  Array.iter
+    (fun (s : IC.site) ->
+      check_bool ("site name carries the model: " ^ s.IC.site_name) true
+        (IC.model_of_site_name s.IC.site_name = Some s.IC.smodel);
+      check_bool "injection instant inside the golden run" true
+        (s.IC.index >= 0 && s.IC.index < g.IC.instructions))
+    sites1;
+  (* a different seed moves the sample (the fingerprint hash sees it) *)
+  let other =
+    IC.sample_sites ~config:{ (config ()) with IC.seed = seed + 1 } g prog
+  in
+  check_bool "seed sensitivity" true (sites1 <> other)
+
+let test_model_of_site_name_rejects_rtl () =
+  check_bool "rtl site names are not ISS sites" true
+    (IC.model_of_site_name "iu.ex_alu_result[3]" = None);
+  check_bool "plain names rejected" true (IC.model_of_site_name "reg[1.2]@3" = None)
+
+(* ---- campaign determinism ---- *)
+
+let test_campaign_runs_all_models () =
+  let summaries, results = IC.run ~config:(config ()) (Lazy.force small_prog) in
+  check_int "verdict per site" (3 * 12) (List.length results);
+  check_int "one summary per model" 3 (List.length summaries);
+  List.iter
+    (fun (m, (s : Campaign.summary)) ->
+      check_int ("injections for " ^ IC.model_name m) 12 s.Campaign.injections)
+    summaries;
+  (* every verdict partitions back to exactly one ISS model *)
+  List.iter
+    (fun (r : Journal.run_result) ->
+      check_bool ("verdict has an ISS model: " ^ r.Journal.site_name) true
+        (IC.model_of_site_name r.Journal.site_name <> None);
+      check_bool "recorded under bit-flip" true (r.Journal.model = Rtl.Circuit.Bit_flip))
+    results
+
+let test_parallel_equals_sequential () =
+  let prog = Lazy.force small_prog in
+  let s_seq, r_seq = IC.run ~config:(config ()) prog in
+  let s_par, r_par = IC.run_parallel ~config:(config ()) ~domains:4 prog in
+  check_int "verdict count" (List.length r_seq) (List.length r_par);
+  List.iter2
+    (fun a b ->
+      check_bool ("verdicts equal: " ^ a.Journal.site_name) true
+        (full_verdict a = full_verdict b))
+    r_seq r_par;
+  check_bool "summaries equal" true (s_seq = s_par)
+
+let prop_parallel_matches_sequential =
+  (* the engines agree for any sample size and domain count *)
+  QCheck2.Test.make ~name:"iss parallel engine matches sequential" ~count:8
+    QCheck2.Gen.(pair (int_range 1 6) (int_range 2 5))
+    (fun (samples, domains) ->
+      let prog = Lazy.force small_prog in
+      let _, r_seq = IC.run ~config:(config ~samples ()) prog in
+      let _, r_par = IC.run_parallel ~config:(config ~samples ()) ~domains prog in
+      List.length r_seq = List.length r_par
+      && List.for_all2 (fun a b -> full_verdict a = full_verdict b) r_seq r_par)
+
+(* ---- journaling: kill, resume, shard, merge ---- *)
+
+let test_journal_kill_and_resume () =
+  let prog = Lazy.force small_prog in
+  let summaries0, results0 = IC.run ~config:(config ()) prog in
+  with_journal @@ fun path ->
+  let _ = IC.run ~config:(config ()) ~journal:path prog in
+  let lines = In_channel.with_open_text path In_channel.input_lines in
+  check_int "journal holds every verdict" (1 + List.length results0) (List.length lines);
+  (* kill mid-campaign: keep half the verdicts plus a torn tail *)
+  let keep = 1 + (List.length results0 / 2) in
+  let oc = open_out path in
+  List.iteri (fun i l -> if i < keep then (output_string oc l; output_char oc '\n')) lines;
+  output_string oc {|{"type":"verdict","i":99,"site":"torn|};
+  close_out oc;
+  let obs = Obs.create () in
+  let summaries1, results1 = IC.run ~config:(config ()) ~obs ~journal:path ~resume:true prog in
+  check_int "replayed the surviving verdicts" (keep - 1)
+    (Obs.counter obs "journal.replayed");
+  List.iter2
+    (fun r0 r1 ->
+      check_bool ("verdict " ^ r0.Journal.site_name) true
+        (full_verdict r0 = full_verdict r1))
+    results0 results1;
+  check_bool "summaries identical" true (summaries0 = summaries1);
+  (* parallel resume over the same journal is also byte-identical *)
+  let _, results2 =
+    IC.run_parallel ~config:(config ()) ~domains:3 ~journal:path ~resume:true prog
+  in
+  List.iter2
+    (fun r0 r2 -> check_bool "parallel resume stable" true (full_verdict r0 = full_verdict r2))
+    results0 results2
+
+let test_stale_journal_rejected () =
+  let prog = Lazy.force small_prog in
+  with_journal @@ fun path ->
+  let _ = IC.run ~config:(config ()) ~journal:path prog in
+  (* different sampling seed: the fingerprint must refuse to resume *)
+  check_bool "stale journal raises Rejected" true
+    (match
+       IC.run ~config:{ (config ()) with IC.seed = seed + 1 } ~journal:path
+         ~resume:true prog
+     with
+    | _ -> false
+    | exception Journal.Rejected _ -> true)
+
+let test_shard_merge_equals_direct () =
+  let prog = Lazy.force small_prog in
+  let summaries0, results0 = IC.run ~config:(config ()) prog in
+  let n = 3 in
+  let journals =
+    List.init n (fun k ->
+        let path = temp_journal () in
+        let _ = IC.run ~config:(config ~shard:(k + 1, n) ()) ~journal:path prog in
+        path)
+  in
+  Fun.protect ~finally:(fun () -> List.iter Sys.remove journals) @@ fun () ->
+  let loaded =
+    List.map
+      (fun p -> match Journal.load p with Ok j -> j | Error m -> Alcotest.fail m)
+      journals
+  in
+  match Journal.merge loaded with
+  | Error msg -> Alcotest.fail msg
+  | Ok (fp, merged) ->
+      check_bool "iss journal target" true (fp.Journal.target = IC.target_name);
+      check_int "merged count" (List.length results0) (List.length merged);
+      List.iter2
+        (fun r0 rm ->
+          check_bool ("merged verdict " ^ r0.Journal.site_name) true
+            (full_verdict r0 = full_verdict rm))
+        results0 merged;
+      (* the model partition of the merged verdicts reproduces the
+         direct run's per-model summaries *)
+      check_bool "partitioned summaries equal direct" true
+        (IC.summaries_by_model IC.all_models merged = summaries0);
+      (* incomplete shard sets stay rejected through the shared journal *)
+      check_bool "incomplete set rejected" true
+        (match Journal.merge [ List.hd loaded ] with Ok _ -> false | Error _ -> true)
+
+let suite =
+  ( "iss-campaign",
+    [ Alcotest.test_case "golden run" `Quick test_golden_run;
+      Alcotest.test_case "site sampling" `Quick test_sample_sites_deterministic;
+      Alcotest.test_case "rtl site names rejected" `Quick test_model_of_site_name_rejects_rtl;
+      Alcotest.test_case "all models run" `Quick test_campaign_runs_all_models;
+      Alcotest.test_case "parallel = sequential" `Slow test_parallel_equals_sequential;
+      Alcotest.test_case "kill and resume" `Slow test_journal_kill_and_resume;
+      Alcotest.test_case "stale journal rejected" `Quick test_stale_journal_rejected;
+      Alcotest.test_case "shard merge = direct" `Slow test_shard_merge_equals_direct ]
+    @ [ QCheck_alcotest.to_alcotest prop_parallel_matches_sequential ] )

@@ -14,6 +14,7 @@ let () =
       Test_differential.suite;
       Test_fault.suite;
       Test_journal.suite;
+      Test_iss_campaign.suite;
       Test_event.suite;
       Test_batch.suite;
       Test_workloads.suite;

@@ -89,6 +89,61 @@ let test_fork_merge () =
       check_float "hist min" 3. h.Obs.min;
       check_float "hist max" 7. h.Obs.max
 
+(* Randomized fork/merge algebra: whatever collector operations the
+   workers perform, merging their forks in any order — or nested,
+   fork-into-fork first — must aggregate identically.  Values are
+   integer-valued floats so sums compare exactly. *)
+
+let apply_op obs (kind, name_i, v) =
+  let name = [| "a"; "b"; "c" |].(name_i) in
+  match kind with
+  | 0 -> Obs.incr obs ~by:v name
+  | 1 -> Obs.observe obs name (float_of_int v)
+  | _ -> Obs.add_time obs name (float_of_int v)
+
+let snapshot obs =
+  ( Obs.counters obs,
+    List.map (fun n -> (n, Obs.span_count obs n, Obs.span_total obs n)) [ "a"; "b"; "c" ],
+    List.map
+      (fun n ->
+        match Obs.histogram obs n with
+        | None -> None
+        | Some h -> Some (h.Obs.count, h.Obs.sum, h.Obs.min, h.Obs.max))
+      [ "a"; "b"; "c" ] )
+
+let prop_fork_merge_commutes =
+  let gen_ops =
+    QCheck2.Gen.(
+      list_size (int_range 0 25) (triple (int_bound 2) (int_bound 2) (int_range 0 16)))
+  in
+  QCheck2.Test.make ~name:"fork/merge commutes and associates" ~count:200
+    QCheck2.Gen.(triple gen_ops gen_ops gen_ops)
+    (fun (xs, ys, zs) ->
+      let scenario strategy =
+        let obs = Obs.create () in
+        Obs.incr obs ~by:3 "a";
+        Obs.observe obs "b" 2.;
+        let fa = Obs.fork obs and fb = Obs.fork obs and fc = Obs.fork obs in
+        List.iter (apply_op fa) xs;
+        List.iter (apply_op fb) ys;
+        List.iter (apply_op fc) zs;
+        strategy obs fa fb fc;
+        snapshot obs
+      in
+      let direct =
+        scenario (fun obs a b c ->
+            Obs.merge ~into:obs a; Obs.merge ~into:obs b; Obs.merge ~into:obs c)
+      in
+      let permuted =
+        scenario (fun obs a b c ->
+            Obs.merge ~into:obs c; Obs.merge ~into:obs a; Obs.merge ~into:obs b)
+      in
+      let nested =
+        scenario (fun obs a b c ->
+            Obs.merge ~into:b c; Obs.merge ~into:a b; Obs.merge ~into:obs a)
+      in
+      direct = permuted && permuted = nested)
+
 (* ---- JSON ---- *)
 
 let test_json_roundtrip () =
@@ -160,4 +215,5 @@ let suite =
       Alcotest.test_case "json round trip" `Quick test_json_roundtrip;
       Alcotest.test_case "json rejects garbage" `Quick test_json_rejects_garbage;
       Alcotest.test_case "jsonl sink" `Quick test_sink_emits_valid_jsonl;
-      Alcotest.test_case "span event fields" `Quick test_span_event_fields ] )
+      Alcotest.test_case "span event fields" `Quick test_span_event_fields ]
+    @ [ QCheck_alcotest.to_alcotest prop_fork_merge_commutes ] )

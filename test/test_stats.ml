@@ -119,6 +119,108 @@ let test_ratio () =
   check_float "guarded zero" 0. (Stats.Summary.ratio ~num:3 ~den:0);
   check_float "plain" 0.75 (Stats.Summary.ratio ~num:3 ~den:4)
 
+(* ---- Wilson score intervals ---- *)
+
+let check_float4 = Alcotest.(check (float 1e-4))
+
+let test_wilson_fixtures () =
+  (* hand-computed at z = 1.96: center (p + z^2/2n)/(1 + z^2/n),
+     half-width z/(1 + z^2/n) * sqrt(p(1-p)/n + z^2/4n^2) *)
+  let ci = Stats.Binomial.wilson ~k:5 ~n:10 () in
+  check_float "p_hat" 0.5 ci.Stats.Binomial.p_hat;
+  check_float4 "lower (5/10)" 0.236589 ci.Stats.Binomial.lower;
+  check_float4 "upper (5/10)" 0.763411 ci.Stats.Binomial.upper;
+  Alcotest.(check bool) "contains p_hat" true (Stats.Binomial.contains ci 0.5)
+
+let test_wilson_edges () =
+  (* k = 0: the lower bound is exactly 0, the upper is z^2/(n + z^2)
+     scaled — at n = 1, 3.8416/4.8416 *)
+  let zero = Stats.Binomial.wilson ~k:0 ~n:1 () in
+  check_float "k=0 lower" 0. zero.Stats.Binomial.lower;
+  check_float4 "k=0 n=1 upper" 0.793456 zero.Stats.Binomial.upper;
+  (* k = n mirrors it *)
+  let one = Stats.Binomial.wilson ~k:1 ~n:1 () in
+  check_float4 "k=n lower" 0.206544 one.Stats.Binomial.lower;
+  check_float "k=n upper" 1. one.Stats.Binomial.upper;
+  (* the interval never escapes [0, 1] even at extreme z *)
+  let wide = Stats.Binomial.wilson ~z:10. ~k:1 ~n:2 () in
+  Alcotest.(check bool) "clamped" true
+    (wide.Stats.Binomial.lower >= 0. && wide.Stats.Binomial.upper <= 1.)
+
+let test_wilson_errors () =
+  List.iter
+    (fun (k, n) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "k=%d n=%d rejected" k n)
+        true
+        (match Stats.Binomial.wilson ~k ~n () with
+        | _ -> false
+        | exception Invalid_argument _ -> true))
+    [ (0, 0); (0, -1); (-1, 10); (11, 10) ];
+  Alcotest.(check bool) "z <= 0 rejected" true
+    (match Stats.Binomial.wilson ~z:0. ~k:1 ~n:2 () with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_wilson_of_rate_and_disjoint () =
+  let a = Stats.Binomial.of_rate ~p:0.5 ~n:10 () in
+  let b = Stats.Binomial.wilson ~k:5 ~n:10 () in
+  check_float "of_rate rounds to k" b.Stats.Binomial.lower a.Stats.Binomial.lower;
+  (* rates outside [0,1] clamp to the boundary counts *)
+  let lo = Stats.Binomial.of_rate ~p:(-0.3) ~n:10 () in
+  check_int "negative rate clamps to k=0" 0 lo.Stats.Binomial.k;
+  let hi = Stats.Binomial.of_rate ~p:1.7 ~n:10 () in
+  check_int "excess rate clamps to k=n" 10 hi.Stats.Binomial.k;
+  let c = Stats.Binomial.wilson ~k:99 ~n:100 () in
+  Alcotest.(check bool) "far intervals disjoint" true (Stats.Binomial.disjoint a c);
+  Alcotest.(check bool) "disjoint symmetric" true (Stats.Binomial.disjoint c a);
+  Alcotest.(check bool) "overlapping not disjoint" false (Stats.Binomial.disjoint a b)
+
+(* ---- leave-one-out cross-validation ---- *)
+
+let test_loo_exact_line () =
+  (* every fold of an exact line recovers the line: held-out residuals
+     vanish and the cross-validated R² is 1 *)
+  let points = List.init 6 (fun i -> (float_of_int i, (2. *. float_of_int i) +. 1.)) in
+  let loo = Stats.Regression.leave_one_out points in
+  check_float "r2" 1. loo.Stats.Regression.r_squared;
+  check_float "rmse" 0. loo.Stats.Regression.rmse;
+  Array.iter (fun r -> check_float "residual" 0. r) loo.Stats.Regression.residuals
+
+let test_loo_exact_log () =
+  let points = List.map (fun x -> (x, (3. *. log x) +. 2.)) [ 1.; 2.; 5.; 10.; 20. ] in
+  let loo = Stats.Regression.leave_one_out ~log:true points in
+  check_float "log r2" 1. loo.Stats.Regression.r_squared;
+  check_float "log rmse" 0. loo.Stats.Regression.rmse
+
+let test_loo_overfit_negative_r2 () =
+  (* a zig-zag no line explains: each fold's fit points away from the
+     held-out y, so cross-validated predictions are worse than the
+     mean — R² must go negative, not clamp at 0 *)
+  let loo = Stats.Regression.leave_one_out [ (0., 0.); (1., 1.); (2., 0.) ] in
+  Alcotest.(check bool) "negative r2 preserved" true
+    (loo.Stats.Regression.r_squared < 0.)
+
+let test_loo_errors () =
+  Alcotest.(check bool) "needs three points" true
+    (match Stats.Regression.leave_one_out [ (0., 0.); (1., 1.) ] with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let prop_wilson_sane =
+  QCheck2.Test.make ~name:"wilson interval is ordered, bounded and covers p_hat"
+    ~count:500
+    QCheck2.Gen.(pair (int_bound 200) (int_range 1 200))
+    (fun (k0, n) ->
+      let k = min k0 n in
+      let ci = Stats.Binomial.wilson ~k ~n () in
+      ci.Stats.Binomial.lower >= 0.
+      && ci.Stats.Binomial.upper <= 1.
+      && ci.Stats.Binomial.lower <= ci.Stats.Binomial.p_hat +. 1e-12
+      && ci.Stats.Binomial.p_hat <= ci.Stats.Binomial.upper +. 1e-12
+      && (k > 0 || ci.Stats.Binomial.lower = 0.)
+      && (k < n || ci.Stats.Binomial.upper = 1.))
+
 let prop_fit_recovers_line =
   QCheck2.Test.make ~name:"linear fit recovers exact lines" ~count:200
     QCheck2.Gen.(triple (float_range (-50.) 50.) (float_range (-50.) 50.) (int_range 3 20))
@@ -155,6 +257,14 @@ let suite =
       Alcotest.test_case "summary" `Quick test_summary;
       Alcotest.test_case "percentile" `Quick test_percentile;
       Alcotest.test_case "percentile nan" `Quick test_percentile_nan;
-      Alcotest.test_case "ratio" `Quick test_ratio ]
+      Alcotest.test_case "ratio" `Quick test_ratio;
+      Alcotest.test_case "wilson fixtures" `Quick test_wilson_fixtures;
+      Alcotest.test_case "wilson edges" `Quick test_wilson_edges;
+      Alcotest.test_case "wilson errors" `Quick test_wilson_errors;
+      Alcotest.test_case "wilson of_rate/disjoint" `Quick test_wilson_of_rate_and_disjoint;
+      Alcotest.test_case "loo exact line" `Quick test_loo_exact_line;
+      Alcotest.test_case "loo exact log" `Quick test_loo_exact_log;
+      Alcotest.test_case "loo overfit r2" `Quick test_loo_overfit_negative_r2;
+      Alcotest.test_case "loo errors" `Quick test_loo_errors ]
     @ List.map QCheck_alcotest.to_alcotest
-        [ prop_fit_recovers_line; prop_shuffle_preserves_multiset ] )
+        [ prop_wilson_sane; prop_fit_recovers_line; prop_shuffle_preserves_multiset ] )
