@@ -104,45 +104,74 @@ let render_tables tables =
   Buffer.contents buf
 
 let run_static () =
-  let run ~static =
-    let ctx = Context.create ~static ~obs:(Obs.create ()) () in
+  let run ~gate ~static =
+    let obs = Obs.create () in
+    let ctx = Context.create ~gate ~static ~obs () in
     let t0 = Unix.gettimeofday () in
     let tables = Experiments.run ctx "figure5" in
     let wall = Unix.gettimeofday () -. t0 in
-    (tables, wall, Context.trim_stats ctx, Context.samples ctx)
+    (tables, wall, obs, Context.trim_stats ctx, Context.samples ctx)
   in
-  Format.printf "figure 5, static analysis on:@.@.";
-  let tables_on, wall_on, st_on, samples = run ~static:true in
-  print_tables tables_on;
-  Format.printf "  [%.1fs]@.@.figure 5, static analysis off:@.@." wall_on;
-  let tables_off, wall_off, st_off, _ = run ~static:false in
-  print_tables tables_off;
-  Format.printf "  [%.1fs]@." wall_off;
-  let identical = render_tables tables_on = render_tables tables_off in
+  (* per-phase breakdown of the static pass itself (graph extraction,
+     post-dominator tree, collapse probing), plus end-to-end injection
+     throughput — a single wall clock hides where the pass spends and
+     what the campaign gets back *)
+  let phases obs =
+    [ ("graph_seconds", Obs.span_total obs "static.graph");
+      ("dominator_seconds", Obs.span_total obs "static.dominator");
+      ("collapse_seconds", Obs.span_total obs "static.collapse") ]
+  in
+  let ab ~gate label =
+    Format.printf "figure 5 (%s), static analysis on:@.@." label;
+    let tables_on, wall_on, obs_on, st_on, samples = run ~gate ~static:true in
+    print_tables tables_on;
+    Format.printf "  [%.1fs]@.@.figure 5 (%s), static analysis off:@.@." wall_on label;
+    let tables_off, wall_off, _, st_off, _ = run ~gate ~static:false in
+    print_tables tables_off;
+    Format.printf "  [%.1fs]@." wall_off;
+    let identical = render_tables tables_on = render_tables tables_off in
+    let ips wall st =
+      if wall > 0. then float_of_int st.Context.injections /. wall else 0.
+    in
+    let open Obs.Json in
+    let json =
+      Obj
+        [ ("samples", Int samples);
+          ( "static",
+            Obj
+              ([ ("wall_seconds", Float wall_on);
+                 ("injections_per_second", Float (ips wall_on st_on));
+                 ("injections", Int st_on.Context.injections);
+                 ("prefiltered", Int st_on.Context.skipped);
+                 ("pruned", Int st_on.Context.pruned);
+                 ("collapsed", Int st_on.Context.collapsed) ]
+              @ List.map (fun (k, v) -> (k, Float v)) (phases obs_on)) );
+          ( "full",
+            Obj
+              [ ("wall_seconds", Float wall_off);
+                ("injections_per_second", Float (ips wall_off st_off));
+                ("injections", Int st_off.Context.injections);
+                ("prefiltered", Int st_off.Context.skipped) ] );
+          ("speedup", Float (if wall_on > 0. then wall_off /. wall_on else 1.));
+          ("tables_identical", Bool identical) ]
+    in
+    if not identical then begin
+      Format.printf "@.";
+      prerr_endline (label ^ ": static/full figure-5 tables differ");
+      exit 1
+    end;
+    json
+  in
+  let behavioural = ab ~gate:false "behavioural" in
+  Format.printf "@.";
+  let gate = ab ~gate:true "gate-level" in
   let open Obs.Json in
   Format.printf "@.BENCH_static.json: %s@."
     (to_string
        (Obj
           [ ("experiment", Str "figure5");
-            ("samples", Int samples);
-            ( "static",
-              Obj
-                [ ("wall_seconds", Float wall_on);
-                  ("injections", Int st_on.Context.injections);
-                  ("prefiltered", Int st_on.Context.skipped);
-                  ("pruned", Int st_on.Context.pruned);
-                  ("collapsed", Int st_on.Context.collapsed) ] );
-            ( "full",
-              Obj
-                [ ("wall_seconds", Float wall_off);
-                  ("injections", Int st_off.Context.injections);
-                  ("prefiltered", Int st_off.Context.skipped) ] );
-            ("speedup", Float (if wall_on > 0. then wall_off /. wall_on else 1.));
-            ("tables_identical", Bool identical) ]));
-  if not identical then begin
-    prerr_endline "static/full figure-5 tables differ";
-    exit 1
-  end
+            ("behavioural", behavioural);
+            ("gate_level", gate) ]))
 
 (* ---- differential simulation A/B: figure 5 with the event-driven
    engine on vs. off, same samples and seed.  The rendered tables must

@@ -53,6 +53,25 @@ let shard_conv =
   in
   Arg.conv ~docv:"I/N" (parse, fun fmt (i, n) -> Format.fprintf fmt "%d/%d" i n)
 
+(* ---- gate-level elaboration selection (shared) ---- *)
+
+let gate_arg =
+  Arg.(value & flag & info [ "gate-level" ]
+         ~doc:"Elaborate the gate-level IU datapath (NAND/NOR/NOT/MUX lowering of \
+               the ALU, barrel shifter, condition-code logic, decode PLA and mux \
+               trees) instead of the behavioural one.  Verdicts at the observation \
+               boundary are identical; the injection-site population is an order \
+               of magnitude larger.  $(b,RICV_GATE=1) selects it without a flag.")
+
+let gate_enabled flag =
+  flag
+  || (match Sys.getenv_opt "RICV_GATE" with
+     | Some ("0" | "false" | "no" | "off") | None -> false
+     | Some _ -> true)
+
+let system_params ~gate =
+  { Leon3.Core.default_params with Leon3.Core.gate_level = gate }
+
 (* ---- telemetry plumbing (shared by campaign/experiment) ---- *)
 
 let trace_arg =
@@ -137,9 +156,9 @@ let run_rtl_cmd =
            & info [ "vcd" ] ~docv:"FILE"
                ~doc:"Dump a waveform trace of the integer unit (first 5000 cycles).")
   in
-  let run name iterations dataset vcd =
+  let run name iterations dataset vcd gate =
     let prog = or_fail (build_workload name iterations dataset) in
-    let sys = Leon3.System.create () in
+    let sys = Leon3.System.create ~params:(system_params ~gate:(gate_enabled gate)) () in
     Leon3.System.load sys prog;
     let stop =
       match vcd with
@@ -160,7 +179,7 @@ let run_rtl_cmd =
     | None -> ()
   in
   Cmd.v (Cmd.info "run-rtl" ~doc:"Run a workload on the Leon3-class RTL model.")
-    Term.(const run $ workload_arg $ iterations_arg $ dataset_arg $ vcd_arg)
+    Term.(const run $ workload_arg $ iterations_arg $ dataset_arg $ vcd_arg $ gate_arg)
 
 (* ---- disasm ---- *)
 
@@ -294,8 +313,9 @@ let campaign_cmd =
                  identical; only the runtime changes.")
   in
   let run name iterations dataset target samples domains shard journal resume no_trim
-      no_static no_event no_batch trace metrics =
+      no_static no_event no_batch gate trace metrics =
     let prog = or_fail (build_workload name iterations dataset) in
+    let params = system_params ~gate:(gate_enabled gate) in
     if resume && journal = None then begin
       prerr_endline "ricv: --resume requires --journal";
       exit 1
@@ -325,11 +345,11 @@ let campaign_cmd =
             if domains > 1 then
               Fault_injection.Campaign.run_parallel ~config ~obs ~domains ~on_progress
                 ?journal ~resume
-                (fun () -> Leon3.System.create ())
+                (fun () -> Leon3.System.create ~params ())
                 prog target
             else
               Fault_injection.Campaign.run ~config ~obs ~on_progress ?journal ~resume
-                (Leon3.System.create ()) prog target)
+                (Leon3.System.create ~params ()) prog target)
       with Fault_injection.Journal.Rejected msg ->
         Printf.eprintf "\nricv: journal rejected: %s\n" msg;
         exit 1
@@ -374,8 +394,8 @@ let campaign_cmd =
     (Cmd.info "campaign" ~doc:"Run a fault-injection campaign on the RTL model.")
     Term.(const run $ workload_arg $ iterations_arg $ dataset_arg $ target_arg
           $ samples_arg $ domains_arg $ shard_arg $ journal_arg $ resume_arg
-          $ no_trim_arg $ no_static_arg $ no_event_arg $ no_batch_arg $ trace_arg
-          $ metrics_arg)
+          $ no_trim_arg $ no_static_arg $ no_event_arg $ no_batch_arg $ gate_arg
+          $ trace_arg $ metrics_arg)
 
 (* ---- iss-campaign ---- *)
 
@@ -500,12 +520,13 @@ let correlate_cmd =
     Arg.(value & opt (some int) None & info [ "samples"; "s" ] ~docv:"N"
            ~doc:"Injection sample size per (workload, block) and per ISS model.")
   in
-  let run samples trace metrics =
+  let run samples gate trace metrics =
     let obs, finish_obs = make_obs ~trace ~metrics in
+    let gate = gate_enabled gate in
     let ctx =
       match (trace, metrics) with
-      | None, false -> Correlation.Context.create ?samples ()
-      | _ -> Correlation.Context.create ?samples ~obs ()
+      | None, false -> Correlation.Context.create ?samples ~gate ()
+      | _ -> Correlation.Context.create ?samples ~gate ~obs ()
     in
     List.iter
       (Report.Table.render Format.std_formatter)
@@ -520,7 +541,7 @@ let correlate_cmd =
              leave-one-workload-out cross-validated fits, and an explicit fit-break \
              flag where the measured and predicted intervals are disjoint.  Alias \
              for `ricv experiment correlate`.")
-    Term.(const run $ samples_arg $ trace_arg $ metrics_arg)
+    Term.(const run $ samples_arg $ gate_arg $ trace_arg $ metrics_arg)
 
 (* ---- merge ---- *)
 
@@ -599,19 +620,20 @@ let lint_cmd =
     Arg.(value & flag & info [ "json" ]
            ~doc:"Print the report as one compact JSON object instead of text.")
   in
-  let gate_level_arg =
-    Arg.(value & flag & info [ "gate-level" ]
-           ~doc:"Lint the variant with the gate-level ripple-carry adder \
-                 (finer injection granularity, deeper combinational paths).")
-  in
   let depth_arg =
     Arg.(value & opt int 32 & info [ "depth-limit" ] ~docv:"N"
            ~doc:"Combinational-depth threshold for the comb-depth rule.")
   in
-  let run json gate_level depth_limit =
-    let params =
-      { Leon3.Core.default_params with Leon3.Core.gate_level_adder = gate_level }
-    in
+  let validate_arg =
+    Arg.(value & opt int 0 & info [ "validate" ] ~docv:"N"
+           ~doc:"Additionally inject $(docv) sampled faults (rspeed workload) and \
+                 report the Spearman correlation between the static detectability \
+                 ranking and the observed verdicts — a working predictor is \
+                 negative.  0 (the default) skips the campaign.")
+  in
+  let run json gate_level depth_limit validate =
+    let gate = gate_enabled gate_level in
+    let params = system_params ~gate in
     let core = Leon3.Core.build ~params () in
     let report =
       Analysis.Lint.run
@@ -619,16 +641,110 @@ let lint_cmd =
         ~driven:(Leon3.Core.environment_inputs core)
         ~depth_limit core.Leon3.Core.circuit
     in
-    if json then print_endline (Analysis.Lint.to_json report)
-    else Analysis.Lint.pp Format.std_formatter report;
+    (* the static fault-analysis pass over the same netlist: dominator
+       tree, collapse classes (classic vs dominance share), SCOAP
+       detectability distribution over the IU injection sites *)
+    let g = Analysis.Graph.build core.Leon3.Core.circuit in
+    let obs_points = Leon3.Core.observation_points core in
+    let keep =
+      let set = Array.make (Analysis.Graph.signal_count g) false in
+      List.iter
+        (fun s -> set.((s : Rtl.Circuit.signal :> int)) <- true)
+        obs_points;
+      fun (s : Rtl.Circuit.signal) -> set.((s :> int))
+    in
+    let dom = Analysis.Dominator.build g ~exits:obs_points in
+    let classic = Analysis.Collapse.mapped (Analysis.Collapse.build g ~keep) in
+    let mapped = Analysis.Collapse.mapped (Analysis.Collapse.build ~dom g ~keep) in
+    let ranked =
+      Fault_injection.Predict.rank core Fault_injection.Injection.Iu
+    in
+    let scores =
+      Array.of_list
+        (List.map (fun r -> r.Fault_injection.Predict.score) ranked)
+    in
+    let n_scored = Array.length scores in
+    let finite =
+      Array.fold_left
+        (fun acc s -> if s < Analysis.Scoap.inf then acc + 1 else acc)
+        0 scores
+    in
+    (* [ranked] is ascending, so quantiles are direct lookups *)
+    let q p = if n_scored = 0 then 0 else scores.(min (n_scored - 1) (p * (n_scored - 1) / 100)) in
+    let validation =
+      if validate <= 0 then None
+      else begin
+        let sys = Leon3.System.create ~params () in
+        let prog =
+          let e =
+            List.find (fun e -> e.Workloads.Suite.name = "rspeed") Workloads.Suite.all
+          in
+          e.Workloads.Suite.build ~iterations:1 ~dataset:0
+        in
+        Some
+          (Fault_injection.Predict.validate ~samples:validate sys prog
+             Fault_injection.Injection.Iu)
+      end
+    in
+    if json then begin
+      (* splice the static section into the lint object so the output
+         stays one JSON value with the established top-level keys *)
+      let lint_json = Analysis.Lint.to_json report in
+      let buf = Buffer.create 512 in
+      Buffer.add_string buf (String.sub lint_json 0 (String.length lint_json - 1));
+      Buffer.add_string buf
+        (Printf.sprintf
+           ",\"static\":{\"elaboration\":%S,\"dominator_reachable\":%d,\
+            \"collapse\":{\"mapped\":%d,\"classic\":%d,\"dominance\":%d},\
+            \"detectability\":{\"sites\":%d,\"finite\":%d,\"score_q25\":%d,\
+            \"score_median\":%d,\"score_q75\":%d}"
+           (if gate then "gate-level" else "behavioural")
+           (Analysis.Dominator.tree_size dom)
+           mapped classic (mapped - classic) n_scored finite (q 25) (q 50) (q 75));
+      (match validation with
+      | None -> ()
+      | Some v ->
+          Buffer.add_string buf
+            (Printf.sprintf
+               ",\"validation\":{\"samples\":%d,\"detected\":%d,\
+                \"rank_correlation\":%.4f}"
+               v.Fault_injection.Predict.samples v.Fault_injection.Predict.detected
+               v.Fault_injection.Predict.rank_correlation));
+      Buffer.add_string buf "}}";
+      print_endline (Buffer.contents buf)
+    end
+    else begin
+      Analysis.Lint.pp Format.std_formatter report;
+      Printf.printf
+        "static: %s elaboration, dominator over %d vertices, collapse mapped %d \
+         pairs (%d classic + %d dominance)\n"
+        (if gate then "gate-level" else "behavioural")
+        (Analysis.Dominator.tree_size dom)
+        mapped classic (mapped - classic);
+      Printf.printf
+        "detectability: %d (site, model) pairs scored, %d finite, score \
+         q25/median/q75 = %d/%d/%d\n"
+        n_scored finite (q 25) (q 50) (q 75);
+      match validation with
+      | None -> ()
+      | Some v ->
+          Printf.printf
+            "validation: %d injections, %d detected, rank correlation %+.3f \
+             (negative = ranking predicts)\n"
+            v.Fault_injection.Predict.samples v.Fault_injection.Predict.detected
+            v.Fault_injection.Predict.rank_correlation
+    end;
     if Analysis.Lint.errors report > 0 then exit 1
   in
   Cmd.v
     (Cmd.info "lint"
        ~doc:"Statically lint the Leon3 netlist (dead/unobservable nodes, undriven \
-             inputs, constant combs, width truncation, depth outliers).  Exits \
-             non-zero on any error-severity finding.")
-    Term.(const run $ json_arg $ gate_level_arg $ depth_arg)
+             inputs, constant combs, width truncation, depth outliers) and \
+             summarise the static fault-analysis pass: dominator tree, fault-\
+             collapse classes, SCOAP detectability distribution, and (with \
+             $(b,--validate)) the ranking's correlation with real verdicts.  \
+             Exits non-zero on any error-severity finding.")
+    Term.(const run $ json_arg $ gate_arg $ depth_arg $ validate_arg)
 
 (* ---- experiment ---- *)
 
@@ -641,12 +757,13 @@ let experiment_cmd =
     Arg.(value & opt (some int) None & info [ "samples"; "s" ] ~docv:"N"
            ~doc:"Injection sample size per (workload, block).")
   in
-  let run id samples trace metrics =
+  let run id samples gate trace metrics =
     let obs, finish_obs = make_obs ~trace ~metrics in
+    let gate = gate_enabled gate in
     let ctx =
       match (trace, metrics) with
-      | None, false -> Correlation.Context.create ?samples ()
-      | _ -> Correlation.Context.create ?samples ~obs ()
+      | None, false -> Correlation.Context.create ?samples ~gate ()
+      | _ -> Correlation.Context.create ?samples ~gate ~obs ()
     in
     List.iter
       (Report.Table.render Format.std_formatter)
@@ -654,7 +771,7 @@ let experiment_cmd =
     finish_obs ()
   in
   Cmd.v (Cmd.info "experiment" ~doc:"Reproduce one of the paper's tables/figures.")
-    Term.(const run $ id_arg $ samples_arg $ trace_arg $ metrics_arg)
+    Term.(const run $ id_arg $ samples_arg $ gate_arg $ trace_arg $ metrics_arg)
 
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in

@@ -25,24 +25,43 @@
       source bit maps to stuck-at-[k] on the output (AND/OR-style
       gates, the bread and butter of gate-level collapsing).
 
+    A fourth rule handles the nodes the first three never can — 1-bit
+    combinational nodes {e with} fan-out, the signature shape of a
+    gate-level netlist (every XOR input, every mux select):
+
+    - {b dominance}: with a post-dominator tree toward the observation
+      boundary ([dom]), a stuck-at on a fanned-out source [s] maps to
+      a stuck-at on its immediate post-dominator [d] whenever
+      exhaustively evaluating the reconvergence region between them
+      (forward BFS capped at 24 vertices, external inputs capped at
+      [min 8 max_probe_bits] bits, registers/memories/read ports
+      inside the region cut and treated as free externals) proves
+      that forcing [s] forces [d] to a constant.  Soundness rests on
+      post-dominance: all divergence between the two faulty circuits
+      is confined to vertices whose every path to an exit crosses the
+      constant [d].
+
     [Bit_flip] faults are never collapsed: an enable-hold register
     downstream can re-latch a flipped value and diverge from the
     equivalent-looking fault on the reader.  Chains resolve
-    transitively (reader ids strictly increase, so resolution
+    transitively (representative ids strictly increase, so resolution
     terminates). *)
 
 module C = Rtl.Circuit
 
 type t
 
-val build : ?max_probe_bits:int -> Graph.t -> keep:(C.signal -> bool) -> t
+val build :
+  ?max_probe_bits:int -> ?dom:Dominator.t -> Graph.t -> keep:(C.signal -> bool) -> t
 (** Scan every combinational node and record the fault equivalences
     its evaluator proves.  [keep] marks signals that must never be
     collapsed {e away} (observation points: a fault there is read
     directly by the environment).  [max_probe_bits] (default 12) caps
     the truth-table size per node at [2^max_probe_bits] evaluations;
     wider nodes are simply not collapsed — the pass trades coverage
-    for exactness, never the reverse. *)
+    for exactness, never the reverse.  [dom] enables the dominance
+    rule; it must be built over the same graph, with exits matching
+    [keep]. *)
 
 val resolve : t -> C.fault_site -> C.fault_model -> C.fault_site * C.fault_model
 (** Follow the equivalence chain to its representative.  Returns the

@@ -51,7 +51,7 @@ let build circuit =
           Option.iter
             (fun m -> add (nsigs + mi m) i Mem_read)
             (C.read_port_memory circuit s)
-      | C.V_register { d; en } ->
+      | C.V_register { d; en; _ } ->
           add (si d) i Reg_d;
           Option.iter (fun e -> add (si e) i Reg_en) en)
     sig_handles;

@@ -27,6 +27,14 @@ type t
 val build : C.t -> t
 (** Extract the graph of an elaborated circuit.  O(nodes + edges). *)
 
+val vertex_index : t -> vertex -> int
+(** Dense packing of the vertex space: signals first (at their
+    creation index), memories after.  Stable for the lifetime of the
+    graph; passes that sweep flat arrays (dominators, SCOAP) key on
+    it. *)
+
+val vertex_of_index : t -> int -> vertex
+
 val circuit : t -> C.t
 val signal_count : t -> int
 val memory_count : t -> int

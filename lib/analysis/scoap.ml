@@ -1,0 +1,328 @@
+module C = Rtl.Circuit
+
+(* Costs saturate well below [max_int] so sums never wrap. *)
+let inf = max_int / 4
+
+let sat a b = let s = a + b in if s >= inf then inf else s
+
+type t = {
+  nsigs : int;
+  cc0 : int array array;  (* per signal id, per bit *)
+  cc1 : int array array;
+  co : int array array;
+}
+
+(* Relax-to-fixpoint plumbing: every metric starts at [inf] and only
+   ever decreases, so sweeping until no array changes terminates. *)
+let relax arr i b v changed = if v < arr.(i).(b) then begin arr.(i).(b) <- v; changed := true end
+
+let build ?(max_probe_bits = 12) (g : Graph.t) ~(obs : C.signal list) =
+  let c = Graph.circuit g in
+  let nsigs = Graph.signal_count g in
+  let nmems = Graph.memory_count g in
+  let sigs = Graph.signal_handles g in
+  let mems = Graph.memory_handles g in
+  let width = Array.init nsigs (fun i -> C.signal_width c sigs.(i)) in
+  let cc0 = Array.init nsigs (fun i -> Array.make width.(i) inf) in
+  let cc1 = Array.init nsigs (fun i -> Array.make width.(i) inf) in
+  let co = Array.init nsigs (fun i -> Array.make width.(i) inf) in
+  let cc v = if v = 0 then cc0 else cc1 in
+  let scratch = Array.make nsigs 0 in
+  let si (s : C.signal) = (s :> int) in
+  (* Deduplicated dependency layout of a comb node: (signal, width)
+     pairs plus the total bit count, for truth-table enumeration. *)
+  let dep_layout deps =
+    let dd = List.sort_uniq compare (Array.to_list deps) in
+    let dd = Array.of_list dd in
+    let ws = Array.map (fun d -> width.(si d)) dd in
+    (dd, ws, Array.fold_left ( + ) 0 ws)
+  in
+  let write_assignment dd ws assignment =
+    let off = ref 0 in
+    Array.iteri
+      (fun i d ->
+        scratch.(si d) <- (assignment lsr !off) land ((1 lsl ws.(i)) - 1);
+        off := !off + ws.(i))
+      dd
+  in
+  (* Cost of an input assignment: the sum of per-bit controllabilities
+     at the values the assignment fixes. *)
+  let assignment_cost dd ws assignment =
+    let cost = ref 0 and off = ref 0 in
+    Array.iteri
+      (fun i d ->
+        for b = 0 to ws.(i) - 1 do
+          let v = (assignment lsr (!off + b)) land 1 in
+          cost := sat !cost (cc v).(si d).(b)
+        done;
+        off := !off + ws.(i))
+      dd;
+    !cost
+  in
+  (* Wiring discovery for nodes too wide to enumerate (operand packers,
+     word-level muxes): probe an all-zero baseline, flip one input bit
+     at a time, and treat every toggled output bit as an unconditional
+     wire.  An approximation — the sensitisation may be conditional on
+     the other inputs — but it is what keeps the behavioural-named
+     packer bits of the gate-level elaboration transparent. *)
+  let flip_pairs o deps =
+    let mask = if width.(si o) >= 63 then -1 else (1 lsl width.(si o)) - 1 in
+    let dd, ws, _ = dep_layout deps in
+    try
+      Array.iter (fun d -> scratch.(si d) <- 0) dd;
+      let base = C.probe_comb c o scratch land mask in
+      let pairs = ref [] in
+      Array.iteri
+        (fun i d ->
+          for b = 0 to ws.(i) - 1 do
+            scratch.(si d) <- 1 lsl b;
+            let diff = C.probe_comb c o scratch land mask lxor base in
+            scratch.(si d) <- 0;
+            for ob = 0 to width.(si o) - 1 do
+              if (diff lsr ob) land 1 = 1 then
+                pairs := (d, b, ob, (base lsr ob) land 1) :: !pairs
+            done
+          done)
+        dd;
+      Some (dd, ws, base, !pairs)
+    with _ -> None
+  in
+  (* ---- controllability: forward relaxation to fixpoint ---- *)
+  Array.iteri
+    (fun i s ->
+      match C.node_view c s with
+      | C.V_input ->
+          Array.fill cc0.(i) 0 width.(i) 1;
+          Array.fill cc1.(i) 0 width.(i) 1
+      | C.V_const v ->
+          for b = 0 to width.(i) - 1 do
+            (cc ((v lsr b) land 1)).(i).(b) <- 1
+          done
+      | C.V_comb _ when C.read_port_memory c s <> None ->
+          (* memory content: architecturally controllable, one level
+             deeper than a primary input *)
+          Array.fill cc0.(i) 0 width.(i) 2;
+          Array.fill cc1.(i) 0 width.(i) 2
+      | C.V_comb _ | C.V_register _ -> ())
+    sigs;
+  let changed = ref true in
+  let sweeps = ref 0 in
+  while !changed && !sweeps < 100 do
+    changed := false;
+    incr sweeps;
+    Array.iteri
+      (fun i s ->
+        match C.node_view c s with
+        | C.V_input | C.V_const _ -> ()
+        | C.V_register { d; en; init } ->
+            let en_cost = match en with None -> 0 | Some e -> cc1.(si e).(0) in
+            for b = 0 to width.(i) - 1 do
+              let iv = (init lsr b) land 1 in
+              relax (cc iv) i b 1 changed;
+              for v = 0 to 1 do
+                relax (cc v) i b (sat (cc v).(si d).(b) (sat en_cost 1)) changed
+              done
+            done
+        | C.V_comb _ when C.read_port_memory c s <> None -> ()
+        | C.V_comb deps -> (
+            let dd, ws, total = dep_layout deps in
+            if total <= max_probe_bits && total > 0 then begin
+              try
+                let mask = (1 lsl width.(i)) - 1 in
+                for assignment = 0 to (1 lsl total) - 1 do
+                  let cost = assignment_cost dd ws assignment in
+                  if cost < inf then begin
+                    write_assignment dd ws assignment;
+                    let out = C.probe_comb c s scratch land mask in
+                    for ob = 0 to width.(i) - 1 do
+                      relax (cc ((out lsr ob) land 1)) i ob (sat cost 1) changed
+                    done
+                  end
+                done
+              with _ -> ()
+            end
+            else
+              match flip_pairs s deps with
+              | Some (dd, _, _, pairs) ->
+                  List.iter
+                    (fun ((d : C.signal), b, ob, b0) ->
+                      (* input bit 0 at the baseline yields output [b0],
+                         input bit 1 its complement *)
+                      relax (cc b0) i ob (sat cc0.(si d).(b) 1) changed;
+                      relax (cc (1 - b0)) i ob (sat cc1.(si d).(b) 1) changed)
+                    pairs;
+                  (* every output bit additionally gets the
+                     cheapest-input bound: the zero-baseline flip only
+                     explores one corner of the node's behaviour, and a
+                     value unreachable there may be cheap under other
+                     input combinations *)
+                  let m =
+                    lazy
+                      (Array.fold_left
+                         (fun acc (d : C.signal) ->
+                           let acc = ref acc in
+                           for b = 0 to width.(si d) - 1 do
+                             acc := min !acc (min cc0.(si d).(b) cc1.(si d).(b))
+                           done;
+                           !acc)
+                         inf dd)
+                  in
+                  for ob = 0 to width.(i) - 1 do
+                    relax cc0 i ob (sat (Lazy.force m) 1) changed;
+                    relax cc1 i ob (sat (Lazy.force m) 1) changed
+                  done
+              | None -> ()))
+      sigs
+  done;
+  (* ---- observability: backward relaxation to fixpoint ---- *)
+  List.iter (fun s -> Array.fill co.(si s) 0 width.(si s) 0) obs;
+  let co_mem = Array.make nmems inf in
+  let changed = ref true in
+  let sweeps = ref 0 in
+  while !changed && !sweeps < 100 do
+    changed := false;
+    incr sweeps;
+    for i = nsigs - 1 downto 0 do
+      let s = sigs.(i) in
+      match C.node_view c s with
+      | C.V_input | C.V_const _ -> ()
+      | C.V_register { d; en; init = _ } ->
+          let en_cost = match en with None -> 0 | Some e -> cc1.(si e).(0) in
+          let min_co = Array.fold_left min inf co.(i) in
+          for b = 0 to width.(i) - 1 do
+            relax co (si d) b (sat co.(i).(b) (sat en_cost 1)) changed
+          done;
+          Option.iter (fun (e : C.signal) -> relax co (si e) 0 (sat min_co 1) changed) en
+      | C.V_comb deps -> (
+          (match C.read_port_memory c s with
+          | Some m ->
+              (* content observability: through the cheapest read bit *)
+              let min_co = Array.fold_left min inf co.(i) in
+              let v = sat min_co 1 in
+              let mi = (m :> int) in
+              if v < co_mem.(mi) then begin co_mem.(mi) <- v; changed := true end
+          | None -> ());
+          let dd, ws, total = dep_layout deps in
+          if total <= max_probe_bits && total > 0 && C.read_port_memory c s = None
+          then begin
+            try
+              let mask = (1 lsl width.(i)) - 1 in
+              let outs = Array.make (1 lsl total) 0 in
+              for assignment = 0 to (1 lsl total) - 1 do
+                write_assignment dd ws assignment;
+                outs.(assignment) <- C.probe_comb c s scratch land mask
+              done;
+              for assignment = 0 to (1 lsl total) - 1 do
+                let off = ref 0 in
+                Array.iteri
+                  (fun di d ->
+                    for b = 0 to ws.(di) - 1 do
+                      let pos = !off + b in
+                      let diff = outs.(assignment) lxor outs.(assignment lxor (1 lsl pos)) in
+                      if diff <> 0 then begin
+                        (* cost of holding the other inputs at this
+                           sensitising assignment *)
+                        let others = ref 0 in
+                        let off2 = ref 0 in
+                        Array.iteri
+                          (fun dj d' ->
+                            for b' = 0 to ws.(dj) - 1 do
+                              let pos' = !off2 + b' in
+                              if pos' <> pos then
+                                others :=
+                                  sat !others
+                                    (cc ((assignment lsr pos') land 1)).(si d').(b')
+                            done;
+                            off2 := !off2 + ws.(dj))
+                          dd;
+                        if !others < inf then
+                          for ob = 0 to width.(i) - 1 do
+                            if (diff lsr ob) land 1 = 1 then
+                              relax co (si d) b (sat co.(i).(ob) (sat !others 1)) changed
+                          done
+                      end
+                    done;
+                    off := !off + ws.(di))
+                  dd
+              done
+            with _ -> ()
+          end
+          else
+            match flip_pairs s deps with
+            | Some (dd, ws, _, pairs) ->
+                List.iter
+                  (fun ((d : C.signal), b, ob, _) ->
+                    relax co (si d) b (sat co.(i).(ob) 1) changed)
+                  pairs;
+                (* every dep bit additionally gets a coarse bound
+                   through the node's cheapest output with one extra
+                   level for the (unknown) side conditions: the
+                   zero-baseline flip only explores one corner of the
+                   node's behaviour, and a path closed there may be
+                   wide open under the values the workload drives *)
+                let min_co = Array.fold_left min inf co.(i) in
+                Array.iteri
+                  (fun di (d : C.signal) ->
+                    for b = 0 to ws.(di) - 1 do
+                      relax co (si d) b (sat min_co 2) changed
+                    done)
+                  dd
+            | None -> ())
+    done;
+    (* memory write ports: data/enable/address observable through the
+       memory's content observability *)
+    Array.iteri
+      (fun mi m ->
+        if co_mem.(mi) < inf then
+          List.iter
+            (fun ((we : C.signal), (addr : C.signal), (data : C.signal)) ->
+              let v = sat co_mem.(mi) 1 in
+              relax co (si we) 0 v changed;
+              for b = 0 to width.(si addr) - 1 do relax co (si addr) b v changed done;
+              for b = 0 to width.(si data) - 1 do relax co (si data) b v changed done)
+            (C.write_ports c m))
+      mems
+  done;
+  { nsigs; cc0; cc1; co }
+
+let check t s b =
+  let i = (s : C.signal :> int) in
+  if i < 0 || i >= t.nsigs || b < 0 || b >= Array.length t.cc0.(i) then
+    invalid_arg "Scoap: bit out of range"
+
+let cc0 t s b = check t s b; t.cc0.((s : C.signal :> int)).(b)
+
+let cc1 t s b = check t s b; t.cc1.((s : C.signal :> int)).(b)
+
+let co t s b = check t s b; t.co.((s : C.signal :> int)).(b)
+
+(* Controllability enters the detectability score logarithmically.
+   The raw cc sums grow multiplicatively through reconvergent
+   arithmetic (a ripple-carry bit near the top of the adder costs
+   thousands), yet a workload activates such faults about as easily as
+   shallow ones — what it cannot shortcut is the propagation path.
+   Damping cc keeps its ordering while letting co dominate, which is
+   what the campaign-verdict rank correlation rewards on both
+   elaborations. *)
+let damp c =
+  if c >= inf then inf
+  else begin
+    let r = ref 0 and v = ref (c + 1) in
+    while !v > 1 do incr r; v := !v lsr 1 done;
+    !r
+  end
+
+let detectability t site model =
+  match (site : C.fault_site) with
+  | C.Cell _ -> None
+  | C.Node (s, b) ->
+      let i = (s :> int) in
+      if i >= t.nsigs || b >= Array.length t.cc0.(i) then None
+      else
+        let c0 = t.cc0.(i).(b) and c1 = t.cc1.(i).(b) and o = t.co.(i).(b) in
+        Some
+          (match (model : C.fault_model) with
+          | C.Stuck_at_0 -> sat (damp c1) o
+          | C.Stuck_at_1 -> sat (damp c0) o
+          | C.Open_line -> sat (sat (damp c0) (damp c1)) o
+          | C.Bit_flip -> sat o 1)

@@ -1,0 +1,56 @@
+(** SCOAP-style testability metrics over a {!Graph}.
+
+    Per signal bit, three saturating costs in the spirit of the
+    classic SCOAP measures (Goldstein 1979), adapted to the word-level
+    netlist:
+
+    - [cc0]/[cc1] — {e controllability}: the cheapest way to drive the
+      bit to 0/1, counted as the sum of input-bit controllabilities of
+      a minimising assignment plus one per traversed level.  Primary
+      inputs cost 1, a constant costs 1 at its value and {!inf}
+      opposite, a register costs 1 at its reset value, memory read
+      ports cost 2 (architectural state, one indirection).
+    - [co] — {e observability}: the cheapest sensitised path from the
+      bit to an observation point, counted as the destination's
+      observability plus the controllability of the side inputs that
+      hold the path open, plus one per level.  Observation points cost
+      0; register enables and memory ports are traversed.
+
+    Combinational cells with at most [max_probe_bits] input bits are
+    characterised exactly by truth-table enumeration of their (pure)
+    evaluators; wider nodes — operand packers, word-level muxes — fall
+    back to single-bit flip probing around an all-zero baseline, which
+    treats each discovered input→output bit wire as unconditional.
+    The metrics are heuristic rankings, not guarantees: that is true
+    of SCOAP itself. *)
+
+module C = Rtl.Circuit
+
+type t
+
+val inf : int
+(** Saturation value ([max_int / 4]): unreachable / unobservable. *)
+
+val build : ?max_probe_bits:int -> Graph.t -> obs:C.signal list -> t
+(** Fixpoint relaxation over the graph (forward for controllability,
+    backward for observability), [obs] being the observation boundary.
+    [max_probe_bits] (default 12) bounds per-node truth tables. *)
+
+val cc0 : t -> C.signal -> int -> int
+
+val cc1 : t -> C.signal -> int -> int
+
+val co : t -> C.signal -> int -> int
+
+val detectability : t -> C.fault_site -> C.fault_model -> int option
+(** Static detectability of a fault: the cost of provoking and
+    observing it — lower is easier.  Controllability enters
+    {e log-damped} ([⌊log₂(cc+1)⌋]): raw cc sums grow multiplicatively
+    through reconvergent arithmetic while real workloads activate deep
+    faults about as easily as shallow ones, so undamped cc swamps the
+    propagation term and inverts the ranking on the gate-level core.
+    [Stuck_at_0] needs the bit driven to 1 and observed
+    ([log₂ cc1 + co]); [Stuck_at_1] symmetric; [Open_line] needs both
+    polarities exercised; [Bit_flip] only needs the flipped value seen
+    ([co + 1]).  [None] for memory cell sites (no per-cell metric is
+    computed). *)

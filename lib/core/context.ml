@@ -18,6 +18,7 @@ type t = {
   static_ : bool;
   event_ : bool;
   batch_ : bool;
+  gate_ : bool;
   obs_ : Obs.t;
   campaigns :
     (string * string * string, (Rtl.Circuit.fault_model * Campaign.summary) list)
@@ -52,23 +53,33 @@ let default_batch () =
   | Some ("0" | "false" | "no" | "off") -> false
   | Some _ | None -> true
 
-let create ?samples ?(seed = 7) ?trim ?static ?event ?batch ?obs () =
+let default_gate () =
+  match Sys.getenv_opt "RICV_GATE" with
+  | Some ("0" | "false" | "no" | "off") | None -> false
+  | Some _ -> true
+
+let create ?samples ?(seed = 7) ?trim ?static ?event ?batch ?gate ?obs () =
   let samples_ = match samples with Some n -> n | None -> default_samples () in
   let trim_ = match trim with Some b -> b | None -> default_trim () in
   let static_ = match static with Some b -> b | None -> default_static () in
   let event_ = match event with Some b -> b | None -> default_event () in
   let batch_ = match batch with Some b -> b | None -> default_batch () in
+  let gate_ = match gate with Some b -> b | None -> default_gate () in
+  let params =
+    { Leon3.Core.default_params with Leon3.Core.gate_level = gate_ }
+  in
   (* The context always aggregates (counters replace the old bespoke
      trim_stats plumbing); pass a sink-equipped collector to also
      stream JSONL trace events. *)
   let obs_ = match obs with Some o -> o | None -> Obs.create () in
-  { sys = Leon3.System.create ();
+  { sys = Leon3.System.create ~params ();
     samples_;
     seed;
     trim_;
     static_;
     event_;
     batch_;
+    gate_;
     obs_;
     campaigns = Hashtbl.create 64;
     goldens = Hashtbl.create 64;
@@ -83,6 +94,8 @@ let static t = t.static_
 let event t = t.event_
 
 let batch t = t.batch_
+
+let gate t = t.gate_
 
 let obs t = t.obs_
 

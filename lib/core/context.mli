@@ -27,6 +27,7 @@ val create :
   ?static:bool ->
   ?event:bool ->
   ?batch:bool ->
+  ?gate:bool ->
   ?obs:Obs.t ->
   unit ->
   t
@@ -43,7 +44,12 @@ val create :
     [batch] enables bit-parallel fault batching, packing up to 63
     faulty machines into the bit-lanes of one circuit per pass
     (default true, [RICV_BATCH=0] to disable — also
-    result-identical).  [obs]
+    result-identical).  [gate] selects the gate-level elaboration of
+    the IU datapath ({!Leon3.Core.params.gate_level}; default false,
+    set [RICV_GATE=1] to opt in — verdicts at the observation
+    boundary are identical, but the injection-site population grows
+    by an order of magnitude, so sampled campaigns draw from a
+    different pool).  [obs]
     is the telemetry collector every campaign reports into; the
     default is a fresh in-memory aggregator (pass one built with a
     sink to stream JSONL trace events). *)
@@ -57,6 +63,8 @@ val static : t -> bool
 val event : t -> bool
 
 val batch : t -> bool
+
+val gate : t -> bool
 
 val obs : t -> Obs.t
 (** The context's collector: per-phase span totals, injection/outcome

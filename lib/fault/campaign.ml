@@ -373,7 +373,11 @@ type static_info = { cone : Analysis.Graph.cone; collapse : Analysis.Collapse.t 
 let build_static ?(obs = Obs.null) ?graph core =
   Obs.span obs "static_analysis" @@ fun () ->
   let g =
-    match graph with Some g -> g | None -> Analysis.Graph.build core.Leon3.Core.circuit
+    match graph with
+    | Some g -> g
+    | None ->
+        Obs.span obs "static.graph" @@ fun () ->
+        Analysis.Graph.build core.Leon3.Core.circuit
   in
   let obs_points = Leon3.Core.observation_points core in
   let keep =
@@ -381,8 +385,14 @@ let build_static ?(obs = Obs.null) ?graph core =
     List.iter (fun s -> set.((s : C.signal :> int)) <- true) obs_points;
     fun s -> set.((s : C.signal :> int))
   in
+  let dom =
+    Obs.span obs "static.dominator" @@ fun () ->
+    Analysis.Dominator.build g ~exits:obs_points
+  in
   { cone = Analysis.Graph.backward_cone g obs_points;
-    collapse = Analysis.Collapse.build g ~keep }
+    collapse =
+      (Obs.span obs "static.collapse" @@ fun () ->
+       Analysis.Collapse.build ~dom g ~keep) }
 
 (* Per-injection classification.  Order matters for byte-identical
    summaries: the dynamic prefilter is consulted first (so [skipped]
@@ -543,7 +553,11 @@ let build_machinery ~obs ~config sys prog tasks =
       ?checkpoint_every sys prog ~max_cycles:5_000_000
   in
   let graph =
-    if config.static then Some (Analysis.Graph.build core.Leon3.Core.circuit) else None
+    if config.static then
+      Some
+        (Obs.span obs "static.graph" (fun () ->
+             Analysis.Graph.build core.Leon3.Core.circuit))
+    else None
   in
   let static = if config.static then Some (build_static ~obs ?graph core) else None in
   (* the kernel lowers the levelized schedule at elaboration; no graph

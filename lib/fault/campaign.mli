@@ -226,11 +226,14 @@ type static_info = {
 
 val build_static : ?obs:Obs.t -> ?graph:Analysis.Graph.t -> Leon3.Core.t -> static_info
 (** The per-campaign static analysis (also usable standalone): graph
-    extraction, observation cone from {!Leon3.Core.observation_points}
-    and the collapse table keeping those points un-collapsible.
-    [graph] reuses an already-extracted dependency graph (the campaign
-    shares one extraction between this and the replay plan).
-    Recorded under an [Obs] span named ["static_analysis"]. *)
+    extraction, observation cone from {!Leon3.Core.observation_points},
+    the post-dominator tree toward those points and the collapse table
+    (classic rules plus dominance) keeping those points
+    un-collapsible.  [graph] reuses an already-extracted dependency
+    graph (the campaign shares one extraction between this and the
+    replay plan).  Recorded under an [Obs] span named
+    ["static_analysis"], with per-phase child spans ["static.graph"],
+    ["static.dominator"] and ["static.collapse"]. *)
 
 val run :
   ?config:config ->

@@ -35,7 +35,13 @@ let extra_prefixes : (string * Units.t) list =
   [ ("iu.ctrl.", Units.Decode);
     ("iu.state.", Units.Decode);
     ("iu.ra.", Units.Regfile);
-    ("iu.ex.", Units.Adder) ]
+    ("iu.ex.", Units.Adder);
+    (* cross-unit scopes of the gate-level elaboration: the operand
+       select fabric belongs to the register-file read path, the
+       shared ALU taps / result muxes / condition-code gates to the
+       adder, like their behavioural counterparts *)
+    ("iu.gates.operand.", Units.Regfile);
+    ("iu.gates.alu.", Units.Adder) ]
 
 (* All registered scope prefixes, most specific (longest) first, so a
    nested scope like "iu.ex.adder.gates." attributes to the adder and
@@ -79,10 +85,23 @@ let cell_sites (core : Leon3.Core.t) mem ~name =
   done;
   !sites
 
+(* The cross-unit gate scopes a unit owns besides its own subtree —
+   enumerable per unit because no other unit's scope nests inside
+   them (unlike the "iu.ex." catch-all). *)
+let gate_prefixes_of_unit u =
+  List.filter_map
+    (fun (p, u') ->
+      if u' = u && String.starts_with ~prefix:"iu.gates." p then Some p else None)
+    extra_prefixes
+
 let sites ?(include_cells = true) (core : Leon3.Core.t) target =
   match target with
   | Prefix prefix -> signal_sites core ~prefix
-  | Unit_of u -> signal_sites core ~prefix:(prefix_of_unit u)
+  | Unit_of u ->
+      signal_sites core ~prefix:(prefix_of_unit u)
+      @ List.concat_map
+          (fun prefix -> signal_sites core ~prefix)
+          (gate_prefixes_of_unit u)
   | Iu ->
       let signals = signal_sites core ~prefix:"iu." in
       if include_cells then

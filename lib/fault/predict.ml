@@ -1,0 +1,80 @@
+module C = Rtl.Circuit
+
+type ranked = {
+  site : Injection.site;
+  model : C.fault_model;
+  score : int;  (** SCOAP detectability — lower predicts easier detection *)
+}
+
+type validation = {
+  samples : int;
+  detected : int;
+  rank_correlation : float;
+  mean_score_detected : float;
+  mean_score_silent : float;
+}
+
+let rank ?(models = [ C.Stuck_at_0; C.Stuck_at_1 ]) (core : Leon3.Core.t) target =
+  let g = Analysis.Graph.build core.Leon3.Core.circuit in
+  let scoap = Analysis.Scoap.build g ~obs:(Leon3.Core.observation_points core) in
+  let scored =
+    List.concat_map
+      (fun (site : Injection.site) ->
+        List.filter_map
+          (fun model ->
+            match Analysis.Scoap.detectability scoap site.Injection.fault_site model with
+            | Some score -> Some { site; model; score }
+            | None -> None)
+          models)
+      (Injection.sites core target)
+  in
+  (* ascending score: the predictor's "most detectable first" order;
+     ties broken by site name so the ranking is deterministic *)
+  List.sort
+    (fun a b ->
+      match compare a.score b.score with
+      | 0 -> compare (a.site.Injection.site_name, a.model) (b.site.Injection.site_name, b.model)
+      | c -> c)
+    scored
+
+let validate ?(obs = Obs.null) ?(samples = 120) ?(seed = 7)
+    ?(models = [ C.Stuck_at_0; C.Stuck_at_1 ]) sys prog target =
+  let core = Leon3.System.core sys in
+  let ranked = Array.of_list (rank ~models core target) in
+  let n = Array.length ranked in
+  if n = 0 then invalid_arg "Predict.validate: no scorable sites";
+  let take = min samples n in
+  (* deterministic sample without replacement over the ranked pool *)
+  let rng = Stats.Rng.create seed in
+  let idx = Array.init n (fun i -> i) in
+  for i = 0 to take - 1 do
+    let j = i + Stats.Rng.int rng (n - i) in
+    let t = idx.(i) in
+    idx.(i) <- idx.(j);
+    idx.(j) <- t
+  done;
+  let golden =
+    Campaign.golden_run ~obs ~coverage:true sys prog ~max_cycles:5_000_000
+  in
+  let points = ref [] in
+  let detected = ref 0 in
+  let sum_det = ref 0. and sum_sil = ref 0. in
+  for i = 0 to take - 1 do
+    let r = ranked.(idx.(i)) in
+    let result = Campaign.run_one ~obs sys prog golden r.site r.model in
+    let hit =
+      match result.Campaign.outcome with Campaign.Failure _ -> true | Campaign.Silent -> false
+    in
+    if hit then begin incr detected; sum_det := !sum_det +. float_of_int r.score end
+    else sum_sil := !sum_sil +. float_of_int r.score;
+    points := (float_of_int r.score, if hit then 1. else 0.) :: !points
+  done;
+  { samples = take;
+    detected = !detected;
+    (* a good predictor scores detected faults LOWER, so a working
+       ranking shows up as a negative correlation *)
+    rank_correlation = Stats.Regression.spearman !points;
+    mean_score_detected =
+      (if !detected = 0 then nan else !sum_det /. float_of_int !detected);
+    mean_score_silent =
+      (if take = !detected then nan else !sum_sil /. float_of_int (take - !detected)) }

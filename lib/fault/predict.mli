@@ -1,0 +1,48 @@
+(** Static detectability prediction.
+
+    The static half of the campaign: rank every injection site by its
+    SCOAP detectability cost ({!Analysis.Scoap.detectability}) without
+    running anything, then validate the ranking against real
+    fault-injection verdicts.  The paper's premise is that structure
+    predicts robustness; this module is the cheapest version of that
+    claim, and {!validate} measures how far it carries. *)
+
+module C = Rtl.Circuit
+
+type ranked = {
+  site : Injection.site;
+  model : C.fault_model;
+  score : int;  (** SCOAP detectability — lower predicts easier detection *)
+}
+
+type validation = {
+  samples : int;  (** (site, model) pairs actually injected *)
+  detected : int;  (** of which failed (were detected) *)
+  rank_correlation : float;
+      (** Spearman between static score and the detected/silent
+          outcome.  A working predictor is {e negative} (low score =
+          easy to detect); 0 means the ranking carries no signal. *)
+  mean_score_detected : float;  (** [nan] when no fault was detected *)
+  mean_score_silent : float;  (** [nan] when every fault was detected *)
+}
+
+val rank :
+  ?models:C.fault_model list -> Leon3.Core.t -> Injection.target -> ranked list
+(** Score every (site, model) pair of the target block, ascending
+    (predicted most-detectable first), ties broken by site name.
+    Memory [Cell] sites carry no SCOAP metric and are omitted.
+    Default models: stuck-at-0 and stuck-at-1. *)
+
+val validate :
+  ?obs:Obs.t ->
+  ?samples:int ->
+  ?seed:int ->
+  ?models:C.fault_model list ->
+  Leon3.System.t ->
+  Sparc.Asm.program ->
+  Injection.target ->
+  validation
+(** Sample [samples] (default 120) scored pairs without replacement
+    (deterministic in [seed]), run each through {!Campaign.run_one}
+    against a fresh golden run of [prog], and correlate the static
+    scores with the observed verdicts. *)

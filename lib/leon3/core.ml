@@ -41,11 +41,17 @@ type params = {
       (** elaborate the EX adder as a ripple-carry gate network instead
           of one behavioural node per signal — the gate-level
           granularity the paper contrasts RTL against *)
+  gate_level : bool;
+      (** elaborate the full IU datapath — decode PLA, ALU, barrel
+          shifter, condition codes, branch and mux trees — as a
+          NAND/NOR/NOT/MUX netlist ({!Gatelevel}), with every
+          behavioural node name preserved as a packer or buffer over
+          the gate bits.  Subsumes [gate_level_adder]. *)
 }
 
 let default_params =
   { nwindows_p = 8; icache_lines = 64; dcache_lines = 64; words_per_line = 4;
-    reset_pc = Layout.text_base; gate_level_adder = false }
+    reset_pc = Layout.text_base; gate_level_adder = false; gate_level = false }
 
 let regfile_slot ~nwindows ~cwp r =
   if r < 8 then r
@@ -116,13 +122,18 @@ let build ?(params = default_params) () =
   in
 
   (* ---- fetch ---- *)
-  let pc_mis, pc_inc, ireq =
+  let pc_mis, pc_inc, ireq, pcb =
     iu "fe" (fun () ->
-        let pc_mis = C.comb1 c "pc_mis" 1 pc (fun p -> Util.bit1 (p land 3 <> 0)) in
-        let pc_inc = C.comb1 c "pc_inc" 32 pc (fun p -> p + 4) in
+        let pc_mis, pc_inc, pcb =
+          if not params.gate_level then
+            ( C.comb1 c "pc_mis" 1 pc (fun p -> Util.bit1 (p land 3 <> 0)),
+              C.comb1 c "pc_inc" 32 pc (fun p -> p + 4),
+              [||] )
+          else Gatelevel.fetch c ~pc
+        in
         let no_mis = Util.not1 c "no_mis" pc_mis in
         let ireq = Util.and2 c "ireq" in_fe no_mis in
-        (pc_mis, pc_inc, ireq))
+        (pc_mis, pc_inc, ireq, pcb))
   in
   let zero1 = C.const c "zero1" 1 0 in
   let zero32 = C.const c "zero32" 32 0 in
@@ -143,8 +154,12 @@ let build ?(params = default_params) () =
         let ir = C.reg c "ir" ~width:32 () in
         let ir_en = Util.and2 c "ir_en" in_fe icache.ready in
         C.connect c ir ~en:ir_en ~d:icache.rdata ();
-        let ctl = C.comb1 c "ctl" Ctl.width ir Ctl.decode in
-        let imm = C.comb1 c "imm" 32 ir Ctl.imm_of in
+        let ctl, imm =
+          if not params.gate_level then
+            ( C.comb1 c "ctl" Ctl.width ir Ctl.decode,
+              C.comb1 c "imm" 32 ir Ctl.imm_of )
+          else Gatelevel.decode c ~ir
+        in
         let rd_raw = Util.slice c "rd_raw" ir ~hi:29 ~lo:25 in
         (* CALL has no rd field; its link register is architecturally %o7. *)
         let rd =
@@ -197,9 +212,24 @@ let build ?(params = default_params) () =
   in
 
   (* ---- operand latch (RA) ---- *)
+  (* Gate mode: the operand-select fabric lives in its own cross-unit
+     scope so its sites attribute to the register-file unit. *)
+  let gl_operand =
+    if not params.gate_level then None
+    else
+      Some
+        (C.scoped c "iu" (fun () ->
+             C.scoped c "gates" (fun () ->
+                 C.scoped c "operand" (fun () ->
+                     Gatelevel.op2_mux c ~use_imm ~de_imm ~rdb))))
+  in
   let ra_op1, ra_op2, ra_st =
     iu "ra" (fun () ->
-        let op2_mux = Util.mux2 c "op2_mux" 32 ~sel:use_imm de_imm rdb in
+        let op2_mux =
+          match gl_operand with
+          | None -> Util.mux2 c "op2_mux" 32 ~sel:use_imm de_imm rdb
+          | Some (_, bits) -> Gatelevel.pack c "op2_mux" bits
+        in
         let ra_op1 = C.reg c "ra_op1" ~width:32 () in
         let ra_op2 = C.reg c "ra_op2" ~width:32 () in
         let ra_st = C.reg c "ra_st" ~width:32 () in
@@ -210,10 +240,24 @@ let build ?(params = default_params) () =
   in
 
   (* ---- execute ---- *)
-  let ex_result_r, ex_next_pc_r, ex_adv, div_zero, jmpl_mis, mul_hi =
+  (* Gate mode: shared bit taps of the EX operands and control fields,
+     in a cross-unit scope attributed to the ALU. *)
+  let gl_ops =
+    if not params.gate_level then None
+    else
+      Some
+        (C.scoped c "iu" (fun () ->
+             C.scoped c "gates" (fun () ->
+                 C.scoped c "alu" (fun () ->
+                     Gatelevel.operand_taps c ~ra_op1 ~ra_op2 ~subop_s ~unit_s
+                       ~icc))))
+  in
+  let sum, sum_bits, flag_c, flag_v =
     iu "ex" (fun () ->
-        let sum, flag_c, flag_v =
-          C.scoped c "adder" (fun () ->
+        C.scoped c "adder" (fun () ->
+            match gl_ops with
+            | Some ops -> Gatelevel.adder c ops
+            | None ->
               let b_eff =
                 C.comb2 c "b_eff" 32 subop_s ra_op2 (fun s b ->
                     if s = Ctl.sub_sub || s = Ctl.sub_subx then b lxor 0xFFFF_FFFF else b)
@@ -283,28 +327,39 @@ let build ?(params = default_params) () =
                 C.comb3 c "flag_v" 1 ra_op1 b_eff sum (fun a b r ->
                     Util.bit1 (lnot (a lxor b) land (a lxor r) land 0x8000_0000 <> 0))
               in
-              (sum, flag_c, flag_v))
-        in
-        let logic_res =
-          C.scoped c "logic" (fun () ->
-              C.comb3 c "result" 32 subop_s ra_op1 ra_op2 (fun s a b ->
-                  if s = Ctl.sub_and then a land b
-                  else if s = Ctl.sub_andn then a land lnot b
-                  else if s = Ctl.sub_or then a lor b
-                  else if s = Ctl.sub_orn then a lor lnot b
-                  else if s = Ctl.sub_xor then a lxor b
-                  else lnot (a lxor b)))
-        in
-        let shift_res =
-          C.scoped c "shift" (fun () ->
-              let shcnt = Util.slice c "shcnt" ra_op2 ~hi:4 ~lo:0 in
-              C.comb3 c "result" 32 subop_s ra_op1 shcnt (fun s a n ->
-                  if s = Ctl.sub_sll then a lsl n
-                  else if s = Ctl.sub_srl then a lsr n
-                  else Bitops.sar a n))
-        in
-        let mul_res, mul_hi =
-          C.scoped c "mul" (fun () ->
+              (sum, [||], flag_c, flag_v)))
+  in
+  let logic_res, logic_bits =
+    iu "ex" (fun () ->
+        C.scoped c "logic" (fun () ->
+            match gl_ops with
+            | Some ops -> Gatelevel.logic c ops
+            | None ->
+                ( C.comb3 c "result" 32 subop_s ra_op1 ra_op2 (fun s a b ->
+                      if s = Ctl.sub_and then a land b
+                      else if s = Ctl.sub_andn then a land lnot b
+                      else if s = Ctl.sub_or then a lor b
+                      else if s = Ctl.sub_orn then a lor lnot b
+                      else if s = Ctl.sub_xor then a lxor b
+                      else lnot (a lxor b)),
+                  [||] )))
+  in
+  let shift_res, shift_bits =
+    iu "ex" (fun () ->
+        C.scoped c "shift" (fun () ->
+            let shcnt = Util.slice c "shcnt" ra_op2 ~hi:4 ~lo:0 in
+            match gl_ops with
+            | Some ops -> Gatelevel.shift c ops ~shcnt
+            | None ->
+                ( C.comb3 c "result" 32 subop_s ra_op1 shcnt (fun s a n ->
+                      if s = Ctl.sub_sll then a lsl n
+                      else if s = Ctl.sub_srl then a lsr n
+                      else Bitops.sar a n),
+                  [||] )))
+  in
+  let mul_res, mul_hi =
+    iu "ex" (fun () ->
+        C.scoped c "mul" (fun () ->
               let pp name b_lo =
                 C.comb2 c name 32 ra_op1 ra_op2 (fun a b ->
                     ((a * ((b lsr b_lo) land 0xFF)) land 0xFFFF_FFFF) lsl b_lo)
@@ -322,10 +377,11 @@ let build ?(params = default_params) () =
                     let signed = s = Ctl.sub_smul in
                     fst (Bitops.mul_full ~signed a b))
               in
-              (product, hi))
-        in
-        let div_res, div_zero =
-          C.scoped c "div" (fun () ->
+              (product, hi)))
+  in
+  let div_res, div_zero =
+    iu "ex" (fun () ->
+        C.scoped c "div" (fun () ->
               let div_zero =
                 C.comb2 c "div_zero" 1 is_div_s ra_op2 (fun d b ->
                     Util.bit1 (d <> 0 && b = 0))
@@ -344,43 +400,101 @@ let build ?(params = default_params) () =
                       | Some (v, _) -> v
                       | None -> 0)
               in
-              (q, div_zero))
-        in
+              (q, div_zero)))
+  in
+  (* Gate mode: result-select and condition-code gate networks, in the
+     same cross-unit ALU scope as the operand taps. *)
+  let gl_result =
+    match gl_ops with
+    | None -> None
+    | Some ops ->
+        Some
+          (C.scoped c "iu" (fun () ->
+               C.scoped c "gates" (fun () ->
+                   C.scoped c "alu" (fun () ->
+                       Gatelevel.result_mux c ops ~sum_bits ~logic_bits
+                         ~shift_bits ~mul_res ~div_res))))
+  in
+  (* The packed result word is created under its behavioural name
+     first, so the condition-code gates can consume taps of it — a
+     fault on [result_mux] must reach the icc as it does
+     behaviourally. *)
+  let gl_ex_result =
+    match gl_result with
+    | None -> None
+    | Some bits -> Some (iu "ex" (fun () -> Gatelevel.pack c "result_mux" bits))
+  in
+  let gl_icc =
+    match (gl_ops, gl_ex_result) with
+    | Some ops, Some res ->
+        Some
+          (C.scoped c "iu" (fun () ->
+               C.scoped c "gates" (fun () ->
+                   C.scoped c "alu" (fun () ->
+                       Gatelevel.icc_next c ops ~ex_result:res ~flag_c ~flag_v))))
+    | _ -> None
+  in
+  let ex_result_r, ex_next_pc_r, ex_adv, jmpl_mis =
+    iu "ex" (fun () ->
         let ex_result =
-          C.combn c "result_mux" 32
-            [| unit_s; sum; logic_res; shift_res; mul_res; div_res |]
-            (fun vs ->
-              let u = vs.(0) in
-              if u = Ctl.unit_logic then vs.(2)
-              else if u = Ctl.unit_shift then vs.(3)
-              else if u = Ctl.unit_mul then vs.(4)
-              else if u = Ctl.unit_div then vs.(5)
-              else vs.(1))
+          match gl_ex_result with
+          | Some res -> res
+          | None ->
+              C.combn c "result_mux" 32
+                [| unit_s; sum; logic_res; shift_res; mul_res; div_res |]
+                (fun vs ->
+                  let u = vs.(0) in
+                  if u = Ctl.unit_logic then vs.(2)
+                  else if u = Ctl.unit_shift then vs.(3)
+                  else if u = Ctl.unit_mul then vs.(4)
+                  else if u = Ctl.unit_div then vs.(5)
+                  else vs.(1))
         in
         let icc_next =
-          C.combn c "icc_next" 4
-            [| unit_s; ex_result; flag_c; flag_v |]
-            (fun vs ->
-              let r = vs.(1) in
-              let n = (r lsr 31) land 1 in
-              let z = Util.bit1 (r = 0) in
-              let v, cf = if vs.(0) = Ctl.unit_adder then (vs.(3), vs.(2)) else (0, 0) in
-              (n lsl 3) lor (z lsl 2) lor (v lsl 1) lor cf)
-        in
-        let next_pc =
-          C.scoped c "branch" (fun () ->
-              let cond_ok = C.comb2 c "cond_ok" 1 cond_s icc cond_eval in
-              let taken = Util.and2 c "taken" is_branch cond_ok in
-              let br_target = C.comb2 c "br_target" 32 pc de_imm (fun p d -> p + d) in
-              C.combn c "next_pc" 32
-                [| is_jmpl; is_call; taken; sum; br_target; pc_inc |]
+          match gl_icc with
+          | Some bits -> Gatelevel.pack c "icc_next" bits
+          | None ->
+              C.combn c "icc_next" 4
+                [| unit_s; ex_result; flag_c; flag_v |]
                 (fun vs ->
-                  if vs.(0) <> 0 then vs.(3)
-                  else if vs.(1) <> 0 || vs.(2) <> 0 then vs.(4)
-                  else vs.(5)))
+                  let r = vs.(1) in
+                  let n = (r lsr 31) land 1 in
+                  let z = Util.bit1 (r = 0) in
+                  let v, cf =
+                    if vs.(0) = Ctl.unit_adder then (vs.(3), vs.(2)) else (0, 0)
+                  in
+                  (n lsl 3) lor (z lsl 2) lor (v lsl 1) lor cf)
+        in
+        let next_pc, gl_jm =
+          C.scoped c "branch" (fun () ->
+              match gl_ops with
+              | Some ops ->
+                  let immb, _ = Option.get gl_operand in
+                  let np, jm =
+                    Gatelevel.branch c ops ~cond_s ~is_branch ~is_call ~is_jmpl
+                      ~pcb ~immb ~sum_bits ~pc_inc
+                  in
+                  (np, Some jm)
+              | None ->
+                  let cond_ok = C.comb2 c "cond_ok" 1 cond_s icc cond_eval in
+                  let taken = Util.and2 c "taken" is_branch cond_ok in
+                  let br_target =
+                    C.comb2 c "br_target" 32 pc de_imm (fun p d -> p + d)
+                  in
+                  ( C.combn c "next_pc" 32
+                      [| is_jmpl; is_call; taken; sum; br_target; pc_inc |]
+                      (fun vs ->
+                        if vs.(0) <> 0 then vs.(3)
+                        else if vs.(1) <> 0 || vs.(2) <> 0 then vs.(4)
+                        else vs.(5)),
+                    None ))
         in
         let jmpl_mis =
-          C.comb2 c "jmpl_mis" 1 is_jmpl sum (fun j s -> j land Util.bit1 (s land 3 <> 0))
+          match gl_jm with
+          | Some g -> C.gate_buf c "jmpl_mis" g
+          | None ->
+              C.comb2 c "jmpl_mis" 1 is_jmpl sum (fun j s ->
+                  j land Util.bit1 (s land 3 <> 0))
         in
         let latency =
           C.comb1 c "latency" 5 unit_s (fun u ->
@@ -408,7 +522,7 @@ let build ?(params = default_params) () =
         let win_op = Util.or2 c "win_op" is_save is_restore in
         let cwp_en = Util.and2 c "cwp_en" ex_adv win_op in
         C.connect c cwp ~en:cwp_en ~d:cwp_next ();
-        (ex_result_r, ex_next_pc_r, ex_adv, div_zero, jmpl_mis, mul_hi))
+        (ex_result_r, ex_next_pc_r, ex_adv, jmpl_mis))
   in
 
   (* ---- memory stage (LSU side) ---- *)
@@ -524,13 +638,19 @@ let build ?(params = default_params) () =
   let instret =
     iu "wb" (fun () ->
         let wb_data =
-          C.combn c "wb_data" 32
-            [| is_load; is_call; is_jmpl; is_sethi; me_load; pc; de_imm; ex_result_r |]
-            (fun vs ->
-              if vs.(0) <> 0 then vs.(4)
-              else if vs.(1) <> 0 || vs.(2) <> 0 then vs.(5)
-              else if vs.(3) <> 0 then vs.(6)
-              else vs.(7))
+          match gl_operand with
+          | Some (immb, _) ->
+              Gatelevel.wb_data c ~is_load ~is_call ~is_jmpl ~is_sethi ~me_load
+                ~pcb ~immb ~ex_result_r
+          | None ->
+              C.combn c "wb_data" 32
+                [| is_load; is_call; is_jmpl; is_sethi; me_load; pc; de_imm;
+                   ex_result_r |]
+                (fun vs ->
+                  if vs.(0) <> 0 then vs.(4)
+                  else if vs.(1) <> 0 || vs.(2) <> 0 then vs.(5)
+                  else if vs.(3) <> 0 then vs.(6)
+                  else vs.(7))
         in
         let wb_we =
           C.comb3 c "wb_we" 1 in_wb wreg de_rd (fun w en rd ->

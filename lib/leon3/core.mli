@@ -63,6 +63,18 @@ type params = {
           (~130 extra 1-bit nodes under [iu.ex.adder.gates]) instead of
           behavioural nodes — the finer, slower injection granularity
           the paper contrasts RTL against *)
+  gate_level : bool;
+      (** elaborate the full IU datapath — decode PLA, ALU, barrel
+          shifter, condition-code logic, branch and the
+          operand/result/writeback mux trees — as a NAND/NOR/NOT/MUX
+          netlist (see {!Gatelevel}), multiplying the injection-site
+          population by more than an order of magnitude.  Every
+          behavioural node name survives as a packer or buffer over the
+          gate bits, so name-addressed faults exist in both
+          elaborations.  Gate innards live under nested [gates] scopes
+          ([iu.fe.gates], [iu.de.gates], [iu.ex.*.gates]) plus the
+          cross-unit [iu.gates.operand] and [iu.gates.alu] scopes.
+          Subsumes [gate_level_adder]. *)
 }
 
 val default_params : params

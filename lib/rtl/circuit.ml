@@ -356,6 +356,41 @@ let comb4 t nm width a b c d f =
   add_node t nm width
     (Comb { deps = [| a; b; c; d |]; eval = (fun vs -> f vs.(a) vs.(b) vs.(c) vs.(d)) })
 
+(* ---- gate primitives ----
+   One-bit NAND/NOR/NOT/MUX (plus an identity buffer), the cell
+   library of the gate-level elaboration.  Each is an ordinary comb
+   node, so the full fault machinery (stuck-at, open-line, bit-flip,
+   probing, batching) applies per gate output with no special cases. *)
+
+let check_bit t nm s =
+  if (Vec.get t.building s).width <> 1 then
+    invalid_arg (Printf.sprintf "Circuit.gate %s: dependency %s is not 1 bit wide"
+                   nm (Vec.get t.building s).nm)
+
+let gate_not t nm a =
+  check_bit t nm a;
+  comb1 t nm 1 a (fun x -> x lxor 1)
+
+let gate_buf t nm a =
+  check_bit t nm a;
+  comb1 t nm 1 a (fun x -> x)
+
+let gate_nand t nm a b =
+  check_bit t nm a;
+  check_bit t nm b;
+  comb2 t nm 1 a b (fun x y -> x land y lxor 1)
+
+let gate_nor t nm a b =
+  check_bit t nm a;
+  check_bit t nm b;
+  comb2 t nm 1 a b (fun x y -> x lor y lxor 1)
+
+let gate_mux t nm ~sel a b =
+  check_bit t nm sel;
+  check_bit t nm a;
+  check_bit t nm b;
+  comb3 t nm 1 sel a b (fun s x y -> if s <> 0 then x else y)
+
 let reg t nm ~width ?(init = 0) () =
   add_node t nm width (Register { init; d = -1; en = -1 })
 
@@ -1791,7 +1826,7 @@ type node_view =
   | V_input
   | V_const of int
   | V_comb of signal array
-  | V_register of { d : signal; en : signal option }
+  | V_register of { d : signal; en : signal option; init : int }
 
 let node_view t s =
   check_elab t;
@@ -1799,7 +1834,8 @@ let node_view t s =
   | Input -> V_input
   | Const v -> V_const v
   | Comb { deps; _ } -> V_comb (Array.copy deps)
-  | Register { d; en; _ } -> V_register { d; en = (if en >= 0 then Some en else None) }
+  | Register { d; en; init } ->
+      V_register { d; en = (if en >= 0 then Some en else None); init }
 
 let read_port_memory t s =
   check_elab t;

@@ -72,6 +72,23 @@ val combn : t -> string -> int -> signal array -> (int array -> int) -> signal
     [f] must not retain it.  Results are truncated to [width] bits by
     the kernel (as are all comb results). *)
 
+(** {2 Gate primitives}
+
+    One-bit NAND / NOR / NOT / MUX cells (plus an identity buffer) —
+    the cell library of the gate-level elaboration.  Each is an
+    ordinary comb node, so every fault model, the coverage prefilter,
+    probing, and the batch engine apply per gate output with no
+    special cases.  All operands must be 1 bit wide ([Invalid_argument]
+    otherwise). *)
+
+val gate_not : t -> string -> signal -> signal
+val gate_buf : t -> string -> signal -> signal
+val gate_nand : t -> string -> signal -> signal -> signal
+val gate_nor : t -> string -> signal -> signal -> signal
+
+val gate_mux : t -> string -> sel:signal -> signal -> signal -> signal
+(** [gate_mux c name ~sel a b] is [a] when [sel] is 1, else [b]. *)
+
 val reg : t -> string -> width:int -> ?init:int -> unit -> signal
 (** Declare a clocked register; its data input is attached later with
     {!connect} (registers may sit on feedback paths). *)
@@ -411,7 +428,7 @@ type node_view =
       (** positional dependencies, exactly the values the evaluator
           reads (a read port additionally reads its memory — see
           {!read_port_memory}) *)
-  | V_register of { d : signal; en : signal option }
+  | V_register of { d : signal; en : signal option; init : int }
 
 val node_view : t -> signal -> node_view
 

@@ -86,3 +86,28 @@ let pearson points =
   let vx = sxx -. (sx *. sx /. nf) in
   let vy = syy -. (sy *. sy /. nf) in
   if vx < 1e-12 || vy < 1e-12 then 0. else cov /. sqrt (vx *. vy)
+
+let ranks values =
+  let n = Array.length values in
+  let order = Array.init n (fun i -> i) in
+  Array.sort (fun i j -> compare values.(i) values.(j)) order;
+  let r = Array.make n 0. in
+  (* ties share the average of the positions they span (fractional
+     ranks), so equal values contribute identically *)
+  let i = ref 0 in
+  while !i < n do
+    let j = ref !i in
+    while !j + 1 < n && values.(order.(!j + 1)) = values.(order.(!i)) do incr j done;
+    let avg = float_of_int (!i + !j + 2) /. 2. in
+    for k = !i to !j do r.(order.(k)) <- avg done;
+    i := !j + 1
+  done;
+  r
+
+let spearman points =
+  if List.length points < 2 then
+    invalid_arg "Regression.spearman: need at least two points";
+  let xs = Array.of_list (List.map fst points) in
+  let ys = Array.of_list (List.map snd points) in
+  let rx = ranks xs and ry = ranks ys in
+  pearson (Array.to_list (Array.map2 (fun a b -> (a, b)) rx ry))

@@ -222,6 +222,172 @@ let test_collapse_fires_on_gate_level_leon3 () =
   let col = Collapse.build g ~keep in
   check_bool "gate-level netlist collapses" true (Collapse.mapped col > 0)
 
+(* ---- post-dominator tree ---- *)
+
+(* a -> s -> {p, q} -> z -> t, plus a dead node off [a]:
+   every path from s to the exit [t] reconverges at z. *)
+let build_diamond () =
+  let c = C.create "diamond" in
+  let a = C.input c "a" 1 in
+  let s = C.comb1 c "s" 1 a (fun v -> v) in
+  let p = C.comb1 c "p" 1 s (fun v -> v) in
+  let q = C.comb1 c "q" 1 s (fun v -> lnot v land 1) in
+  let z = C.comb2 c "z" 1 p q (fun u v -> u lor v) in
+  let t = C.comb1 c "t" 1 z (fun v -> v) in
+  let dead = C.comb1 c "dead" 1 a (fun v -> v) in
+  C.elaborate c;
+  (c, a, s, p, q, z, t, dead)
+
+let test_dominator_diamond () =
+  let c, a, s, p, q, z, t, dead = build_diamond () in
+  let g = Graph.build c in
+  let dom = Analysis.Dominator.build g ~exits:[ t ] in
+  let ipdom x = Analysis.Dominator.ipdom dom (Graph.Sig x) in
+  let expect name x want =
+    match (ipdom x, want) with
+    | Some (Graph.Sig got), Some w ->
+        check_int ("ipdom " ^ name) ((w : C.signal :> int)) ((got :> int))
+    | None, None -> ()
+    | _ -> Alcotest.fail ("ipdom " ^ name ^ ": wrong shape")
+  in
+  (* both diamond arms and the split point postdominate at z *)
+  expect "p" p (Some z);
+  expect "q" q (Some z);
+  expect "s" s (Some z);
+  expect "z" z (Some t);
+  expect "a" a (Some s);
+  (* the exit itself has no proper postdominator *)
+  expect "t" t None;
+  check_bool "exit reachable" true (Analysis.Dominator.reachable dom (Graph.Sig t));
+  (* the dead node cannot reach the exit at all *)
+  check_bool "dead unreachable" false (Analysis.Dominator.reachable dom (Graph.Sig dead));
+  expect "dead" dead None;
+  check_int "tree covers the live cone" 6 (Analysis.Dominator.tree_size dom)
+
+(* ---- dominance collapsing ---- *)
+
+(* XOR from four NANDs: the inner node x fans out to both second-level
+   gates, so the classic fan-out-free rules can never touch it — but
+   forcing x to 0 drives both y1 and y2 to 1 and hence z to 0, for
+   every value of a and b.  Forcing x to 1 leaves z = a|b, so only the
+   stuck-at-0 polarity may collapse. *)
+let build_nand_xor () =
+  let c = C.create "nxor" in
+  let a = C.input c "a" 1 in
+  let b = C.input c "b" 1 in
+  let nand u v = lnot (u land v) land 1 in
+  let x = C.comb2 c "x" 1 a b nand in
+  let y1 = C.comb2 c "y1" 1 a x nand in
+  let y2 = C.comb2 c "y2" 1 x b nand in
+  let z = C.comb2 c "z" 1 y1 y2 nand in
+  let t = C.comb1 c "t" 1 z (fun v -> v) in
+  C.elaborate c;
+  (c, a, b, x, z, t)
+
+let test_collapse_dominance_rule () =
+  let c, _, _, x, z, t = build_nand_xor () in
+  let g = Graph.build c in
+  let keep (s : C.signal) = s = t in
+  (* without the dominator tree the fanned-out x must stay unmapped *)
+  let classic = Collapse.build g ~keep in
+  check_bool "classic rules cannot collapse a fanned-out node" true
+    (Collapse.resolve classic (C.Node (x, 0)) C.Stuck_at_0 = (C.Node (x, 0), C.Stuck_at_0));
+  let dom = Analysis.Dominator.build g ~exits:[ t ] in
+  let col = Collapse.build ~dom g ~keep in
+  (* dominance maps x to its reconvergence point z, and the classic
+     forward rule chains z on to the observed buffer t — resolution is
+     transitive *)
+  check_bool "dominance collapses sa0 through the reconvergence point" true
+    (Collapse.resolve col (C.Node (x, 0)) C.Stuck_at_0 = (C.Node (t, 0), C.Stuck_at_0));
+  ignore z;
+  (* forcing x=1 leaves z dependent on a and b: no equivalence *)
+  check_bool "non-constant polarity survives" true
+    (Collapse.resolve col (C.Node (x, 0)) C.Stuck_at_1 = (C.Node (x, 0), C.Stuck_at_1))
+
+let test_collapse_dominance_is_behaviourally_exact () =
+  (* The dominance rule's proof obligation, checked dynamically: the
+     source fault and its representative produce the same observed
+     value for every input combination. *)
+  let run_faulted site model =
+    let c, a, b, _, _, t = build_nand_xor () in
+    C.reset c;
+    C.inject c site model;
+    List.map
+      (fun (va, vb) ->
+        C.set_input c a va;
+        C.set_input c b vb;
+        C.settle c;
+        C.value c t)
+      [ (0, 0); (0, 1); (1, 0); (1, 1) ]
+  in
+  let c, _, _, x, z, t = build_nand_xor () in
+  let g = Graph.build c in
+  let dom = Analysis.Dominator.build g ~exits:[ t ] in
+  let col = Collapse.build ~dom g ~keep:(fun s -> s = t) in
+  let rep_site, rep_model = Collapse.resolve col (C.Node (x, 0)) C.Stuck_at_0 in
+  check_bool "x collapsed" true (rep_site <> C.Node (x, 0));
+  ignore z;
+  Alcotest.(check (list int))
+    "identical observed behaviour"
+    (run_faulted (C.Node (x, 0)) C.Stuck_at_0)
+    (run_faulted rep_site rep_model)
+
+(* ---- SCOAP testability metrics ---- *)
+
+(* a, b -> and -> not -> reg(init 0) -> out, observed at out.  Small
+   enough to hand-compute every metric under the implementation's cost
+   model (assignment cost sums the controllabilities of ALL dep bits,
+   plus one per traversed level). *)
+let test_scoap_hand_computed () =
+  let c = C.create "scoap" in
+  let m = C.memory c "m" ~words:2 ~width:1 in
+  let a = C.input c "a" 1 in
+  let b = C.input c "b" 1 in
+  let g_and = C.comb2 c "and" 1 a b (fun u v -> u land v) in
+  let n = C.comb1 c "not" 1 g_and (fun v -> lnot v land 1) in
+  let r = C.reg c "r" ~width:1 () in
+  C.connect c r ~d:n ();
+  let out = C.comb1 c "out" 1 r (fun v -> v) in
+  C.elaborate c;
+  let g = Graph.build c in
+  let s = Analysis.Scoap.build g ~obs:[ out ] in
+  let cc0 x = Analysis.Scoap.cc0 s x 0
+  and cc1 x = Analysis.Scoap.cc1 s x 0
+  and co x = Analysis.Scoap.co s x 0 in
+  (* inputs cost 1 either way *)
+  check_int "cc0 a" 1 (cc0 a);
+  check_int "cc1 a" 1 (cc1 a);
+  (* and: cheapest 0-assignment (00/01/10) and the only 1-assignment
+     (11) both cost 2, plus one level *)
+  check_int "cc0 and" 3 (cc0 g_and);
+  check_int "cc1 and" 3 (cc1 g_and);
+  (* the inverter swaps polarities, one more level *)
+  check_int "cc0 not" 4 (cc0 n);
+  check_int "cc1 not" 4 (cc1 n);
+  (* register: reset already provides 0; a 1 must come through d *)
+  check_int "cc0 r" 1 (cc0 r);
+  check_int "cc1 r" 5 (cc1 r);
+  (* observability walks back from out: one level per node, plus the
+     side-input controllability at the and gate (b must hold 1) *)
+  check_int "co out" 0 (co out);
+  check_int "co r" 1 (co r);
+  check_int "co not" 2 (co n);
+  check_int "co and" 3 (co g_and);
+  check_int "co a" 5 (co a);
+  check_int "co b" 5 (co b);
+  (* detectability: log-damped controllability plus observability *)
+  let det site model =
+    match Analysis.Scoap.detectability s site model with
+    | Some v -> v
+    | None -> Alcotest.fail "expected a score"
+  in
+  check_int "sa0 on a = damp(cc1)+co" 6 (det (C.Node (a, 0)) C.Stuck_at_0);
+  check_int "bit flip on and = co+1" 4 (det (C.Node (g_and, 0)) C.Bit_flip);
+  check_int "open line on a" 7 (det (C.Node (a, 0)) C.Open_line);
+  (* memory cells carry no metric *)
+  check_bool "cell unscored" true
+    (Analysis.Scoap.detectability s (C.Cell (m, 0, 0)) C.Stuck_at_0 = None)
+
 (* ---- lint ---- *)
 
 let find_rule report rule =
@@ -326,6 +492,11 @@ let suite =
       Alcotest.test_case "collapse controlling value" `Quick test_collapse_controlling_value;
       Alcotest.test_case "collapse behaviourally exact" `Quick test_collapse_is_behaviourally_exact;
       Alcotest.test_case "collapse fires on gate-level" `Quick test_collapse_fires_on_gate_level_leon3;
+      Alcotest.test_case "dominator diamond" `Quick test_dominator_diamond;
+      Alcotest.test_case "collapse dominance rule" `Quick test_collapse_dominance_rule;
+      Alcotest.test_case "collapse dominance exact" `Quick
+        test_collapse_dominance_is_behaviourally_exact;
+      Alcotest.test_case "scoap hand-computed" `Quick test_scoap_hand_computed;
       Alcotest.test_case "lint broken circuit" `Quick test_lint_broken_circuit_fires_every_rule;
       Alcotest.test_case "lint json" `Quick test_lint_json_shape;
       Alcotest.test_case "lint leon3 clean" `Quick test_lint_leon3_clean ] )

@@ -72,6 +72,37 @@ let test_unit_attribution_roundtrip () =
     (List.exists
        (fun s -> String.starts_with ~prefix:"iu.ex.adder.gates." s.Injection.site_name)
        gate_sites);
+  (* the full gate-level elaboration adds per-unit gates.* subtrees
+     plus the cross-unit iu.gates.{operand,alu} scopes; every site
+     must still attribute to its unit, and the cross-unit scopes must
+     be enumerated with their owning unit's pool *)
+  let full_gate_core =
+    Leon3.Core.build
+      ~params:{ Leon3.Core.default_params with Leon3.Core.gate_level = true }
+      ()
+  in
+  roundtrip full_gate_core;
+  let has prefix =
+    List.exists (fun s -> String.starts_with ~prefix s.Injection.site_name)
+  in
+  let adder_sites =
+    Injection.sites full_gate_core (Injection.Unit_of Sparc.Units.Adder)
+  in
+  check_bool "alu cross-unit gates in adder pool" true
+    (has "iu.gates.alu." adder_sites);
+  let rf_sites =
+    Injection.sites full_gate_core (Injection.Unit_of Sparc.Units.Regfile)
+  in
+  check_bool "operand fabric in regfile pool" true
+    (has "iu.gates.operand." rf_sites);
+  check_bool "alu tap attribution" true
+    (Injection.unit_of_site_name "iu.gates.alu.op1b17[0]"
+    = Some Sparc.Units.Adder);
+  check_bool "operand mux attribution" true
+    (Injection.unit_of_site_name "iu.gates.operand.op2m3[0]"
+    = Some Sparc.Units.Regfile);
+  check_bool "decode PLA term attribution" true
+    (Injection.unit_of_site_name "iu.de.gates.t_a00[0]" = Some Sparc.Units.Decode);
   (* memory cells attribute through their array suffixes *)
   check_bool "regfile cell" true
     (Injection.unit_of_site_name "iu.regfile.regs[5][31]" = Some Sparc.Units.Regfile);

@@ -11,6 +11,7 @@ let () =
       Test_rtl.suite;
       Test_analysis.suite;
       Test_leon3.suite;
+      Test_gatelevel.suite;
       Test_differential.suite;
       Test_fault.suite;
       Test_journal.suite;
