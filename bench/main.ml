@@ -274,6 +274,81 @@ let run_batch () =
     exit 1
   end
 
+(* ---- tail A/B: figure 5 with the watchdog-tail machinery on vs.
+   off, batching on in both runs, same samples and seed.  With the
+   tail off, batch-ejected hang candidates restart from cycle 0 in a
+   scalar circuit and burn the full watchdog budget; with it on they
+   advance together in dense bit-parallel mode past trace end, retire
+   early via per-lane cycle proofs, and any lone survivor is
+   transplanted — not restarted — into the scalar circuit.  Verdict
+   tables are byte-identical by construction and asserted to be.
+   BENCH_tail.json records both wall clocks plus the tail
+   decomposition: watchdog cycles burned vs. proven away, transplant
+   prefix cycles saved, dense-tail occupancy, and the hang-candidate
+   watchdog share of wall-clock before and after. ---- *)
+
+let run_tail () =
+  let run ~tail =
+    let obs = Obs.create () in
+    let ctx = Context.create ~batch:true ~tail ~obs () in
+    let t0 = Unix.gettimeofday () in
+    let tables = Experiments.run ctx "figure5" in
+    let wall = Unix.gettimeofday () -. t0 in
+    (tables, wall, obs, Context.samples ctx)
+  in
+  Format.printf "figure 5, watchdog tail on:@.@.";
+  let tables_on, wall_on, obs_on, samples = run ~tail:true in
+  print_tables tables_on;
+  Format.printf "  [%.1fs]@.@.figure 5, watchdog tail off:@.@." wall_on;
+  let tables_off, wall_off, obs_off, _ = run ~tail:false in
+  print_tables tables_off;
+  Format.printf "  [%.1fs]@." wall_off;
+  let identical = render_tables tables_on = render_tables tables_off in
+  let mean obs name =
+    match Obs.histogram obs name with
+    | Some h when h.Obs.count > 0 -> h.Obs.sum /. float_of_int h.Obs.count
+    | Some _ | None -> 0.
+  in
+  let watchdog obs wall =
+    let s = Obs.span_total obs "tail.watchdog" +. Obs.span_total obs "tail.dense" in
+    (s, if wall > 0. then s /. wall else 0.)
+  in
+  let wd_on, share_on = watchdog obs_on wall_on in
+  let wd_off, share_off = watchdog obs_off wall_off in
+  let open Obs.Json in
+  Format.printf "@.BENCH_tail.json: %s@."
+    (to_string
+       (Obj
+          [ ("experiment", Str "figure5");
+            ("samples", Int samples);
+            ( "tail",
+              Obj
+                [ ("wall_seconds", Float wall_on);
+                  ("ejected", Int (Obs.counter obs_on "batch.ejected"));
+                  ("cycle_proofs", Int (Obs.counter obs_on "tail.cycle_proofs"));
+                  ("transplants", Int (Obs.counter obs_on "tail.transplants"));
+                  ( "watchdog_cycles_saved",
+                    Int (Obs.counter obs_on "tail.cycles_saved") );
+                  ( "transplant_prefix_cycles_saved",
+                    Int (Obs.counter obs_on "tail.prefix_saved") );
+                  ("mean_cycle_length", Float (mean obs_on "tail.cycle_length"));
+                  ("mean_occupancy", Float (mean obs_on "tail.occupancy"));
+                  ("dense_seconds", Float (Obs.span_total obs_on "tail.dense"));
+                  ("watchdog_seconds", Float wd_on);
+                  ("watchdog_share", Float share_on) ] );
+            ( "no_tail",
+              Obj
+                [ ("wall_seconds", Float wall_off);
+                  ("ejected", Int (Obs.counter obs_off "batch.ejected"));
+                  ("watchdog_seconds", Float wd_off);
+                  ("watchdog_share", Float share_off) ] );
+            ("speedup", Float (if wall_on > 0. then wall_off /. wall_on else 1.));
+            ("tables_identical", Bool identical) ]));
+  if not identical then begin
+    prerr_endline "tail/no-tail figure-5 tables differ";
+    exit 1
+  end
+
 (* ---- journal A/B: one campaign three ways — direct, killed-and-
    resumed, and 4-shard-merged — asserting all three verdict tables
    are byte-identical and emitting BENCH_journal.json with the wall
@@ -571,11 +646,12 @@ let () =
   | [ "event" ] -> run_event ()
   | [ "journal" ] -> run_journal ()
   | [ "batch" ] -> run_batch ()
+  | [ "tail" ] -> run_tail ()
   | [ "iss" ] -> run_iss ()
   | ids when List.for_all (fun id -> List.mem id Experiments.all_ids) ids ->
       run_experiments ?csv_dir ids
   | _ ->
       prerr_endline
-        ("usage: main.exe [csv] [micro | static | event | journal | batch | iss | "
+        ("usage: main.exe [csv] [micro | static | event | journal | batch | tail | iss | "
         ^ String.concat " | " Experiments.all_ids ^ " ...]");
       exit 2

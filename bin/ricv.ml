@@ -312,8 +312,23 @@ let campaign_cmd =
                  advancing as bit-lanes of one circuit per pass).  Results are \
                  identical; only the runtime changes.")
   in
+  let no_tail_arg =
+    Arg.(value & flag & info [ "no-tail" ]
+           ~env:(Cmd.Env.info "RICV_NO_TAIL")
+           ~doc:"Disable the watchdog-tail machinery (dense bit-parallel advance of \
+                 batch-ejected hang candidates past trace end, per-lane cycle-proof \
+                 hang classification, and lane-to-scalar state transplant).  Results \
+                 are identical; only the runtime changes.")
+  in
+  let hang_arg =
+    Arg.(value & opt (positive_int "hang factor") 4 & info [ "hang-factor" ] ~docv:"K"
+           ~env:(Cmd.Env.info "RICV_HANG_FACTOR")
+           ~doc:"Cycle-budget watchdog: a faulty run is classified as hung after K \
+                 times the golden run's cycle count (plus a fixed floor).  Mirrors \
+                 the ISS campaign's --hang-factor.")
+  in
   let run name iterations dataset target samples domains shard journal resume no_trim
-      no_static no_event no_batch gate trace metrics =
+      no_static no_event no_batch no_tail hang_factor gate trace metrics =
     let prog = or_fail (build_workload name iterations dataset) in
     let params = system_params ~gate:(gate_enabled gate) in
     if resume && journal = None then begin
@@ -331,6 +346,12 @@ let campaign_cmd =
           && (match Sys.getenv_opt "RICV_BATCH" with
              | Some ("0" | "false" | "no" | "off") -> false
              | Some _ | None -> true);
+        tail =
+          (not no_tail)
+          && (match Sys.getenv_opt "RICV_TAIL" with
+             | Some ("0" | "false" | "no" | "off") -> false
+             | Some _ | None -> true);
+        hang_factor;
         shard }
     in
     let obs, finish_obs = make_obs ~trace ~metrics in
@@ -386,16 +407,18 @@ let campaign_cmd =
       (if config.Fault_injection.Campaign.static then "" else "  [static analysis disabled]")
       (if config.Fault_injection.Campaign.event then ""
        else "  [differential simulation disabled]")
-      (if config.Fault_injection.Campaign.batch then ""
-       else "  [bit-parallel batching disabled]");
+      ((if config.Fault_injection.Campaign.batch then ""
+        else "  [bit-parallel batching disabled]")
+      ^
+      if config.Fault_injection.Campaign.tail then "" else "  [watchdog tail disabled]");
     finish_obs ()
   in
   Cmd.v
     (Cmd.info "campaign" ~doc:"Run a fault-injection campaign on the RTL model.")
     Term.(const run $ workload_arg $ iterations_arg $ dataset_arg $ target_arg
           $ samples_arg $ domains_arg $ shard_arg $ journal_arg $ resume_arg
-          $ no_trim_arg $ no_static_arg $ no_event_arg $ no_batch_arg $ gate_arg
-          $ trace_arg $ metrics_arg)
+          $ no_trim_arg $ no_static_arg $ no_event_arg $ no_batch_arg $ no_tail_arg
+          $ hang_arg $ gate_arg $ trace_arg $ metrics_arg)
 
 (* ---- iss-campaign ---- *)
 

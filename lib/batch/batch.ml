@@ -21,7 +21,22 @@ type result = {
   events : Bus_event.t list;
 }
 
-type outcome = Done of result | Ejected
+(* A lane the dense tail could not retire, extracted for scalar
+   continuation: circuit state + fault (the transplant), the lane's
+   main-memory image (golden base + overlay, materialised), bus-driver
+   states, and the comparator/event bookkeeping a resumed run needs. *)
+type ejected = {
+  e_tp : C.transplant;
+  e_mem : Memory.t;
+  e_iport : int * bool;  (* countdown, ready_out *)
+  e_dport : int * bool;
+  e_matched : int;
+  e_mismatch : int option;
+  e_events_rev : Bus_event.t list;
+  e_writes : int;
+}
+
+type outcome = Done of result | Ejected of ejected option
 
 (* Per-lane off-core state.  The main-memory image is the golden base
    plus a sparse word-addressed overlay; bus-port drivers mirror
@@ -36,6 +51,7 @@ type lane = {
   mutable stopped : System.stop_reason option;
   mutable abort : bool;
   mutable events_rev : Bus_event.t list;
+  mutable nw : int;  (* write events among events_rev *)
   mutable finished : bool;
   mutable pw : int;  (* this cycle's pending dport write: word addr, -1 none *)
   mutable pwv : int;  (* ... and the lane's merged word value *)
@@ -57,6 +73,7 @@ let mk_lane idx =
     stopped = None;
     abort = false;
     events_rev = [];
+    nw = 0;
     finished = false;
     pw = -1;
     pwv = 0;
@@ -81,7 +98,8 @@ let lv_set base ln wa v =
 
 let size_of_code = function 0 -> Bus_event.Byte | 1 -> Bus_event.Half | _ -> Bus_event.Word
 
-let run ~sys ~prog ~trace ~reference ~max_cycles specs =
+let run ?(obs = Obs.null) ?(tail = true) ~sys ~prog ~trace ~reference ~max_cycles specs
+    =
   let n = Array.length specs in
   if n > C.max_lanes then invalid_arg "Batch.run: more specs than lanes";
   let core = System.core sys in
@@ -98,11 +116,12 @@ let run ~sys ~prog ~trace ~reference ~max_cycles specs =
         sp.model)
     specs;
   let lanes = Array.init n mk_lane in
-  let outcomes = Array.make n Ejected in
+  let outcomes = Array.make n (Ejected None) in
   let live = ref n in
   let record ln ev =
     ln.events_rev <- ev :: ln.events_rev;
-    if Bus_event.is_write ev then
+    if Bus_event.is_write ev then begin
+      ln.nw <- ln.nw + 1;
       if ln.matched < nref && Bus_event.equal ev reference.(ln.matched) then
         ln.matched <- ln.matched + 1
       else begin
@@ -111,6 +130,7 @@ let run ~sys ~prog ~trace ~reference ~max_cycles specs =
         | Some _ -> ());
         ln.abort <- true
       end
+    end
   in
   let finish ln stop =
     outcomes.(ln.idx) <-
@@ -125,7 +145,29 @@ let run ~sys ~prog ~trace ~reference ~max_cycles specs =
     decr live
   in
   let eject ln =
-    (* outcome stays Ejected *)
+    (* outcome stays Ejected None: the caller re-runs scalar from 0 *)
+    C.batch_retire circuit ln.idx;
+    ln.finished <- true;
+    decr live
+  in
+  (* Materialise a lane's full state for scalar continuation (tail
+     mode only: requires the exhausting clock completed by
+     [batch_tail_start], so the lane stands at a settled post-step
+     state). *)
+  let eject_transplant ln =
+    let mem = Memory.copy base in
+    Hashtbl.iter (fun wa v -> Memory.store_word mem wa v) ln.mem;
+    outcomes.(ln.idx) <-
+      Ejected
+        (Some
+           { e_tp = C.batch_eject circuit ln.idx;
+             e_mem = mem;
+             e_iport = (ln.cd.(0), ln.rdy.(0));
+             e_dport = (ln.cd.(1), ln.rdy.(1));
+             e_matched = ln.matched;
+             e_mismatch = ln.mismatch;
+             e_events_rev = ln.events_rev;
+             e_writes = ln.nw });
     C.batch_retire circuit ln.idx;
     ln.finished <- true;
     decr live
@@ -240,6 +282,82 @@ let run ~sys ~prog ~trace ~reference ~max_cycles specs =
       end
     end
   in
+  let apply_inputs () =
+    Array.iter
+      (fun ln ->
+        if not ln.finished then begin
+          C.batch_set_input circuit ic.Cache_block.bus_ready ln.idx ln.in_ir;
+          C.batch_set_input circuit ic.Cache_block.bus_rdata ln.idx ln.in_ird;
+          C.batch_set_input circuit dc.Cache_block.bus_ready ln.idx ln.in_dr;
+          C.batch_set_input circuit dc.Cache_block.bus_rdata ln.idx ln.in_drd
+        end)
+      lanes
+  in
+  (* Per-lane cycle-proof detectors, armed at tail entry for lanes
+     whose fault is permanent and already active — then the armed
+     fault is a pure function of the circuit state and a confirmed
+     state recurrence with equal write count and bus-driver state is a
+     proof of periodicity, exactly as in the scalar detector
+     ([System.run_segment]'s correctness argument carries over lane by
+     lane: the golden base memory is frozen in tail mode, so a lane's
+     main-memory image can only change through its own writes). *)
+  let dets = Array.make n None in
+  let in_tail = ref false in
+  let tail_entry = ref 0.0 in
+  (* Dense advance is a full per-lane sweep of the netlist each cycle —
+     several times the scalar engine's per-cycle cost — so it only
+     earns its keep while cycle proofs are retiring lanes.  The window
+     below catches the common wedge (a loop of a few dozen cycles
+     proves within stride × period of the entry anchor); survivors are
+     handed to the scalar engine as transplants, which still skips the
+     whole trace prefix and runs its own detector for longer periods. *)
+  let dense_tail_budget = 256 in
+  let tail_deadline = ref max_int in
+  let arm_detectors () =
+    let cyc = C.cycle circuit in
+    Array.iter
+      (fun ln ->
+        if (not ln.finished) && specs.(ln.idx).duration = None
+           && specs.(ln.idx).from_cycle <= cyc
+        then
+          let mix h x = ((h lxor x) * 0x100000001B3) lxor (h lsr 17) in
+          dets.(ln.idx) <-
+            Some
+              (Rtl.Cycle.create ~first:cyc ~stride:4
+                 ~hash:(fun () ->
+                   mix
+                     (mix
+                        (mix
+                           (mix
+                              (mix (C.batch_lane_hash circuit ln.idx) ln.nw)
+                              ln.cd.(0))
+                           (Bool.to_int ln.rdy.(0)))
+                        ln.cd.(1))
+                     (Bool.to_int ln.rdy.(1)))
+                 ~capture:(fun () ->
+                   ( C.batch_lane_state circuit ln.idx, ln.nw, ln.cd.(0), ln.rdy.(0),
+                     ln.cd.(1), ln.rdy.(1) ))
+                 ~confirm:(fun (s, wr, icd, iro, dcd, dro) ->
+                   ln.nw = wr && ln.cd.(0) = icd && ln.rdy.(0) = iro
+                   && ln.cd.(1) = dcd && ln.rdy.(1) = dro
+                   && C.batch_lane_same_state circuit ln.idx s)
+                 ()))
+      lanes
+  in
+  (* Enter dense tail mode: complete the exhausting clock's register
+     commit, then apply the bus inputs this cycle's drive computed and
+     settle — the live lanes now stand at the same settled state a
+     scalar run reaches one step past the trace. *)
+  let enter_tail () =
+    C.batch_tail_start circuit;
+    in_tail := true;
+    tail_entry := Obs.now obs;
+    tail_deadline := C.cycle circuit + dense_tail_budget;
+    Obs.observe obs "tail.occupancy" (float_of_int !live);
+    apply_inputs ();
+    C.batch_tail_settle circuit;
+    arm_detectors ()
+  in
   let step () =
     (* Port drives read the settled cycle; lane writes are parked. *)
     Array.iter
@@ -259,34 +377,54 @@ let run ~sys ~prog ~trace ~reference ~max_cycles specs =
       (fun ln -> if (not ln.finished) && ln.pw >= 0 then lv_set base ln ln.pw ln.pwv)
       lanes;
     C.batch_clock circuit;
-    if C.batch_exhausted circuit then
-      (* Past the trace the lane views are no longer advanced, but a
-         stop latched during this cycle's drive is already a verdict
-         (and the cycle counter did advance, so stop cycles match the
-         scalar run); only genuinely unresolved lanes go back to the
-         scalar engine. *)
+    if C.batch_exhausted circuit then begin
+      (* Past the trace the golden machine stops advancing, but a stop
+         latched during this cycle's drive is already a verdict (and
+         the cycle counter did advance, so stop cycles match the
+         scalar run). *)
       Array.iter
         (fun ln ->
           if not ln.finished then
             match ln.stopped with
             | Some r -> finish ln r
-            | None -> if ln.abort then finish ln System.Aborted else eject ln)
-        lanes
-    else begin
-      Array.iter
-        (fun ln ->
-          if not ln.finished then begin
-            C.batch_set_input circuit ic.Cache_block.bus_ready ln.idx ln.in_ir;
-            C.batch_set_input circuit ic.Cache_block.bus_rdata ln.idx ln.in_ird;
-            C.batch_set_input circuit dc.Cache_block.bus_ready ln.idx ln.in_dr;
-            C.batch_set_input circuit dc.Cache_block.bus_rdata ln.idx ln.in_drd
-          end)
+            | None -> if ln.abort then finish ln System.Aborted else if not tail then eject ln)
         lanes;
+      (* Unresolved lanes: with the tail engine they keep advancing
+         bit-parallel past trace end; without it they were ejected
+         above for a scalar re-run from cycle 0. *)
+      if tail && !live > 0 then enter_tail ()
+    end
+    else begin
+      apply_inputs ();
       C.batch_settle circuit
     end
   in
+  let tail_step () =
+    Array.iter
+      (fun ln ->
+        if not ln.finished then begin
+          ln.pw <- -1;
+          let ir, ird = drive_lane ln 0 in
+          let dr, drd = drive_lane ln 1 in
+          ln.in_ir <- ir;
+          ln.in_ird <- ird;
+          ln.in_dr <- dr;
+          ln.in_drd <- drd
+        end)
+      lanes;
+    (* no golden_drive: the golden machine ended with its trace, the
+       base image is frozen *)
+    Array.iter
+      (fun ln -> if (not ln.finished) && ln.pw >= 0 then lv_set base ln ln.pw ln.pwv)
+      lanes;
+    C.batch_tail_clock circuit;
+    apply_inputs ();
+    C.batch_tail_settle circuit
+  in
   let rec loop () =
-    (* Terminal checks in the scalar run loop's order. *)
+    (* Terminal checks in the scalar run loop's order (the cycle-proof
+       check sits where the scalar detector's does: after the budget
+       check, at a settled loop top). *)
     Array.iter
       (fun ln ->
         if not ln.finished then
@@ -297,13 +435,33 @@ let run ~sys ~prog ~trace ~reference ~max_cycles specs =
               else if C.batch_value circuit core.Core.halted ln.idx <> 0 then
                 finish ln
                   (System.Trapped (C.batch_value circuit core.Core.trap_code ln.idx))
-              else if C.cycle circuit >= max_cycles then finish ln System.Cycle_limit)
+              else if C.cycle circuit >= max_cycles then finish ln System.Cycle_limit
+              else
+                match dets.(ln.idx) with
+                | Some d -> (
+                    match Rtl.Cycle.observe d ~cycle:(C.cycle circuit) with
+                    | Some period ->
+                        Obs.incr obs "tail.cycle_proofs";
+                        Obs.observe obs "tail.cycle_length" (float_of_int period);
+                        Obs.incr obs
+                          ~by:(max_cycles - C.cycle circuit)
+                          "tail.cycles_saved";
+                        finish ln System.Cycle_limit
+                    | None -> ())
+                | None -> ())
       lanes;
-    if !live > 0 then begin
-      step ();
+    if !in_tail && (!live = 1 || C.cycle circuit >= !tail_deadline) then
+      (* A lone survivor, or the dense window closing: the scalar
+         engine is cheaper per lane-cycle (no lane bookkeeping) and
+         runs its own cycle-proof detector — hand the survivors over
+         at the current settled state. *)
+      Array.iter (fun ln -> if not ln.finished then eject_transplant ln) lanes
+    else if !live > 0 then begin
+      if !in_tail then tail_step () else step ();
       loop ()
     end
   in
   loop ();
+  if !in_tail then Obs.add_time obs "tail.dense" (Obs.now obs -. !tail_entry);
   let stats = C.batch_stop circuit in
   (outcomes, stats)

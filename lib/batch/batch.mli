@@ -10,8 +10,14 @@
     Verdict-relevant behaviour — write streams, stop reasons, stop and
     mismatch cycles — is identical to running each fault through
     {!Leon3.System.run} on its own machine.  Lanes whose run outlives
-    the golden trace (hang candidates) are {e ejected}: the caller must
-    re-run those few faults on the scalar engine. *)
+    the golden trace (hang candidates) enter the {e dense tail}: the
+    golden machine freezes at trace end and the survivors keep
+    advancing bit-parallel, each retired individually by exit, trap,
+    budget, or a cycle-proof of periodicity; a lone survivor is
+    ejected with its complete state for scalar continuation from trace
+    end.  With [tail:false] ejection reverts to the pre-tail contract:
+    the caller re-runs ejected faults on the scalar engine from
+    cycle 0. *)
 
 module C = Rtl.Circuit
 
@@ -30,12 +36,29 @@ type result = {
   events : Sparc.Bus_event.t list;  (** data-side bus events, in order *)
 }
 
+type ejected = {
+  e_tp : C.transplant;  (** circuit state + armed fault *)
+  e_mem : Sparc.Memory.t;  (** the lane's full main-memory image *)
+  e_iport : int * bool;  (** bus-driver countdown, ready_out *)
+  e_dport : int * bool;
+  e_matched : int;  (** reference writes matched so far *)
+  e_mismatch : int option;
+  e_events_rev : Sparc.Bus_event.t list;  (** newest first *)
+  e_writes : int;  (** write events among them *)
+}
+(** Everything {!Leon3.System.transplant} needs to continue an ejected
+    lane from trace end instead of restarting from cycle 0. *)
+
 type outcome =
   | Done of result
-  | Ejected
-      (** still running when the golden trace ended — re-run scalar *)
+  | Ejected of ejected option
+      (** still running when the golden trace ended; [Some] carries
+          the lane's state for scalar continuation ([None] only with
+          the tail engine disabled — re-run scalar from cycle 0) *)
 
 val run :
+  ?obs:Obs.t ->
+  ?tail:bool ->
   sys:Leon3.System.t ->
   prog:Sparc.Asm.program ->
   trace:C.trace ->
@@ -49,4 +72,9 @@ val run :
     lane retires or the trace is exhausted.  [reference] is the golden
     run's {e write} stream, compared in order against each lane's
     writes exactly as the scalar comparator does (a read is recorded
-    but never compared).  At most [C.max_lanes] specs. *)
+    but never compared).  At most [C.max_lanes] specs.
+
+    [tail] (default [true]) keeps trace-outliving lanes advancing in
+    dense bit-parallel mode past trace end (see the module overview);
+    [obs] receives the [tail.*] counters, histograms and the
+    [tail.dense] span. *)

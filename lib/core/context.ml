@@ -18,6 +18,7 @@ type t = {
   static_ : bool;
   event_ : bool;
   batch_ : bool;
+  tail_ : bool;
   gate_ : bool;
   obs_ : Obs.t;
   campaigns :
@@ -53,17 +54,23 @@ let default_batch () =
   | Some ("0" | "false" | "no" | "off") -> false
   | Some _ | None -> true
 
+let default_tail () =
+  match Sys.getenv_opt "RICV_TAIL" with
+  | Some ("0" | "false" | "no" | "off") -> false
+  | Some _ | None -> true
+
 let default_gate () =
   match Sys.getenv_opt "RICV_GATE" with
   | Some ("0" | "false" | "no" | "off") | None -> false
   | Some _ -> true
 
-let create ?samples ?(seed = 7) ?trim ?static ?event ?batch ?gate ?obs () =
+let create ?samples ?(seed = 7) ?trim ?static ?event ?batch ?tail ?gate ?obs () =
   let samples_ = match samples with Some n -> n | None -> default_samples () in
   let trim_ = match trim with Some b -> b | None -> default_trim () in
   let static_ = match static with Some b -> b | None -> default_static () in
   let event_ = match event with Some b -> b | None -> default_event () in
   let batch_ = match batch with Some b -> b | None -> default_batch () in
+  let tail_ = match tail with Some b -> b | None -> default_tail () in
   let gate_ = match gate with Some b -> b | None -> default_gate () in
   let params =
     { Leon3.Core.default_params with Leon3.Core.gate_level = gate_ }
@@ -79,6 +86,7 @@ let create ?samples ?(seed = 7) ?trim ?static ?event ?batch ?gate ?obs () =
     static_;
     event_;
     batch_;
+    tail_;
     gate_;
     obs_;
     campaigns = Hashtbl.create 64;
@@ -94,6 +102,8 @@ let static t = t.static_
 let event t = t.event_
 
 let batch t = t.batch_
+
+let tail t = t.tail_
 
 let gate t = t.gate_
 
@@ -132,7 +142,8 @@ let campaign t ~key ?(models = Campaign.default_config.Campaign.models) prog tar
           trim = t.trim_;
           static = t.static_;
           event = t.event_;
-          batch = t.batch_ }
+          batch = t.batch_;
+          tail = t.tail_ }
       in
       let summaries, _ = Campaign.run ~config ~obs:t.obs_ t.sys prog target in
       Hashtbl.add t.campaigns memo_key summaries;

@@ -27,6 +27,7 @@ val create :
   ?static:bool ->
   ?event:bool ->
   ?batch:bool ->
+  ?tail:bool ->
   ?gate:bool ->
   ?obs:Obs.t ->
   unit ->
@@ -44,7 +45,12 @@ val create :
     [batch] enables bit-parallel fault batching, packing up to 63
     faulty machines into the bit-lanes of one circuit per pass
     (default true, [RICV_BATCH=0] to disable — also
-    result-identical).  [gate] selects the gate-level elaboration of
+    result-identical).  [tail] enables the watchdog-tail machinery for
+    batch-ejected hang candidates — dense bit-parallel advance past
+    trace end, per-lane cycle-proof hang classification and
+    lane→scalar state transplant (default true, [RICV_TAIL=0] to
+    disable — also result-identical).  [gate] selects the gate-level
+    elaboration of
     the IU datapath ({!Leon3.Core.params.gate_level}; default false,
     set [RICV_GATE=1] to opt in — verdicts at the observation
     boundary are identical, but the injection-site population grows
@@ -63,6 +69,8 @@ val static : t -> bool
 val event : t -> bool
 
 val batch : t -> bool
+
+val tail : t -> bool
 
 val gate : t -> bool
 

@@ -346,6 +346,7 @@ type config = {
   static : bool;
   event : bool;
   batch : bool;
+  tail : bool;
   shard : int * int;
 }
 
@@ -362,6 +363,7 @@ let default_config =
     static = true;
     event = true;
     batch = true;
+    tail = true;
     shard = (1, 1) }
 
 (* Static analysis of the netlist, shared by every injection of a
@@ -636,6 +638,61 @@ let chunk_list k l =
   in
   go l
 
+(* Continue an ejected lane from its transplanted trace-end state
+   instead of re-running the whole prefix: the batch already carried
+   the fault to the end of the golden trace and handed over the lane's
+   complete state (circuit, memory image, bus drivers, comparator
+   counters), so only the genuinely undecided suffix — trace end to
+   verdict — is simulated, with cycle-proof hang detection armed.
+   Verdicts match a from-zero re-run because the transplanted state is
+   state-for-state equal to the re-run's state at trace end
+   (qcheck-tested) and the comparator resumes at the same counters. *)
+let continue_ejected ~obs ~config golden sys e (site : Injection.site) model =
+  let t_start = if Obs.enabled obs then Obs.now obs else 0. in
+  let circuit = (Leon3.System.core sys).Leon3.Core.circuit in
+  Leon3.System.transplant sys e.Batch.e_tp ~mem:e.Batch.e_mem ~iport:e.Batch.e_iport
+    ~dport:e.Batch.e_dport ~events_rev:e.Batch.e_events_rev
+    ~n_events:(List.length e.Batch.e_events_rev)
+    ~n_writes:e.Batch.e_writes;
+  let start_cycle = C.transplant_cycle e.Batch.e_tp in
+  let reference = golden.writes in
+  let matched = ref e.Batch.e_matched in
+  let mismatch_cycle = ref e.Batch.e_mismatch in
+  let on_event ev =
+    if not (Bus_event.is_write ev) then true
+    else if !matched < Array.length reference && Bus_event.equal ev reference.(!matched)
+    then begin
+      incr matched;
+      true
+    end
+    else begin
+      mismatch_cycle := Some (Leon3.System.cycles sys);
+      false
+    end
+  in
+  let max_cycles = (config.hang_factor * golden.cycles) + 2000 in
+  let stop = Leon3.System.run ~on_event ~detect_loops:true sys ~max_cycles in
+  C.clear_fault circuit;
+  let outcome, detect_cycle =
+    match stop with
+    | Leon3.System.Aborted -> (Failure (Wrong_write !matched), !mismatch_cycle)
+    | Leon3.System.Trapped code -> (Failure (Trap code), Some (Leon3.System.cycles sys))
+    | Leon3.System.Cycle_limit -> (Failure Hang, Some max_cycles)
+    | Leon3.System.Exited _ ->
+        if !matched = Array.length reference then (Silent, None)
+        else (Failure (Missing_writes !matched), Some (Leon3.System.cycles sys))
+  in
+  let r =
+    { site_name = site.Injection.site_name; model; outcome; detect_cycle;
+      inject_cycle = config.inject_cycle; sim = Simulated }
+  in
+  if Obs.enabled obs then begin
+    Obs.incr obs "tail.transplants";
+    Obs.incr obs ~by:start_cycle "tail.prefix_saved";
+    record_run obs golden ~dt:(Obs.now obs -. t_start) ~start_cycle r
+  end;
+  r
+
 (* Simulate one chunk of batchable tasks (≤ [C.max_lanes]) in a single
    bit-parallel pass; returns verdicts aligned with [tis]. *)
 let run_batch_chunk ~obs ~config m sys prog tasks tis =
@@ -658,7 +715,8 @@ let run_batch_chunk ~obs ~config m sys prog tasks tis =
       tis
   in
   let outcomes, stats =
-    Batch.run ~sys ~prog ~trace ~reference:golden.writes ~max_cycles specs
+    Batch.run ~obs ~tail:config.tail ~sys ~prog ~trace ~reference:golden.writes
+      ~max_cycles specs
   in
   let n = Array.length tis in
   let dt =
@@ -697,21 +755,39 @@ let run_batch_chunk ~obs ~config m sys prog tasks tis =
           in
           if Obs.enabled obs then record_run obs golden ~dt ~start_cycle:0 r;
           r
-      | Batch.Ejected -> (
+      | Batch.Ejected eo ->
           Obs.incr obs "batch.ejected";
-          match m.m_plans.(ti) with
-          | T_direct ->
-              (* ejected lanes are overwhelmingly watchdog candidates:
-                 rerun them scalar with hang-loop detection armed, and
-                 without the replay plan — a lane that outlived the
-                 trace is densely diverged, where plain simulation is
-                 cheaper than differential replay *)
-              run_one ~obs ~detect_loops:true sys prog m.m_golden
-                ~inject_cycle:config.inject_cycle ~hang_factor:config.hang_factor
-                ~compare_reads:config.compare_reads site model
-          | T_lead _ ->
-              simulate_lead ~obs ~config ~detect_loops:true m sys prog tasks ti
-          | T_pruned | T_follow _ -> assert false))
+          let tw_start = if Obs.enabled obs then Obs.now obs else 0. in
+          let r =
+            match eo with
+            | Some e ->
+                (* the dense tail already carried this lane to its
+                   settled trace-end state: continue scalar from there.
+                   T_direct and T_lead lanes were both armed with the
+                   fault the plan resolved to, and the verdict is
+                   recorded under the member's site/model either way,
+                   exactly as [simulate_lead] does. *)
+                continue_ejected ~obs ~config m.m_golden sys e site model
+            | None -> (
+                (* tail engine disabled: ejected lanes are
+                   overwhelmingly watchdog candidates — rerun them
+                   scalar from cycle 0 with hang-loop detection armed,
+                   and without the replay plan (a lane that outlived
+                   the trace is densely diverged, where plain
+                   simulation is cheaper than differential replay) *)
+                match m.m_plans.(ti) with
+                | T_direct ->
+                    run_one ~obs ~detect_loops:true sys prog m.m_golden
+                      ~inject_cycle:config.inject_cycle
+                      ~hang_factor:config.hang_factor
+                      ~compare_reads:config.compare_reads site model
+                | T_lead _ ->
+                    simulate_lead ~obs ~config ~detect_loops:true m sys prog tasks ti
+                | T_pruned | T_follow _ -> assert false)
+          in
+          if Obs.enabled obs then
+            Obs.add_time obs "tail.watchdog" (Obs.now obs -. tw_start);
+          r)
     tis
 
 let shard_summaries config all =
@@ -736,6 +812,10 @@ let run ?(config = default_config) ?(obs = Obs.null) ?on_progress ?journal
     ?(resume = false) sys prog target =
   let shard_i, shard_n = validate_shard config in
   Leon3.System.set_obs sys obs;
+  (* the observed-cone hang detector is part of the watchdog-tail
+     machinery: with [tail] off the A/B reverts to the legacy
+     full-state (inert) comparison *)
+  Leon3.System.set_hang_cone sys config.tail;
   let core = Leon3.System.core sys in
   let sample = sample_sites ~obs ~config core target in
   let fp = fingerprint ~config prog target sample in
@@ -835,6 +915,7 @@ let run ?(config = default_config) ?(obs = Obs.null) ?on_progress ?journal
       progress ())
     exec_ids;
   Leon3.System.set_obs sys Obs.null;
+  Leon3.System.set_hang_cone sys true;
   let all = collect_results tasks exec_ids results in
   (shard_summaries config all, all)
 
@@ -854,6 +935,7 @@ let run_parallel ?(config = default_config) ?(obs = Obs.null) ?(domains = 4)
   let domains = max 1 domains in
   let scratch = sys_factory () in
   Leon3.System.set_obs scratch obs;
+  Leon3.System.set_hang_cone scratch config.tail;
   let sample = sample_sites ~obs ~config (Leon3.System.core scratch) target in
   let fp = fingerprint ~config prog target sample in
   let writer, lookup, close_journal = open_journal ~journal ~resume fp in
@@ -957,6 +1039,7 @@ let run_parallel ?(config = default_config) ?(obs = Obs.null) ?(domains = 4)
         the next task boundary instead of burning through the queue. *)
      let worker wi sys fork =
        Leon3.System.set_obs sys fork;
+       Leon3.System.set_hang_cone sys config.tail;
        let rec go () =
          if not (Atomic.get aborted) then begin
            let k = Atomic.fetch_and_add next 1 in

@@ -192,6 +192,16 @@ type config = {
           summaries and latencies are byte-identical with it on or
           off; lanes the trace cannot decide (hang candidates) fall
           back to the scalar engine automatically *)
+  tail : bool;
+      (** watchdog-tail machinery for the hang candidates the batch
+          ejects: dense bit-parallel advance past trace end with
+          per-lane cycle-proof hang classification, and lane→scalar
+          state transplant so the last survivor resumes at trace end
+          instead of cycle 0.  Exact — verdicts, summaries and
+          latencies are byte-identical with it on or off (a proven
+          state cycle can only ever end in the watchdog verdict the
+          budget would have returned, with the same recorded latency).
+          Only reachable when [batch] is on *)
   shard : int * int;
       (** [(i, n)]: execute only the sites whose sample index is
           congruent to [i-1 mod n] (1-based, default [(1, 1)] = all).
@@ -205,8 +215,8 @@ type config = {
 val default_config : config
 (** Stuck-at-0/1 + open-line, 400-site sample, cells included,
     injection at cycle 0, watchdog 4x, writes-only compare, seed 7,
-    trimming, static analysis, differential simulation and
-    bit-parallel batching on, shard 1/1. *)
+    trimming, static analysis, differential simulation, bit-parallel
+    batching and the watchdog tail on, shard 1/1. *)
 
 val fingerprint :
   config:config ->

@@ -691,6 +691,19 @@ let build ?(params = default_params) () =
   in
 
   C.elaborate c;
+  (* Recurrence cone for cycle-proof hang detection: the failure
+     boundary below minus [instret] — the retired-instruction counter
+     keeps counting in a wedged core (the sequencer still walks its
+     states), so including it would make the state aperiodic and mask
+     every real hang loop.  It feeds nothing but itself, so excluding
+     it is sound: a cone-state recurrence still fixes the observable
+     future. *)
+  C.set_observed_cone c
+    (List.concat_map
+       (fun (p : Cache_block.ports) ->
+         [ p.bus_req; p.bus_we; p.bus_addr; p.bus_wdata; p.bus_size ])
+       [ icache; dcache ]
+    @ [ halted; trap_code ]);
   { circuit = c; nwindows = nw; state; pc; ir; halted; trap_code; instret; icc; cwp;
     icache; dcache; regfile }
 

@@ -53,6 +53,8 @@ let obs t = t.obs
 
 let circuit t = t.core.Core.circuit
 
+let set_hang_cone t on = C.enable_observed_cone (circuit t) on
+
 let load t prog =
   assert (prog.Asm.entry = Core.default_params.reset_pc || prog.Asm.entry <> 0);
   C.reset (circuit t);
@@ -151,51 +153,64 @@ let step t = step_with t None
    settled state — exactly the point {!checkpoint} captures, so a
    paused run can be compared against golden checkpoints.
 
-   [detect_loops] arms hang-loop detection: a run that is going to
-   exhaust its cycle budget almost always spins in a short state loop
-   (the core wedged, or bouncing between a handful of stall states).
-   We keep one snapshot of the machine state, refreshed on a doubling
-   schedule, and compare the live state against it every 4th cycle.
-   A match with no bus WRITE recorded in between is a proof of
-   periodicity: main memory only changes through writes, reads are
-   pure (a spin-wait hang keeps reading, so requiring an event-free
-   window would miss it), the port drivers are part of the compared
-   state, and an armed permanent fault is a pure function of the
-   circuit state — so the machine will replay the same write-free
-   window forever and can never exit, trap or write again.  The early
-   [Cycle_limit] is therefore exactly the verdict a full run to
-   [max_cycles] would return.  Caveat: [on_event] must be insensitive
-   to reads (the campaign only arms [detect_loops] with its
-   write-only lockstep comparison) — a read-comparing observer
+   [detect_loops] arms cycle-proof hang detection: a run that is going
+   to exhaust its cycle budget almost always spins in a short state
+   loop (the core wedged, or bouncing between a handful of stall
+   states).  A {!Rtl.Cycle} Brent detector fingerprints the complete
+   machine state — circuit nodes, memories, write count and both
+   bus-driver states — every 4th cycle against an anchor refreshed on
+   a doubling schedule, and confirms every fingerprint match with an
+   exact [same_state] comparison before reporting (a hash collision is
+   never a proof).  A confirmed match with no bus WRITE recorded in
+   between is a proof of periodicity: main memory only changes through
+   writes, reads are pure (a spin-wait hang keeps reading, so
+   requiring an event-free window would miss it), the port drivers are
+   part of the compared state, and an armed permanent fault is a pure
+   function of the circuit state — so the machine will replay the same
+   write-free window forever and can never exit, trap or write again.
+   The early [Cycle_limit] is therefore exactly the verdict a full run
+   to [max_cycles] would return.  Caveat: [on_event] must be
+   insensitive to reads (the campaign only arms [detect_loops] with
+   its write-only lockstep comparison) — a read-comparing observer
    consumes its reference stream, which is not part of the compared
-   state.  (Snapshots land on 4-aligned cycles, so for a loop of
-   period [p] some compare cycle is congruent to the snapshot cycle
-   within 4p steps.) *)
+   state. *)
 let run_segment_raw ?on_event ?(detect_loops = false) t ~until_cycle ~max_cycles =
   let c = circuit t in
-  let snap = ref None in
-  let next_snap = ref 256 in
+  let det =
+    if not detect_loops then None
+    else
+      let mix h x = ((h lxor x) * 0x100000001B3) lxor (h lsr 17) in
+      Some
+        (Rtl.Cycle.create ~first:256 ~stride:4
+           ~hash:(fun () ->
+             mix
+               (mix
+                  (mix
+                     (mix (mix (C.content_hash c) t.n_writes) t.iport.countdown)
+                     (Bool.to_int t.iport.ready_out))
+                  t.dport.countdown)
+               (Bool.to_int t.dport.ready_out))
+           ~capture:(fun () ->
+             ( C.snapshot c, t.n_writes, t.iport.countdown, t.iport.ready_out,
+               t.dport.countdown, t.dport.ready_out ))
+           ~confirm:(fun (s, wr, icd, iro, dcd, dro) ->
+             t.n_writes = wr && t.iport.countdown = icd && t.iport.ready_out = iro
+             && t.dport.countdown = dcd && t.dport.ready_out = dro && C.same_state c s)
+           ())
+  in
   let loop_check () =
-    let cyc = C.cycle c in
-    cyc land 3 = 0
-    &&
-    let hit =
-      match !snap with
-      | Some (s, scyc, wr, icd, iro, dcd, dro) ->
-          cyc > scyc && t.n_writes = wr && t.iport.countdown = icd
-          && t.iport.ready_out = iro && t.dport.countdown = dcd
-          && t.dport.ready_out = dro && C.same_state c s
-      | None -> false
-    in
-
-    if (not hit) && cyc >= !next_snap then begin
-      snap :=
-        Some
-          ( C.snapshot c, cyc, t.n_writes, t.iport.countdown, t.iport.ready_out,
-            t.dport.countdown, t.dport.ready_out );
-      next_snap := cyc * 2
-    end;
-    hit
+    match det with
+    | None -> false
+    | Some d -> (
+        match Rtl.Cycle.observe d ~cycle:(C.cycle c) with
+        | Some period ->
+            if Obs.enabled t.obs then begin
+              Obs.incr t.obs "tail.cycle_proofs";
+              Obs.observe t.obs "tail.cycle_length" (float_of_int period);
+              Obs.incr t.obs ~by:(max_cycles - C.cycle c) "tail.cycles_saved"
+            end;
+            true
+        | None -> false)
   in
   let rec go () =
     match t.stopped with
@@ -287,6 +302,22 @@ let matches_checkpoint t ck =
      | Some converged -> converged
      | None -> C.state_equal (circuit t) ck.ck_circuit)
   && Memory.equal t.mem ck.ck_mem
+
+(* --- lane -> scalar transplant (batch tail hand-off) --- *)
+
+let transplant t tp ~mem ~iport:(icd, iro) ~dport:(dcd, dro) ~events_rev ~n_events
+    ~n_writes =
+  C.transplant (circuit t) tp;
+  t.mem <- mem;
+  t.events_rev <- events_rev;
+  t.n_events <- n_events;
+  t.n_writes <- n_writes;
+  t.stopped <- None;
+  t.abort <- false;
+  t.iport.countdown <- icd;
+  t.iport.ready_out <- iro;
+  t.dport.countdown <- dcd;
+  t.dport.ready_out <- dro
 
 let checkpoint_cycle ck = ck.ck_cycle
 let checkpoint_events ck = ck.ck_events

@@ -38,6 +38,13 @@ val set_obs : t -> Obs.t -> unit
 
 val obs : t -> Obs.t
 
+val set_hang_cone : t -> bool -> unit
+(** Gate the observed-cone restriction of cycle-proof hang detection
+    ({!Rtl.Circuit.enable_observed_cone}); on by default.  Off, the
+    detector compares full state — inert on this core, whose
+    free-running retired-instruction counter never recurs — which is
+    the legacy watchdog behaviour the tail A/B measures against. *)
+
 val load : t -> Asm.program -> unit
 (** Reset the circuit, clear recorded events and install the program
     image.  The program must be linked at the core's reset PC. *)
@@ -103,6 +110,27 @@ val matches_checkpoint : t -> checkpoint -> bool
     instead of the O(n) sweep — sound only when the checkpoint was
     taken from the same golden run the armed trace records, which is
     how the campaign engine uses it. *)
+
+(** {2 Lane → scalar transplant}
+
+    When the bit-parallel batch engine runs out of golden trace with a
+    lane still live, the lane's state can be transplanted here and the
+    run continued {e from trace end} instead of restarting from cycle
+    0.  The transplant overwrites everything a resumed run depends on:
+    circuit state and armed fault (via {!Rtl.Circuit.transplant}), the
+    main-memory image, both bus-driver states and the event/write
+    counters.  The resulting state is already settled. *)
+
+val transplant :
+  t ->
+  Rtl.Circuit.transplant ->
+  mem:Memory.t ->
+  iport:int * bool ->
+  dport:int * bool ->
+  events_rev:Bus_event.t list ->
+  n_events:int ->
+  n_writes:int ->
+  unit
 
 val checkpoint_cycle : checkpoint -> int
 val checkpoint_events : checkpoint -> int

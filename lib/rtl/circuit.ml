@@ -254,6 +254,12 @@ type batch = {
   bt_regmem : bool array;  (* per slot: member of [bt_regset] *)
   bt_regactive : int Vec.t;  (* slots sampled by this clock's phase 1 *)
   mutable bt_exhausted : bool;  (* ran past the end of the golden trace *)
+  mutable bt_tail : bool;
+      (* dense (non-differential) tail mode: the golden machine is
+         frozen at the trace's last settled state and the live lanes
+         advance together past trace end — every comb node evaluates
+         for every live lane each settle, every register slot commits
+         per lane each clock *)
   mutable bt_evals : int;
   mutable bt_dense : int;
 }
@@ -291,6 +297,13 @@ type t = {
   mutable tracing : trace_builder option;
   mutable replay : replay option;
   mutable batch : batch option;
+  (* observed-cone restriction for recurrence comparison: [||] = no
+     cone set, every node and memory compared; [cone_on] gates the
+     restriction so an A/B can fall back to full-state comparison
+     without recomputing the closure *)
+  mutable cone : bool array;
+  mutable cone_mems : bool array;
+  mutable cone_on : bool;
 }
 
 let create c_name =
@@ -300,7 +313,7 @@ let create c_name =
     rport_of = [||]; max_deps = 0; reg_ids = [||]; reg_next = [||]; reg_d = [||];
     reg_en = [||]; input_ids = [||]; compiled = None; by_name = Hashtbl.create 16;
     elaborated = false; cyc = 0; fault = None; recording = None; tracing = None;
-    replay = None; batch = None }
+    replay = None; batch = None; cone = [||]; cone_mems = [||]; cone_on = true }
 
 let name t = t.c_name
 
@@ -1319,6 +1332,7 @@ let batch_start t tr =
         bt_regmem = Array.make (max nregs 1) false;
         bt_regactive = Vec.create 0;
         bt_exhausted = false;
+        bt_tail = false;
         bt_evals = 0;
         bt_dense = 0 }
 
@@ -1387,6 +1401,7 @@ let batch_mem_read t m idx lane =
 let batch_settle t =
   check_elab t;
   let bt = get_batch t "batch_settle" in
+  if bt.bt_tail then invalid_arg "Circuit.batch_settle: tail mode (use batch_tail_settle)";
   let rp = match t.compiled with Some p -> p | None -> assert false in
   let active = bt.bt_active in
   if active <> 0 then begin
@@ -1762,13 +1777,102 @@ let int_arrays_equal a b =
   let rec go i = i >= n || (Array.unsafe_get a i = Array.unsafe_get b i && go (i + 1)) in
   go 0
 
+(* Backward closure of the signals the environment reads: a node is in
+   the cone if some observed root depends on it (combinationally or
+   through registers), a memory if one of its read ports is — and then
+   its write-port drivers are too.  State outside the cone (pure
+   accounting such as a retired-instruction counter) can keep evolving
+   without ever influencing an observable, so recurrence comparison
+   ({!same_state}/{!content_hash} and the batch-lane analogues)
+   restricts itself to the cone once one is set.  Exact-state equality
+   ({!state_equal}), snapshots and restores stay full-state. *)
+let set_observed_cone t roots =
+  check_elab t;
+  let n = Array.length t.nodes in
+  let inc = Array.make n false in
+  let incm = Array.make (Array.length t.mem_arr) false in
+  let regk = Array.make n (-1) in
+  Array.iteri (fun k id -> regk.(id) <- k) t.reg_ids;
+  let stack = ref [] in
+  let add id =
+    if id >= 0 && not inc.(id) then begin
+      inc.(id) <- true;
+      stack := id :: !stack
+    end
+  in
+  let add_mem m =
+    if not incm.(m) then begin
+      incm.(m) <- true;
+      Array.iter
+        (fun { wp_we; wp_addr; wp_data } ->
+          add wp_we;
+          add wp_addr;
+          add wp_data)
+        t.mem_arr.(m).wp_arr
+    end
+  in
+  List.iter add roots;
+  while !stack <> [] do
+    let id = List.hd !stack in
+    stack := List.tl !stack;
+    (match t.nodes.(id).kind with
+    | Comb _ ->
+        Array.iter add t.deps_by_id.(id);
+        let m = t.rport_of.(id) in
+        if m >= 0 then add_mem m
+    | Register _ ->
+        let k = regk.(id) in
+        add t.reg_d.(k);
+        if t.reg_en.(k) >= 0 then add t.reg_en.(k)
+    | Input | Const _ -> ())
+  done;
+  (* Comparisons restrict to the closure's sequential elements:
+     between clock cycles every comb value is a pure function of
+     registers, memories and primary inputs, and the hang detectors
+     mix the inputs' driver state (bus countdowns, ready flags, write
+     counts) into their fingerprints separately — so register+memory
+     recurrence already implies recurrence of every node in the
+     closure, at a fraction of the per-observation cost. *)
+  Array.iteri
+    (fun id nd ->
+      match nd.kind with
+      | Register _ -> ()
+      | Input | Const _ | Comb _ -> inc.(id) <- false)
+    t.nodes;
+  t.cone <- inc;
+  t.cone_mems <- incm
+
+let enable_observed_cone t on =
+  check_elab t;
+  t.cone_on <- on
+
+let coned t = t.cone_on && Array.length t.cone > 0
+
 let same_state t snap =
   check_elab t;
-  int_arrays_equal t.values snap.snap_values
+  if not (coned t) then
+    int_arrays_equal t.values snap.snap_values
+    && Array.for_all Fun.id
+         (Array.mapi (fun m info -> int_arrays_equal info.data snap.snap_mems.(m)) t.mem_arr)
+  else
+    (* the cone holds registers only, so walking [reg_ids] visits every
+       compared node without scanning the full node table *)
+    Array.for_all
+      (fun id ->
+        (not (Array.unsafe_get t.cone id))
+        || Array.unsafe_get t.values id = Array.unsafe_get snap.snap_values id)
+      t.reg_ids
+    && Array.for_all Fun.id
+         (Array.mapi
+            (fun m info ->
+              (not t.cone_mems.(m)) || int_arrays_equal info.data snap.snap_mems.(m))
+            t.mem_arr)
+
+let state_equal t snap =
+  t.cyc = snap.snap_cycle
+  && int_arrays_equal t.values snap.snap_values
   && Array.for_all Fun.id
        (Array.mapi (fun m info -> int_arrays_equal info.data snap.snap_mems.(m)) t.mem_arr)
-
-let state_equal t snap = t.cyc = snap.snap_cycle && same_state t snap
 
 let mix h x =
   let h = (h lxor x) * 0x100000001B3 in
@@ -1780,6 +1884,315 @@ let state_hash t =
   Array.iter (fun v -> h := mix !h v) t.values;
   Array.iter (fun info -> Array.iter (fun v -> h := mix !h v) info.data) t.mem_arr;
   !h
+
+(* Like [state_hash] but ignoring the cycle counter: the fingerprint
+   that pairs with [same_state] the way [state_hash] pairs with
+   [state_equal].  Cycle-proof hang detection compares states at
+   different cycles, so the counter must stay out of the mix. *)
+let content_hash t =
+  check_elab t;
+  let h = ref 0x27D4EB2F165667C5 in
+  if not (coned t) then begin
+    Array.iter (fun v -> h := mix !h v) t.values;
+    Array.iter (fun info -> Array.iter (fun v -> h := mix !h v) info.data) t.mem_arr
+  end
+  else
+    (* Cone registers only — memories stay out of the fingerprint.  The
+       hash is a candidate filter, never a proof: every match is
+       confirmed by exact comparison ([same_state]) which does include
+       the cone memories, so skipping them here can only produce extra
+       rejected candidates (counted as collisions), never a wrong or a
+       missed proof.  It cuts the per-observation cost from the full
+       cache/regfile image (~800 words) to the register file of the
+       cone (~a few hundred), which is what the watchdog continuation
+       pays every stride. *)
+    Array.iter
+      (fun id ->
+        if Array.unsafe_get t.cone id then h := mix !h (Array.unsafe_get t.values id))
+      t.reg_ids;
+  !h
+
+(* --- dense tail batching and lane-state extraction --- *)
+
+(* Apply the armed comb-node fault of lane [l] to a freshly evaluated
+   value, exactly as [batch_settle] does. *)
+let tail_apply_fault t bt id l v0 =
+  if bt.bt_fnode.(l) = id && not bt.bt_fsrc.(l) then
+    match bt.bt_faults.(l) with
+    | Some ({ site = Node (_, bit); _ } as f) when fault_active t f ->
+        transform_bit f ~bit v0
+    | Some _ | None -> v0
+  else v0
+
+let batch_tail_active t = (get_batch t "batch_tail_active").bt_tail
+
+let batch_tail_start t =
+  check_elab t;
+  let bt = get_batch t "batch_tail_start" in
+  if not bt.bt_exhausted then invalid_arg "Circuit.batch_tail_start: trace not exhausted";
+  if bt.bt_tail then invalid_arg "Circuit.batch_tail_start: already in tail mode";
+  bt.bt_tail <- true;
+  (* Complete the exhausting clock's register commit: its phase 4 was
+     skipped (there is no golden delta to commit against), and past the
+     trace clean lanes can no longer follow the golden machine for
+     free, so every slot commits from the lane's settled pre-clock
+     view.  Two passes, like the scalar clock: all slots sample before
+     any commits (registers may feed each other directly). *)
+  let active = bt.bt_active in
+  if active <> 0 then begin
+    let nregs = Array.length t.reg_ids in
+    for k = 0 to nregs - 1 do
+      let id = t.reg_ids.(k) in
+      let d = t.reg_d.(k) and en = t.reg_en.(k) in
+      iter_lanes active (fun l ->
+          bt.bt_regnext.((k lsl lane_shift) lor l) <-
+            (if en >= 0 && lane_view t bt en l = 0 then lane_view t bt id l
+             else lane_view t bt d l land t.masks.(id)))
+    done;
+    for k = 0 to nregs - 1 do
+      let id = t.reg_ids.(k) in
+      iter_lanes active (fun l ->
+          ignore (set_lane t bt id l bt.bt_regnext.((k lsl lane_shift) lor l)))
+    done
+  end
+
+(* Forced cell faults per lane, shared by both settle variants
+   (mirrors the scalar [refresh_cell_fault]). *)
+let tail_refresh_cell_faults t bt active =
+  iter_lanes active (fun l ->
+      match bt.bt_faults.(l) with
+      | Some ({ site = Cell (m, idx, bit); _ } as f) when fault_active t f ->
+          if idx < t.mem_arr.(m).words then begin
+            match f.model with
+            | Stuck_at_0 -> ov_set t bt m idx l (Bitops.clear_bit bit (ov_get t bt m idx l))
+            | Stuck_at_1 -> ov_set t bt m idx l (Bitops.set_bit bit (ov_get t bt m idx l))
+            | Bit_flip ->
+                if f.frozen = None then begin
+                  ov_set t bt m idx l (ov_get t bt m idx l lxor (1 lsl bit));
+                  f.frozen <- Some 1
+                end
+            | Open_line -> ()
+          end
+      | Some _ | None -> ())
+
+let batch_tail_settle t =
+  check_elab t;
+  let bt = get_batch t "batch_tail_settle" in
+  if not bt.bt_tail then invalid_arg "Circuit.batch_tail_settle: not in tail mode";
+  let active = bt.bt_active in
+  if active <> 0 then begin
+    bt.bt_dense <- bt.bt_dense + (lane_popcount active * Array.length t.order);
+    tail_refresh_cell_faults t bt active;
+    (* faulted sources transform before the sweep, as in [batch_settle] *)
+    iter_lanes active (fun l ->
+        match bt.bt_faults.(l) with
+        | Some ({ site = Node (s, bit); _ } as f) when bt.bt_fsrc.(l) ->
+            if fault_active t f then
+              ignore (set_lane t bt s l (transform_bit f ~bit (lane_view t bt s l)))
+        | Some _ | None -> ());
+    (* Dense sweep: every comb node evaluates for every live lane, in
+       topological order — there is no golden trace to diff against, so
+       nothing can be skipped.  The golden values stay frozen at the
+       trace's last settled state and keep serving as the base the
+       divergence masks compare to. *)
+    let values = t.values in
+    let order = t.order in
+    let nev = ref 0 in
+    for k = 0 to Array.length order - 1 do
+      let id = Array.unsafe_get order k in
+      let rm = t.rport_of.(id) in
+      let deps = t.deps_by_id.(id) in
+      if rm >= 0 then
+        iter_lanes active (fun l ->
+            let a = lane_view t bt (Array.unsafe_get deps 0) l in
+            let v0 =
+              (if a < t.mem_arr.(rm).words then ov_get t bt rm a l else 0)
+              land t.masks.(id)
+            in
+            incr nev;
+            ignore (set_lane t bt id l (tail_apply_fault t bt id l v0)))
+      else begin
+        (* deps diverged in any live lane are saved once, written per
+           lane, restored once — same grouping as [batch_settle] *)
+        let nov = ref 0 in
+        for i = 0 to Array.length deps - 1 do
+          let d = Array.unsafe_get deps i in
+          if bt.bt_diff.(d) land active <> 0 then begin
+            bt.bt_ov_ids.(!nov) <- d;
+            bt.bt_ov_vals.(!nov) <- Array.unsafe_get values d;
+            incr nov
+          end
+        done;
+        iter_lanes active (fun l ->
+            let bitl = 1 lsl l in
+            for j = 0 to !nov - 1 do
+              let d = Array.unsafe_get bt.bt_ov_ids j in
+              Array.unsafe_set values d
+                (if Array.unsafe_get bt.bt_diff d land bitl <> 0 then
+                   Array.unsafe_get bt.bt_lane ((d lsl lane_shift) lor l)
+                 else Array.unsafe_get bt.bt_ov_vals j)
+            done;
+            let v0 = t.eval_by_id.(id) values land t.masks.(id) in
+            incr nev;
+            ignore (set_lane t bt id l (tail_apply_fault t bt id l v0)));
+        for j = !nov - 1 downto 0 do
+          Array.unsafe_set values bt.bt_ov_ids.(j) bt.bt_ov_vals.(j)
+        done
+      end
+    done;
+    bt.bt_evals <- bt.bt_evals + !nev;
+    Array.iteri (fun m _ -> bt.bt_mem_dirty.(m) <- 0) t.mem_arr
+  end
+
+let batch_tail_clock t =
+  check_elab t;
+  let bt = get_batch t "batch_tail_clock" in
+  if not bt.bt_tail then invalid_arg "Circuit.batch_tail_clock: not in tail mode";
+  let active = bt.bt_active in
+  let nregs = Array.length t.reg_ids in
+  (* Phase 1: sample every register slot for every live lane. *)
+  for k = 0 to nregs - 1 do
+    let id = t.reg_ids.(k) in
+    let d = t.reg_d.(k) and en = t.reg_en.(k) in
+    iter_lanes active (fun l ->
+        bt.bt_regnext.((k lsl lane_shift) lor l) <-
+          (if en >= 0 && lane_view t bt en l = 0 then lane_view t bt id l
+           else lane_view t bt d l land t.masks.(id)))
+  done;
+  (* Phase 2: lane memory writes to the overlays, in write-port order;
+     the golden base is frozen (the golden machine ended with its
+     trace).  Cell faults on the write path read the pre-write view,
+     like [write_cell]. *)
+  Array.iteri
+    (fun m info ->
+      let mask = (1 lsl info.m_width) - 1 in
+      let wps = info.wp_arr in
+      for p = 0 to Array.length wps - 1 do
+        let { wp_we; wp_addr; wp_data } = wps.(p) in
+        iter_lanes active (fun l ->
+            if lane_view t bt wp_we l <> 0 then begin
+              let idx = lane_view t bt wp_addr l in
+              if idx < info.words then begin
+                let v = lane_view t bt wp_data l in
+                let v =
+                  match bt.bt_faults.(l) with
+                  | Some ({ site = Cell (fm, fidx, bit); _ } as f)
+                    when fm = m && fidx = idx && fault_active t f -> (
+                      match f.model with
+                      | Stuck_at_0 -> Bitops.clear_bit bit v
+                      | Stuck_at_1 -> Bitops.set_bit bit v
+                      | Bit_flip -> v
+                      | Open_line ->
+                          Bitops.update_bit bit
+                            (Bitops.bit bit (ov_get t bt m idx l) <> 0)
+                            v)
+                  | Some _ | None -> v
+                in
+                ov_set t bt m idx l (v land mask)
+              end
+            end)
+      done)
+    t.mem_arr;
+  (* Phase 3: advance the cycle counter (no golden delta exists). *)
+  t.cyc <- t.cyc + 1;
+  Vec.clear bt.bt_stamped;
+  (* Phase 4: commit the sampled registers. *)
+  for k = 0 to nregs - 1 do
+    let id = t.reg_ids.(k) in
+    iter_lanes active (fun l ->
+        ignore (set_lane t bt id l bt.bt_regnext.((k lsl lane_shift) lor l)))
+  done
+
+let batch_lane_state t lane =
+  check_elab t;
+  let bt = get_batch t "batch_lane_state" in
+  let n = Array.length t.values in
+  { snap_values = Array.init n (fun id -> lane_view t bt id lane);
+    snap_mems =
+      Array.init (Array.length t.mem_arr) (fun m ->
+          Array.init t.mem_arr.(m).words (fun idx -> ov_get t bt m idx lane));
+    snap_cycle = t.cyc }
+
+let batch_lane_same_state t lane snap =
+  check_elab t;
+  let bt = get_batch t "batch_lane_same_state" in
+  let n = Array.length t.values in
+  let coned = coned t in
+  let nodes_full () =
+    let rec go id =
+      id >= n
+      || lane_view t bt id lane = Array.unsafe_get snap.snap_values id && go (id + 1)
+    in
+    go 0
+  in
+  (if coned then
+     Array.for_all
+       (fun id ->
+         (not (Array.unsafe_get t.cone id))
+         || lane_view t bt id lane = Array.unsafe_get snap.snap_values id)
+       t.reg_ids
+   else nodes_full ())
+  && Array.for_all Fun.id
+       (Array.mapi
+          (fun m info ->
+            (coned && not t.cone_mems.(m))
+            ||
+            let sm = snap.snap_mems.(m) in
+            let rec cells idx =
+              idx >= info.words
+              || (ov_get t bt m idx lane = Array.unsafe_get sm idx && cells (idx + 1))
+            in
+            cells 0)
+          t.mem_arr)
+
+let batch_lane_hash t lane =
+  check_elab t;
+  let bt = get_batch t "batch_lane_hash" in
+  let n = Array.length t.values in
+  let coned = coned t in
+  let h = ref 0x27D4EB2F165667C5 in
+  if coned then
+    (* registers-only candidate filter, exactly as [content_hash]:
+       collisions are resolved by [batch_lane_same_state], which does
+       compare the cone memories *)
+    Array.iter
+      (fun id ->
+        if Array.unsafe_get t.cone id then h := mix !h (lane_view t bt id lane))
+      t.reg_ids
+  else begin
+    for id = 0 to n - 1 do
+      h := mix !h (lane_view t bt id lane)
+    done;
+    Array.iteri
+      (fun m info ->
+        for idx = 0 to info.words - 1 do
+          h := mix !h (ov_get t bt m idx lane)
+        done)
+      t.mem_arr
+  end;
+  !h
+
+(* --- lane -> scalar transplant --- *)
+
+type transplant = { tp_snap : snapshot; tp_fault : fault option }
+
+let copy_fault f = { f with frozen = f.frozen }
+
+let batch_eject t lane =
+  let bt = get_batch t "batch_eject" in
+  if bt.bt_active land (1 lsl lane) = 0 then
+    invalid_arg "Circuit.batch_eject: lane not active";
+  { tp_snap = batch_lane_state t lane;
+    tp_fault = Option.map copy_fault bt.bt_faults.(lane) }
+
+let transplant t tp =
+  restore t tp.tp_snap;
+  (* the fault is copied again so a transplant value stays reusable;
+     the open-line frozen bit (and the SEU applied marker) carry over —
+     re-capturing them on the scalar engine would fork the trajectory *)
+  t.fault <- Option.map copy_fault tp.tp_fault
+
+let transplant_cycle tp = tp.tp_snap.snap_cycle
 
 (* --- introspection --- *)
 

@@ -171,11 +171,40 @@ val same_state : t -> snapshot -> bool
 (** Like {!state_equal} but ignoring the cycle counter: true when the
     machine has re-entered a state it passed through earlier.  This is
     what hang-loop detection compares — a state revisited with
-    identical future inputs proves the trajectory is periodic. *)
+    identical future inputs proves the trajectory is periodic.  When an
+    observed cone is set ({!set_observed_cone}), the comparison is
+    restricted to it. *)
+
+val set_observed_cone : t -> signal list -> unit
+(** Declare the signals the environment reads and restrict recurrence
+    comparison to their backward closure: every node some root depends
+    on (combinationally or through registers), every memory one of the
+    cone's read ports reads — plus, transitively, those memories'
+    write-port drivers.  State outside the cone is pure accounting
+    (e.g. a retired-instruction counter): it can keep evolving without
+    ever influencing an observable signal, a relevant memory, or its
+    own feed-back into the cone, so a cone-state recurrence still
+    proves the observable trajectory is periodic.  Affects
+    {!same_state}, {!content_hash}, {!batch_lane_same_state} and
+    {!batch_lane_hash}; {!state_equal}, {!snapshot}/{!restore} and
+    {!state_hash} stay full-state. *)
+
+val enable_observed_cone : t -> bool -> unit
+(** Toggle the cone restriction without recomputing the closure
+    (default on once {!set_observed_cone} has run).  Off, recurrence
+    comparison reverts to full state — on a core with free-running
+    accounting state that makes the hang detector provably inert,
+    which is exactly the legacy behaviour the tail A/B measures
+    against. *)
 
 val state_hash : t -> int
 (** Deterministic hash of the full sequential state; cheap fingerprint
     for logging and cross-checking checkpoints. *)
+
+val content_hash : t -> int
+(** Like {!state_hash} but ignoring the cycle counter — the fingerprint
+    that pairs with {!same_state} for cycle-proof hang detection, where
+    states at different cycles must fingerprint equal. *)
 
 (** {2 Fault injection} *)
 
@@ -392,6 +421,69 @@ val batch_stop : t -> batch_stats
 (** Disarm the batch and return its accumulated statistics.  The
     circuit is left mid-trace (golden values at the current cycle);
     callers re-[load] before the next use. *)
+
+(** {2 Dense tail batching}
+
+    When the golden trace ends ({!batch_exhausted}) with lanes still
+    live, the batch can switch into {e tail mode}: the golden machine
+    stays frozen at the trace's last settled state while the live lanes
+    keep advancing together, bit-parallel but dense — every comb node
+    evaluates for every live lane (there is no golden trajectory left
+    to diff against).  Each lane retires individually (exit, abort, or
+    a proven state cycle via {!batch_lane_hash}/{!batch_lane_same_state});
+    a lone survivor is cheaper ejected to a scalar run
+    ({!batch_eject}/{!transplant}). *)
+
+val batch_tail_start : t -> unit
+(** Enter tail mode.  Requires {!batch_exhausted}.  Completes the
+    exhausting clock's skipped register commit (every slot, every live
+    lane, from the lane's settled pre-clock view) so the batch stands
+    at a clean cycle boundary; the caller then drives lane inputs
+    ({!batch_set_input}) and calls {!batch_tail_settle}. *)
+
+val batch_tail_active : t -> bool
+
+val batch_tail_settle : t -> unit
+(** Dense settle of every live lane (replaces {!batch_settle}, which
+    rejects tail mode). *)
+
+val batch_tail_clock : t -> unit
+(** Clock every live lane: sample all register slots, commit lane
+    memory writes to the overlays (the golden base is frozen), advance
+    the cycle counter, commit registers. *)
+
+val batch_lane_state : t -> int -> snapshot
+(** One lane's complete settled state as an ordinary snapshot. *)
+
+val batch_lane_same_state : t -> int -> snapshot -> bool
+(** Exact equality of a lane's live state against a snapshot, ignoring
+    the cycle counter (the batch analogue of {!same_state}). *)
+
+val batch_lane_hash : t -> int -> int
+(** Cycle-independent fingerprint of one lane's state (the batch
+    analogue of {!content_hash}). *)
+
+(** {2 Lane → scalar transplant} *)
+
+type transplant
+(** A lane's extracted state — node values, memory contents (base plus
+    overlay), cycle counter — together with a private copy of its armed
+    fault (so transient-window bookkeeping such as an applied SEU or a
+    captured open-line bit carries over instead of re-triggering). *)
+
+val batch_eject : t -> int -> transplant
+(** Extract a live lane's state for scalar continuation.  The lane is
+    not retired; callers typically {!batch_retire} or {!batch_stop}
+    afterwards. *)
+
+val transplant : t -> transplant -> unit
+(** Overwrite a scalar circuit's state and armed fault from a
+    transplant.  The circuit must come from the same deterministic
+    construction (same netlist) as the batch it was ejected from; the
+    resulting state is already settled — do not re-[settle]. *)
+
+val transplant_cycle : transplant -> int
+(** The cycle counter captured at ejection. *)
 
 (** {2 Introspection} *)
 

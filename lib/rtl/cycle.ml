@@ -1,0 +1,78 @@
+(* Brent-style cycle finding over a cheap state fingerprint, with exact
+   confirmation of every candidate.
+
+   The detector keeps one *anchor* — a fingerprint plus an exact state
+   capture — refreshed on a doubling schedule, exactly the classic
+   teleporting-tortoise structure: once the trajectory has entered a
+   loop of period [p], some refresh lands the anchor inside the loop,
+   and from then on the live fingerprint matches the anchor's within
+   [p] checked steps (stride permitting).  A fingerprint match alone is
+   not a proof — hashes collide — so every candidate is confirmed
+   against the anchor's exact capture before a period is reported; a
+   rejected candidate counts as a collision and detection simply
+   continues. *)
+
+type 'snap t = {
+  hash : unit -> int;
+  capture : unit -> 'snap;
+  confirm : 'snap -> bool;
+  stride : int;
+  mutable anchor : 'snap option;
+  mutable anchor_hash : int;
+  mutable anchor_cycle : int;
+  mutable next_refresh : int;
+  mutable checks : int;
+  mutable candidates : int;
+  mutable collisions : int;
+}
+
+let create ?(first = 256) ?(stride = 4) ~hash ~capture ~confirm () =
+  if first < 0 then invalid_arg "Cycle.create: first must be >= 0";
+  if stride < 1 then invalid_arg "Cycle.create: stride must be >= 1";
+  { hash;
+    capture;
+    confirm;
+    stride;
+    anchor = None;
+    anchor_hash = 0;
+    anchor_cycle = -1;
+    next_refresh = first;
+    checks = 0;
+    candidates = 0;
+    collisions = 0 }
+
+let observe t ~cycle =
+  if cycle mod t.stride <> 0 then None
+  else begin
+    t.checks <- t.checks + 1;
+    let h = t.hash () in
+    let proven =
+      match t.anchor with
+      | Some snap when cycle > t.anchor_cycle && h = t.anchor_hash ->
+          t.candidates <- t.candidates + 1;
+          if t.confirm snap then Some (cycle - t.anchor_cycle)
+          else begin
+            t.collisions <- t.collisions + 1;
+            None
+          end
+      | Some _ | None -> None
+    in
+    match proven with
+    | Some _ as r -> r
+    | None ->
+        if cycle >= t.next_refresh then begin
+          t.anchor <- Some (t.capture ());
+          t.anchor_hash <- h;
+          t.anchor_cycle <- cycle;
+          (* doubling schedule, robust to a detector created mid-run
+             (a resumed trajectory anchors at its first check) *)
+          t.next_refresh <- (max cycle 1) * 2
+        end;
+        None
+  end
+
+let checks t = t.checks
+
+let candidates t = t.candidates
+
+let collisions t = t.collisions

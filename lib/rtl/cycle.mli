@@ -1,0 +1,52 @@
+(** Brent-style cycle finding with exact confirmation.
+
+    Proves that a deterministic trajectory has entered a closed state
+    cycle: a cheap fingerprint ([hash]) is compared every [stride]
+    steps against a stored {e anchor} refreshed on a doubling schedule,
+    and every fingerprint match is confirmed against the anchor's exact
+    state capture before a period is reported — a hash collision is
+    counted and skipped, never reported as a cycle.  Once the anchor
+    sits inside a loop of period [p], {!observe} returns within at most
+    [stride * p] further steps (the anchor lands inside the loop after
+    at most one refresh past loop entry, by the doubling schedule).
+
+    The caller owns the state: [hash]/[capture]/[confirm] must all
+    describe the {e complete} state that determines the future of the
+    trajectory (for an RTL machine: every node value, every memory
+    word, and any environment state such as bus-driver counters and
+    pending writes — anything less and a reported "cycle" might not be
+    closed). *)
+
+type 'snap t
+
+val create :
+  ?first:int ->
+  ?stride:int ->
+  hash:(unit -> int) ->
+  capture:(unit -> 'snap) ->
+  confirm:('snap -> bool) ->
+  unit ->
+  'snap t
+(** [create ~hash ~capture ~confirm ()] — [hash] fingerprints the live
+    state, [capture] copies it exactly, [confirm snap] decides exact
+    equality of the live state against a capture.  [first] (default
+    256) is the earliest cycle at which an anchor is stored; [stride]
+    (default 4) checks only cycles divisible by it.  A detector created
+    mid-run anchors at its first check ≥ [first] — resuming deep into a
+    trajectory costs nothing. *)
+
+val observe : 'snap t -> cycle:int -> int option
+(** [observe t ~cycle] — call at every settled step with the current
+    cycle number (monotonically increasing).  Returns [Some period] the
+    first time the live state is {e proven} equal to the anchor state
+    ([cycle - anchor_cycle] is then a true period of the trajectory,
+    possibly a multiple of the minimal one); [None] otherwise. *)
+
+val checks : 'snap t -> int
+(** Fingerprints computed so far. *)
+
+val candidates : 'snap t -> int
+(** Fingerprint matches submitted for exact confirmation. *)
+
+val collisions : 'snap t -> int
+(** Candidates rejected by exact confirmation (hash collisions). *)

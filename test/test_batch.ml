@@ -114,49 +114,112 @@ let pp_observed o =
     (match o.o_mismatch with None -> "-" | Some c -> string_of_int c)
     (List.length o.o_events)
 
-let batch_vs_scalar specs =
+(* Continue an ejected lane on the scalar engine from its transplanted
+   trace-end state, exposing the same raw observables as
+   [scalar_observe] — every field must then equal the from-zero scalar
+   run's, since the transplant hands over the exact state. *)
+let continue_observe sys (golden : Campaign.golden) ~max_cycles (e : Batch.ejected) =
+  let c = circuit sys in
+  Leon3.System.transplant sys e.Batch.e_tp ~mem:e.Batch.e_mem ~iport:e.Batch.e_iport
+    ~dport:e.Batch.e_dport ~events_rev:e.Batch.e_events_rev
+    ~n_events:(List.length e.Batch.e_events_rev)
+    ~n_writes:e.Batch.e_writes;
+  let matched = ref e.Batch.e_matched and mismatch = ref e.Batch.e_mismatch in
+  let reference = golden.Campaign.writes in
+  let on_event ev =
+    if not (Bus_event.is_write ev) then true
+    else if
+      !matched < Array.length reference && Bus_event.equal ev reference.(!matched)
+    then begin
+      incr matched;
+      true
+    end
+    else begin
+      mismatch := Some (Leon3.System.cycles sys);
+      false
+    end
+  in
+  let stop = Leon3.System.run ~on_event sys ~max_cycles in
+  C.clear_fault c;
+  { o_stop = stop;
+    o_matched = !matched;
+    o_stop_cycle = Leon3.System.cycles sys;
+    o_mismatch = !mismatch;
+    o_events = Leon3.System.events sys }
+
+let batch_vs_scalar ?(tail = false) specs =
   let sys = Lazy.force shared_sys in
   let prog = Lazy.force small_prog in
   let golden, trace, _ = Lazy.force golden_setup in
   let max_cycles = (4 * golden.Campaign.cycles) + 2000 in
   let outcomes, _ =
-    Batch.run ~sys ~prog ~trace ~reference:golden.Campaign.writes ~max_cycles specs
+    Batch.run ~tail ~sys ~prog ~trace ~reference:golden.Campaign.writes ~max_cycles
+      specs
   in
   Array.iteri
     (fun i outcome ->
-      let scalar = scalar_observe sys prog golden ~max_cycles specs.(i) in
+      let scalar () = scalar_observe sys prog golden ~max_cycles specs.(i) in
       match outcome with
       | Batch.Done r ->
           let b = observed_of_result r in
-          if b <> scalar then
+          let scalar = scalar () in
+          if r.Batch.stop = Leon3.System.Cycle_limit && b.o_stop_cycle < max_cycles
+          then begin
+            (* cycle-proof retirement stops recording the moment
+               periodicity is proven, so the raw stop cycle and event
+               tail are shorter than the budget-exhausting scalar
+               run's — but everything a verdict reads must agree *)
+            check_bool (Printf.sprintf "lane %d: proof = scalar hang" i) true
+              (scalar.o_stop = Leon3.System.Cycle_limit);
+            check_int (Printf.sprintf "lane %d: matched" i) scalar.o_matched
+              b.o_matched;
+            check_bool (Printf.sprintf "lane %d: mismatch cycle" i) true
+              (scalar.o_mismatch = b.o_mismatch)
+          end
+          else if b <> scalar then
             Alcotest.failf "lane %d: batch %s <> scalar %s" i (pp_observed b)
               (pp_observed scalar)
-      | Batch.Ejected ->
+      | Batch.Ejected None ->
           (* only lanes that outlive the golden trace may be ejected *)
           check_bool
             (Printf.sprintf "lane %d ejected but scalar finished in-trace" i)
             true
-            (scalar.o_stop_cycle >= C.trace_cycles trace - 1))
+            ((scalar ()).o_stop_cycle >= C.trace_cycles trace - 1)
+      | Batch.Ejected (Some e) ->
+          (* a transplanted continuation replays the exact scalar
+             future: every observable matches, including the stop
+             cycle and the full event stream *)
+          let b = continue_observe sys golden ~max_cycles e in
+          let scalar = scalar () in
+          if b <> scalar then
+            Alcotest.failf "lane %d: transplant %s <> scalar %s" i (pp_observed b)
+              (pp_observed scalar))
     outcomes
 
 let spec ?duration ?(from_cycle = 0) site model =
   { Batch.site; model; from_cycle; duration }
 
-let test_batch_full_occupancy () =
-  (* One full batch over a mix of sites, models and injection cycles
-     (many silent, some failing, some trapping). *)
+let full_occupancy_specs () =
+  (* A mix of sites, models and injection cycles (many silent, some
+     failing, some trapping, a few outliving the trace). *)
   let golden, _, sites = Lazy.force golden_setup in
   let models = [| C.Stuck_at_0; C.Stuck_at_1; C.Open_line; C.Bit_flip |] in
-  let specs =
-    Array.init C.max_lanes (fun i ->
-        let site = sites.(i * 131 mod Array.length sites) in
-        let from_cycle =
-          if i mod 3 = 0 then 0 else i * 17 mod (golden.Campaign.cycles + 10)
-        in
-        let duration = if i mod 5 = 4 then Some ((i mod 3) + 1) else None in
-        spec ?duration ~from_cycle site.Injection.fault_site models.(i mod 4))
-  in
-  batch_vs_scalar specs
+  Array.init C.max_lanes (fun i ->
+      let site = sites.(i * 131 mod Array.length sites) in
+      let from_cycle =
+        if i mod 3 = 0 then 0 else i * 17 mod (golden.Campaign.cycles + 10)
+      in
+      let duration = if i mod 5 = 4 then Some ((i mod 3) + 1) else None in
+      spec ?duration ~from_cycle site.Injection.fault_site models.(i mod 4))
+
+let test_batch_full_occupancy () = batch_vs_scalar (full_occupancy_specs ())
+
+let test_batch_tail_full_occupancy () =
+  (* The same batch through the dense tail engine: trace-outliving
+     lanes now come back as verdicts (byte-matching the scalar runs,
+     modulo a cycle-proof's early stop cycle) or as transplants whose
+     scalar continuation byte-matches the from-zero run. *)
+  batch_vs_scalar ~tail:true (full_occupancy_specs ())
 
 let test_batch_cell_faults () =
   let _, _, sites = Lazy.force golden_setup in
@@ -337,6 +400,8 @@ let suite =
         test_compiled_plan_matches_graph;
       Alcotest.test_case "full 63-lane batch = scalar runs" `Slow
         test_batch_full_occupancy;
+      Alcotest.test_case "full 63-lane batch through the tail = scalar runs" `Slow
+        test_batch_tail_full_occupancy;
       Alcotest.test_case "cell-fault lanes = scalar runs" `Slow
         test_batch_cell_faults;
       Alcotest.test_case "batch campaign = scalar campaign (figure 5)" `Slow
