@@ -566,6 +566,102 @@ let run_iss () =
                 "RTL side runs with trim/static/event/batch acceleration on; the \
                  ratio is a floor on the paper's ISS-vs-plain-RTL 85x" ) ]))
 
+(* ---- Campaign service: golden-trace cache economics.  A repeat
+   submission to `ricv serve` must pay a hash lookup instead of the
+   golden RTL simulation + static analysis a cold preparation costs,
+   and must run zero further golden cycles.  Measures both sides and
+   the warm-vs-cold campaign wall clock, asserting the warm verdict
+   table stays byte-identical. ---- *)
+
+let run_serve () =
+  let module P = Serve.Protocol in
+  let module FC = Fault_injection.Campaign in
+  let module Journal = Fault_injection.Journal in
+  let samples =
+    match Sys.getenv_opt "RICV_SAMPLES" with
+    | Some s -> (
+        match int_of_string_opt s with Some n when n > 0 -> n | Some _ | None -> 250)
+    | None -> 250
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let spec =
+    { (P.default_spec ~engine:P.Rtl ~workload:"rspeed") with
+      P.iterations = Some 1;
+      samples }
+  in
+  let prog =
+    (Workloads.Suite.find "rspeed").Workloads.Suite.build ~iterations:1 ~dataset:0
+  in
+  let config = { FC.default_config with FC.sample_size = Some samples } in
+  let target = Fault_injection.Injection.Iu in
+  let sys = Leon3.System.create () in
+  let obs = Obs.create () in
+  let cache = Serve.Cache.create ~obs () in
+  let key = Serve.Cache.key ~prog_hash:(Journal.hash_program prog) spec in
+  let build () = Serve.Cache.Rtl_prepared (FC.prepare ~config ~obs sys prog target) in
+  Format.printf "campaign service golden-trace cache: rspeed, %d sites@.@." samples;
+  let (_, hit0), wall_miss = time (fun () -> Serve.Cache.find_or_build cache ~key ~build) in
+  let golden_miss = Obs.span_count obs "golden" in
+  (* one lookup is sub-microsecond: average over a batch *)
+  let lookups = 1000 in
+  let (v, hit1), wall_hits = time (fun () ->
+      let r = ref (Serve.Cache.find_or_build cache ~key ~build) in
+      for _ = 2 to lookups do
+        r := Serve.Cache.find_or_build cache ~key ~build
+      done;
+      !r)
+  in
+  let wall_hit = wall_hits /. float_of_int lookups in
+  let golden_hit = Obs.span_count obs "golden" - golden_miss in
+  let prepared =
+    match v with Serve.Cache.Rtl_prepared p -> p | Serve.Cache.Iss_prepared _ -> assert false
+  in
+  Format.printf
+    "prepare (miss)  %8.3fs  (%d golden run%s)@.lookup  (hit)   %8.2fus per lookup \
+     (%d golden runs over %d lookups)@."
+    wall_miss golden_miss
+    (if golden_miss = 1 then "" else "s")
+    (1e6 *. wall_hit) golden_hit lookups;
+  let (cold_summaries, _), wall_cold = time (fun () -> FC.run ~config sys prog target) in
+  let (warm_summaries, _), wall_warm =
+    time (fun () -> FC.run ~config ~prepared sys prog target)
+  in
+  let identical = cold_summaries = warm_summaries in
+  Format.printf
+    "campaign cold   %8.3fs@.campaign warm   %8.3fs  (prepared from cache, identical %b)@."
+    wall_cold wall_warm identical;
+  let open Obs.Json in
+  Format.printf "@.BENCH_serve.json: %s@."
+    (to_string
+       (Obj
+          [ ("experiment", Str "serve-cache");
+            ("workload", Str "rspeed");
+            ("samples", Int samples);
+            ( "prepare",
+              Obj
+                [ ("wall_seconds", Float wall_miss);
+                  ("golden_runs", Int golden_miss) ] );
+            ( "cache_hit",
+              Obj
+                [ ("wall_seconds", Float wall_hit); ("golden_runs", Int golden_hit) ] );
+            ( "campaign",
+              Obj
+                [ ("cold_wall_seconds", Float wall_cold);
+                  ("warm_wall_seconds", Float wall_warm);
+                  ("identical", Bool identical) ] );
+            ( "prepare_speedup",
+              Float (if wall_hit > 0. then wall_miss /. wall_hit else 0.) ) ]));
+  if hit0 || not hit1 || golden_hit <> 0 || not identical then begin
+    prerr_endline
+      "serve cache invariants violated (miss/hit sequence, golden-run count or \
+       warm-table identity)";
+    exit 1
+  end
+
 (* ---- Bechamel microbenchmarks: one per table/figure, measuring the
    dominant engine primitive behind that experiment. ---- *)
 
@@ -648,10 +744,11 @@ let () =
   | [ "batch" ] -> run_batch ()
   | [ "tail" ] -> run_tail ()
   | [ "iss" ] -> run_iss ()
+  | [ "serve" ] -> run_serve ()
   | ids when List.for_all (fun id -> List.mem id Experiments.all_ids) ids ->
       run_experiments ?csv_dir ids
   | _ ->
       prerr_endline
-        ("usage: main.exe [csv] [micro | static | event | journal | batch | tail | iss | "
+        ("usage: main.exe [csv] [micro | static | event | journal | batch | tail | iss | serve | "
         ^ String.concat " | " Experiments.all_ids ^ " ...]");
       exit 2

@@ -239,21 +239,12 @@ let asm_cmd =
 
 (* ---- campaign ---- *)
 
-(* Shared by `campaign` and `merge`, so a sharded-and-merged campaign
-   prints line for line what the direct run prints. *)
+(* All verdict tables — `campaign`, `iss-campaign`, `merge` and the
+   served daemon — render through [Serve.Render], so a sharded,
+   merged, or served campaign prints line for line what the direct run
+   prints by construction. *)
 let print_model_summaries summaries =
-  List.iter
-    (fun (model, s) ->
-      Printf.printf
-        "%-11s Pf=%5.1f%%  (%d/%d: wrong-writes %d, missing %d, traps %d, hangs %d)  \
-         max latency %d cycles\n"
-        (Rtl.Circuit.fault_model_name model)
-        (Fault_injection.Campaign.pf_percent s)
-        s.Fault_injection.Campaign.failures s.Fault_injection.Campaign.injections
-        s.Fault_injection.Campaign.wrong_writes s.Fault_injection.Campaign.missing_writes
-        s.Fault_injection.Campaign.traps s.Fault_injection.Campaign.hangs
-        s.Fault_injection.Campaign.max_latency)
-    summaries
+  List.iter print_endline (Serve.Render.rtl_summary_lines summaries)
 
 let campaign_cmd =
   let target_conv =
@@ -327,8 +318,11 @@ let campaign_cmd =
                  times the golden run's cycle count (plus a fixed floor).  Mirrors \
                  the ISS campaign's --hang-factor.")
   in
+  let seed_arg =
+    Arg.(value & opt int 7 & info [ "seed" ] ~docv:"S" ~doc:"Site-sampling seed.")
+  in
   let run name iterations dataset target samples domains shard journal resume no_trim
-      no_static no_event no_batch no_tail hang_factor gate trace metrics =
+      no_static no_event no_batch no_tail hang_factor seed gate trace metrics =
     let prog = or_fail (build_workload name iterations dataset) in
     let params = system_params ~gate:(gate_enabled gate) in
     if resume && journal = None then begin
@@ -352,6 +346,7 @@ let campaign_cmd =
              | Some ("0" | "false" | "no" | "off") -> false
              | Some _ | None -> true);
         hang_factor;
+        seed;
         shard }
     in
     let obs, finish_obs = make_obs ~trace ~metrics in
@@ -418,26 +413,15 @@ let campaign_cmd =
     Term.(const run $ workload_arg $ iterations_arg $ dataset_arg $ target_arg
           $ samples_arg $ domains_arg $ shard_arg $ journal_arg $ resume_arg
           $ no_trim_arg $ no_static_arg $ no_event_arg $ no_batch_arg $ no_tail_arg
-          $ hang_arg $ gate_arg $ trace_arg $ metrics_arg)
+          $ hang_arg $ seed_arg $ gate_arg $ trace_arg $ metrics_arg)
 
 (* ---- iss-campaign ---- *)
 
-(* Shared by `iss-campaign` and an ISS-aware `merge`; the latency unit
-   differs from the RTL printer — the ISS counts dynamic instructions,
-   not cycles (caches are off in campaign mode). *)
+(* The latency unit differs from the RTL printer — the ISS counts
+   dynamic instructions, not cycles (caches are off in campaign
+   mode). *)
 let print_iss_summaries summaries =
-  List.iter
-    (fun (model, s) ->
-      Printf.printf
-        "%-11s Pf=%5.1f%%  (%d/%d: wrong-writes %d, missing %d, traps %d, hangs %d)  \
-         max latency %d instructions\n"
-        (Fault_injection.Iss_campaign.model_name model)
-        (Fault_injection.Campaign.pf_percent s)
-        s.Fault_injection.Campaign.failures s.Fault_injection.Campaign.injections
-        s.Fault_injection.Campaign.wrong_writes s.Fault_injection.Campaign.missing_writes
-        s.Fault_injection.Campaign.traps s.Fault_injection.Campaign.hangs
-        s.Fault_injection.Campaign.max_latency)
-    summaries
+  List.iter print_endline (Serve.Render.iss_summary_lines summaries)
 
 let iss_campaign_cmd =
   let samples_arg =
@@ -589,39 +573,15 @@ let merge_cmd =
         Printf.eprintf "ricv: merge rejected: %s\n" msg;
         exit 1
     | Ok (fp, results) ->
-        (* ISS journals record every verdict under the RTL bit-flip
-           model and carry the ISS model class in the site-name prefix;
-           partition them back rather than printing one opaque row. *)
-        if fp.Fault_injection.Journal.target = Fault_injection.Iss_campaign.target_name
-        then
-          print_iss_summaries
-            (List.filter
-               (fun (_, s) -> s.Fault_injection.Campaign.injections > 0)
-               (Fault_injection.Iss_campaign.summaries_by_model
-                  Fault_injection.Iss_campaign.all_models results))
-        else begin
-          let models =
-            List.map
-              (fun name ->
-                match Fault_injection.Journal.model_of_name name with
-                | Some m -> m
-                | None ->
-                    Printf.eprintf "ricv: unknown fault model %S in journal header\n" name;
-                    exit 1)
-              fp.Fault_injection.Journal.models
-          in
-          let summaries =
-            List.map
-              (fun model ->
-                ( model,
-                  Fault_injection.Campaign.summarize
-                    (List.filter
-                       (fun r -> r.Fault_injection.Journal.model = model)
-                       results) ))
-              models
-          in
-          print_model_summaries summaries
-        end;
+        (* [Serve.Render.merged_lines] partitions ISS journals back
+           into per-model rows by site-name prefix and takes RTL model
+           lists from the fingerprint — the same code path the served
+           daemon renders with. *)
+        (match Serve.Render.merged_lines fp results with
+        | Ok lines -> List.iter print_endline lines
+        | Error msg ->
+            Printf.eprintf "ricv: %s\n" msg;
+            exit 1);
         Printf.printf "merged %d shard%s: %d verdicts (workload %s, target %s, seed %d)\n"
           (List.length paths)
           (if List.length paths = 1 then "" else "s")
@@ -796,6 +756,256 @@ let experiment_cmd =
   Cmd.v (Cmd.info "experiment" ~doc:"Reproduce one of the paper's tables/figures.")
     Term.(const run $ id_arg $ samples_arg $ gate_arg $ trace_arg $ metrics_arg)
 
+(* ---- serve / submit / status ---- *)
+
+let default_dir = "ricv-serve"
+
+let default_socket dir = Filename.concat dir "ricv.sock"
+
+let dir_arg =
+  Arg.(value & opt string default_dir & info [ "dir" ] ~docv:"DIR"
+         ~doc:"Service directory: the persistent job queue, per-job shard journals \
+               and summaries live here.  Restarting on the same $(docv) resumes \
+               unfinished jobs.")
+
+let connect_arg =
+  Arg.(value & opt (some string) None & info [ "connect" ] ~docv:"ADDR"
+         ~env:(Cmd.Env.info "RICV_SERVE")
+         ~doc:"Daemon address: unix:PATH, tcp:HOST:PORT, or a bare socket path \
+               (default: the default service directory's socket).")
+
+let parse_addr = function
+  | Some s -> Serve.Daemon.addr_of_string s
+  | None -> Ok (Serve.Daemon.Unix_sock (default_socket default_dir))
+
+let client_connect connect =
+  match Result.bind (parse_addr connect) Serve.Client.connect with
+  | Ok c -> c
+  | Error e ->
+      Printf.eprintf "ricv: %s\n" e;
+      exit 1
+
+let serve_cmd =
+  let listen_arg =
+    Arg.(value & opt (some string) None & info [ "listen" ] ~docv:"ADDR"
+           ~doc:"Listen address: unix:PATH, tcp:HOST:PORT, or a bare socket path \
+                 (default: DIR/ricv.sock).")
+  in
+  let workers_arg =
+    Arg.(value & opt (positive_int "worker count") 2 & info [ "workers"; "j" ] ~docv:"N"
+           ~doc:"Concurrent shard worker processes.")
+  in
+  let retries_arg =
+    Arg.(value & opt int 2 & info [ "max-retries" ] ~docv:"N"
+           ~doc:"Crash requeues per shard before the job is failed.")
+  in
+  let capacity_arg =
+    Arg.(value & opt (positive_int "cache capacity") 8 & info [ "cache-capacity" ] ~docv:"N"
+           ~doc:"Golden-trace cache entries retained (LRU).")
+  in
+  let run dir listen workers max_retries capacity trace metrics =
+    if max_retries < 0 then begin
+      prerr_endline "ricv: --max-retries must be non-negative";
+      exit 1
+    end;
+    let addr =
+      match listen with
+      | Some s -> or_fail (Result.map_error (fun e -> `Msg e) (Serve.Daemon.addr_of_string s))
+      | None -> Serve.Daemon.Unix_sock (default_socket dir)
+    in
+    let obs, finish_obs = make_obs ~trace ~metrics in
+    (match
+       Serve.Daemon.serve ~obs ~workers ~max_retries ~cache_capacity:capacity ~dir addr
+     with
+    | Ok () -> ()
+    | Error e ->
+        Printf.eprintf "ricv: %s\n" e;
+        exit 1);
+    finish_obs ()
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the campaign service: accept campaign specs over a \
+             newline-delimited-JSON socket, keep a persistent job queue, execute \
+             shards in a crash-isolated worker pool (a killed worker's shard is \
+             requeued and resumes from its journal byte-identically), cache golden \
+             traces and static analysis across submissions, and merge shard \
+             journals into the direct-run verdict table on completion.")
+    Term.(const run $ dir_arg $ listen_arg $ workers_arg $ retries_arg $ capacity_arg
+          $ trace_arg $ metrics_arg)
+
+let submit_cmd =
+  let engine_arg =
+    Arg.(value & opt (enum [ ("rtl", Serve.Protocol.Rtl); ("iss", Serve.Protocol.Iss) ])
+           Serve.Protocol.Rtl
+         & info [ "engine"; "e" ] ~doc:"Campaign engine: rtl or iss.")
+  in
+  let target_arg =
+    Arg.(value & opt string "iu" & info [ "target"; "t" ] ~docv:"BLOCK"
+           ~doc:"RTL injection block: iu or cmem.")
+  in
+  let samples_arg =
+    Arg.(value & opt (some (positive_int "sample size")) None
+           & info [ "samples"; "s" ] ~docv:"N"
+               ~doc:"Injection sites to sample (default: the direct command's — 250 \
+                     rtl, 400 per model iss).")
+  in
+  let seed_arg =
+    Arg.(value & opt int 7 & info [ "seed" ] ~docv:"S" ~doc:"Site-sampling seed.")
+  in
+  let hang_arg =
+    Arg.(value & opt (positive_int "hang factor") 4 & info [ "hang-factor" ] ~docv:"K"
+           ~doc:"Watchdog budget multiplier.")
+  in
+  let shards_arg =
+    Arg.(value & opt (positive_int "shard count") 1 & info [ "shards" ] ~docv:"N"
+           ~doc:"Split the campaign into N disjoint shards scheduled independently \
+                 (the merged table is byte-identical to an unsharded run).")
+  in
+  let no_wait_arg =
+    Arg.(value & flag & info [ "no-wait" ]
+           ~doc:"Enqueue and print the job id instead of streaming progress and the \
+                 verdict table.")
+  in
+  let run name iterations dataset engine gate target samples seed hang_factor shards
+      connect no_wait =
+    let spec =
+      let d = Serve.Protocol.default_spec ~engine ~workload:name in
+      { d with
+        Serve.Protocol.iterations;
+        dataset;
+        gate = gate_enabled gate;
+        target;
+        samples = (match samples with Some n -> n | None -> d.Serve.Protocol.samples);
+        seed;
+        hang_factor;
+        shards }
+    in
+    let c = client_connect connect in
+    Fun.protect ~finally:(fun () -> Serve.Client.close c) @@ fun () ->
+    match Serve.Client.submit c ~wait:(not no_wait) spec with
+    | Error e ->
+        Printf.eprintf "ricv: submit rejected: %s\n" e;
+        exit 1
+    | Ok (id, hit) ->
+        Printf.eprintf "job %d accepted; golden cache: %s\n%!" id
+          (if hit then "hit" else "miss");
+        if no_wait then Printf.printf "job %d\n" id
+        else begin
+          (* aggregate per-shard progress into one campaign-style line *)
+          let progress = Hashtbl.create 8 in
+          let on_progress ~shard ~done_ ~total =
+            Hashtbl.replace progress shard (done_, total);
+            let d, t =
+              Hashtbl.fold (fun _ (d, t) (ad, at) -> (ad + d, at + t)) progress (0, 0)
+            in
+            Printf.eprintf "\r%d/%d injections...%!" d t
+          in
+          let on_requeued ~shard ~attempt =
+            Printf.eprintf "\nshard %d requeued after worker death (attempt %d)\n%!"
+              shard attempt
+          in
+          match Serve.Client.wait_done ~on_progress ~on_requeued c with
+          | Error e ->
+              Printf.eprintf "\nricv: %s\n" e;
+              exit 1
+          | Ok (table, requeues) ->
+              prerr_newline ();
+              List.iter print_endline table;
+              if requeues > 0 then
+                Printf.eprintf "(%d shard requeue%s during execution)\n" requeues
+                  (if requeues = 1 then "" else "s")
+        end
+  in
+  Cmd.v
+    (Cmd.info "submit"
+       ~doc:"Submit a campaign to a running `ricv serve` daemon and (by default) \
+             stream progress until its verdict table — byte-identical to the \
+             direct `ricv campaign` / `ricv iss-campaign` run — comes back.")
+    Term.(const run $ workload_arg $ iterations_arg $ dataset_arg $ engine_arg
+          $ gate_arg $ target_arg $ samples_arg $ seed_arg $ hang_arg $ shards_arg
+          $ connect_arg $ no_wait_arg)
+
+let status_cmd =
+  let job_arg =
+    Arg.(value & pos 0 (some int) None & info [] ~docv:"JOB" ~doc:"Job id.")
+  in
+  let watch_arg =
+    Arg.(value & flag & info [ "watch" ]
+           ~doc:"Stream the job's events and print its verdict table when done \
+                 (requires $(i,JOB)).")
+  in
+  let shutdown_arg =
+    Arg.(value & flag & info [ "shutdown" ] ~doc:"Stop the daemon.")
+  in
+  let module Json = Obs.Json in
+  let jint name j = match Option.bind (Json.member name j) Json.to_int with Some n -> n | None -> 0 in
+  let jstr name j = match Option.bind (Json.member name j) Json.to_str with Some s -> s | None -> "" in
+  let print_job j =
+    Printf.printf "job %d: %s %s %s (%d shards, cache %s, requeues %d)%s\n"
+      (jint "id" j) (jstr "engine" j) (jstr "workload" j) (jstr "state" j)
+      (jint "shards" j) (jstr "cache" j) (jint "requeues" j)
+      (match Option.bind (Json.member "reason" j) Json.to_str with
+      | Some r -> Printf.sprintf " — %s" r
+      | None -> "");
+    match Json.member "progress" j with
+    | Some (Json.List shards) ->
+        List.iter
+          (fun sj ->
+            (* keep this line format stable: scripts extract worker
+               pids from it to exercise requeue-on-crash *)
+            if jstr "state" sj = "running" then
+              Printf.printf "job %d shard %d running pid %d\n" (jint "id" j)
+                (jint "shard" sj) (jint "pid" sj))
+          shards
+    | _ -> ()
+  in
+  let run job watch shutdown connect =
+    let c = client_connect connect in
+    Fun.protect ~finally:(fun () -> Serve.Client.close c) @@ fun () ->
+    if shutdown then (
+      match Serve.Client.shutdown c with
+      | Ok () -> prerr_endline "shutdown requested"
+      | Error e ->
+          Printf.eprintf "ricv: %s\n" e;
+          exit 1)
+    else if watch then (
+      match job with
+      | None ->
+          prerr_endline "ricv: --watch requires a JOB argument";
+          exit 1
+      | Some id -> (
+          match
+            Result.bind (Serve.Client.watch c id) (fun () -> Serve.Client.wait_done c)
+          with
+          | Ok (table, _) -> List.iter print_endline table
+          | Error e ->
+              Printf.eprintf "ricv: %s\n" e;
+              exit 1))
+    else
+      match Serve.Client.status ?job c with
+      | Error e ->
+          Printf.eprintf "ricv: %s\n" e;
+          exit 1
+      | Ok reply -> (
+          match Json.member "job" reply with
+          | Some j -> print_job j
+          | None ->
+              (match Json.member "jobs" reply with
+              | Some (Json.List jobs) -> List.iter print_job jobs
+              | _ -> ());
+              Printf.printf
+                "golden cache: %d hits, %d misses; golden runs %d; requeues %d\n"
+                (jint "cache_hits" reply) (jint "cache_misses" reply)
+                (jint "golden_runs" reply) (jint "requeues" reply))
+  in
+  Cmd.v
+    (Cmd.info "status"
+       ~doc:"Query a running `ricv serve` daemon: all jobs (with running worker \
+             pids and cache counters), one job, or — with $(b,--watch) — stream a \
+             job to completion.  $(b,--shutdown) stops the daemon.")
+    Term.(const run $ job_arg $ watch_arg $ shutdown_arg $ connect_arg)
+
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   let info =
@@ -806,4 +1016,5 @@ let () =
     (Cmd.eval
        (Cmd.group ~default info
           [ list_cmd; run_iss_cmd; run_rtl_cmd; disasm_cmd; asm_cmd; campaign_cmd;
-            iss_campaign_cmd; correlate_cmd; merge_cmd; experiment_cmd; lint_cmd ]))
+            iss_campaign_cmd; correlate_cmd; merge_cmd; experiment_cmd; lint_cmd;
+            serve_cmd; submit_cmd; status_cmd ]))

@@ -587,6 +587,49 @@ let build_machinery ~obs ~config sys prog tasks =
     m_plan = plan;
     m_plans = plans }
 
+(* ---- reusable campaign preparation (the serve layer's golden-trace
+   + static-analysis cache) ----
+
+   Everything shard-independent and expensive — golden run, static
+   analysis, replay plan, per-task classification — packaged so repeat
+   or concurrent campaigns over the same (program, netlist, config)
+   never recompute it.  The fingerprint is shard-normalised to (1,1):
+   any shard of the same campaign may consume the same preparation. *)
+type prepared = {
+  p_fingerprint : Journal.fingerprint;
+  p_machinery : machinery;
+}
+
+let prepare ?(config = default_config) ?(obs = Obs.null) sys prog target =
+  ignore (validate_shard config);
+  Leon3.System.set_obs sys obs;
+  Leon3.System.set_hang_cone sys config.tail;
+  let sample = sample_sites ~obs ~config (Leon3.System.core sys) target in
+  let tasks = build_tasks config sample in
+  let m = build_machinery ~obs ~config sys prog tasks in
+  Leon3.System.set_obs sys Obs.null;
+  Leon3.System.set_hang_cone sys true;
+  { p_fingerprint =
+      { (fingerprint ~config prog target sample) with Journal.shard = (1, 1) };
+    p_machinery = m }
+
+let prepared_fingerprint p = p.p_fingerprint
+
+(* A consumer recomputes its own (cheap) sample and fingerprint, so a
+   preparation from a different campaign — other netlist, seed, config
+   or program — cannot be spliced in silently: the site-name hash and
+   config fields are all compared.  The shard spec is exempt by
+   construction. *)
+let check_prepared ~who fp = function
+  | None -> None
+  | Some p -> (
+      match Journal.base_mismatch p.p_fingerprint fp with
+      | Some f ->
+          invalid_arg
+            (Printf.sprintf "%s: prepared machinery mismatch: %s differs from this \
+                             campaign" who f)
+      | None -> Some p.p_machinery)
+
 let simulate_lead ~obs ~config ?detect_loops m sys prog tasks j =
   match m.m_plans.(j) with
   | T_lead (rep, rmodel) ->
@@ -809,7 +852,7 @@ let collect_results tasks exec_ids results =
        exec_ids)
 
 let run ?(config = default_config) ?(obs = Obs.null) ?on_progress ?journal
-    ?(resume = false) sys prog target =
+    ?(resume = false) ?prepared sys prog target =
   let shard_i, shard_n = validate_shard config in
   Leon3.System.set_obs sys obs;
   (* the observed-cone hang detector is part of the watchdog-tail
@@ -819,6 +862,7 @@ let run ?(config = default_config) ?(obs = Obs.null) ?on_progress ?journal
   let core = Leon3.System.core sys in
   let sample = sample_sites ~obs ~config core target in
   let fp = fingerprint ~config prog target sample in
+  let supplied = check_prepared ~who:"Campaign.run" fp prepared in
   let writer, lookup, close_journal = open_journal ~journal ~resume fp in
   Fun.protect ~finally:close_journal @@ fun () ->
   let nsites = Array.length sample in
@@ -830,7 +874,11 @@ let run ?(config = default_config) ?(obs = Obs.null) ?on_progress ?journal
       tasks;
     Array.of_list (List.rev !ids)
   in
-  let machinery = lazy (build_machinery ~obs ~config sys prog tasks) in
+  let machinery =
+    match supplied with
+    | Some m -> Lazy.from_val m
+    | None -> lazy (build_machinery ~obs ~config sys prog tasks)
+  in
   let results = Array.make (Array.length tasks) None in
   (* Bit-parallel pre-pass: the batchable remainder of the shard runs
      in ≤ max_lanes-wide PPSFP passes up front; the walk below emits
@@ -930,7 +978,7 @@ let pf_percent s = 100. *. s.pf
    fixed up front, so results are identical to the sequential
    engine's. *)
 let run_parallel ?(config = default_config) ?(obs = Obs.null) ?(domains = 4)
-    ?on_progress ?journal ?(resume = false) sys_factory prog target =
+    ?on_progress ?journal ?(resume = false) ?prepared sys_factory prog target =
   let shard_i, shard_n = validate_shard config in
   let domains = max 1 domains in
   let scratch = sys_factory () in
@@ -938,6 +986,7 @@ let run_parallel ?(config = default_config) ?(obs = Obs.null) ?(domains = 4)
   Leon3.System.set_hang_cone scratch config.tail;
   let sample = sample_sites ~obs ~config (Leon3.System.core scratch) target in
   let fp = fingerprint ~config prog target sample in
+  let supplied = check_prepared ~who:"Campaign.run_parallel" fp prepared in
   let writer, lookup, close_journal = open_journal ~journal ~resume fp in
   Fun.protect ~finally:close_journal @@ fun () ->
   let nsites = Array.length sample in
@@ -978,7 +1027,11 @@ let run_parallel ?(config = default_config) ?(obs = Obs.null) ?(domains = 4)
   (if needs_sim then begin
      (* graph, plan and trace are immutable after construction, so all
         domains share them read-only *)
-     let m = build_machinery ~obs ~config scratch prog tasks in
+     let m =
+       match supplied with
+       | Some m -> m
+       | None -> build_machinery ~obs ~config scratch prog tasks
+     in
      let todo =
        List.filter
          (fun ti ->

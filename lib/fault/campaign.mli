@@ -245,12 +245,40 @@ val build_static : ?obs:Obs.t -> ?graph:Analysis.Graph.t -> Leon3.Core.t -> stat
     ["static_analysis"], with per-phase child spans ["static.graph"],
     ["static.dominator"] and ["static.collapse"]. *)
 
+type prepared
+(** Everything shard-independent and expensive about a campaign —
+    golden run (with coverage, checkpoints, trace), static analysis,
+    compiled replay plan, per-task classification — packaged for
+    reuse.  This is the value the serve layer's content-addressed
+    golden-trace cache stores: any number of {!run}/{!run_parallel}
+    invocations (any shard of the same campaign) may consume one
+    preparation instead of recomputing it.  Immutable after
+    construction; safe to share across domains and across forked
+    worker processes. *)
+
+val prepare :
+  ?config:config ->
+  ?obs:Obs.t ->
+  Leon3.System.t ->
+  Sparc.Asm.program ->
+  Injection.target ->
+  prepared
+(** Run the golden simulation and static analysis up front.  The
+    [config.shard] field is ignored (the preparation is
+    shard-normalised).  [obs] receives the usual [golden] /
+    [static_analysis] / [site_sampling] spans. *)
+
+val prepared_fingerprint : prepared -> Journal.fingerprint
+(** The campaign identity the preparation was built for, shard
+    normalised to [(1, 1)] — the serve layer's cache key material. *)
+
 val run :
   ?config:config ->
   ?obs:Obs.t ->
   ?on_progress:(done_:int -> total:int -> unit) ->
   ?journal:string ->
   ?resume:bool ->
+  ?prepared:prepared ->
   Leon3.System.t ->
   Sparc.Asm.program ->
   Injection.target ->
@@ -268,7 +296,13 @@ val run :
     into the results instead of being re-simulated (counted on [obs] as
     [journal.replayed]); only the remainder is executed and appended.
     If every verdict is already journaled, the golden run and static
-    analysis are skipped entirely. *)
+    analysis are skipped entirely.
+
+    [prepared] supplies a {!prepare}d golden run + static analysis
+    instead of recomputing them.  The preparation's fingerprint is
+    validated against this campaign's own (cheaply recomputed) one —
+    any field but the shard differing raises [Invalid_argument], so a
+    cache cannot splice a foreign golden trace into a campaign. *)
 
 val pf_percent : summary -> float
 (** [100 * pf], as the paper's figures report. *)
@@ -280,6 +314,7 @@ val run_parallel :
   ?on_progress:(done_:int -> total:int -> unit) ->
   ?journal:string ->
   ?resume:bool ->
+  ?prepared:prepared ->
   (unit -> Leon3.System.t) ->
   Sparc.Asm.program ->
   Injection.target ->

@@ -167,6 +167,52 @@ let fingerprint ~config prog (sample : site array) =
     total_sites = Array.length sample;
     shard = config.shard }
 
+(* ---- reusable campaign preparation ----
+
+   The ISS analogue of {!Campaign.prepare}: golden run + site sample,
+   shard-normalised.  The fingerprint alone cannot bind the ISS model
+   list (every verdict is journaled as bit-flip), so the whole config
+   is kept and compared structurally at consumption time. *)
+type prepared = {
+  p_fingerprint : Journal.fingerprint;
+  p_config : config;
+  p_golden : golden;
+  p_sample : site array;
+}
+
+let validate_shard config =
+  let i, n = config.shard in
+  if n < 1 || i < 1 || i > n then
+    invalid_arg (Printf.sprintf "Iss_campaign: shard index out of range: %d/%d" i n);
+  (i, n)
+
+let prepare ?(config = default_config) ?(obs = Obs.null) prog =
+  ignore (validate_shard config);
+  let golden = golden_run ~obs prog in
+  let sample =
+    Obs.span obs "site_sampling" (fun () -> sample_sites ~config golden prog)
+  in
+  { p_fingerprint = { (fingerprint ~config prog sample) with Journal.shard = (1, 1) };
+    p_config = { config with shard = (1, 1) };
+    p_golden = golden;
+    p_sample = sample }
+
+let prepared_fingerprint p = p.p_fingerprint
+
+(* Returns the (golden, sample) to run with; raises on any mismatch a
+   silent reuse could hide — the program hash and every config field
+   except the shard. *)
+let use_prepared ~who ~config prog = function
+  | None -> None
+  | Some p ->
+      if { config with shard = (1, 1) } <> p.p_config then
+        invalid_arg
+          (Printf.sprintf "%s: prepared run was built for a different config" who);
+      if Journal.hash_program prog <> p.p_fingerprint.Journal.prog_hash then
+        invalid_arg
+          (Printf.sprintf "%s: prepared run was built for a different program" who);
+      Some (p.p_golden, p.p_sample)
+
 (* ---- one faulty run ---- *)
 
 exception Diverged of failure_kind
@@ -252,12 +298,6 @@ let summaries_by_model models results =
              results) ))
     models
 
-let validate_shard config =
-  let i, n = config.shard in
-  if n < 1 || i < 1 || i > n then
-    invalid_arg (Printf.sprintf "Iss_campaign: shard index out of range: %d/%d" i n);
-  (i, n)
-
 (* Same journal plumbing as {!Campaign.run}, with the flat task list:
    the journal index {e is} the site index, and every verdict's model
    is bit-flip, so the replay lookup is keyed by index alone. *)
@@ -305,10 +345,16 @@ let collect sample results exec_ids =
        exec_ids)
 
 let run ?(config = default_config) ?(obs = Obs.null) ?on_progress ?journal
-    ?(resume = false) prog =
+    ?(resume = false) ?prepared prog =
   let shard_i, shard_n = validate_shard config in
-  let golden = golden_run ~obs prog in
-  let sample = Obs.span obs "site_sampling" (fun () -> sample_sites ~config golden prog) in
+  let golden, sample =
+    match use_prepared ~who:"Iss_campaign.run" ~config prog prepared with
+    | Some gs -> gs
+    | None ->
+        let golden = golden_run ~obs prog in
+        ( golden,
+          Obs.span obs "site_sampling" (fun () -> sample_sites ~config golden prog) )
+  in
   let fp = fingerprint ~config prog sample in
   let writer, lookup, close_journal = open_journal ~journal ~resume fp in
   Fun.protect ~finally:close_journal @@ fun () ->
@@ -346,11 +392,17 @@ let run ?(config = default_config) ?(obs = Obs.null) ?on_progress ?journal
    identical for any domain count, and verdict order is fixed by the
    site list, so results are byte-identical to {!run}'s. *)
 let run_parallel ?(config = default_config) ?(obs = Obs.null) ?(domains = 4)
-    ?on_progress ?journal ?(resume = false) prog =
+    ?on_progress ?journal ?(resume = false) ?prepared prog =
   let shard_i, shard_n = validate_shard config in
   let domains = max 1 domains in
-  let golden = golden_run ~obs prog in
-  let sample = Obs.span obs "site_sampling" (fun () -> sample_sites ~config golden prog) in
+  let golden, sample =
+    match use_prepared ~who:"Iss_campaign.run_parallel" ~config prog prepared with
+    | Some gs -> gs
+    | None ->
+        let golden = golden_run ~obs prog in
+        ( golden,
+          Obs.span obs "site_sampling" (fun () -> sample_sites ~config golden prog) )
+  in
   let fp = fingerprint ~config prog sample in
   let writer, lookup, close_journal = open_journal ~journal ~resume fp in
   Fun.protect ~finally:close_journal @@ fun () ->

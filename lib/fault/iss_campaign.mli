@@ -113,6 +113,21 @@ val fingerprint :
     site-name hash pins seed, sample size, model list and golden
     length. *)
 
+(** {1 Reusable preparation}
+
+    The ISS analogue of {!Campaign.prepare}: the golden run and site
+    sample bundled for reuse across shards and repeat submissions of
+    the same campaign (the serve layer's golden-trace cache). *)
+
+type prepared
+
+val prepare : ?config:config -> ?obs:Obs.t -> Sparc.Asm.program -> prepared
+(** Golden run + site sample, shard-normalised to 1/1.  Raises
+    [Invalid_argument] on an out-of-range shard spec. *)
+
+val prepared_fingerprint : prepared -> Journal.fingerprint
+(** The shard-1/1 fingerprint of the prepared campaign. *)
+
 (** {1 Execution} *)
 
 val run_one :
@@ -130,14 +145,18 @@ val run :
   ?on_progress:(done_:int -> total:int -> unit) ->
   ?journal:string ->
   ?resume:bool ->
+  ?prepared:prepared ->
   Sparc.Asm.program ->
   (model * Campaign.summary) list * run_result list
 (** Full sequential campaign: golden run, site sampling, one faulty run
     per sampled site (restricted to [config.shard]).  [journal] /
     [resume] behave exactly as in {!Campaign.run} — journaled verdicts
     replay byte-identically (counted as [journal.replayed] on [obs]), a
-    stale journal raises {!Journal.Rejected}.  Returns per-model
-    summaries plus every verdict in model-major site order. *)
+    stale journal raises {!Journal.Rejected}.  [prepared] skips the
+    golden run and sampling, reusing a {!prepare} result; it must have
+    been built from the same program and config (shard aside) or the
+    call raises [Invalid_argument].  Returns per-model summaries plus
+    every verdict in model-major site order. *)
 
 val run_parallel :
   ?config:config ->
@@ -146,6 +165,7 @@ val run_parallel :
   ?on_progress:(done_:int -> total:int -> unit) ->
   ?journal:string ->
   ?resume:bool ->
+  ?prepared:prepared ->
   Sparc.Asm.program ->
   (model * Campaign.summary) list * run_result list
 (** Like {!run}, over [domains] OCaml domains (default 4).  Verdicts,

@@ -297,6 +297,17 @@ let sync w =
   flush w.oc;
   Unix.fsync (Unix.descr_of_out_channel w.oc)
 
+(* Fsyncing a file makes its {e contents} durable; making a rename or
+   create durable needs an fsync of the containing directory.  Some
+   filesystems reject directory fsync — durability is then whatever
+   the mount gives, so failures are deliberately swallowed. *)
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+      (try Unix.fsync fd with Unix.Unix_error _ -> ());
+      Unix.close fd
+
 let write_line oc json =
   output_string oc (Json.to_string json);
   output_char oc '\n'
@@ -386,7 +397,17 @@ let load path =
    renames it over the original, and keeps appending to the same
    descriptor — the rename preserves the open channel. *)
 let open_resume ?fsync_every path fp =
-  if not (Sys.file_exists path) then Ok (create ?fsync_every path fp, [])
+  let tmp = path ^ ".tmp" in
+  (* Debris from a kill between [create tmp] and the rename below: the
+     data it holds is a prefix of what [path] still holds, never the
+     only copy, so it is safe — and clearer than letting it rot — to
+     remove it up front. *)
+  if Sys.file_exists tmp then Sys.remove tmp;
+  if not (Sys.file_exists path) then begin
+    let w = create ?fsync_every path fp in
+    fsync_dir (Filename.dirname path);
+    Ok (w, [])
+  end
   else
     let* existing, entries = load path in
     match full_mismatch existing fp with
@@ -397,11 +418,14 @@ let open_resume ?fsync_every path fp =
               shard %d/%d)"
              path f existing.workload (fst existing.shard) (snd existing.shard))
     | None ->
-        let tmp = path ^ ".tmp" in
         let w = create ?fsync_every tmp fp in
         List.iter (fun e -> append w ~index:e.index e.result) entries;
         sync w;
         Sys.rename tmp path;
+        (* without this the rename itself is not power-loss durable:
+           the directory entry may still point at the old inode after
+           a crash even though the tmp contents were fsync'd *)
+        fsync_dir (Filename.dirname path);
         Ok (w, entries)
 
 (* ---- merge ---- *)

@@ -100,6 +100,11 @@ val append : writer -> index:int -> run_result -> unit
 val close : writer -> unit
 (** Flush, fsync and close.  Idempotent. *)
 
+val fsync_dir : string -> unit
+(** Fsync a directory, making renames/creates inside it power-loss
+    durable.  Best-effort: filesystems that reject directory fsync are
+    silently tolerated.  Shared with the serve layer's queue files. *)
+
 (** {1 Reading} *)
 
 type entry = { index : int; result : run_result }
@@ -114,7 +119,9 @@ val open_resume :
     existing journal whose fingerprint matches exactly is rewritten
     atomically without its torn tail (if any) and reopened for append,
     returning the verdicts already on disk; a fingerprint mismatch is
-    an [Error] naming the differing field. *)
+    an [Error] naming the differing field.  Stale [.tmp] debris from a
+    kill mid-rewrite is removed, and the parent directory is fsync'd
+    after the rename so the rewrite is power-loss durable. *)
 
 val merge :
   (fingerprint * entry list) list ->

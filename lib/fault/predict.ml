@@ -23,17 +23,29 @@ let rank ?(models = [ C.Stuck_at_0; C.Stuck_at_1 ]) (core : Leon3.Core.t) target
         List.filter_map
           (fun model ->
             match Analysis.Scoap.detectability scoap site.Injection.fault_site model with
-            | Some score -> Some { site; model; score }
+            | Some score ->
+                (* A degenerate SCOAP fallback (negative, or blowing past
+                   the saturation sentinel) would silently reorder the
+                   validated ranking; fail loudly instead. *)
+                if score < 0 || score > Analysis.Scoap.inf then
+                  invalid_arg
+                    (Printf.sprintf "Predict.rank: degenerate SCOAP score %d for %s"
+                       score site.Injection.site_name);
+                Some { site; model; score }
             | None -> None)
           models)
       (Injection.sites core target)
   in
   (* ascending score: the predictor's "most detectable first" order;
-     ties broken by site name so the ranking is deterministic *)
+     ties broken by (site name, model name) with typed comparisons so
+     the ranking is total and deterministic *)
   List.sort
     (fun a b ->
-      match compare a.score b.score with
-      | 0 -> compare (a.site.Injection.site_name, a.model) (b.site.Injection.site_name, b.model)
+      match Int.compare a.score b.score with
+      | 0 -> (
+          match String.compare a.site.Injection.site_name b.site.Injection.site_name with
+          | 0 -> String.compare (C.fault_model_name a.model) (C.fault_model_name b.model)
+          | c -> c)
       | c -> c)
     scored
 

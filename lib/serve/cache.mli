@@ -1,0 +1,36 @@
+(** Content-addressed golden-trace + static-analysis cache.
+
+    Stores {!Fault_injection.Campaign.prepared} /
+    {!Fault_injection.Iss_campaign.prepared} values under a canonical
+    key derived from every spec field the preparation depends on.  A
+    hit means a repeat (or concurrent shard of a) submission runs no
+    golden simulation and no static analysis; the consuming campaign
+    still validates the preparation's fingerprint against its own, so
+    a key collision cannot splice a foreign golden trace in.  LRU
+    bounded; single-threaded (the daemon's event loop owns it). *)
+
+type value =
+  | Rtl_prepared of Fault_injection.Campaign.prepared
+  | Iss_prepared of Fault_injection.Iss_campaign.prepared
+
+type t
+
+val create : ?obs:Obs.t -> ?capacity:int -> unit -> t
+(** [capacity] (default 8) bounds retained preparations, evicting the
+    least recently used.  Hits and misses are counted on [obs] as
+    [serve.cache.hits] / [serve.cache.misses]. *)
+
+val key : prog_hash:int -> Protocol.spec -> string
+(** The content address: engine, program hash (which binds workload,
+    iterations and dataset), gate-level flag, target, sample size,
+    seed and hang factor.  The shard count is deliberately absent —
+    preparations are shard-independent. *)
+
+val find_or_build : t -> key:string -> build:(unit -> value) -> value * bool
+(** Return the cached value and [true], or [build ()], remember it
+    and return [false].  [build]'s exceptions propagate and cache
+    nothing. *)
+
+val hits : t -> int
+
+val misses : t -> int

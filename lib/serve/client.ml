@@ -1,0 +1,141 @@
+(* Blocking client for the campaign service — what `ricv submit` and
+   `ricv status` are built on, and what the tests drive the daemon
+   with. *)
+
+module Json = Obs.Json
+
+type t = { fd : Unix.file_descr; buf : Buffer.t }
+
+let connect addr =
+  match
+    let fd =
+      match addr with
+      | Daemon.Unix_sock _ -> Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0
+      | Daemon.Tcp _ -> Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0
+    in
+    match Unix.connect fd (Daemon.sockaddr_of addr) with
+    | () -> Ok { fd; buf = Buffer.create 256 }
+    | exception e ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        raise e
+  with
+  | v -> v
+  | exception e ->
+      Error
+        (Printf.sprintf "cannot connect to %s: %s" (Daemon.addr_to_string addr)
+           (Printexc.to_string e))
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let send t line =
+  let s = line ^ "\n" in
+  let n = String.length s in
+  let rec go off =
+    if off < n then go (off + Unix.write_substring t.fd s off (n - off))
+  in
+  match go 0 with
+  | () -> Ok ()
+  | exception Unix.Unix_error (e, _, _) ->
+      Error (Printf.sprintf "send failed: %s" (Unix.error_message e))
+
+let rec recv_line t =
+  let s = Buffer.contents t.buf in
+  match String.index_opt s '\n' with
+  | Some k ->
+      Buffer.clear t.buf;
+      Buffer.add_string t.buf (String.sub s (k + 1) (String.length s - k - 1));
+      Ok (String.sub s 0 k)
+  | None -> (
+      let bytes = Bytes.create 4096 in
+      match Unix.read t.fd bytes 0 4096 with
+      | 0 -> Error "connection closed by server"
+      | n ->
+          Buffer.add_subbytes t.buf bytes 0 n;
+          recv_line t
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> recv_line t
+      | exception Unix.Unix_error (e, _, _) ->
+          Error (Printf.sprintf "recv failed: %s" (Unix.error_message e)))
+
+let ( let* ) = Result.bind
+
+let recv_json t =
+  let* line = recv_line t in
+  Json.of_string line
+
+(* One request, one reply line.  A reply carrying ["ok": false] is
+   surfaced as its ["error"] field. *)
+let request t req =
+  let* () = send t (Protocol.request_to_string req) in
+  let* j = recv_json t in
+  match Json.member "ok" j with
+  | Some (Json.Bool false) -> (
+      match Option.bind (Json.member "error" j) Json.to_str with
+      | Some e -> Error e
+      | None -> Error "server error")
+  | _ -> Ok j
+
+let submit t ?(wait = true) spec =
+  let* j = request t (Protocol.Submit { spec; wait }) in
+  match
+    ( Option.bind (Json.member "job" j) Json.to_int,
+      Option.bind (Json.member "cache" j) Json.to_str )
+  with
+  | Some id, Some cache -> Ok (id, cache = "hit")
+  | _ -> Error "malformed submit reply"
+
+(* Stream events until the watched job finishes.  Returns the rendered
+   verdict table and the requeue count; a failed job is an [Error]. *)
+let wait_done ?(on_progress = fun ~shard:_ ~done_:_ ~total:_ -> ())
+    ?(on_requeued = fun ~shard:_ ~attempt:_ -> ()) t =
+  let rec loop () =
+    let* j = recv_json t in
+    match Option.bind (Json.member "event" j) Json.to_str with
+    | Some "progress" ->
+        (match
+           ( Option.bind (Json.member "shard" j) Json.to_int,
+             Option.bind (Json.member "done" j) Json.to_int,
+             Option.bind (Json.member "total" j) Json.to_int )
+         with
+        | Some shard, Some done_, Some total -> on_progress ~shard ~done_ ~total
+        | _ -> ());
+        loop ()
+    | Some "requeued" ->
+        (match
+           ( Option.bind (Json.member "shard" j) Json.to_int,
+             Option.bind (Json.member "attempt" j) Json.to_int )
+         with
+        | Some shard, Some attempt -> on_requeued ~shard ~attempt
+        | _ -> ());
+        loop ()
+    | Some "done" -> (
+        let requeues =
+          match Option.bind (Json.member "requeues" j) Json.to_int with
+          | Some n -> n
+          | None -> 0
+        in
+        match Json.member "table" j with
+        | Some (Json.List lines) ->
+            let table = List.filter_map Json.to_str lines in
+            Ok (table, requeues)
+        | _ -> Error "malformed done event")
+    | Some "failed" -> (
+        match Option.bind (Json.member "reason" j) Json.to_str with
+        | Some r -> Error (Printf.sprintf "job failed: %s" r)
+        | None -> Error "job failed")
+    | _ -> (
+        (* an error reply instead of an event *)
+        match Option.bind (Json.member "error" j) Json.to_str with
+        | Some e -> Error e
+        | None -> loop ())
+  in
+  loop ()
+
+let watch t id =
+  let* () = send t (Protocol.request_to_string (Protocol.Watch id)) in
+  Ok ()
+
+let status ?job t = request t (Protocol.Status job)
+
+let shutdown t =
+  let* _ = request t Protocol.Shutdown in
+  Ok ()

@@ -1,0 +1,34 @@
+(** Blocking client for the campaign service (`ricv submit` / `ricv
+    status` / tests). *)
+
+type t
+
+val connect : Daemon.addr -> (t, string) result
+
+val close : t -> unit
+
+val request : t -> Protocol.request -> (Obs.Json.t, string) result
+(** One request, one reply line; an ["ok": false] reply surfaces as
+    [Error] with its ["error"] text. *)
+
+val submit : t -> ?wait:bool -> Protocol.spec -> (int * bool, string) result
+(** Returns (job id, golden-cache hit).  With [wait] (the default) the
+    connection then streams the job's events — consume them with
+    {!wait_done}. *)
+
+val wait_done :
+  ?on_progress:(shard:int -> done_:int -> total:int -> unit) ->
+  ?on_requeued:(shard:int -> attempt:int -> unit) ->
+  t ->
+  (string list * int, string) result
+(** Read events until the watched job finishes; returns the rendered
+    verdict table and the requeue count.  A failed job is an
+    [Error]. *)
+
+val watch : t -> int -> (unit, string) result
+(** Ask the daemon to stream an existing job's events on this
+    connection (follow with {!wait_done}). *)
+
+val status : ?job:int -> t -> (Obs.Json.t, string) result
+
+val shutdown : t -> (unit, string) result

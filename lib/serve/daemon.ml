@@ -1,0 +1,285 @@
+(* The `ricv serve` daemon: a single-threaded select loop over one
+   listening socket, any number of newline-delimited-JSON clients, and
+   the scheduler's worker pipes.  All campaign work happens in forked
+   worker processes ({!Scheduler}); the loop itself only parses
+   requests, routes progress events to watching clients and logs. *)
+
+module Json = Obs.Json
+
+type addr = Unix_sock of string | Tcp of string * int
+
+let addr_to_string = function
+  | Unix_sock path -> "unix:" ^ path
+  | Tcp (host, port) -> Printf.sprintf "tcp:%s:%d" host port
+
+let addr_of_string s =
+  let prefixed p = String.length s > String.length p && String.sub s 0 (String.length p) = p in
+  let after p = String.sub s (String.length p) (String.length s - String.length p) in
+  if prefixed "unix:" then Ok (Unix_sock (after "unix:"))
+  else if prefixed "tcp:" then
+    let rest = after "tcp:" in
+    match String.rindex_opt rest ':' with
+    | None -> Error (Printf.sprintf "invalid tcp address %S: expected tcp:HOST:PORT" s)
+    | Some k -> (
+        let host = String.sub rest 0 k in
+        let port = String.sub rest (k + 1) (String.length rest - k - 1) in
+        match int_of_string_opt port with
+        | Some p when p > 0 && p < 65536 -> Ok (Tcp (host, p))
+        | _ -> Error (Printf.sprintf "invalid port in %S" s))
+  else Ok (Unix_sock s)  (* a bare path is a unix socket *)
+
+let sockaddr_of = function
+  | Unix_sock path -> Unix.ADDR_UNIX path
+  | Tcp (host, port) ->
+      let ip =
+        try Unix.inet_addr_of_string host
+        with Failure _ -> (
+          match Unix.gethostbyname host with
+          | { Unix.h_addr_list = [||]; _ } -> raise Not_found
+          | h -> h.Unix.h_addr_list.(0))
+      in
+      Unix.ADDR_INET (ip, port)
+
+(* ---- clients ---- *)
+
+type client = {
+  fd : Unix.file_descr;
+  buf : Buffer.t;
+  mutable alive : bool;
+}
+
+let send_line c line =
+  if c.alive then
+    let s = line ^ "\n" in
+    let n = String.length s in
+    let rec go off =
+      if off < n then go (off + Unix.write_substring c.fd s off (n - off))
+    in
+    try go 0 with Unix.Unix_error _ -> c.alive <- false
+
+let send_json c j = send_line c (Json.to_string j)
+
+(* ---- events -> wire ---- *)
+
+let event_json = function
+  | Scheduler.Progress { job; shard; done_; total } ->
+      Json.Obj
+        [ ("event", Json.Str "progress"); ("job", Json.Int job);
+          ("shard", Json.Int shard); ("done", Json.Int done_);
+          ("total", Json.Int total) ]
+  | Scheduler.Requeued { job; shard; attempt } ->
+      Json.Obj
+        [ ("event", Json.Str "requeued"); ("job", Json.Int job);
+          ("shard", Json.Int shard); ("attempt", Json.Int attempt) ]
+  | Scheduler.Job_done { job; table; requeues } ->
+      Json.Obj
+        [ ("event", Json.Str "done"); ("job", Json.Int job);
+          ("table", Json.List (List.map (fun l -> Json.Str l) table));
+          ("requeues", Json.Int requeues) ]
+  | Scheduler.Job_failed { job; reason } ->
+      Json.Obj
+        [ ("event", Json.Str "failed"); ("job", Json.Int job);
+          ("reason", Json.Str reason) ]
+
+let done_event table requeues job =
+  Scheduler.Job_done { job; table; requeues }
+
+(* ---- the loop ---- *)
+
+let serve ?obs ?workers ?max_retries ?cache_capacity ?(log = prerr_endline) ~dir addr =
+  (* a worker or client death mid-write must not kill the daemon *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let listener =
+    match addr with
+    | Unix_sock path ->
+        if Sys.file_exists path then Sys.remove path;
+        Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0
+    | Tcp _ ->
+        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Unix.setsockopt fd Unix.SO_REUSEADDR true;
+        fd
+  in
+  let clients = ref [] in
+  let on_fork_child () =
+    (* workers must not hold the service's sockets open *)
+    (try Unix.close listener with Unix.Unix_error _ -> ());
+    List.iter
+      (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ())
+      !clients
+  in
+  match
+    Scheduler.create ?obs ?workers ?max_retries ?cache_capacity ~on_fork_child ~dir ()
+  with
+  | Error e ->
+      Unix.close listener;
+      Error e
+  | Ok sched -> (
+      match Unix.bind listener (sockaddr_of addr) with
+      | exception e ->
+          Unix.close listener;
+          Error (Printf.sprintf "bind %s: %s" (addr_to_string addr) (Printexc.to_string e))
+      | () ->
+          Unix.listen listener 16;
+          log (Printf.sprintf "ricv-serve: listening on %s (dir %s)"
+                 (addr_to_string addr) dir);
+          let watchers : (int, client list ref) Hashtbl.t = Hashtbl.create 8 in
+          let watch job c =
+            match Hashtbl.find_opt watchers job with
+            | Some l -> l := c :: !l
+            | None -> Hashtbl.replace watchers job (ref [ c ])
+          in
+          let notify job ev =
+            match Hashtbl.find_opt watchers job with
+            | None -> ()
+            | Some l ->
+                List.iter (fun c -> send_json c (event_json ev)) !l;
+                (match ev with
+                | Scheduler.Job_done _ | Scheduler.Job_failed _ ->
+                    Hashtbl.remove watchers job
+                | _ -> ())
+          in
+          let stop = ref false in
+          let handle_request c = function
+            | Protocol.Submit { spec; wait } -> (
+                match Scheduler.submit sched spec with
+                | Error e -> send_json c (Protocol.error_json e)
+                | Ok (id, hit) ->
+                    log
+                      (Printf.sprintf
+                         "ricv-serve: job %d submitted (%s on %s, %d shard%s, golden \
+                          cache %s)"
+                         id
+                         (Protocol.engine_name spec.Protocol.engine)
+                         spec.Protocol.workload spec.Protocol.shards
+                         (if spec.Protocol.shards = 1 then "" else "s")
+                         (if hit then "hit" else "miss"));
+                    send_json c
+                      (Json.Obj
+                         [ ("ok", Json.Bool true); ("job", Json.Int id);
+                           ("cache", Json.Str (if hit then "hit" else "miss")) ]);
+                    if wait then watch id c)
+            | Protocol.Status which -> (
+                let status = Scheduler.status_json sched in
+                match which with
+                | None -> send_json c status
+                | Some id -> (
+                    let entry =
+                      match Json.member "jobs" status with
+                      | Some (Json.List jobs) ->
+                          List.find_opt
+                            (fun j ->
+                              Option.bind (Json.member "id" j) Json.to_int = Some id)
+                            jobs
+                      | _ -> None
+                    in
+                    match entry with
+                    | Some j -> send_json c (Json.Obj [ ("ok", Json.Bool true); ("job", j) ])
+                    | None ->
+                        send_json c
+                          (Protocol.error_json (Printf.sprintf "unknown job %d" id))))
+            | Protocol.Watch id -> (
+                match Scheduler.job_result sched id with
+                | `Unknown ->
+                    send_json c (Protocol.error_json (Printf.sprintf "unknown job %d" id))
+                | `Running -> watch id c
+                | `Done (table, requeues) ->
+                    send_json c (event_json (done_event table requeues id))
+                | `Failed reason ->
+                    send_json c
+                      (event_json (Scheduler.Job_failed { job = id; reason })))
+            | Protocol.Shutdown ->
+                send_json c (Json.Obj [ ("ok", Json.Bool true) ]);
+                log "ricv-serve: shutdown requested";
+                stop := true
+          in
+          let handle_line c line =
+            match Protocol.parse_request line with
+            | Error e -> send_json c (Protocol.error_json e)
+            | Ok req -> handle_request c req
+          in
+          let read_client c =
+            let bytes = Bytes.create 4096 in
+            match Unix.read c.fd bytes 0 4096 with
+            | 0 -> c.alive <- false
+            | n -> (
+                Buffer.add_subbytes c.buf bytes 0 n;
+                let s = Buffer.contents c.buf in
+                match String.rindex_opt s '\n' with
+                | None ->
+                    if Buffer.length c.buf > Protocol.max_request_bytes then begin
+                      send_json c
+                        (Protocol.error_json
+                           (Printf.sprintf "request exceeds %d bytes"
+                              Protocol.max_request_bytes));
+                      c.alive <- false
+                    end
+                | Some last ->
+                    Buffer.clear c.buf;
+                    Buffer.add_string c.buf
+                      (String.sub s (last + 1) (String.length s - last - 1));
+                    List.iter
+                      (fun line -> if line <> "" && c.alive then handle_line c line)
+                      (String.split_on_char '\n' (String.sub s 0 last)))
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+            | exception Unix.Unix_error _ -> c.alive <- false
+          in
+          while not !stop do
+            let cfds = List.map (fun c -> c.fd) !clients in
+            let wfds = Scheduler.pipe_fds sched in
+            (match Unix.select ((listener :: cfds) @ wfds) [] [] 0.2 with
+            | readable, _, _ ->
+                if List.mem listener readable then begin
+                  let fd, _ = Unix.accept listener in
+                  clients := { fd; buf = Buffer.create 256; alive = true } :: !clients
+                end;
+                List.iter
+                  (fun c -> if List.mem c.fd readable then read_client c)
+                  !clients
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+            List.iter
+              (fun ev ->
+                (match ev with
+                | Scheduler.Progress _ -> ()
+                | Scheduler.Requeued { job; shard; attempt } ->
+                    log
+                      (Printf.sprintf
+                         "ricv-serve: job %d shard %d requeued after worker death \
+                          (attempt %d)"
+                         job shard attempt)
+                | Scheduler.Job_done { job; requeues; _ } ->
+                    log
+                      (Printf.sprintf "ricv-serve: job %d done (%d requeue%s)" job
+                         requeues
+                         (if requeues = 1 then "" else "s"))
+                | Scheduler.Job_failed { job; reason } ->
+                    log (Printf.sprintf "ricv-serve: job %d failed: %s" job reason));
+                match ev with
+                | Scheduler.Progress { job; _ }
+                | Scheduler.Requeued { job; _ }
+                | Scheduler.Job_done { job; _ }
+                | Scheduler.Job_failed { job; _ } ->
+                    notify job ev)
+              (Scheduler.pump sched ~timeout:0.);
+            (* drop dead clients and their watch registrations *)
+            let dead, live = List.partition (fun c -> not c.alive) !clients in
+            if dead <> [] then begin
+              clients := live;
+              List.iter
+                (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ())
+                dead;
+              Hashtbl.iter
+                (fun _ l -> l := List.filter (fun c -> c.alive) !l)
+                watchers
+            end
+          done;
+          Scheduler.shutdown sched;
+          List.iter
+            (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ())
+            !clients;
+          (try Unix.close listener with Unix.Unix_error _ -> ());
+          (match addr with
+          | Unix_sock path -> if Sys.file_exists path then Sys.remove path
+          | Tcp _ -> ());
+          log "ricv-serve: stopped (running shards killed; their journals resume \
+               on restart)";
+          Ok ())

@@ -1,0 +1,36 @@
+(** The `ricv serve` daemon.
+
+    One single-threaded select loop over a listening socket (Unix or
+    TCP), the connected clients and the scheduler's worker pipes.
+    Requests and replies are newline-delimited JSON ({!Protocol});
+    campaign execution happens in forked worker processes
+    ({!Scheduler}), so a worker crash never takes the service down —
+    the shard is requeued and resumes from its journal. *)
+
+type addr = Unix_sock of string | Tcp of string * int
+
+val addr_to_string : addr -> string
+(** ["unix:PATH"] / ["tcp:HOST:PORT"]. *)
+
+val addr_of_string : string -> (addr, string) result
+(** Inverse of {!addr_to_string}; a bare path is a Unix socket. *)
+
+val sockaddr_of : addr -> Unix.sockaddr
+(** Resolve for bind/connect (may raise on an unresolvable host). *)
+
+val serve :
+  ?obs:Obs.t ->
+  ?workers:int ->
+  ?max_retries:int ->
+  ?cache_capacity:int ->
+  ?log:(string -> unit) ->
+  dir:string ->
+  addr ->
+  (unit, string) result
+(** Run the service until a [shutdown] request: bind [addr] (a stale
+    Unix socket file is replaced), recover the queue at [dir], then
+    loop.  [log] (default stderr) receives one line per lifecycle
+    event — listening, submission, requeue, completion, failure,
+    shutdown.  On shutdown, running workers are killed; their journals
+    resume byte-identically when the service restarts on the same
+    [dir]. *)

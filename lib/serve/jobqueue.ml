@@ -1,0 +1,225 @@
+(* Persistent on-disk job queue: one JSONL file under the service
+   directory, written with the same discipline as the campaign
+   journals ({!Fault_injection.Journal}) — append + fsync per record,
+   torn-tail-tolerant load, atomic rewrite on open, stale [.tmp]
+   debris removed, parent directory fsync'd after renames. *)
+
+module Json = Obs.Json
+module Journal = Fault_injection.Journal
+
+type record =
+  | R_job of int * Protocol.spec
+  | R_shard_done of int * int
+  | R_job_done of int
+  | R_job_failed of int * string
+
+type job_record = {
+  id : int;
+  spec : Protocol.spec;
+  done_shards : int list;  (* ascending *)
+  finished : [ `Open | `Done | `Failed of string ];
+}
+
+type t = {
+  dir : string;
+  path : string;
+  mutable fd : Unix.file_descr option;
+  mutable next_id : int;
+}
+
+let header_line = {|{"type":"queue-header","version":1}|}
+
+let record_to_json = function
+  | R_job (id, spec) ->
+      Json.Obj
+        [ ("type", Json.Str "job"); ("id", Json.Int id);
+          ("spec", Protocol.spec_to_json spec) ]
+  | R_shard_done (job, shard) ->
+      Json.Obj
+        [ ("type", Json.Str "shard-done"); ("job", Json.Int job);
+          ("shard", Json.Int shard) ]
+  | R_job_done job -> Json.Obj [ ("type", Json.Str "job-done"); ("job", Json.Int job) ]
+  | R_job_failed (job, reason) ->
+      Json.Obj
+        [ ("type", Json.Str "job-failed"); ("job", Json.Int job);
+          ("reason", Json.Str reason) ]
+
+let record_of_json j =
+  let int_field name =
+    match Option.bind (Json.member name j) Json.to_int with
+    | Some n -> Ok n
+    | None -> Error (Printf.sprintf "missing integer field %S" name)
+  in
+  let ( let* ) = Result.bind in
+  match Option.bind (Json.member "type" j) Json.to_str with
+  | Some "job" ->
+      let* id = int_field "id" in
+      let* spec =
+        match Json.member "spec" j with
+        | Some sj -> Protocol.spec_of_json sj
+        | None -> Error "job record: missing field \"spec\""
+      in
+      Ok (R_job (id, spec))
+  | Some "shard-done" ->
+      let* job = int_field "job" in
+      let* shard = int_field "shard" in
+      Ok (R_shard_done (job, shard))
+  | Some "job-done" ->
+      let* job = int_field "job" in
+      Ok (R_job_done job)
+  | Some "job-failed" ->
+      let* job = int_field "job" in
+      let reason =
+        match Option.bind (Json.member "reason" j) Json.to_str with
+        | Some r -> r
+        | None -> "unknown"
+      in
+      Ok (R_job_failed (job, reason))
+  | Some other -> Error (Printf.sprintf "unknown queue record type %S" other)
+  | None -> Error "queue record: missing field \"type\""
+
+(* ---- load ---- *)
+
+let split_lines s =
+  (* keep a trailing fragment (no '\n') separate: it is the torn tail *)
+  let n = String.length s in
+  let rec go acc start =
+    match String.index_from_opt s start '\n' with
+    | Some k -> go (String.sub s start (k - start) :: acc) (k + 1)
+    | None ->
+        let tail = if start >= n then None else Some (String.sub s start (n - start)) in
+        (List.rev acc, tail)
+  in
+  go [] 0
+
+let parse_contents contents =
+  let lines, _torn = split_lines contents in
+  match lines with
+  | [] -> Error "empty queue file"
+  | header :: rest ->
+      if
+        (match Json.of_string header with
+        | Ok j -> Option.bind (Json.member "type" j) Json.to_str <> Some "queue-header"
+        | Error _ -> true)
+      then Error "queue file: bad header"
+      else
+        let rec go acc = function
+          | [] -> Ok (List.rev acc)
+          | line :: rest -> (
+              match Json.of_string line with
+              | Error _ when rest = [] -> Ok (List.rev acc)  (* torn final line *)
+              | Error e -> Error (Printf.sprintf "queue file: %s" e)
+              | Ok j -> (
+                  match record_of_json j with
+                  | Ok r -> go (r :: acc) rest
+                  | Error _ when rest = [] -> Ok (List.rev acc)
+                  | Error e -> Error (Printf.sprintf "queue file: %s" e)))
+        in
+        go [] rest
+
+let fold_records records =
+  (* job table in submission order *)
+  let jobs = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (function
+      | R_job (id, spec) ->
+          if not (Hashtbl.mem jobs id) then begin
+            Hashtbl.replace jobs id
+              { id; spec; done_shards = []; finished = `Open };
+            order := id :: !order
+          end
+      | R_shard_done (id, k) -> (
+          match Hashtbl.find_opt jobs id with
+          | Some r when not (List.mem k r.done_shards) ->
+              Hashtbl.replace jobs id { r with done_shards = r.done_shards @ [ k ] }
+          | _ -> ())
+      | R_job_done id -> (
+          match Hashtbl.find_opt jobs id with
+          | Some r -> Hashtbl.replace jobs id { r with finished = `Done }
+          | None -> ())
+      | R_job_failed (id, reason) -> (
+          match Hashtbl.find_opt jobs id with
+          | Some r -> Hashtbl.replace jobs id { r with finished = `Failed reason }
+          | None -> ()))
+    records;
+  List.rev_map (fun id -> Hashtbl.find jobs id) !order
+
+(* ---- writing ---- *)
+
+let write_all fd s =
+  let n = String.length s in
+  let rec go off = if off < n then go (off + Unix.write_substring fd s off (n - off)) in
+  go 0
+
+let append t record =
+  match t.fd with
+  | None -> invalid_arg "Jobqueue: closed"
+  | Some fd ->
+      write_all fd (Json.to_string (record_to_json record) ^ "\n");
+      (try Unix.fsync fd with Unix.Unix_error _ -> ())
+
+let rec mkdir_p dir =
+  if dir <> "/" && dir <> "." && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let open_ dir =
+  mkdir_p dir;
+  let path = Filename.concat dir "queue.jsonl" in
+  let tmp = path ^ ".tmp" in
+  (* debris from a kill mid-rewrite: incomplete by construction, the
+     real file still has the pre-rewrite contents *)
+  if Sys.file_exists tmp then Sys.remove tmp;
+  let finish records =
+    (* atomic compacting rewrite: well-formed records only, torn tail
+       dropped, then rename over the old file and fsync the dir *)
+    let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+    write_all fd (header_line ^ "\n");
+    List.iter (fun r -> write_all fd (Json.to_string (record_to_json r) ^ "\n")) records;
+    (try Unix.fsync fd with Unix.Unix_error _ -> ());
+    Unix.close fd;
+    Sys.rename tmp path;
+    Journal.fsync_dir dir;
+    let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_APPEND ] 0o644 in
+    let jobs = fold_records records in
+    let next_id = List.fold_left (fun acc r -> max acc (r.id + 1)) 1 jobs in
+    Ok ({ dir; path; fd = Some fd; next_id }, jobs)
+  in
+  if not (Sys.file_exists path) then finish []
+  else
+    let contents = In_channel.with_open_bin path In_channel.input_all in
+    match parse_contents contents with
+    | Error _ as e -> e
+    | Ok records -> finish records
+
+let next_id t =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  id
+
+let job_dir t id = Filename.concat t.dir (Printf.sprintf "job-%d" id)
+
+let shard_journal t ~job ~shard =
+  Filename.concat (job_dir t job) (Printf.sprintf "shard-%d.jsonl" shard)
+
+let summary_path t id = Filename.concat (job_dir t id) "summary.txt"
+
+let append_job t id spec =
+  mkdir_p (job_dir t id);
+  append t (R_job (id, spec))
+
+let mark_shard_done t ~job ~shard = append t (R_shard_done (job, shard))
+
+let mark_job_done t id = append t (R_job_done id)
+
+let mark_job_failed t id ~reason = append t (R_job_failed (id, reason))
+
+let close t =
+  match t.fd with
+  | None -> ()
+  | Some fd ->
+      (try Unix.fsync fd with Unix.Unix_error _ -> ());
+      Unix.close fd;
+      t.fd <- None

@@ -1,0 +1,182 @@
+(* Wire protocol of the campaign service: newline-delimited JSON over
+   a Unix or TCP socket, every value rendered/parsed with {!Obs.Json}
+   so the daemon and client share the repo's single JSON codec. *)
+
+module Json = Obs.Json
+
+let max_request_bytes = 65536
+
+type engine = Rtl | Iss
+
+let engine_name = function Rtl -> "rtl" | Iss -> "iss"
+
+let engine_of_name = function
+  | "rtl" -> Some Rtl
+  | "iss" -> Some Iss
+  | _ -> None
+
+type spec = {
+  engine : engine;
+  workload : string;
+  iterations : int option;
+  dataset : int;
+  gate : bool;
+  target : string;  (* "iu" | "cmem"; ignored by the ISS engine *)
+  samples : int;
+  seed : int;
+  hang_factor : int;
+  shards : int;
+}
+
+(* Defaults mirror the direct commands (`ricv campaign` samples 250,
+   `ricv iss-campaign` samples 400) so a served run with no overrides
+   prints the same table a flagless direct run prints. *)
+let default_spec ~engine ~workload =
+  { engine;
+    workload;
+    iterations = None;
+    dataset = 0;
+    gate = false;
+    target = "iu";
+    samples = (match engine with Rtl -> 250 | Iss -> 400);
+    seed = 7;
+    hang_factor = 4;
+    shards = 1 }
+
+let spec_to_json s =
+  Json.Obj
+    [ ("engine", Json.Str (engine_name s.engine));
+      ("workload", Json.Str s.workload);
+      ("iterations", match s.iterations with Some n -> Json.Int n | None -> Json.Null);
+      ("dataset", Json.Int s.dataset);
+      ("gate", Json.Bool s.gate);
+      ("target", Json.Str s.target);
+      ("samples", Json.Int s.samples);
+      ("seed", Json.Int s.seed);
+      ("hang_factor", Json.Int s.hang_factor);
+      ("shards", Json.Int s.shards) ]
+
+let ( let* ) = Result.bind
+
+let field_int j name default =
+  match Json.member name j with
+  | None | Some Json.Null -> Ok default
+  | Some v -> (
+      match Json.to_int v with
+      | Some n -> Ok n
+      | None -> Error (Printf.sprintf "field %S must be an integer" name))
+
+let field_bool j name default =
+  match Json.member name j with
+  | None | Some Json.Null -> Ok default
+  | Some v -> (
+      match Json.to_bool v with
+      | Some b -> Ok b
+      | None -> Error (Printf.sprintf "field %S must be a boolean" name))
+
+let field_str j name default =
+  match Json.member name j with
+  | None | Some Json.Null -> Ok default
+  | Some v -> (
+      match Json.to_str v with
+      | Some s -> Ok s
+      | None -> Error (Printf.sprintf "field %S must be a string" name))
+
+let spec_of_json j =
+  let* engine =
+    match Json.member "engine" j with
+    | None -> Error "missing field \"engine\""
+    | Some v -> (
+        match Option.bind (Json.to_str v) engine_of_name with
+        | Some e -> Ok e
+        | None -> Error "field \"engine\" must be \"rtl\" or \"iss\"")
+  in
+  let* workload =
+    match Option.bind (Json.member "workload" j) Json.to_str with
+    | Some w -> Ok w
+    | None -> Error "missing field \"workload\""
+  in
+  let d = default_spec ~engine ~workload in
+  let* iterations =
+    match Json.member "iterations" j with
+    | None | Some Json.Null -> Ok None
+    | Some v -> (
+        match Json.to_int v with
+        | Some n -> Ok (Some n)
+        | None -> Error "field \"iterations\" must be an integer")
+  in
+  let* dataset = field_int j "dataset" d.dataset in
+  let* gate = field_bool j "gate" d.gate in
+  let* target = field_str j "target" d.target in
+  let* samples = field_int j "samples" d.samples in
+  let* seed = field_int j "seed" d.seed in
+  let* hang_factor = field_int j "hang_factor" d.hang_factor in
+  let* shards = field_int j "shards" d.shards in
+  Ok { engine; workload; iterations; dataset; gate; target; samples; seed;
+       hang_factor; shards }
+
+let max_shards = 64
+
+let validate_spec s =
+  if not (List.exists (fun e -> e.Workloads.Suite.name = s.workload) Workloads.Suite.all)
+  then Error (Printf.sprintf "unknown workload %S" s.workload)
+  else if (match s.iterations with Some n -> n < 1 | None -> false) then
+    Error "iterations must be positive"
+  else if s.dataset < 0 then Error "dataset must be non-negative"
+  else if s.target <> "iu" && s.target <> "cmem" then
+    Error (Printf.sprintf "unknown target %S (expected \"iu\" or \"cmem\")" s.target)
+  else if s.samples < 1 then Error "samples must be positive"
+  else if s.hang_factor < 1 then Error "hang_factor must be positive"
+  else if s.shards < 1 || s.shards > max_shards then
+    Error (Printf.sprintf "shards must be in 1..%d" max_shards)
+  else Ok ()
+
+type request =
+  | Submit of { spec : spec; wait : bool }
+  | Status of int option
+  | Watch of int
+  | Shutdown
+
+let request_to_json = function
+  | Submit { spec; wait } ->
+      Json.Obj
+        [ ("op", Json.Str "submit"); ("spec", spec_to_json spec);
+          ("wait", Json.Bool wait) ]
+  | Status None -> Json.Obj [ ("op", Json.Str "status") ]
+  | Status (Some id) -> Json.Obj [ ("op", Json.Str "status"); ("job", Json.Int id) ]
+  | Watch id -> Json.Obj [ ("op", Json.Str "watch"); ("job", Json.Int id) ]
+  | Shutdown -> Json.Obj [ ("op", Json.Str "shutdown") ]
+
+let request_to_string r = Json.to_string (request_to_json r)
+
+let parse_request line =
+  if String.length line > max_request_bytes then
+    Error
+      (Printf.sprintf "request exceeds %d bytes (%d)" max_request_bytes
+         (String.length line))
+  else
+    let* j = Json.of_string line in
+    match Option.bind (Json.member "op" j) Json.to_str with
+    | None -> Error "missing field \"op\""
+    | Some "submit" -> (
+        match Json.member "spec" j with
+        | None -> Error "submit: missing field \"spec\""
+        | Some sj ->
+            let* spec = spec_of_json sj in
+            let* wait = field_bool j "wait" true in
+            Ok (Submit { spec; wait }))
+    | Some "status" -> (
+        match Json.member "job" j with
+        | None | Some Json.Null -> Ok (Status None)
+        | Some v -> (
+            match Json.to_int v with
+            | Some id -> Ok (Status (Some id))
+            | None -> Error "field \"job\" must be an integer"))
+    | Some "watch" -> (
+        match Option.bind (Json.member "job" j) Json.to_int with
+        | Some id -> Ok (Watch id)
+        | None -> Error "watch: missing integer field \"job\"")
+    | Some "shutdown" -> Ok Shutdown
+    | Some op -> Error (Printf.sprintf "unknown op %S" op)
+
+let error_json msg = Json.Obj [ ("ok", Json.Bool false); ("error", Json.Str msg) ]

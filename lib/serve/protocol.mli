@@ -1,0 +1,72 @@
+(** Wire protocol of the campaign service: newline-delimited JSON
+    (one value per line, {!Obs.Json} as the codec) over a Unix or TCP
+    socket.  Every request is one line; every reply is one line; a
+    watched job additionally streams one event object per line until
+    its terminal [done]/[failed] event. *)
+
+module Json = Obs.Json
+
+val max_request_bytes : int
+(** Upper bound on one request line; longer lines are rejected before
+    parsing (and the daemon drops clients that exceed it mid-line). *)
+
+type engine = Rtl | Iss
+
+val engine_name : engine -> string
+
+val engine_of_name : string -> engine option
+
+(** A campaign specification — the serialisable subset of
+    {!Fault_injection.Campaign.config} / {!Fault_injection.Iss_campaign.config}
+    plus the workload coordinates, exactly what `ricv campaign` /
+    `ricv iss-campaign` take on the command line. *)
+type spec = {
+  engine : engine;
+  workload : string;
+  iterations : int option;  (** [None] = the workload's default *)
+  dataset : int;
+  gate : bool;  (** RTL only: gate-level IU elaboration *)
+  target : string;  (** RTL only: ["iu"] or ["cmem"] *)
+  samples : int;  (** RTL: total sites; ISS: sites per model *)
+  seed : int;
+  hang_factor : int;
+  shards : int;  (** shard count; the daemon schedules all of 1..N *)
+}
+
+val default_spec : engine:engine -> workload:string -> spec
+(** The flagless direct run: samples 250 (RTL) / 400 (ISS), seed 7,
+    hang factor 4, dataset 0, behavioural elaboration, target [iu],
+    one shard. *)
+
+val spec_to_json : spec -> Json.t
+
+val spec_of_json : Json.t -> (spec, string) result
+(** Missing optional fields take their {!default_spec} values;
+    [engine] and [workload] are required. *)
+
+val max_shards : int
+
+val validate_spec : spec -> (unit, string) result
+(** Reject unknown workloads/targets and out-of-range numerics before
+    any simulation is attempted. *)
+
+type request =
+  | Submit of { spec : spec; wait : bool }
+      (** enqueue a campaign; with [wait], stream its events on this
+          connection after the acknowledgement *)
+  | Status of int option  (** service status, or one job's *)
+  | Watch of int  (** stream a job's events until it finishes *)
+  | Shutdown  (** stop the daemon (running shards are killed; their
+                  journals resume on restart) *)
+
+val request_to_json : request -> Json.t
+
+val request_to_string : request -> string
+
+val parse_request : string -> (request, string) result
+(** Parse one request line; oversized or malformed input is an
+    [Error] (the daemon replies with {!error_json} and keeps the
+    connection). *)
+
+val error_json : string -> Json.t
+(** [{"ok":false,"error":msg}]. *)

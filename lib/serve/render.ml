@@ -1,0 +1,62 @@
+(* The one source of truth for campaign verdict tables.  `ricv
+   campaign`, `ricv iss-campaign`, `ricv merge` and the daemon's
+   shard-merge all format through these functions, which is what makes
+   "served output is byte-identical to the direct run's" a property of
+   the code rather than of parallel printf discipline. *)
+
+module Campaign = Fault_injection.Campaign
+module Iss_campaign = Fault_injection.Iss_campaign
+module Journal = Fault_injection.Journal
+
+(* One verdict row; [unit_] is "cycles" (RTL) or "instructions" (ISS —
+   campaign mode has no cycle-accurate clock). *)
+let summary_line ~unit_ name (s : Campaign.summary) =
+  Printf.sprintf
+    "%-11s Pf=%5.1f%%  (%d/%d: wrong-writes %d, missing %d, traps %d, hangs %d)  \
+     max latency %d %s"
+    name (Campaign.pf_percent s) s.Campaign.failures s.Campaign.injections
+    s.Campaign.wrong_writes s.Campaign.missing_writes s.Campaign.traps
+    s.Campaign.hangs s.Campaign.max_latency unit_
+
+let rtl_summary_lines summaries =
+  List.map
+    (fun (model, s) -> summary_line ~unit_:"cycles" (Rtl.Circuit.fault_model_name model) s)
+    summaries
+
+let iss_summary_lines summaries =
+  List.map
+    (fun (model, s) ->
+      summary_line ~unit_:"instructions" (Iss_campaign.model_name model) s)
+    summaries
+
+let merged_lines (fp : Journal.fingerprint) results =
+  (* ISS journals record every verdict under the RTL bit-flip model
+     and carry the ISS model class in the site-name prefix; partition
+     them back rather than printing one opaque row. *)
+  if fp.Journal.target = Iss_campaign.target_name then
+    Ok
+      (iss_summary_lines
+         (List.filter
+            (fun (_, (s : Campaign.summary)) -> s.Campaign.injections > 0)
+            (Iss_campaign.summaries_by_model Iss_campaign.all_models results)))
+  else
+    let rec models acc = function
+      | [] -> Ok (List.rev acc)
+      | name :: rest -> (
+          match Journal.model_of_name name with
+          | Some m -> models (m :: acc) rest
+          | None -> Error (Printf.sprintf "unknown fault model %S in journal header" name))
+    in
+    match models [] fp.Journal.models with
+    | Error _ as e -> e
+    | Ok models ->
+        Ok
+          (rtl_summary_lines
+             (List.map
+                (fun model ->
+                  ( model,
+                    Campaign.summarize
+                      (List.filter
+                         (fun (r : Journal.run_result) -> r.Journal.model = model)
+                         results) ))
+                models))

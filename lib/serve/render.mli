@@ -1,0 +1,24 @@
+(** Canonical text rendering of campaign verdict tables.
+
+    Every consumer — `ricv campaign`, `ricv iss-campaign`, `ricv
+    merge` and the daemon's shard-merge — formats through this module,
+    so a served campaign's table is byte-identical to the direct run's
+    by construction.  Lines carry no trailing newline. *)
+
+val rtl_summary_lines :
+  (Rtl.Circuit.fault_model * Fault_injection.Campaign.summary) list -> string list
+(** One row per fault model, latency in cycles. *)
+
+val iss_summary_lines :
+  (Fault_injection.Iss_campaign.model * Fault_injection.Campaign.summary) list ->
+  string list
+(** One row per ISS model, latency in dynamic instructions. *)
+
+val merged_lines :
+  Fault_injection.Journal.fingerprint ->
+  Fault_injection.Journal.run_result list ->
+  (string list, string) result
+(** The table for a merged journal set ({!Fault_injection.Journal.merge}
+    output): ISS journals ([target = "iss"]) partition by site-name
+    prefix and drop empty models; RTL journals take their model list
+    from the fingerprint header ([Error] on an unknown model name). *)

@@ -88,16 +88,26 @@ let pearson points =
   if vx < 1e-12 || vy < 1e-12 then 0. else cov /. sqrt (vx *. vy)
 
 let ranks values =
+  (* NaN admits no rank: polymorphic sort would leave it wherever the
+     comparison happened to place it and [=] tie-detection never
+     matches it, silently scrambling the permutation — the same class
+     of bug [Summary.percentile] already rejects. *)
+  if Array.exists Float.is_nan values then
+    invalid_arg "Regression.ranks: NaN in input";
   let n = Array.length values in
   let order = Array.init n (fun i -> i) in
-  Array.sort (fun i j -> compare values.(i) values.(j)) order;
+  Array.sort (fun i j -> Float.compare values.(i) values.(j)) order;
   let r = Array.make n 0. in
   (* ties share the average of the positions they span (fractional
      ranks), so equal values contribute identically *)
   let i = ref 0 in
   while !i < n do
     let j = ref !i in
-    while !j + 1 < n && values.(order.(!j + 1)) = values.(order.(!i)) do incr j done;
+    while
+      !j + 1 < n && Float.compare values.(order.(!j + 1)) values.(order.(!i)) = 0
+    do
+      incr j
+    done;
     let avg = float_of_int (!i + !j + 2) /. 2. in
     for k = !i to !j do r.(order.(k)) <- avg done;
     i := !j + 1

@@ -148,6 +148,41 @@ let test_fingerprint_mismatch () =
   check_bool "base identity ignores shard" true
     (Journal.base_mismatch fp other_shard = None)
 
+let test_stale_tmp_debris () =
+  (* a kill between [create tmp] and [rename tmp path] leaves a .tmp
+     next to the journal; open_resume must clear it, not trip over it *)
+  with_journal @@ fun path ->
+  let tmp = path ^ ".tmp" in
+  let fp = sample_fingerprint () in
+  let verdict site =
+    { Journal.site_name = site; model = C.Stuck_at_1; outcome = Journal.Silent;
+      detect_cycle = None; inject_cycle = 0; sim = Journal.Simulated }
+  in
+  let w = Journal.create path fp in
+  Journal.append w ~index:0 (verdict "a[0]");
+  Journal.close w;
+  Out_channel.with_open_text tmp (fun oc -> output_string oc "{\"type\":\"torn");
+  (match Journal.open_resume path fp with
+  | Error msg -> Alcotest.fail msg
+  | Ok (w, entries) ->
+      check_int "survivors replayed" 1 (List.length entries);
+      check_bool "debris removed" false (Sys.file_exists tmp);
+      Journal.append w ~index:1 (verdict "b[1]");
+      Journal.close w);
+  (match Journal.load path with
+  | Error msg -> Alcotest.fail msg
+  | Ok (_, entries) -> check_int "append after resume persists" 2 (List.length entries));
+  (* debris with no journal at all: a fresh one is created cleanly *)
+  Sys.remove path;
+  Out_channel.with_open_text tmp (fun oc -> output_string oc "{\"type\":\"torn");
+  (match Journal.open_resume path fp with
+  | Error msg -> Alcotest.fail msg
+  | Ok (w, entries) ->
+      check_int "fresh journal is empty" 0 (List.length entries);
+      check_bool "debris removed before create" false (Sys.file_exists tmp);
+      Journal.close w);
+  if Sys.file_exists tmp then Sys.remove tmp
+
 (* ---- campaign integration ---- *)
 
 let direct_run ?shard ?journal ?(resume = false) ?obs () =
@@ -322,6 +357,7 @@ let suite =
     [ Alcotest.test_case "record round-trip" `Quick test_roundtrip;
       Alcotest.test_case "torn tail dropped" `Quick test_torn_tail_dropped;
       Alcotest.test_case "fingerprint mismatch" `Quick test_fingerprint_mismatch;
+      Alcotest.test_case "stale tmp debris" `Quick test_stale_tmp_debris;
       Alcotest.test_case "kill and resume" `Slow test_campaign_journal_resume;
       Alcotest.test_case "stale journal rejected" `Slow test_campaign_rejects_stale_journal;
       Alcotest.test_case "shard merge = direct" `Slow test_shard_merge_equals_direct;

@@ -1,0 +1,7 @@
+(* Separate entry point: the serve tests fork worker processes, and
+   the OCaml 5 runtime forbids Unix.fork in any process that has ever
+   spawned a domain — which test_main's parallel-engine suites do.
+   (The daemon itself never creates domains, so `ricv serve` is
+   unaffected.) *)
+
+let () = Alcotest.run "iss_rtl_correlation_serve" [ Test_serve.suite ]

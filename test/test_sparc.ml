@@ -327,6 +327,27 @@ let test_memory_sparse_default () =
   M.iter_nonzero mem (fun _ _ -> incr count);
   check_int "nothing recorded" 0 !count
 
+let test_memory_hash_order_independent () =
+  (* the hash folds per-page digests commutatively, so it must not
+     depend on which page was touched first — it used to, because it
+     folded Hashtbl.fold's bucket order *)
+  let a = M.create () and b = M.create () in
+  (* two addresses far enough apart to live on different pages, plus a
+     third page touched only in one order *)
+  let writes = [ (0x100, 7); (0x4_0000, 9); (0x10_0000, 3) ] in
+  List.iter (fun (addr, v) -> M.store_word a addr v) writes;
+  List.iter (fun (addr, v) -> M.store_word b addr v) (List.rev writes);
+  check_bool "equal contents" true (M.equal a b);
+  check_int "hash ignores insertion order" (M.hash a) (M.hash b);
+  (* different contents still hash apart *)
+  M.store_word b 0x100 8;
+  check_bool "contents distinguish" true (M.hash a <> M.hash b);
+  (* a page written then zeroed hashes like one never touched *)
+  let c = M.create () in
+  M.store_word c 0x8_0000 5;
+  M.store_word c 0x8_0000 0;
+  check_int "zeroed page = absent page" (M.hash (M.create ())) (M.hash c)
+
 let prop_memory_byte_word_consistency =
   QCheck2.Test.make ~name:"word = concatenation of its four bytes" ~count:300
     QCheck2.Gen.(pair (map (fun a -> (a land 0xFFFF) * 4) (int_bound max_int))
@@ -365,7 +386,9 @@ let suite =
       Alcotest.test_case "memory endianness" `Quick test_memory_endianness;
       Alcotest.test_case "memory alignment" `Quick test_memory_alignment;
       Alcotest.test_case "memory copy isolation" `Quick test_memory_copy_isolation;
-      Alcotest.test_case "memory sparse default" `Quick test_memory_sparse_default ]
+      Alcotest.test_case "memory sparse default" `Quick test_memory_sparse_default;
+      Alcotest.test_case "memory hash order independent" `Quick
+        test_memory_hash_order_independent ]
     @ List.map QCheck_alcotest.to_alcotest
         [ prop_encode_decode_roundtrip; prop_decode_total;
           prop_memory_byte_word_consistency ] )

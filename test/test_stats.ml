@@ -110,6 +110,26 @@ let test_ranks_and_spearman () =
   let r = Stats.Regression.spearman [ (1., 1.); (2., 1.); (3., 0.); (4., 0.) ] in
   Alcotest.(check bool) "binary outcome anticorrelates" true (r < -0.8)
 
+let test_ranks_nan () =
+  (* NaN admits no rank: polymorphic sort used to place it arbitrarily
+     and silently skew every downstream rho; now it is rejected *)
+  Alcotest.check_raises "ranks rejects NaN" (Invalid_argument "Regression.ranks: NaN in input")
+    (fun () -> ignore (Stats.Regression.ranks [| 1.; Float.nan; 3. |]));
+  Alcotest.check_raises "spearman rejects NaN x"
+    (Invalid_argument "Regression.ranks: NaN in input") (fun () ->
+      ignore (Stats.Regression.spearman [ (1., 1.); (Float.nan, 2.); (3., 3.) ]));
+  Alcotest.check_raises "spearman rejects NaN y"
+    (Invalid_argument "Regression.ranks: NaN in input") (fun () ->
+      ignore (Stats.Regression.spearman [ (1., 1.); (2., Float.nan); (3., 3.) ]));
+  (* signed zeros are equal, not adjacent distinct values *)
+  Alcotest.(check (array (float 1e-9)))
+    "signed zeros tie" [| 1.5; 1.5; 3. |]
+    (Stats.Regression.ranks [| 0.; -0.; 1. |]);
+  (* infinities order correctly under Float.compare *)
+  Alcotest.(check (array (float 1e-9)))
+    "infinities ranked" [| 2.; 1.; 3. |]
+    (Stats.Regression.ranks [| 0.; Float.neg_infinity; Float.infinity |])
+
 let test_summary () =
   let s = Stats.Summary.of_list [ 1.; 2.; 3.; 4. ] in
   check_int "n" 4 s.Stats.Summary.n;
@@ -273,6 +293,7 @@ let suite =
       Alcotest.test_case "log fit filters" `Quick test_log_fit_filters_nonpositive;
       Alcotest.test_case "pearson" `Quick test_pearson;
       Alcotest.test_case "ranks and spearman" `Quick test_ranks_and_spearman;
+      Alcotest.test_case "ranks reject NaN" `Quick test_ranks_nan;
       Alcotest.test_case "summary" `Quick test_summary;
       Alcotest.test_case "percentile" `Quick test_percentile;
       Alcotest.test_case "percentile nan" `Quick test_percentile_nan;
